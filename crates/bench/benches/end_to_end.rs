@@ -1,0 +1,39 @@
+//! Criterion bench for a complete CuttleSys decision interval (profile →
+//! reconstruct → pin → DDS → repair) and a full one-second scenario, the
+//! unit of every evaluation experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::CuttleSysManager;
+
+fn bench_timeslice(c: &mut Criterion) {
+    c.bench_function("cuttlesys_one_timeslice", |b| {
+        b.iter(|| {
+            let scenario = Scenario {
+                duration_slices: 1,
+                noise: 0.0,
+                phases: false,
+                ..Scenario::paper_default()
+            };
+            let mut m = CuttleSysManager::for_scenario(&scenario);
+            run_scenario(&scenario, &mut m)
+        })
+    });
+}
+
+fn bench_one_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_1s");
+    group.sample_size(10);
+    group.bench_function("cuttlesys_10_slices", |b| {
+        b.iter(|| {
+            let scenario =
+                Scenario { noise: 0.0, phases: false, ..Scenario::paper_default() };
+            let mut m = CuttleSysManager::for_scenario(&scenario);
+            run_scenario(&scenario, &mut m)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeslice, bench_one_second);
+criterion_main!(benches);

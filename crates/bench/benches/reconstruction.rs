@@ -1,0 +1,59 @@
+//! Criterion benches for the reconstruction path (Table II's SGD row):
+//! serial Alg. 1 vs the lock-free parallel SGD, and the full three-matrix
+//! driver at the runtime's problem shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recsys::{hogwild, sgd, RatingMatrix, Reconstructor, SgdConfig, ValueTransform};
+
+/// The runtime's throughput-matrix shape: 16 dense training rows plus 16
+/// live rows with two observations each, over 108 configurations.
+fn runtime_matrix() -> RatingMatrix {
+    let mut m = RatingMatrix::new(32, 108);
+    let truth = |r: usize, c: usize| {
+        let app = 1.0 + 0.4 * (r as f64 * 0.7).sin();
+        let cfg = 2.0 + (c as f64 * 0.21).cos();
+        app * cfg + 0.1 * (r as f64 * 0.3).cos() * (c as f64 * 0.5).sin()
+    };
+    for r in 0..16 {
+        for c in 0..108 {
+            m.set(r, c, truth(r, c));
+        }
+    }
+    for r in 16..32 {
+        m.set(r, 107, truth(r, 107));
+        m.set(r, 1, truth(r, 1));
+    }
+    m
+}
+
+fn bench_sgd(c: &mut Criterion) {
+    let matrix = runtime_matrix();
+    let config = SgdConfig { max_iters: 60, ..SgdConfig::default() };
+    let mut group = c.benchmark_group("sgd");
+    group.bench_function("serial_alg1", |b| b.iter(|| sgd::fit(&matrix, &config)));
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("hogwild", threads),
+            &threads,
+            |b, &threads| b.iter(|| hogwild::fit_parallel(&matrix, &config, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_three_matrix_driver(c: &mut Criterion) {
+    let matrix = runtime_matrix();
+    let rec = Reconstructor::new(SgdConfig { max_iters: 60, ..SgdConfig::default() });
+    c.bench_function("complete_all_3_matrices", |b| {
+        b.iter(|| {
+            rec.complete_all(&[
+                (&matrix, ValueTransform::Log),
+                (&matrix, ValueTransform::Log),
+                (&matrix, ValueTransform::Log),
+            ])
+        })
+    });
+}
+
+criterion_group!(benches, bench_sgd, bench_three_matrix_driver);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the design-space exploration path (Table II's DDS
+//! row): serial DDS, the paper's parallel DDS, and the budget-matched GA on
+//! the runtime's 16-job × 108-configuration problem.
+
+use baselines::ga::{ga_search, GaParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds::{parallel_search, serial, ParallelDdsParams, SearchSpace};
+
+/// A realistically-shaped objective: concave per-job benefit with a soft
+/// power penalty.
+fn objective(x: &[usize]) -> f64 {
+    let benefit: f64 = x.iter().map(|&c| ((c % 27 + 1) as f64).ln()).sum();
+    let power: f64 = x.iter().map(|&c| 1.0 + 0.05 * c as f64).sum();
+    benefit - 2.0 * (power - 60.0).max(0.0)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let space = SearchSpace::new(16, 108);
+    let mut group = c.benchmark_group("search");
+    group.bench_function("serial_dds_450_evals", |b| {
+        b.iter(|| {
+            serial::search(
+                &space,
+                &objective,
+                &serial::DdsParams { max_iters: 400, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("parallel_dds_fig6", |b| {
+        b.iter(|| parallel_search(&space, &objective, &ParallelDdsParams::default()))
+    });
+    group.bench_function("ga_time_matched", |b| {
+        b.iter(|| {
+            ga_search(&space, &objective, &GaParams::default().with_evaluation_budget(450))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the simulator substrate: a full 32-core frame, the
+//! oracle's exhaustive 108-configuration rows, and the analytic queueing
+//! tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simulator::power::CoreKind;
+use simulator::{AppProfile, CacheAlloc, Chip, CoreConfig, CoreState, JobId, LlcPartition, SystemParams};
+use workloads::latency;
+use workloads::oracle::Oracle;
+use workloads::queueing::MmcQueue;
+
+fn bench_frame(c: &mut Criterion) {
+    let chip = Chip::new(SystemParams::default(), CoreKind::Reconfigurable);
+    let profiles: Vec<AppProfile> = (0..17)
+        .map(|i| {
+            let mut p = AppProfile::balanced();
+            p.ilp = 1.5 + 0.1 * i as f64;
+            p
+        })
+        .collect();
+    let partition: LlcPartition =
+        (0..17).map(|j| (JobId(j), CacheAlloc::One)).collect();
+    let mut cores: Vec<CoreState> = (0..16)
+        .map(|_| CoreState::Active { job: JobId(0), config: CoreConfig::widest() })
+        .collect();
+    for j in 1..17 {
+        cores.push(CoreState::Active { job: JobId(j), config: CoreConfig::narrowest() });
+    }
+    c.bench_function("chip_frame_32_cores", |b| {
+        b.iter(|| chip.simulate_frame(&cores, &profiles, &partition, 100.0))
+    });
+}
+
+fn bench_oracle_rows(c: &mut Criterion) {
+    let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
+    let app = AppProfile::memory_bound();
+    let svc = latency::service_by_name("xapian").expect("xapian exists");
+    let mut group = c.benchmark_group("oracle");
+    group.bench_function("bips_row_108", |b| b.iter(|| oracle.bips_row(&app)));
+    group.bench_function("power_row_108", |b| b.iter(|| oracle.power_row(&app)));
+    group.bench_function("tail_row_108", |b| b.iter(|| oracle.tail_row(&svc, 16, 0.8)));
+    group.finish();
+}
+
+fn bench_queueing(c: &mut Criterion) {
+    let queue = MmcQueue::new(16, 1.7, 17.6);
+    c.bench_function("mmc_p99", |b| b.iter(|| queue.p99_ms()));
+}
+
+criterion_group!(benches, bench_frame, bench_oracle_rows, bench_queueing);
+criterion_main!(benches);

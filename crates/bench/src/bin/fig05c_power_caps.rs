@@ -1,0 +1,98 @@
+//! Fig. 5(c): instructions executed by batch applications over 1 s, relative
+//! to no gating, across power caps, for core-level gating (± way
+//! partitioning), the oracle-like asymmetric multicore, the fixed 50-50
+//! asymmetric multicore, and CuttleSys.
+//!
+//! Usage: `fig05c_power_caps [mixes_per_service]` (default 2; the paper
+//! uses 10 → 50 co-locations).
+
+use baselines::gating::GatingOrder;
+use bench::report::ratio;
+use bench::{colocations, standard_scenario, Table, POWER_CAPS};
+use cuttlesys::managers::{
+    AsymmetricManager, AsymmetricMode, CoreGatingManager, NoGatingManager,
+};
+use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::CuttleSysManager;
+use simulator::power::CoreKind;
+
+fn run(scenario: &Scenario, scheme: &str) -> RunRecord {
+    match scheme {
+        "no-gating" => {
+            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            run_scenario(&s, &mut NoGatingManager)
+        }
+        "core-gating" | "core-gating+wp" => {
+            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            let wp = scheme.ends_with("+wp");
+            // The paper's specified baseline configuration: descending
+            // power, the ordering their McPAT calibration found best.
+            // Under our analytic power model ascending orderings do better
+            // (power correlates with throughput here, see
+            // ablation_gating_orders and EXPERIMENTS.md) — the paper's
+            // regime implies power anti-correlates with BIPS for the
+            // memory-bound SPEC power viruses.
+            run_scenario(&s, &mut CoreGatingManager::new(&s, GatingOrder::DescendingPower, wp))
+        }
+        "asymm-oracle" => {
+            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::Oracle))
+        }
+        "asymm-50-50" => {
+            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::FixedBig(16)))
+        }
+        "cuttlesys" => {
+            let mut m = CuttleSysManager::for_scenario(scenario);
+            run_scenario(scenario, &mut m)
+        }
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+fn main() {
+    let mixes: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let schemes =
+        ["core-gating", "core-gating+wp", "asymm-oracle", "asymm-50-50", "cuttlesys"];
+    let mut table = Table::new(
+        &format!(
+            "Fig. 5(c): batch instructions relative to no gating ({} colocations, 1 s runs)",
+            colocations(mixes).len()
+        ),
+        &["cap", "core-gating", "core-gating+wp", "asymm-oracle", "asymm-50-50", "cuttlesys", "qos-viol"],
+    );
+
+    for cap in POWER_CAPS {
+        // The paper compares *total* instructions over the same time
+        // (§VII-B), since gated jobs zero out geometric means.
+        let mut totals = vec![0.0f64; schemes.len()];
+        let mut baseline_total = 0.0f64;
+        let mut qos_violations = 0usize;
+        for (svc, mix) in colocations(mixes) {
+            let scenario = standard_scenario(&svc, mix, cap);
+            baseline_total += run(&scenario, "no-gating").batch_instructions();
+            for (i, scheme) in schemes.iter().enumerate() {
+                let record = run(&scenario, scheme);
+                totals[i] += record.batch_instructions();
+                if *scheme == "cuttlesys" {
+                    // Skip the cold-start slice, as the paper's steady
+                    // results do.
+                    qos_violations += record
+                        .slices
+                        .iter()
+                        .skip(1)
+                        .filter(|s| s.qos_violation)
+                        .count();
+                }
+            }
+        }
+        let mut cells = vec![format!("{:.0}%", cap * 100.0)];
+        cells.extend(totals.iter().map(|t| ratio(t / baseline_total)));
+        cells.push(qos_violations.to_string());
+        table.row(cells);
+    }
+    table.print();
+
+    println!("Paper shape targets: CuttleSys loses at the 90% cap, beats core-gating by");
+    println!("up to ~2.5-2.65x and the oracle asymmetric multicore by up to ~1.55x at 50%.");
+}

@@ -1,0 +1,79 @@
+//! Fig. 7: instructions executed on all cores in each 0.1 s timeslice over
+//! 1 s, with core-level gating, the oracle-like asymmetric multicore, and
+//! CuttleSys, at a 70 % power cap.
+//!
+//! The paper's observation: gating zeroes entire cores, the asymmetric
+//! multicore keeps all cores active but runs many jobs on small cores, and
+//! CuttleSys keeps all cores active with parts of each core gated.
+//!
+//! Usage: `fig07_timeslices [cap_fraction]` (default 0.7).
+
+use baselines::gating::GatingOrder;
+use bench::{standard_scenario, Table};
+use cuttlesys::managers::{AsymmetricManager, AsymmetricMode, CoreGatingManager};
+use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::CuttleSysManager;
+use simulator::power::CoreKind;
+use workloads::latency;
+
+fn main() {
+    let cap: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.7);
+    let svc = latency::service_by_name("xapian").expect("xapian exists");
+    let scenario = standard_scenario(&svc, 0, cap);
+    let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+
+    let gating = run_scenario(
+        &fixed,
+        &mut CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, false),
+    );
+    let asym = run_scenario(&fixed, &mut AsymmetricManager::new(&fixed, AsymmetricMode::Oracle));
+    let cuttle = {
+        let mut m = CuttleSysManager::for_scenario(&scenario);
+        run_scenario(&scenario, &mut m)
+    };
+
+    let mut table = Table::new(
+        &format!(
+            "Fig. 7: instructions per 0.1 s timeslice (billions), xapian + mix 0, {:.0}% cap",
+            cap * 100.0
+        ),
+        &["t (s)", "core-gating", "gated cores", "asymm oracle", "small cores", "cuttlesys", "narrow cores"],
+    );
+    let giga = |x: f64| format!("{:.2}", x / 1e9);
+    for i in 0..scenario.duration_slices {
+        let g = &gating.slices[i];
+        let a = &asym.slices[i];
+        let c = &cuttle.slices[i];
+        let gated = g.batch_configs.iter().filter(|c| c.is_none()).count();
+        let small = a
+            .batch_configs
+            .iter()
+            .flatten()
+            .filter(|cfg| cfg.core == simulator::CoreConfig::narrowest())
+            .count();
+        let narrow = c
+            .batch_configs
+            .iter()
+            .flatten()
+            .filter(|cfg| cfg.core.total_lanes() < 18)
+            .count();
+        table.row(vec![
+            format!("{:.1}", g.t_s),
+            giga(g.total_instructions),
+            gated.to_string(),
+            giga(a.total_instructions),
+            small.to_string(),
+            giga(c.total_instructions),
+            narrow.to_string(),
+        ]);
+    }
+    table.print();
+
+    let total = |r: &RunRecord| r.slices.iter().map(|s| s.total_instructions).sum::<f64>();
+    println!(
+        "Totals over 1 s: gating {:.2}e9, asymmetric {:.2}e9, cuttlesys {:.2}e9",
+        total(&gating) / 1e9,
+        total(&asym) / 1e9,
+        total(&cuttle) / 1e9
+    );
+}

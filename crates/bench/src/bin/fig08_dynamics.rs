@@ -1,0 +1,104 @@
+//! Fig. 8: CuttleSys' dynamic behaviour over one second —
+//! (a) under a diurnal input-load pattern at a constant 70 % cap,
+//! (b) under a varying power budget (90 % → 60 % → 90 %) at 80 % load,
+//! (c) a core-relocation example under a load spike.
+//!
+//! Each run prints the same series the paper plots: input load, tail
+//! latency relative to QoS, batch throughput (geo-mean BIPS), chip power vs
+//! budget, the LC core configuration, and (for c) the LC core count.
+//!
+//! Usage: `fig08_dynamics [--scenario load|power|relocation] [slices]`
+
+use bench::Table;
+use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::CuttleSysManager;
+use workloads::latency;
+use workloads::loadgen::LoadPattern;
+
+fn scenario(kind: &str, slices: usize) -> Scenario {
+    let svc = latency::service_by_name("xapian").expect("xapian exists");
+    let base = Scenario {
+        service: svc,
+        duration_slices: slices,
+        ..Scenario::paper_default()
+    };
+    match kind {
+        // (a) diurnal load, constant 70% cap.
+        "load" => Scenario {
+            load: LoadPattern::paper_diurnal(),
+            cap: LoadPattern::Constant(0.7),
+            ..base
+        },
+        // (b) constant 80% load, cap 90% -> 60% at t=0.3s -> 90% at t=0.7s.
+        "power" => Scenario {
+            load: LoadPattern::Constant(0.8),
+            cap: LoadPattern::Steps(vec![(0.0, 0.9), (0.3, 0.6), (0.7, 0.9)]),
+            ..base
+        },
+        // (c) load spike driving core relocation, constant 70% cap.
+        "relocation" => Scenario {
+            load: LoadPattern::paper_spike(),
+            cap: LoadPattern::Constant(0.7),
+            ..base
+        },
+        other => panic!("unknown scenario {other} (use load|power|relocation)"),
+    }
+}
+
+fn run(kind: &str, slices: usize) {
+    let s = scenario(kind, slices);
+    let mut manager = CuttleSysManager::for_scenario(&s);
+    let record = run_scenario(&s, &mut manager);
+
+    let mut table = Table::new(
+        &format!("Fig. 8 ({kind}): xapian + mix 0, {} slices", s.duration_slices),
+        &[
+            "t (s)",
+            "load",
+            "tail/QoS",
+            "batch gmean (BIPS)",
+            "power (W)",
+            "budget (W)",
+            "LC cores",
+            "LC config",
+        ],
+    );
+    for sl in &record.slices {
+        table.row(vec![
+            format!("{:.1}", sl.t_s),
+            format!("{:.0}%", sl.load * 100.0),
+            format!("{:.2}", sl.tail_ms / s.service.qos_ms),
+            format!("{:.2}", sl.batch_gmean_bips),
+            format!("{:.1}", sl.chip_watts),
+            format!("{:.1}", sl.cap_watts),
+            sl.lc_cores.to_string(),
+            sl.lc_config.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "QoS violations: {} / {}; power violations: {} / {}\n",
+        record.qos_violations(),
+        record.slices.len(),
+        record.power_violations(),
+        record.slices.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let slices: usize = args.last().and_then(|a| a.parse().ok()).unwrap_or(10);
+    if kind == "all" {
+        for k in ["load", "power", "relocation"] {
+            run(k, slices);
+        }
+    } else {
+        run(kind, slices);
+    }
+}

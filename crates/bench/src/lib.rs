@@ -1,0 +1,131 @@
+//! Experiment harness shared utilities.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index); this library holds the pieces they share:
+//! standard scenario construction (the 50 service × mix co-locations of
+//! §VII-A), plain-text table rendering, and summary statistics.
+
+use cuttlesys::testbed::{Scenario, BATCH_JOBS};
+use workloads::batch;
+use workloads::latency::{self, LcService};
+use workloads::loadgen::LoadPattern;
+
+pub mod report;
+
+pub use report::Table;
+
+/// The power caps evaluated in Fig. 5(c) and Fig. 10(b), as fractions of the
+/// nominal budget.
+pub const POWER_CAPS: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
+
+/// Builds the paper's standard co-location: `service` at 80 % load with the
+/// `mix_index`-th standard SPEC mix, under a constant cap.
+pub fn standard_scenario(service: &LcService, mix_index: u64, cap: f64) -> Scenario {
+    Scenario {
+        service: *service,
+        mix: batch::mix(BATCH_JOBS, 0xC0FFEE + mix_index),
+        load: LoadPattern::Constant(0.8),
+        cap: LoadPattern::Constant(cap),
+        seed: 1000 + mix_index,
+        ..Scenario::paper_default()
+    }
+}
+
+/// All (service, mix index) pairs of the 50-mix evaluation;
+/// `mixes_per_service` trims the sweep for quick runs.
+pub fn colocations(mixes_per_service: u64) -> Vec<(LcService, u64)> {
+    latency::services()
+        .into_iter()
+        .flat_map(|svc| (0..mixes_per_service).map(move |m| (svc, m)))
+        .collect()
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Percentile of a sample (nearest-rank), `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Box-plot style summary of signed percentage errors, as reported in
+/// Fig. 5(a)/(b) and Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// 5th percentile (%).
+    pub p5: f64,
+    /// 25th percentile (%).
+    pub p25: f64,
+    /// Median (%).
+    pub p50: f64,
+    /// 75th percentile (%).
+    pub p75: f64,
+    /// 95th percentile (%).
+    pub p95: f64,
+}
+
+impl ErrorSummary {
+    /// Summarizes a sample of signed percentage errors.
+    pub fn of(errors: &[f64]) -> ErrorSummary {
+        ErrorSummary {
+            p5: percentile(errors, 0.05),
+            p25: percentile(errors, 0.25),
+            p50: percentile(errors, 0.50),
+            p75: percentile(errors, 0.75),
+            p95: percentile(errors, 0.95),
+        }
+    }
+
+    /// Formats as a compact row fragment.
+    pub fn row(&self) -> Vec<String> {
+        [self.p5, self.p25, self.p50, self.p75, self.p95]
+            .iter()
+            .map(|v| format!("{v:+.1}"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocations_cover_five_services() {
+        let all = colocations(10);
+        assert_eq!(all.len(), 50);
+        let quick = colocations(2);
+        assert_eq!(quick.len(), 10);
+    }
+
+    #[test]
+    fn standard_scenarios_differ_by_mix() {
+        let svc = latency::service_by_name("silo").unwrap();
+        let a = standard_scenario(&svc, 0, 0.7);
+        let b = standard_scenario(&svc, 1, 0.7);
+        assert_ne!(a.mix.names(), b.mix.names());
+        assert_eq!(a.service.name, "silo");
+        assert_eq!(a.mix.apps.len(), BATCH_JOBS);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.0);
+        let s = ErrorSummary::of(&[-10.0, -5.0, 0.0, 5.0, 10.0]);
+        assert_eq!(s.p50, 0.0);
+        assert!(s.p5 <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.p95);
+    }
+}

@@ -1,0 +1,50 @@
+//! CuttleSys: data-driven resource management for interactive services on
+//! reconfigurable multicores.
+//!
+//! This crate is the paper's primary contribution — the online runtime that
+//! every 100 ms decision quantum profiles the co-scheduled jobs for 2 ms,
+//! reconstructs their throughput/tail-latency/power across all 108 core and
+//! cache configurations with collaborative filtering, and searches the joint
+//! configuration space with parallel Dynamically Dimensioned Search, meeting
+//! the latency-critical service's QoS and maximizing batch throughput under
+//! a power budget.
+//!
+//! Modules:
+//!
+//! * [`testbed`] — the simulated server every resource manager runs on:
+//!   scenarios (service + SPEC mix + load pattern + power-cap schedule),
+//!   timeslice execution, noisy measurements, and per-slice records.
+//! * [`matrices`] — the Resource Controller's rating-matrix bookkeeping:
+//!   offline-characterized training rows plus online observations.
+//! * [`runtime`] — the CuttleSys manager itself (§IV-§VI).
+//! * [`managers`] — baseline managers: no-gating, core-level gating (± way
+//!   partitioning), oracle-like and fixed 50-50 asymmetric multicores, and
+//!   Flicker.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cuttlesys::testbed::{run_scenario, Scenario};
+//! use cuttlesys::runtime::CuttleSysManager;
+//!
+//! let scenario = Scenario::quick_demo();
+//! let mut manager = CuttleSysManager::for_scenario(&scenario);
+//! let record = run_scenario(&scenario, &mut manager);
+//! assert_eq!(record.slices.len(), scenario.duration_slices);
+//! ```
+
+pub mod managers;
+pub mod matrices;
+pub mod runtime;
+pub mod testbed;
+
+pub use runtime::CuttleSysManager;
+pub use testbed::{run_scenario, Plan, ResourceManager, RunRecord, Scenario};
+
+/// Draws a standard normal variate via the Box–Muller transform (shared by
+/// the testbed's measurement-noise model).
+pub(crate) fn rng_normal(rng: &mut impl rand::RngExt) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

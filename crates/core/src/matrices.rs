@@ -1,0 +1,430 @@
+//! The Resource Controller's rating-matrix bookkeeping (§V).
+//!
+//! Three matrices are maintained, one per metric:
+//!
+//! * **throughput** — rows are the 16 offline-characterized training
+//!   applications plus the live batch jobs;
+//! * **power** — the same rows plus one row for the latency-critical
+//!   service;
+//! * **tail latency** — rows are a library of offline-characterized
+//!   *latency-critical* behaviours plus the live service's row.
+//!
+//! Tail latency depends on the offered load, so tail bookkeeping is bucketed
+//! by load decile: training rows are characterized per bucket (lazily) and
+//! live observations land in the bucket of the load they were measured
+//! under. Observations are overwritten per configuration — the newest
+//! measurement wins, which is how the paper's runtime "updates the
+//! reconstruction matrix with the measured metrics" to track phase changes.
+
+use std::collections::HashMap;
+
+use recsys::{RatingMatrix, Reconstructor, ValueTransform};
+use simulator::{AppProfile, NUM_JOB_CONFIGS};
+use workloads::latency::{self, LcService};
+use workloads::oracle::Oracle;
+
+/// Tail bookkeeping granularity: loads are binned to the nearest percent.
+/// Queueing tails are steep functions of utilization near the knee, so the
+/// training rows must be characterized at (almost exactly) the live load —
+/// the arrival rate is directly observable, making this free at runtime.
+pub const LOAD_BUCKETS: usize = 101;
+
+/// Reference LC core count the tail training library is characterized at.
+pub const TAIL_REFERENCE_CORES: usize = 16;
+
+/// Ceiling applied to every tail-latency entry, in milliseconds.
+///
+/// A p99 cannot be measured beyond the 100 ms monitoring window, so both
+/// the offline library rows and the online observations saturate here. This
+/// also keeps the log-space matrix within ~2 decades instead of the 5 the
+/// raw overload sentinels would span — all the scheduler needs from a
+/// saturated entry is "QoS is violated" (§VIII-B).
+pub const TAIL_CAP_MS: f64 = 100.0;
+
+/// Maps a load fraction to its bucket (nearest percent; overload up to
+/// 200 % gets its own buckets so saturated predictions stay saturated).
+pub fn bucket_for(load: f64) -> usize {
+    (load.clamp(0.0, 2.0) * 100.0).round() as usize
+}
+
+/// Load a bucket's training rows are characterized at.
+pub fn bucket_load(bucket: usize) -> f64 {
+    bucket as f64 / 100.0
+}
+
+/// Completed predictions for one decision interval.
+#[derive(Debug, Clone)]
+pub struct Predictions {
+    /// `batch_bips[j][c]`: predicted per-core BIPS of batch job `j` at
+    /// configuration `c`.
+    pub batch_bips: Vec<Vec<f64>>,
+    /// `batch_watts[j][c]`: predicted per-core power of batch job `j`.
+    pub batch_watts: Vec<Vec<f64>>,
+    /// Predicted per-core power of the LC service per configuration.
+    pub lc_watts: Vec<f64>,
+    /// Predicted 99th-percentile latency of the LC service per
+    /// configuration, at the requested load bucket.
+    pub lc_tail: Vec<f64>,
+    /// Tail prediction tightened by the monotone closure of direct
+    /// observations: an observed violation at X rules out everything X
+    /// dominates, an observed-safe X certifies everything dominating X.
+    /// The QoS scan uses this column.
+    pub lc_tail_guarded: Vec<f64>,
+}
+
+/// The three-matrix bookkeeping.
+pub struct JobMatrices {
+    num_batch: usize,
+    training_bips: Vec<Vec<f64>>,
+    training_watts: Vec<Vec<f64>>,
+    tail_training: HashMap<usize, Vec<Vec<f64>>>,
+    tail_library: Vec<LcService>,
+    oracle: Oracle,
+    batch_bips_obs: Vec<HashMap<usize, f64>>,
+    batch_watts_obs: Vec<HashMap<usize, f64>>,
+    lc_watts_obs: HashMap<usize, f64>,
+    tail_obs: HashMap<usize, HashMap<usize, f64>>,
+}
+
+/// Builds the tail training library: perturbed variants of every TailBench
+/// service. The variants — not the services themselves — are the
+/// "previously seen applications": scaling ILP and the cache working set
+/// moves both the service-rate level and the shape of the configuration
+/// response, so the live service is similar to, but never identical to, a
+/// training row.
+fn tail_library() -> Vec<LcService> {
+    let mut lib = Vec::new();
+    for svc in latency::services() {
+        for (ilp_scale, ws_scale, qps_scale) in [
+            (0.80, 1.30, 0.85),
+            (0.90, 1.12, 0.94),
+            (1.08, 0.90, 1.05),
+            (1.18, 0.72, 1.12),
+        ] {
+            let mut p = svc.profile;
+            p.ilp = (p.ilp * ilp_scale).clamp(0.2, 6.0);
+            p.llc_working_set_ways = (p.llc_working_set_ways * ws_scale).clamp(0.1, 16.0);
+            p.fe_sensitivity = (p.fe_sensitivity * ws_scale).clamp(0.0, 1.0);
+            lib.push(LcService {
+                name: svc.name,
+                profile: p,
+                max_qps: svc.max_qps * qps_scale,
+                qos_ms: svc.qos_ms,
+            });
+        }
+    }
+    lib
+}
+
+impl JobMatrices {
+    /// Creates the bookkeeping for `num_batch` live batch jobs, with
+    /// training rows characterized offline through `oracle` (the paper's
+    /// one-time offline profiling of 16 known applications).
+    pub fn new(oracle: Oracle, training_apps: &[AppProfile], num_batch: usize) -> JobMatrices {
+        let training_bips = training_apps.iter().map(|a| oracle.bips_row(a)).collect();
+        let training_watts = training_apps.iter().map(|a| oracle.power_row(a)).collect();
+        JobMatrices {
+            num_batch,
+            training_bips,
+            training_watts,
+            tail_training: HashMap::new(),
+            tail_library: tail_library(),
+            oracle,
+            batch_bips_obs: vec![HashMap::new(); num_batch],
+            batch_watts_obs: vec![HashMap::new(); num_batch],
+            lc_watts_obs: HashMap::new(),
+            tail_obs: HashMap::new(),
+        }
+    }
+
+    /// Records a measured `(bips, watts)` sample for a job at a
+    /// configuration. Job 0 is the LC service (only its power is matrixed —
+    /// its "performance" metric is tail latency); jobs `1..=num_batch` are
+    /// batch jobs.
+    pub fn record_sample(&mut self, job: usize, config_idx: usize, bips: f64, watts: f64) {
+        assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
+        if job == 0 {
+            if watts > 0.0 {
+                self.lc_watts_obs.insert(config_idx, watts);
+            }
+            return;
+        }
+        let j = job - 1;
+        assert!(j < self.num_batch, "unknown batch job {job}");
+        if bips > 0.0 {
+            self.batch_bips_obs[j].insert(config_idx, bips);
+        }
+        if watts > 0.0 {
+            self.batch_watts_obs[j].insert(config_idx, watts);
+        }
+    }
+
+    /// Records a measured tail latency at a configuration under `load`.
+    pub fn record_tail(&mut self, load: f64, config_idx: usize, tail_ms: f64) {
+        assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
+        if tail_ms > 0.0 {
+            self.tail_obs
+                .entry(bucket_for(load))
+                .or_default()
+                .insert(config_idx, tail_ms.min(TAIL_CAP_MS));
+        }
+    }
+
+    /// Number of live observations for batch job `j`'s throughput row.
+    pub fn batch_observations(&self, j: usize) -> usize {
+        self.batch_bips_obs[j].len()
+    }
+
+    /// Observations usable at `bucket`: direct observations merged with
+    /// neighbours within ±2 % load (nearer buckets win). Queueing tails move
+    /// smoothly over a couple of load percent, and input load drifts
+    /// gradually in practice, so neighbouring evidence prevents a cold
+    /// start at every bucket boundary.
+    pub fn tail_observations_near(&self, bucket: usize) -> HashMap<usize, f64> {
+        let mut merged = HashMap::new();
+        for distance in (0..=2).rev() {
+            for b in
+                [bucket.saturating_sub(distance), (bucket + distance).min(200)]
+            {
+                if let Some(obs) = self.tail_obs.get(&b) {
+                    merged.extend(obs.iter().map(|(&c, &t)| (c, t)));
+                }
+            }
+        }
+        merged
+    }
+
+    fn tail_training_rows(&mut self, bucket: usize) -> &Vec<Vec<f64>> {
+        let oracle = self.oracle;
+        let library = &self.tail_library;
+        self.tail_training.entry(bucket).or_insert_with(|| {
+            let load = bucket_load(bucket);
+            library
+                .iter()
+                .map(|svc| {
+                    oracle
+                        .tail_row(svc, TAIL_REFERENCE_CORES, load)
+                        .into_iter()
+                        .map(|t| t.min(TAIL_CAP_MS))
+                        .collect()
+                })
+                .collect()
+        })
+    }
+
+    /// Runs the three reconstructions (§V runs them in parallel; we use the
+    /// reconstructor's `complete_all`) and returns dense predictions for
+    /// the live jobs at the given load bucket.
+    pub fn reconstruct(&mut self, reconstructor: &Reconstructor, load: f64) -> Predictions {
+        let bucket = bucket_for(load);
+        let cols = NUM_JOB_CONFIGS;
+
+        // Throughput matrix: training rows then live batch rows.
+        let t_rows = self.training_bips.len();
+        let mut bips_m = RatingMatrix::new(t_rows + self.num_batch, cols);
+        for (r, row) in self.training_bips.iter().enumerate() {
+            bips_m.fill_row(r, row);
+        }
+        for (j, obs) in self.batch_bips_obs.iter().enumerate() {
+            for (&c, &v) in obs {
+                bips_m.set(t_rows + j, c, v);
+            }
+        }
+
+        // Power matrix: training rows, live batch rows, then the LC row.
+        let mut watts_m = RatingMatrix::new(t_rows + self.num_batch + 1, cols);
+        for (r, row) in self.training_watts.iter().enumerate() {
+            watts_m.fill_row(r, row);
+        }
+        for (j, obs) in self.batch_watts_obs.iter().enumerate() {
+            for (&c, &v) in obs {
+                watts_m.set(t_rows + j, c, v);
+            }
+        }
+        for (&c, &v) in &self.lc_watts_obs {
+            watts_m.set(t_rows + self.num_batch, c, v);
+        }
+
+        // Tail matrix for this bucket: library rows then the live row.
+        let lib_rows = self.tail_training_rows(bucket).clone();
+        let mut tail_m = RatingMatrix::new(lib_rows.len() + 1, cols);
+        for (r, row) in lib_rows.iter().enumerate() {
+            tail_m.fill_row(r, row);
+        }
+        if let Some(obs) = self.tail_obs.get(&bucket) {
+            for (&c, &v) in obs {
+                tail_m.set(lib_rows.len(), c, v);
+            }
+        }
+
+        let completed = reconstructor.complete_all(&[
+            (&bips_m, ValueTransform::Log),
+            (&watts_m, ValueTransform::Log),
+            (&tail_m, ValueTransform::Log),
+        ]);
+        let (bips_d, watts_d, tail_d) = (&completed[0], &completed[1], &completed[2]);
+
+        let batch_bips = (0..self.num_batch)
+            .map(|j| (0..cols).map(|c| bips_d.get(t_rows + j, c)).collect())
+            .collect();
+        let batch_watts = (0..self.num_batch)
+            .map(|j| (0..cols).map(|c| watts_d.get(t_rows + j, c)).collect())
+            .collect();
+        let lc_watts = (0..cols).map(|c| watts_d.get(t_rows + self.num_batch, c)).collect();
+        let lc_tail: Vec<f64> = (0..cols).map(|c| tail_d.get(lib_rows.len(), c)).collect();
+
+        // Monotone closure over (neighbour-merged) direct observations:
+        // tail latency is monotone in every resource dimension, so an
+        // observation at X lower-bounds every configuration X dominates and
+        // upper-bounds every configuration dominating X. Upper bounds are
+        // applied last — direct evidence of safety trumps interpolation.
+        let obs = self.tail_observations_near(bucket);
+        let mut lc_tail_guarded = lc_tail.clone();
+        let dominates = |a: simulator::JobConfig, b: simulator::JobConfig| {
+            a.core.fe >= b.core.fe
+                && a.core.be >= b.core.be
+                && a.core.ls >= b.core.ls
+                && a.cache >= b.cache
+        };
+        for (&x, &t) in &obs {
+            let xc = simulator::JobConfig::from_index(x);
+            for (c, g) in lc_tail_guarded.iter_mut().enumerate() {
+                let cc = simulator::JobConfig::from_index(c);
+                if c != x && dominates(xc, cc) {
+                    *g = g.max(t);
+                }
+            }
+        }
+        for (&x, &t) in &obs {
+            let xc = simulator::JobConfig::from_index(x);
+            for (c, g) in lc_tail_guarded.iter_mut().enumerate() {
+                let cc = simulator::JobConfig::from_index(c);
+                if c != x && dominates(cc, xc) {
+                    *g = g.min(t);
+                }
+            }
+        }
+        Predictions { batch_bips, batch_watts, lc_watts, lc_tail, lc_tail_guarded }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simulator::power::CoreKind;
+    use simulator::{Chip, JobConfig, SystemParams};
+    use workloads::batch;
+
+    fn matrices() -> JobMatrices {
+        let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
+        let training: Vec<AppProfile> =
+            batch::training_set().iter().map(|b| b.profile).collect();
+        JobMatrices::new(oracle, &training, 4)
+    }
+
+    #[test]
+    fn bucketing_covers_the_unit_interval() {
+        assert_eq!(bucket_for(0.0), 0);
+        assert_eq!(bucket_for(0.004), 0);
+        assert_eq!(bucket_for(0.85), 85);
+        assert_eq!(bucket_for(0.852), 85);
+        assert_eq!(bucket_for(1.0), 100);
+        assert_eq!(bucket_for(2.0), 200);
+        assert_eq!(bucket_for(5.0), 200);
+        assert!((bucket_load(85) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_library_is_diverse_and_valid() {
+        let lib = tail_library();
+        assert_eq!(lib.len(), 20);
+        for svc in &lib {
+            svc.profile.validate().unwrap();
+        }
+        // Variants must not duplicate the original services.
+        for orig in latency::services() {
+            assert!(lib.iter().all(|v| v.profile != orig.profile));
+        }
+    }
+
+    #[test]
+    fn predictions_recover_unobserved_configs_for_batch_jobs() {
+        let mut m = matrices();
+        let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
+        let app = batch::testing_set()[0].profile;
+        let truth = oracle.bips_row(&app);
+        let truth_w = oracle.power_row(&app);
+        // Two profiling samples, as at runtime.
+        for cfg in [JobConfig::profiling_high().index(), JobConfig::profiling_low().index()] {
+            m.record_sample(1, cfg, truth[cfg], truth_w[cfg]);
+        }
+        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let rel_sum: f64 = preds.batch_bips[0]
+            .iter()
+            .zip(&truth)
+            .map(|(p, t)| (p - t).abs() / t)
+            .sum();
+        let mean_rel = rel_sum / NUM_JOB_CONFIGS as f64;
+        assert!(mean_rel < 0.15, "mean relative throughput error {mean_rel}");
+    }
+
+    #[test]
+    fn tail_predictions_use_the_right_bucket() {
+        let mut m = matrices();
+        let p_low = m.reconstruct(&Reconstructor::default(), 0.2);
+        let p_high = m.reconstruct(&Reconstructor::default(), 0.85);
+        let idx = JobConfig::profiling_low().index();
+        assert!(
+            p_high.lc_tail[idx] > p_low.lc_tail[idx],
+            "high-load bucket must predict worse tails at the narrow config"
+        );
+    }
+
+    #[test]
+    fn observed_entries_pass_through() {
+        let mut m = matrices();
+        m.record_sample(1, 5, 2.5, 3.5);
+        m.record_tail(0.8, 7, 4.2);
+        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        assert!((preds.batch_bips[0][5] - 2.5).abs() < 1e-12);
+        assert!((preds.batch_watts[0][5] - 3.5).abs() < 1e-12);
+        assert!((preds.lc_tail[7] - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newest_measurement_wins() {
+        let mut m = matrices();
+        m.record_sample(2, 9, 1.0, 1.0);
+        m.record_sample(2, 9, 2.0, 2.0);
+        assert_eq!(m.batch_observations(1), 1);
+        let preds = m.reconstruct(&Reconstructor::default(), 0.5);
+        assert!((preds.batch_bips[1][9] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lc_power_row_learns_from_observations() {
+        let mut m = matrices();
+        let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
+        let svc = latency::service_by_name("moses").unwrap();
+        let truth = oracle.power_row(&svc.profile);
+        for cfg in [JobConfig::profiling_high().index(), JobConfig::profiling_low().index()] {
+            m.record_sample(0, cfg, 0.0, truth[cfg]);
+        }
+        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let rel_sum: f64 = preds
+            .lc_watts
+            .iter()
+            .zip(&truth)
+            .map(|(p, t)| (p - t).abs() / t)
+            .sum();
+        let mean_rel = rel_sum / NUM_JOB_CONFIGS as f64;
+        assert!(mean_rel < 0.2, "mean relative LC power error {mean_rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "config index out of range")]
+    fn out_of_range_config_rejected() {
+        let mut m = matrices();
+        m.record_sample(1, 108, 1.0, 1.0);
+    }
+}

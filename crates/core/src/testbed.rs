@@ -1,0 +1,946 @@
+//! The simulated server every resource manager runs on.
+//!
+//! A [`Scenario`] fixes the co-location (one TailBench-like service plus a
+//! 16-app SPEC mix), the input-load pattern, the power-cap schedule, and the
+//! chip. [`run_scenario`] advances it in 100 ms timeslices; each slice the
+//! [`ResourceManager`] under test may run short profiling frames (consuming
+//! real slice time, as in the paper — "results include all overheads") and
+//! must return a [`Plan`]; the remainder of the slice runs in steady state.
+//!
+//! Managers only see *measurements*: noisy per-job throughput and power
+//! samples from the frames they request, and the tail latency of the
+//! previous timeslice. Ground truth (exact instructions, chip power, QoS
+//! verdicts) goes into the per-slice records that the experiment harness
+//! reports.
+//!
+//! Tail latency over a slice is computed from the *mixture* of queueing
+//! regimes the slice contained: a 1 ms profiling frame in a narrow
+//! configuration contributes ~1 % of the window's requests, which is exactly
+//! the paper's argument for why Flicker's long profiling phases blow the
+//! 99th percentile while CuttleSys' 2 ms split-halves profiling does not.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use simulator::power::CoreKind;
+use simulator::{
+    CacheAlloc, Chip, CoreConfig, CoreState, JobConfig, JobId, LlcPartition, SystemParams,
+};
+use workloads::batch::{self, SpecMix};
+use workloads::latency::LcService;
+use workloads::loadgen::LoadPattern;
+use workloads::phase::PhasedProfile;
+use workloads::queueing::MmcQueue;
+
+use crate::rng_normal;
+
+/// Number of batch applications in the standard co-location.
+pub const BATCH_JOBS: usize = 16;
+
+/// The default decision quantum in milliseconds (§IV-B).
+pub const TIMESLICE_MS: f64 = 100.0;
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Chip parameters (Table I).
+    pub params: SystemParams,
+    /// Core kind: reconfigurable for CuttleSys/Flicker, fixed for the
+    /// gating/asymmetric/no-gating baselines.
+    pub kind: CoreKind,
+    /// The latency-critical service (JobId 0).
+    pub service: LcService,
+    /// The batch mix (JobIds 1..=16).
+    pub mix: SpecMix,
+    /// Input load of the service over time, as a fraction of its max QPS.
+    pub load: LoadPattern,
+    /// Power cap over time, as a fraction of the nominal budget.
+    pub cap: LoadPattern,
+    /// Number of 100 ms timeslices to simulate.
+    pub duration_slices: usize,
+    /// Relative standard deviation of measurement noise.
+    pub noise: f64,
+    /// Whether applications drift through execution phases.
+    pub phases: bool,
+    /// Cores initially assigned to the latency-critical service (§VII-A:
+    /// 50 % of the chip).
+    pub lc_cores: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's standard setup: 32 cores, 50/50 split, Xapian at 80 %
+    /// load with mix 0, a 70 % power cap, one second of simulated time.
+    pub fn paper_default() -> Scenario {
+        Scenario {
+            params: SystemParams::default(),
+            kind: CoreKind::Reconfigurable,
+            service: workloads::latency::service_by_name("xapian").expect("xapian exists"),
+            mix: batch::mix(BATCH_JOBS, 0xC0FFEE),
+            load: LoadPattern::Constant(0.8),
+            cap: LoadPattern::Constant(0.7),
+            duration_slices: 10,
+            noise: 0.03,
+            phases: true,
+            lc_cores: 16,
+            seed: 7,
+        }
+    }
+
+    /// A fast, small configuration for doc examples and smoke tests.
+    pub fn quick_demo() -> Scenario {
+        Scenario { duration_slices: 3, ..Scenario::paper_default() }
+    }
+
+    /// Nominal (100 %) power budget in Watts: the §VII-A definition —
+    /// average per-core power across all jobs on reconfigurable cores,
+    /// scaled to the full chip. Identical across core kinds so every design
+    /// is compared at the same Wattage.
+    pub fn nominal_budget_watts(&self) -> f64 {
+        let reconf = Chip::new(self.params, CoreKind::Reconfigurable);
+        let mut profiles = self.mix.profiles();
+        profiles.push(self.service.profile);
+        reconf.nominal_power_budget(&profiles).get()
+    }
+
+    /// Number of batch jobs in the mix.
+    pub fn num_batch(&self) -> usize {
+        self.mix.apps.len()
+    }
+}
+
+/// What a batch job does during a timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum BatchAction {
+    /// Run on one core at this configuration.
+    Run(JobConfig),
+    /// The job's core is power-gated; it executes nothing.
+    Gated,
+}
+
+impl BatchAction {
+    /// The configuration, if running.
+    pub fn config(&self) -> Option<JobConfig> {
+        match self {
+            BatchAction::Run(c) => Some(*c),
+            BatchAction::Gated => None,
+        }
+    }
+}
+
+/// A steady-state plan for one timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Plan {
+    /// Cores assigned to the latency-critical service.
+    pub lc_cores: usize,
+    /// Configuration of every LC core.
+    pub lc_config: JobConfig,
+    /// Action for each batch job.
+    pub batch: Vec<BatchAction>,
+}
+
+impl Plan {
+    /// All cores at the widest configuration with one LLC way — the
+    /// no-gating reference.
+    pub fn all_widest(lc_cores: usize, num_batch: usize) -> Plan {
+        Plan {
+            lc_cores,
+            lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+            batch: vec![BatchAction::Run(JobConfig::profiling_high()); num_batch],
+        }
+    }
+
+    /// Total LLC ways this plan allocates.
+    pub fn total_ways(&self) -> f64 {
+        self.lc_config.cache.ways()
+            + self
+                .batch
+                .iter()
+                .filter_map(|a| a.config())
+                .map(|c| c.cache.ways())
+                .sum::<f64>()
+    }
+}
+
+/// A profiling frame request: per-core LC configurations (so halves can be
+/// split across the widest/narrowest extremes) plus per-job batch actions.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfilePlan {
+    /// Cores assigned to the LC service.
+    pub lc_cores: usize,
+    /// Configuration of each LC core (length `lc_cores`).
+    pub lc_configs: Vec<JobConfig>,
+    /// Action for each batch job.
+    pub batch: Vec<BatchAction>,
+}
+
+/// One measured sample: a job observed at a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SamplePoint {
+    /// Job index: 0 is the LC service, `1..=num_batch` are batch jobs.
+    pub job: usize,
+    /// The configuration the job (or a subset of its cores) ran in.
+    pub config: JobConfig,
+    /// Measured per-core throughput (BIPS), with measurement noise.
+    pub bips: f64,
+    /// Measured per-core power (W), with measurement noise.
+    pub watts: f64,
+}
+
+/// Measurements returned by a profiling frame.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileSample {
+    /// Frame duration in milliseconds.
+    pub duration_ms: f64,
+    /// Per-(job, config) samples.
+    pub samples: Vec<SamplePoint>,
+    /// Noisy estimate of the LC tail latency under this frame's regime —
+    /// what a 10 ms Flicker profiling period would measure (ms).
+    pub lc_tail_ms: f64,
+}
+
+/// Static facts a manager sees at the start of a timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SliceInfo {
+    /// Timeslice index.
+    pub slice: usize,
+    /// Measured arrival rate as a fraction of the service's calibrated
+    /// maximum QPS — directly observable from request counters in a real
+    /// deployment.
+    pub load: f64,
+    /// Power cap for this slice, in Watts.
+    pub cap_watts: f64,
+    /// Total cores on the chip.
+    pub num_cores: usize,
+    /// Number of batch jobs.
+    pub num_batch: usize,
+    /// The LC service's QoS target (ms).
+    pub qos_ms: f64,
+    /// Measured 99th-percentile latency of the previous slice, if any.
+    pub last_tail_ms: Option<f64>,
+    /// Cores the LC service held in the previous slice.
+    pub last_lc_cores: usize,
+}
+
+/// Steady-state measurements a manager receives after its plan ran.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SliceOutcome {
+    /// The plan that ran.
+    pub plan: Plan,
+    /// Noisy per-core throughput of each job (index 0 = LC).
+    pub measured_bips: Vec<f64>,
+    /// Noisy per-core power of each job.
+    pub measured_watts: Vec<f64>,
+    /// Measured 99th-percentile latency over the whole slice (ms).
+    pub tail_ms: f64,
+}
+
+/// A resource manager under test.
+pub trait ResourceManager {
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> String;
+
+    /// Decides the steady-state plan for this timeslice. `probe` runs a
+    /// profiling frame and returns its measurements; every probe consumes
+    /// its duration from the slice.
+    fn plan(
+        &mut self,
+        info: &SliceInfo,
+        probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+    ) -> Plan;
+
+    /// Observes the steady-state outcome (default: ignore).
+    fn observe(&mut self, _outcome: &SliceOutcome) {}
+}
+
+/// Ground-truth record of one timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SliceRecord {
+    /// Slice start time in seconds.
+    pub t_s: f64,
+    /// Input load fraction during the slice.
+    pub load: f64,
+    /// Power cap (W).
+    pub cap_watts: f64,
+    /// Time-weighted average chip power over the slice (W).
+    pub chip_watts: f64,
+    /// Whether average power exceeded the cap.
+    pub power_violation: bool,
+    /// True 99th-percentile latency over the slice (ms), before noise.
+    pub tail_ms: f64,
+    /// Whether the tail violated the service's QoS.
+    pub qos_violation: bool,
+    /// Instructions executed by batch jobs during the slice.
+    pub batch_instructions: f64,
+    /// Instructions executed by all jobs during the slice.
+    pub total_instructions: f64,
+    /// Per-job instructions (index 0 = LC).
+    pub per_job_instructions: Vec<f64>,
+    /// Cores held by the LC service.
+    pub lc_cores: usize,
+    /// The LC configuration of the steady phase.
+    pub lc_config: JobConfig,
+    /// Steady-phase batch configurations (`None` = gated).
+    pub batch_configs: Vec<Option<JobConfig>>,
+    /// Geometric mean of running batch jobs' throughput (BIPS).
+    pub batch_gmean_bips: f64,
+}
+
+/// A completed scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunRecord {
+    /// The manager's name.
+    pub scheme: String,
+    /// Per-slice records.
+    pub slices: Vec<SliceRecord>,
+}
+
+impl RunRecord {
+    /// Total instructions executed by batch jobs across the run — the
+    /// paper's comparison metric (§VII-B).
+    pub fn batch_instructions(&self) -> f64 {
+        self.slices.iter().map(|s| s.batch_instructions).sum()
+    }
+
+    /// Number of slices whose tail latency violated QoS.
+    pub fn qos_violations(&self) -> usize {
+        self.slices.iter().filter(|s| s.qos_violation).count()
+    }
+
+    /// Number of slices whose average power exceeded the cap.
+    pub fn power_violations(&self) -> usize {
+        self.slices.iter().filter(|s| s.power_violation).count()
+    }
+
+    /// Worst tail-latency-to-QoS ratio across the run.
+    pub fn worst_tail_ratio(&self, qos_ms: f64) -> f64 {
+        self.slices.iter().map(|s| s.tail_ms / qos_ms).fold(0.0, f64::max)
+    }
+}
+
+/// A queueing regime segment within a slice.
+struct TailSegment {
+    duration_ms: f64,
+    servers: usize,
+    service_rate: f64,
+    arrival_rate: f64,
+}
+
+impl TailSegment {
+    /// Service capacity in requests per millisecond.
+    fn capacity(&self) -> f64 {
+        self.servers as f64 * self.service_rate
+    }
+
+    /// Steady-state stochastic p99 with utilization capped below
+    /// saturation: the fluid backlog model accounts for overload
+    /// separately, so the stochastic component here only models queueing
+    /// jitter.
+    fn stochastic_p99(&self) -> f64 {
+        let capped_arrival = self.arrival_rate.min(0.95 * self.capacity());
+        MmcQueue::new(self.servers, self.service_rate, capped_arrival).p99_ms().get()
+    }
+}
+
+/// The simulated server.
+pub struct Testbed {
+    scenario: Scenario,
+    chip: Chip,
+    profiles: Vec<PhasedProfile>,
+    rng: StdRng,
+    now_ms: f64,
+    slice_end_ms: f64,
+    current_load: f64,
+    // Per-slice accumulators.
+    energy_mj: f64,
+    instructions: Vec<f64>,
+    tail_segments: Vec<TailSegment>,
+    carry_backlog: f64,
+    rotation: usize,
+    /// Configuration each job ran in during the previous frame, for
+    /// charging reconfiguration transition stalls.
+    last_config: Vec<Option<JobConfig>>,
+}
+
+impl Testbed {
+    /// Builds the testbed for a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's LC core count is zero or exceeds the chip.
+    pub fn new(scenario: &Scenario) -> Testbed {
+        assert!(
+            scenario.lc_cores > 0 && scenario.lc_cores < scenario.params.num_cores,
+            "LC cores must leave room for batch jobs"
+        );
+        let chip = Chip::new(scenario.params, scenario.kind);
+        let mut profiles = Vec::with_capacity(1 + scenario.num_batch());
+        let svc_profile = scenario.service.profile;
+        profiles.push(if scenario.phases {
+            PhasedProfile::with_seed(svc_profile, scenario.seed ^ 0xABCD)
+        } else {
+            PhasedProfile::steady(svc_profile)
+        });
+        for (i, app) in scenario.mix.apps.iter().enumerate() {
+            profiles.push(if scenario.phases {
+                PhasedProfile::with_seed(app.profile, scenario.seed ^ (0x1000 + i as u64))
+            } else {
+                PhasedProfile::steady(app.profile)
+            });
+        }
+        Testbed {
+            chip,
+            profiles,
+            rng: StdRng::seed_from_u64(scenario.seed),
+            now_ms: 0.0,
+            slice_end_ms: 0.0,
+            current_load: 0.0,
+            energy_mj: 0.0,
+            instructions: vec![0.0; 1 + scenario.num_batch()],
+            tail_segments: Vec::new(),
+            carry_backlog: 0.0,
+            rotation: 0,
+            last_config: vec![None; 1 + scenario.num_batch()],
+            scenario: scenario.clone(),
+        }
+    }
+
+    fn noisy(&mut self, value: f64) -> f64 {
+        let sigma = self.scenario.noise;
+        if sigma == 0.0 {
+            return value;
+        }
+        (value * (1.0 + sigma * rng_normal(&mut self.rng))).max(0.0)
+    }
+
+    /// Instantaneous profiles at the current simulation time.
+    fn profiles_now(&self) -> Vec<simulator::AppProfile> {
+        let t_s = self.now_ms / 1000.0;
+        self.profiles.iter().map(|p| p.at(t_s)).collect()
+    }
+
+    /// Builds core states and partition for a frame; returns also the list
+    /// of running batch jobs (after core-count multiplexing).
+    fn frame_layout(
+        &mut self,
+        lc_cores: usize,
+        lc_configs: &[JobConfig],
+        batch: &[BatchAction],
+    ) -> (Vec<CoreState>, LlcPartition, Vec<usize>) {
+        assert_eq!(lc_configs.len(), lc_cores, "need one LC config per LC core");
+        assert_eq!(batch.len(), self.scenario.num_batch(), "one action per batch job");
+        let num_cores = self.scenario.params.num_cores;
+        assert!(lc_cores < num_cores, "LC cannot occupy the whole chip");
+        let batch_cores = num_cores - lc_cores;
+
+        let mut cores = Vec::with_capacity(num_cores);
+        let mut partition = LlcPartition::new();
+        for cfg in lc_configs {
+            cores.push(CoreState::Active { job: JobId(0), config: cfg.core });
+        }
+        // The LC job's cache allocation follows its (first) configuration.
+        partition.set(JobId(0), lc_configs.first().map(|c| c.cache).unwrap_or(CacheAlloc::One));
+
+        let runnable: Vec<usize> = (0..batch.len())
+            .filter(|&j| matches!(batch[j], BatchAction::Run(_)))
+            .collect();
+        // Time-multiplex when the LC service reclaimed cores: rotate which
+        // jobs run each frame.
+        let running: Vec<usize> = if runnable.len() > batch_cores {
+            let start = self.rotation % runnable.len();
+            (0..batch_cores).map(|k| runnable[(start + k) % runnable.len()]).collect()
+        } else {
+            runnable
+        };
+        for &j in &running {
+            let config = batch[j].config().expect("running job has a config");
+            cores.push(CoreState::Active { job: JobId(1 + j), config: config.core });
+            partition.set(JobId(1 + j), config.cache);
+        }
+        // Remaining cores (gated jobs' cores and any surplus) are gated.
+        while cores.len() < num_cores {
+            cores.push(CoreState::Gated);
+        }
+        (cores, partition, running)
+    }
+
+    /// Runs one frame, accumulating energy, instructions, and the LC tail
+    /// segment; returns the frame result and contention.
+    fn run_frame(
+        &mut self,
+        lc_cores: usize,
+        lc_configs: &[JobConfig],
+        batch: &[BatchAction],
+        ms: f64,
+    ) -> simulator::FrameResult {
+        let (cores, partition, _running) = self.frame_layout(lc_cores, lc_configs, batch);
+        let profiles = self.profiles_now();
+        let result = self.chip.simulate_frame(&cores, &profiles, &partition, ms);
+        self.energy_mj += result.chip_watts.get() * ms;
+        // Reconfiguration transition stall: a job whose configuration
+        // changed since the previous frame loses the drain/gating time at
+        // the head of this frame.
+        let transition_ms = self.scenario.params.reconfig_transition_us / 1000.0;
+        let mut stall = vec![0.0f64; 1 + self.scenario.num_batch()];
+        let lc_now = lc_configs.first().copied();
+        if lc_now.is_some() && self.last_config[0].is_some() && self.last_config[0] != lc_now {
+            stall[0] = (transition_ms / ms).min(1.0);
+        }
+        self.last_config[0] = lc_now.or(self.last_config[0]);
+        for (j, action) in batch.iter().enumerate() {
+            if let BatchAction::Run(cfg) = action {
+                if self.last_config[1 + j].is_some_and(|prev| prev != *cfg) {
+                    stall[1 + j] = (transition_ms / ms).min(1.0);
+                }
+                self.last_config[1 + j] = Some(*cfg);
+            }
+        }
+        for (j, instr) in self.instructions.iter_mut().enumerate() {
+            *instr += result.job_instructions(JobId(j)) * (1.0 - stall[j]);
+        }
+        // Tail segment: heterogeneous LC cores are approximated by the mean
+        // per-core service rate.
+        let svc = &self.scenario.service;
+        let mean_rate = lc_configs
+            .iter()
+            .map(|c| {
+                svc.service_rate_per_core(self.chip.perf(), c.core, c.cache, result.contention)
+            })
+            .sum::<f64>()
+            / lc_cores.max(1) as f64;
+        self.tail_segments.push(TailSegment {
+            duration_ms: ms,
+            servers: lc_cores.max(1),
+            service_rate: mean_rate.max(1e-9),
+            arrival_rate: svc.arrival_rate_per_ms(self.current_load),
+        });
+        self.now_ms += ms;
+        result
+    }
+
+    /// 99th percentile latency over the slice, from a fluid-backlog model
+    /// over the slice's segments plus a capped stochastic component.
+    ///
+    /// The fluid pass integrates the queue length `Q' = λ − kμ(t)` across
+    /// segments (carrying backlog across slices, so sustained overload
+    /// compounds until the relocation policy reacts); a request arriving at
+    /// time `t` waits `Q(t)` drained at the slice's best capacity on top of
+    /// the segment's steady-state jitter. The jitter term is additionally
+    /// capped at `segment duration + recovery p99`: a request that starts
+    /// in a brief narrow-configuration frame finishes under the
+    /// configuration that follows it, which is why CuttleSys' 2 ms
+    /// profiling barely moves the window p99 while Flicker's 90 ms
+    /// profiling destroys it (§VIII-E).
+    fn window_p99(&mut self) -> f64 {
+        if self.tail_segments.is_empty() {
+            return 0.0;
+        }
+        let recovery_capacity = self
+            .tail_segments
+            .iter()
+            .map(TailSegment::capacity)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let recovery_p99 = self
+            .tail_segments
+            .iter()
+            .max_by(|a, b| a.capacity().total_cmp(&b.capacity()))
+            .expect("segments are non-empty")
+            .stochastic_p99();
+
+        let mut q = self.carry_backlog;
+        let mut samples: Vec<(f64, f64)> = Vec::new();
+        for seg in &self.tail_segments {
+            let steps = (seg.duration_ms / 0.25).ceil().max(1.0) as usize;
+            let dt = seg.duration_ms / steps as f64;
+            let jitter = seg.stochastic_p99().min(seg.duration_ms + recovery_p99);
+            for _ in 0..steps {
+                q = (q + (seg.arrival_rate - seg.capacity()) * dt).max(0.0);
+                samples.push((q / recovery_capacity + jitter, dt));
+            }
+        }
+        self.carry_backlog = q;
+
+        // Weighted 99th percentile over arrival time (arrival rate is
+        // constant within a slice, so time weights are arrival weights).
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = samples.iter().map(|s| s.1).sum();
+        let mut acc = 0.0;
+        for (latency, w) in &samples {
+            acc += w;
+            if acc >= 0.99 * total {
+                return *latency;
+            }
+        }
+        samples.last().expect("samples are non-empty").0
+    }
+}
+
+/// Runs a scenario under a manager, returning ground-truth records.
+pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> RunRecord {
+    let mut tb = Testbed::new(scenario);
+    let mut slices = Vec::with_capacity(scenario.duration_slices);
+    let mut last_tail: Option<f64> = None;
+    let mut last_lc_cores = scenario.lc_cores;
+
+    for slice in 0..scenario.duration_slices {
+        let t_s = slice as f64 * TIMESLICE_MS / 1000.0;
+        tb.current_load = scenario.load.load_at(t_s);
+        let cap_watts = scenario.cap.load_at(t_s) * scenario.nominal_budget_watts();
+        tb.slice_end_ms = (slice + 1) as f64 * TIMESLICE_MS;
+        tb.energy_mj = 0.0;
+        tb.instructions.iter_mut().for_each(|i| *i = 0.0);
+        tb.tail_segments.clear();
+
+        let info = SliceInfo {
+            slice,
+            load: tb.current_load,
+            cap_watts,
+            num_cores: scenario.params.num_cores,
+            num_batch: scenario.num_batch(),
+            qos_ms: scenario.service.qos_ms,
+            last_tail_ms: last_tail,
+            last_lc_cores,
+        };
+
+        // Let the manager probe; each probe consumes slice time.
+        let plan = {
+            let tb_ref = &mut tb;
+            let mut probe = |pp: &ProfilePlan, ms: f64| -> ProfileSample {
+                let remaining = tb_ref.slice_end_ms - tb_ref.now_ms;
+                let ms = ms.min(remaining.max(0.0));
+                if ms <= 0.0 {
+                    return ProfileSample {
+                        duration_ms: 0.0,
+                        samples: Vec::new(),
+                        lc_tail_ms: 0.0,
+                    };
+                }
+                let result =
+                    tb_ref.run_frame(pp.lc_cores, &pp.lc_configs, &pp.batch, ms);
+                let mut samples = Vec::new();
+                // LC: one sample per distinct configuration among its cores.
+                let mut seen: Vec<JobConfig> = Vec::new();
+                for cfg in &pp.lc_configs {
+                    if seen.contains(cfg) {
+                        continue;
+                    }
+                    seen.push(*cfg);
+                    let cores: Vec<usize> = pp
+                        .lc_configs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| *c == cfg)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let bips = cores
+                        .iter()
+                        .map(|&i| result.per_core_bips[i].get())
+                        .sum::<f64>()
+                        / cores.len() as f64;
+                    let watts = cores
+                        .iter()
+                        .map(|&i| result.per_core_watts[i].get())
+                        .sum::<f64>()
+                        / cores.len() as f64;
+                    samples.push(SamplePoint {
+                        job: 0,
+                        config: *cfg,
+                        bips: tb_ref.noisy(bips),
+                        watts: tb_ref.noisy(watts),
+                    });
+                }
+                // Batch: per-core bips of each running job.
+                for (j, action) in pp.batch.iter().enumerate() {
+                    if let BatchAction::Run(config) = action {
+                        let bips = result.per_job_bips[1 + j].get();
+                        if bips > 0.0 {
+                            let watts = result.per_job_watts[1 + j].get();
+                            samples.push(SamplePoint {
+                                job: 1 + j,
+                                config: *config,
+                                bips: tb_ref.noisy(bips),
+                                watts: tb_ref.noisy(watts),
+                            });
+                        }
+                    }
+                }
+                let lc_tail_ms = {
+                    let seg = tb_ref.tail_segments.last().expect("frame pushed a segment");
+                    let p99 = MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
+                        .p99_ms()
+                        .get();
+                    tb_ref.noisy(p99)
+                };
+                ProfileSample { duration_ms: ms, samples, lc_tail_ms }
+            };
+            manager.plan(&info, &mut probe)
+        };
+
+        // Steady phase for the remainder of the slice.
+        let steady_ms = (tb.slice_end_ms - tb.now_ms).max(0.0);
+        let lc_configs = vec![plan.lc_config; plan.lc_cores];
+        let steady = if steady_ms > 0.0 {
+            Some(tb.run_frame(plan.lc_cores, &lc_configs, &plan.batch, steady_ms))
+        } else {
+            None
+        };
+
+        let tail_ms = tb.window_p99();
+        let chip_watts = tb.energy_mj / TIMESLICE_MS;
+        let batch_instr: f64 = tb.instructions[1..].iter().sum();
+        let gmean = steady
+            .as_ref()
+            .map(|r| {
+                // Jobs idled by time-multiplex rotation executed nothing
+                // this slice; the geo-mean covers the jobs that ran.
+                let running: Vec<simulator::Bips> = plan
+                    .batch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| matches!(a, BatchAction::Run(_)))
+                    .map(|(j, _)| r.per_job_bips[1 + j])
+                    .filter(|b| b.get() > 0.0)
+                    .collect();
+                simulator::metrics::geometric_mean(&running).get()
+            })
+            .unwrap_or(0.0);
+
+        let record = SliceRecord {
+            t_s,
+            load: tb.current_load,
+            cap_watts,
+            chip_watts,
+            power_violation: chip_watts > cap_watts * 1.001,
+            tail_ms,
+            qos_violation: tail_ms > scenario.service.qos_ms,
+            batch_instructions: batch_instr,
+            total_instructions: tb.instructions.iter().sum(),
+            per_job_instructions: tb.instructions.clone(),
+            lc_cores: plan.lc_cores,
+            lc_config: plan.lc_config,
+            batch_configs: plan.batch.iter().map(|a| a.config()).collect(),
+            batch_gmean_bips: gmean,
+        };
+
+        // Tell the manager what happened (noisy measurements).
+        let (m_bips, m_watts) = if let Some(r) = &steady {
+            let mut bips = Vec::with_capacity(1 + scenario.num_batch());
+            let mut watts = Vec::with_capacity(1 + scenario.num_batch());
+            for j in 0..=scenario.num_batch() {
+                let per_core = if j == 0 { plan.lc_cores as f64 } else { 1.0 };
+                bips.push(tb.noisy(r.per_job_bips[j].get() / per_core));
+                watts.push(tb.noisy(r.per_job_watts[j].get() / per_core));
+            }
+            (bips, watts)
+        } else {
+            (vec![0.0; 1 + scenario.num_batch()], vec![0.0; 1 + scenario.num_batch()])
+        };
+        let measured_tail = tb.noisy(tail_ms);
+        manager.observe(&SliceOutcome {
+            plan: plan.clone(),
+            measured_bips: m_bips,
+            measured_watts: m_watts,
+            tail_ms: measured_tail,
+        });
+
+        last_tail = Some(measured_tail);
+        last_lc_cores = plan.lc_cores;
+        tb.rotation += 1;
+        tb.now_ms = tb.slice_end_ms;
+        slices.push(record);
+    }
+
+    RunRecord { scheme: manager.name(), slices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial manager: everything at the widest configuration.
+    struct Widest;
+
+    impl ResourceManager for Widest {
+        fn name(&self) -> String {
+            "widest".to_string()
+        }
+
+        fn plan(
+            &mut self,
+            info: &SliceInfo,
+            _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+        ) -> Plan {
+            Plan::all_widest(info.last_lc_cores, info.num_batch)
+        }
+    }
+
+    /// A manager that gates every batch job.
+    struct AllGated;
+
+    impl ResourceManager for AllGated {
+        fn name(&self) -> String {
+            "all-gated".to_string()
+        }
+
+        fn plan(
+            &mut self,
+            info: &SliceInfo,
+            _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+        ) -> Plan {
+            Plan {
+                lc_cores: info.last_lc_cores,
+                lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+                batch: vec![BatchAction::Gated; info.num_batch],
+            }
+        }
+    }
+
+    #[test]
+    fn widest_plan_runs_and_meets_qos_at_80_percent() {
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let record = run_scenario(&scenario, &mut Widest);
+        assert_eq!(record.slices.len(), 3);
+        assert_eq!(record.qos_violations(), 0, "widest config must meet QoS: {record:?}");
+        assert!(record.batch_instructions() > 0.0);
+    }
+
+    #[test]
+    fn gating_batch_jobs_zeroes_their_instructions() {
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let gated = run_scenario(&scenario, &mut AllGated);
+        assert_eq!(gated.batch_instructions(), 0.0);
+        // The LC service still executes.
+        assert!(gated.slices[0].total_instructions > 0.0);
+        // And draws far less power than the all-widest plan.
+        let widest = run_scenario(&scenario, &mut Widest);
+        assert!(gated.slices[0].chip_watts < widest.slices[0].chip_watts / 2.0);
+    }
+
+    #[test]
+    fn probe_time_is_deducted_from_the_slice() {
+        struct Prober {
+            probed_ms: f64,
+        }
+        impl ResourceManager for Prober {
+            fn name(&self) -> String {
+                "prober".into()
+            }
+            fn plan(
+                &mut self,
+                info: &SliceInfo,
+                probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+            ) -> Plan {
+                let pp = ProfilePlan {
+                    lc_cores: info.last_lc_cores,
+                    lc_configs: vec![JobConfig::profiling_high(); info.last_lc_cores],
+                    batch: vec![BatchAction::Run(JobConfig::profiling_low()); info.num_batch],
+                };
+                let s = probe(&pp, 1.0);
+                self.probed_ms += s.duration_ms;
+                assert!(!s.samples.is_empty());
+                Plan::all_widest(info.last_lc_cores, info.num_batch)
+            }
+        }
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let mut m = Prober { probed_ms: 0.0 };
+        let record = run_scenario(&scenario, &mut m);
+        assert_eq!(m.probed_ms, 3.0, "one 1 ms probe per slice");
+        assert_eq!(record.slices.len(), 3);
+    }
+
+    #[test]
+    fn profile_samples_report_distinct_lc_configs() {
+        struct SplitProber;
+        impl ResourceManager for SplitProber {
+            fn name(&self) -> String {
+                "split".into()
+            }
+            fn plan(
+                &mut self,
+                info: &SliceInfo,
+                probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+            ) -> Plan {
+                let k = info.last_lc_cores;
+                let mut lc_configs = vec![JobConfig::profiling_high(); k];
+                for cfg in lc_configs.iter_mut().skip(k / 2) {
+                    *cfg = JobConfig::profiling_low();
+                }
+                let pp = ProfilePlan {
+                    lc_cores: k,
+                    lc_configs,
+                    batch: vec![BatchAction::Run(JobConfig::profiling_high()); info.num_batch],
+                };
+                let s = probe(&pp, 1.0);
+                let lc_samples: Vec<_> =
+                    s.samples.iter().filter(|sp| sp.job == 0).collect();
+                assert_eq!(lc_samples.len(), 2, "expected high+low LC samples");
+                assert!(lc_samples[0].bips > lc_samples[1].bips);
+                Plan::all_widest(k, info.num_batch)
+            }
+        }
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        run_scenario(&scenario, &mut SplitProber);
+    }
+
+    #[test]
+    fn narrow_lc_config_violates_qos_at_high_load() {
+        struct NarrowLc;
+        impl ResourceManager for NarrowLc {
+            fn name(&self) -> String {
+                "narrow-lc".into()
+            }
+            fn plan(
+                &mut self,
+                info: &SliceInfo,
+                _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+            ) -> Plan {
+                let mut plan = Plan::all_widest(info.last_lc_cores, info.num_batch);
+                plan.lc_config = JobConfig::profiling_low();
+                plan
+            }
+        }
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let record = run_scenario(&scenario, &mut NarrowLc);
+        assert_eq!(record.qos_violations(), record.slices.len());
+        assert!(record.worst_tail_ratio(scenario.service.qos_ms) > 2.0);
+    }
+
+    #[test]
+    fn reclaiming_cores_multiplexes_batch_jobs() {
+        struct Reclaimer;
+        impl ResourceManager for Reclaimer {
+            fn name(&self) -> String {
+                "reclaimer".into()
+            }
+            fn plan(
+                &mut self,
+                info: &SliceInfo,
+                _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+            ) -> Plan {
+                Plan { lc_cores: 18, ..Plan::all_widest(18, info.num_batch) }
+            }
+        }
+        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let reclaimed = run_scenario(&scenario, &mut Reclaimer);
+        let baseline = run_scenario(&scenario, &mut Widest);
+        // 14 cores for 16 jobs: batch throughput must drop vs 16 cores.
+        assert!(
+            reclaimed.batch_instructions() < baseline.batch_instructions(),
+            "time multiplexing should cost throughput"
+        );
+        // But every job should still make progress across slices (rotation).
+        let per_job: Vec<f64> = (1..=16)
+            .map(|j| reclaimed.slices.iter().map(|s| s.per_job_instructions[j]).sum())
+            .collect();
+        assert!(per_job.iter().all(|&i| i > 0.0), "rotation must serve every job: {per_job:?}");
+    }
+
+    #[test]
+    fn nominal_budget_is_stable_and_positive() {
+        let scenario = Scenario::paper_default();
+        let b = scenario.nominal_budget_watts();
+        assert!(b > 50.0 && b < 400.0, "implausible budget {b}");
+        assert_eq!(b, scenario.nominal_budget_watts());
+    }
+}

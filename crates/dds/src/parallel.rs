@@ -1,0 +1,276 @@
+//! Parallel DDS — the paper's Alg. 2.
+//!
+//! `N` worker threads share a global best point. Each iteration, every
+//! thread generates `pointsPerIteration` candidates by perturbing the global
+//! best, keeps its local best, and a barrier-synchronized reduction installs
+//! the best local best as the next global best. To stop the threads from
+//! exploring the same neighbourhood, thread groups use different perturbation
+//! radii: the first quarter uses `r₁`, the next `r₂`, and so on
+//! (`r = [0.2, 0.3, 0.4, 0.5]`, Fig. 6).
+
+use std::sync::{Barrier, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::objective::Objective;
+use crate::rng::standard_normal;
+use crate::{SearchResult, SearchSpace};
+
+/// Parameters of the parallel DDS run, defaulting to the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelDdsParams {
+    /// Iteration budget (Fig. 6: 40).
+    pub max_iters: usize,
+    /// Perturbation radii assigned to thread groups (Fig. 6:
+    /// `[0.2, 0.3, 0.4, 0.5]`).
+    pub r_values: Vec<f64>,
+    /// Candidates each thread generates per iteration (Fig. 6: 10).
+    pub points_per_iteration: usize,
+    /// Number of uniformly random starting points (Fig. 6: 50).
+    pub initial_points: usize,
+    /// Worker threads; the paper uses one per core.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record every evaluated point (for the Fig. 10(a) scatter).
+    pub record_explored: bool,
+}
+
+impl Default for ParallelDdsParams {
+    fn default() -> Self {
+        ParallelDdsParams {
+            max_iters: 40,
+            r_values: vec![0.2, 0.3, 0.4, 0.5],
+            points_per_iteration: 10,
+            initial_points: 50,
+            threads: 8,
+            seed: 0xDD5,
+            record_explored: false,
+        }
+    }
+}
+
+struct Shared {
+    best_point: Vec<usize>,
+    best_value: f64,
+}
+
+/// Runs parallel DDS (Alg. 2), maximizing `objective` over `space`.
+///
+/// Deterministic for a fixed seed: candidate generation is seeded per
+/// (thread, iteration) and the reduction breaks ties by thread index.
+///
+/// # Panics
+///
+/// Panics if any of `max_iters`, `points_per_iteration`, `initial_points`,
+/// `threads`, or `r_values` is zero/empty.
+pub fn parallel_search(
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    params: &ParallelDdsParams,
+) -> SearchResult {
+    assert!(params.max_iters > 0, "need at least one iteration");
+    assert!(params.points_per_iteration > 0, "need at least one point per iteration");
+    assert!(params.initial_points > 0, "need at least one initial point");
+    assert!(params.threads > 0, "need at least one thread");
+    assert!(!params.r_values.is_empty(), "need at least one perturbation radius");
+
+    // Phase 1 (Alg. 2 lines 5-6): random initial points, best becomes the
+    // incumbent. Done serially — it is a tiny fraction of the work.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut best_point = space.random_point(&mut rng);
+    let mut best_value = objective.evaluate(&best_point);
+    let explored = Mutex::new(Vec::new());
+    let mut evaluations = params.initial_points;
+    if params.record_explored {
+        explored.lock().unwrap().push((best_point.clone(), best_value));
+    }
+    for _ in 1..params.initial_points {
+        let p = space.random_point(&mut rng);
+        let v = objective.evaluate(&p);
+        if params.record_explored {
+            explored.lock().unwrap().push((p.clone(), v));
+        }
+        if v > best_value {
+            best_value = v;
+            best_point = p;
+        }
+    }
+
+    let shared = Mutex::new(Shared { best_point, best_value });
+    let barrier = Barrier::new(params.threads);
+    let free = space.free_dims();
+    let ln_max = (params.max_iters as f64).ln().max(f64::MIN_POSITIVE);
+    // Local bests posted by each thread every iteration, reduced by thread 0.
+    type Post = Mutex<Option<(Vec<usize>, f64)>>;
+    let posts: Vec<Post> =
+        (0..params.threads).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for t in 0..params.threads {
+            let (shared, barrier, posts, explored, free) =
+                (&shared, &barrier, &posts, &explored, &free);
+            let params = &params;
+            scope.spawn(move |_| {
+                // Alg. 2: the first N/4 threads use r₁, the next N/4 use r₂…
+                let group = t * params.r_values.len() / params.threads;
+                let r = params.r_values[group.min(params.r_values.len() - 1)];
+                let mut rng = StdRng::seed_from_u64(
+                    params.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                );
+                for i in 1..=params.max_iters {
+                    let (global_point, global_value) = {
+                        let g = shared.lock().unwrap();
+                        (g.best_point.clone(), g.best_value)
+                    };
+                    let mut local_point = global_point.clone();
+                    let mut local_value = global_value;
+                    let p_select = 1.0 - (i as f64).ln() / ln_max;
+                    for _ in 0..params.points_per_iteration {
+                        let mut candidate = local_point.clone();
+                        let mut perturbed_any = false;
+                        for &d in free {
+                            if rng.random_range(0.0..1.0) < p_select {
+                                let delta = r
+                                    * space.num_choices() as f64
+                                    * standard_normal(&mut rng);
+                                candidate[d] =
+                                    space.reflect(candidate[d] as f64 + delta);
+                                perturbed_any = true;
+                            }
+                        }
+                        if !perturbed_any && !free.is_empty() {
+                            let d = free[rng.random_range(0..free.len())];
+                            let delta =
+                                r * space.num_choices() as f64 * standard_normal(&mut rng);
+                            candidate[d] = space.reflect(candidate[d] as f64 + delta);
+                        }
+                        let v = objective.evaluate(&candidate);
+                        if params.record_explored {
+                            explored.lock().unwrap().push((candidate.clone(), v));
+                        }
+                        if v > local_value {
+                            local_value = v;
+                            local_point = candidate;
+                        }
+                    }
+                    *posts[t].lock().unwrap() = Some((local_point, local_value));
+                    barrier.wait();
+                    if t == 0 {
+                        let mut g = shared.lock().unwrap();
+                        for post in posts.iter() {
+                            if let Some((p, v)) = post.lock().unwrap().take() {
+                                if v > g.best_value {
+                                    g.best_value = v;
+                                    g.best_point = p;
+                                }
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    })
+    .expect("parallel DDS worker panicked");
+
+    evaluations += params.max_iters * params.points_per_iteration * params.threads;
+    let g = shared.into_inner().unwrap();
+    SearchResult {
+        best_point: g.best_point,
+        best_value: g.best_value,
+        evaluations,
+        explored: explored.into_inner().unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{search, DdsParams};
+
+    fn separable(target: usize) -> impl Fn(&[usize]) -> f64 + Sync {
+        move |x: &[usize]| -x.iter().map(|&v| (v as f64 - target as f64).abs()).sum::<f64>()
+    }
+
+    #[test]
+    fn finds_separable_optimum() {
+        let space = SearchSpace::new(16, 108);
+        let result = parallel_search(&space, &separable(54), &ParallelDdsParams::default());
+        assert!(result.best_value > -40.0, "best value {}", result.best_value);
+    }
+
+    #[test]
+    fn respects_frozen_dimensions() {
+        let mut space = SearchSpace::new(8, 108);
+        space.freeze(0, 100);
+        space.freeze(7, 3);
+        let result = parallel_search(&space, &separable(50), &ParallelDdsParams::default());
+        assert_eq!(result.best_point[0], 100);
+        assert_eq!(result.best_point[7], 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let space = SearchSpace::new(8, 108);
+        let params = ParallelDdsParams { threads: 4, ..ParallelDdsParams::default() };
+        let a = parallel_search(&space, &separable(30), &params);
+        let b = parallel_search(&space, &separable(30), &params);
+        assert_eq!(a.best_point, b.best_point);
+    }
+
+    #[test]
+    fn parallel_matches_or_beats_budget_matched_serial() {
+        // With the same total evaluation budget, the multi-radius parallel
+        // search should be at least competitive on a rugged objective.
+        let space = SearchSpace::new(16, 108);
+        let objective = |x: &[usize]| {
+            x.iter()
+                .map(|&v| {
+                    let d = (v as f64 - 70.0).abs();
+                    (50.0 - d) + 5.0 * (v as f64 * 0.9).sin()
+                })
+                .sum::<f64>()
+        };
+        let par_params = ParallelDdsParams { threads: 4, ..ParallelDdsParams::default() };
+        let par = parallel_search(&space, &objective, &par_params);
+        let serial_budget = par.evaluations - par_params.initial_points;
+        let ser = search(
+            &space,
+            &objective,
+            &DdsParams { max_iters: serial_budget, ..DdsParams::default() },
+        );
+        assert!(
+            par.best_value > ser.best_value * 0.95,
+            "parallel {} vs serial {}",
+            par.best_value,
+            ser.best_value
+        );
+    }
+
+    #[test]
+    fn evaluation_count_matches_formula() {
+        let space = SearchSpace::new(4, 10);
+        let params = ParallelDdsParams {
+            threads: 2,
+            max_iters: 5,
+            points_per_iteration: 3,
+            initial_points: 7,
+            record_explored: true,
+            ..ParallelDdsParams::default()
+        };
+        let result = parallel_search(&space, &separable(5), &params);
+        assert_eq!(result.evaluations, 7 + 5 * 3 * 2);
+        assert_eq!(result.explored.len(), result.evaluations);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let space = SearchSpace::new(6, 20);
+        let params = ParallelDdsParams { threads: 1, ..ParallelDdsParams::default() };
+        let result = parallel_search(&space, &separable(10), &params);
+        assert!(space.contains(&result.best_point));
+    }
+}

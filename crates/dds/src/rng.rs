@@ -1,0 +1,42 @@
+//! Seeded random-variate helpers.
+//!
+//! The `rand` crate alone (without `rand_distr`) provides only uniform
+//! variates; DDS perturbations need standard normals, so we supply a small
+//! Box–Muller transform.
+
+use rand::RngExt;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl RngExt) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_approximately_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn tails_behave_like_a_gaussian() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let beyond_2 =
+            (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count() as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((beyond_2 - 0.0455).abs() < 0.01, "two-sigma mass {beyond_2}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Alternating Least Squares — a deterministic alternative to Alg. 1.
+//!
+//! The paper commits to SGD ("PQ-reconstruction with Stochastic Gradient
+//! Descent"); ALS is the other standard matrix-completion solver and makes
+//! a natural ablation: it solves each row's (bias, factors) exactly by
+//! ridge regression against the fixed column factors, then alternates. Per
+//! sweep it costs more than an SGD epoch (a small linear solve per
+//! row/column) but it converges in a handful of sweeps and has no learning
+//! rate to tune. See `ablation_sgd` for the head-to-head.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{DenseMatrix, RatingMatrix};
+use crate::sgd::{initial_biases, initial_factors, SgdConfig, SgdModel};
+
+/// Hyper-parameters for the ALS reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlsConfig {
+    /// Latent factor rank.
+    pub rank: usize,
+    /// Ridge regularization λ.
+    pub regularization: f64,
+    /// Number of alternating sweeps (each sweep = rows pass + columns
+    /// pass).
+    pub sweeps: usize,
+    /// Seed for the SVD initialization.
+    pub seed: u64,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        AlsConfig { rank: 2, regularization: 0.02, sweeps: 8, seed: 0xA15 }
+    }
+}
+
+/// Solves the `n×n` system `a·x = b` by Gaussian elimination with partial
+/// pivoting (`a` row-major, consumed).
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Vec<f64> {
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
+            .expect("non-empty system");
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        if diag.abs() < 1e-12 {
+            continue; // ridge term should prevent this; skip defensively
+        }
+        for r in (col + 1)..n {
+            let f = a[r * n + col] / diag;
+            for k in col..n {
+                a[r * n + k] -= f * a[col * n + k];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for k in (r + 1)..n {
+            acc -= a[r * n + k] * x[k];
+        }
+        let diag = a[r * n + r];
+        x[r] = if diag.abs() < 1e-12 { 0.0 } else { acc / diag };
+    }
+    x
+}
+
+/// One half-sweep: re-solve `(bias, factors)` for every row of `targets`
+/// against the fixed `other` factors. With `transposed = false` it updates
+/// row parameters from column factors; entries are `(this_index,
+/// other_index, rating)`.
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would only rename these
+fn solve_side(
+    entries: &[(usize, usize, f64)],
+    count: usize,
+    rank: usize,
+    mu: f64,
+    bias: &mut [f64],
+    factors: &mut DenseMatrix,
+    other_bias: &[f64],
+    other_factors: &DenseMatrix,
+    lambda: f64,
+) {
+    let n = rank + 1; // [bias; factors]
+    // Group entries per target index.
+    let mut grouped: Vec<Vec<(usize, f64)>> = vec![Vec::new(); count];
+    for &(i, j, r) in entries {
+        grouped[i].push((j, r));
+    }
+    for (i, obs) in grouped.iter().enumerate() {
+        if obs.is_empty() {
+            continue;
+        }
+        // Ridge normal equations over x = [b_i, q_i…]: features
+        // z = [1, p_j…], target y = r − μ − c_j.
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for k in 0..n {
+            a[k * n + k] = lambda * obs.len() as f64;
+        }
+        for &(j, r) in obs {
+            let y = r - mu - other_bias[j];
+            let mut z = Vec::with_capacity(n);
+            z.push(1.0);
+            z.extend_from_slice(other_factors.row(j));
+            for (r1, &z1) in z.iter().enumerate() {
+                b[r1] += z1 * y;
+                for (r2, &z2) in z.iter().enumerate() {
+                    a[r1 * n + r2] += z1 * z2;
+                }
+            }
+        }
+        let x = solve(a, b, n);
+        bias[i] = x[0];
+        for k in 0..rank {
+            factors.set(i, k, x[1 + k]);
+        }
+    }
+}
+
+/// Fits the biased factorization by alternating least squares.
+///
+/// Returns the same [`SgdModel`] type as [`crate::sgd::fit`], so callers
+/// (and the reconstruction driver) are solver-agnostic.
+///
+/// # Panics
+///
+/// Panics if the matrix has no observed entries.
+pub fn fit(matrix: &RatingMatrix, config: &AlsConfig) -> SgdModel {
+    assert!(matrix.observed_len() > 0, "cannot fit an empty rating matrix");
+    let sgd_like = SgdConfig { rank: config.rank, seed: config.seed, ..SgdConfig::default() };
+    let (mu, mut row_bias, mut col_bias) = initial_biases(matrix);
+    let (mut q, mut p) = initial_factors(matrix, &sgd_like, mu, &row_bias, &col_bias);
+    let rank = q.cols();
+
+    let row_entries: Vec<(usize, usize, f64)> = matrix.observed().collect();
+    let col_entries: Vec<(usize, usize, f64)> =
+        matrix.observed().map(|(i, j, r)| (j, i, r)).collect();
+
+    for _ in 0..config.sweeps {
+        solve_side(
+            &row_entries,
+            matrix.rows(),
+            rank,
+            mu,
+            &mut row_bias,
+            &mut q,
+            &col_bias,
+            &p,
+            config.regularization,
+        );
+        solve_side(
+            &col_entries,
+            matrix.cols(),
+            rank,
+            mu,
+            &mut col_bias,
+            &mut p,
+            &row_bias,
+            &q,
+            config.regularization,
+        );
+    }
+
+    let mut model = SgdModel {
+        mu,
+        row_bias,
+        col_bias,
+        q,
+        p,
+        train_rmse: 0.0,
+        epochs: config.sweeps,
+    };
+    let sq: f64 = row_entries
+        .iter()
+        .map(|&(i, j, r)| {
+            let e = r - model.predict(i, j);
+            e * e
+        })
+        .sum();
+    model.train_rmse = (sq / row_entries.len() as f64).sqrt();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgd;
+
+    fn synthetic(rows: usize, cols: usize, known: usize, samples: usize) -> RatingMatrix {
+        let truth = |i: usize, j: usize| {
+            let app_scale = 1.0 + 0.3 * (i as f64 * 0.7).sin();
+            let config_effect = 2.0 + (j as f64 * 0.25).cos();
+            app_scale * config_effect + 0.2 * (i as f64 * 0.4).sin() * (j as f64 * 0.5).cos()
+        };
+        let mut obs = RatingMatrix::new(rows, cols);
+        for i in 0..known {
+            for j in 0..cols {
+                obs.set(i, j, truth(i, j));
+            }
+        }
+        for i in known..rows {
+            for s in 0..samples {
+                let j = (s * cols / samples + i) % cols;
+                obs.set(i, j, truth(i, j));
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn als_fits_the_training_entries() {
+        let obs = synthetic(16, 24, 13, 2);
+        let model = fit(&obs, &AlsConfig::default());
+        assert!(model.train_rmse < 0.05, "train RMSE {}", model.train_rmse);
+    }
+
+    #[test]
+    fn als_matches_sgd_held_out_quality() {
+        let obs = synthetic(20, 30, 16, 2);
+        let truth = |i: usize, j: usize| {
+            let app_scale = 1.0 + 0.3 * (i as f64 * 0.7).sin();
+            let config_effect = 2.0 + (j as f64 * 0.25).cos();
+            app_scale * config_effect + 0.2 * (i as f64 * 0.4).sin() * (j as f64 * 0.5).cos()
+        };
+        let err = |m: &SgdModel| {
+            let mut total = 0.0;
+            for i in 16..20 {
+                for j in 0..30 {
+                    total += (m.predict(i, j) - truth(i, j)).abs() / truth(i, j);
+                }
+            }
+            total / (4.0 * 30.0)
+        };
+        let als = fit(&obs, &AlsConfig::default());
+        let sgd = sgd::fit(&obs, &SgdConfig::default());
+        assert!(
+            err(&als) < err(&sgd) * 1.6 + 0.02,
+            "ALS ({:.3}) should be in SGD's quality regime ({:.3})",
+            err(&als),
+            err(&sgd)
+        );
+    }
+
+    #[test]
+    fn als_is_deterministic() {
+        let obs = synthetic(10, 15, 8, 2);
+        let a = fit(&obs, &AlsConfig::default());
+        let b = fit(&obs, &AlsConfig::default());
+        assert_eq!(a.q, b.q);
+        assert_eq!(a.row_bias, b.row_bias);
+    }
+
+    #[test]
+    fn more_sweeps_do_not_hurt_training_fit() {
+        let obs = synthetic(12, 20, 10, 3);
+        let short = fit(&obs, &AlsConfig { sweeps: 1, ..AlsConfig::default() });
+        let long = fit(&obs, &AlsConfig { sweeps: 10, ..AlsConfig::default() });
+        assert!(long.train_rmse <= short.train_rmse + 1e-9);
+    }
+
+    #[test]
+    fn solver_handles_small_systems() {
+        // 2x2: [[2, 1], [1, 3]] x = [5, 10] → x = [1, 3].
+        let x = solve(vec![2.0, 1.0, 1.0, 3.0], vec![5.0, 10.0], 2);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rating matrix")]
+    fn empty_matrix_rejected() {
+        let m = RatingMatrix::new(2, 2);
+        let _ = fit(&m, &AlsConfig::default());
+    }
+}

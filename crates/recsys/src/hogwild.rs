@@ -1,0 +1,215 @@
+//! Lock-free parallel SGD (HOGWILD-style).
+//!
+//! §V of the paper: "To further accelerate reconstruction, we have
+//! implemented a parallel reconstruction algorithm that executes SGD without
+//! synchronization primitives. This introduces a small, upper-bounded
+//! inaccuracy (approximately 1 %), while improving its execution time by
+//! 3.5×."
+//!
+//! The biases and factors live in shared arrays of `AtomicU64` holding `f64`
+//! bit patterns; worker threads read and write them with `Relaxed` ordering
+//! and no locks. Races lose the occasional update — exactly the HOGWILD!
+//! trade: for sparse problems the overlap probability is small and
+//! convergence is essentially unaffected.
+//!
+//! Measured caveat (see `ablation_sgd`): on modern cache-coherent x86 this
+//! faithful formulation does not gain wall-clock at CuttleSys' matrix sizes
+//! — per-element atomics defeat vectorization and the shared column factors
+//! bounce between cores — so the runtime defaults to the serial Alg. 1 per
+//! matrix and parallelizes across the *three* reconstructions instead
+//! ([`crate::Reconstructor::complete_all`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::matrix::{DenseMatrix, RatingMatrix};
+use crate::sgd::{initial_biases, initial_factors, SgdConfig, SgdModel};
+
+struct AtomicVec {
+    data: Vec<AtomicU64>,
+}
+
+impl AtomicVec {
+    fn from_slice(v: &[f64]) -> AtomicVec {
+        AtomicVec { data: v.iter().map(|x| AtomicU64::new(x.to_bits())).collect() }
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn store(&self, i: usize, v: f64) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn to_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect()
+    }
+}
+
+/// Fits Alg. 1 (with bias terms) using `threads` lock-free workers.
+///
+/// Matches [`crate::sgd::fit`] in interface; the result differs from the
+/// serial model only by the small HOGWILD race inaccuracy. With
+/// `threads == 1` the code path degenerates to the serial update order.
+///
+/// # Panics
+///
+/// Panics if the matrix has no observed entries or `threads == 0`.
+pub fn fit_parallel(matrix: &RatingMatrix, config: &SgdConfig, threads: usize) -> SgdModel {
+    assert!(threads > 0, "need at least one worker thread");
+    assert!(matrix.observed_len() > 0, "cannot fit an empty rating matrix");
+    let (mu, rb0, cb0) = initial_biases(matrix);
+    let (q0, p0) = initial_factors(matrix, config, mu, &rb0, &cb0);
+    let rank = q0.cols();
+    let q = AtomicVec::from_slice(q0.as_slice());
+    let p = AtomicVec::from_slice(p0.as_slice());
+    let rb = AtomicVec::from_slice(&rb0);
+    let cb = AtomicVec::from_slice(&cb0);
+    // Work is split by *row*: each worker owns a disjoint set of rows, so
+    // the row factors (and row biases) are thread-private and only the
+    // column factors race — the HOGWILD-style unsynchronized part. This
+    // keeps cache lines of Q from ping-ponging between cores.
+    let mut rows_of: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); matrix.rows()];
+    for (i, j, r) in matrix.observed() {
+        rows_of[i].push((i, j, r));
+    }
+    let observed: Vec<(usize, usize, f64)> = matrix.observed().collect();
+    let eta = config.learning_rate;
+    let lambda = config.regularization;
+    // Parallel workers run a fixed number of epochs: a shared convergence
+    // test would reintroduce synchronization.
+    let epochs = config.max_iters;
+
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let (q, p, rb, cb, rows_of) = (&q, &p, &rb, &cb, &rows_of);
+            scope.spawn(move |_| {
+                let mine: Vec<&(usize, usize, f64)> = rows_of
+                    .iter()
+                    .skip(t)
+                    .step_by(threads)
+                    .flatten()
+                    .collect();
+                for _ in 0..epochs {
+                    for &&(i, j, r) in &mine {
+                        let mut pred = mu + rb.load(i) + cb.load(j);
+                        for k in 0..rank {
+                            pred += q.load(i * rank + k) * p.load(j * rank + k);
+                        }
+                        let err = r - pred;
+                        rb.store(i, rb.load(i) + eta * (err - lambda * rb.load(i)));
+                        cb.store(j, cb.load(j) + eta * (err - lambda * cb.load(j)));
+                        for k in 0..rank {
+                            let qik = q.load(i * rank + k);
+                            let pjk = p.load(j * rank + k);
+                            q.store(i * rank + k, qik + eta * (err * pjk - lambda * qik));
+                            p.store(j * rank + k, pjk + eta * (err * qik - lambda * pjk));
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("hogwild worker panicked");
+
+    let model = SgdModel {
+        mu,
+        row_bias: rb.to_vec(),
+        col_bias: cb.to_vec(),
+        q: DenseMatrix::from_vec(matrix.rows(), rank, q.to_vec()),
+        p: DenseMatrix::from_vec(matrix.cols(), rank, p.to_vec()),
+        train_rmse: 0.0,
+        epochs,
+    };
+    let sq_err: f64 = observed
+        .iter()
+        .map(|&(i, j, r)| {
+            let e = r - model.predict(i, j);
+            e * e
+        })
+        .sum();
+    SgdModel { train_rmse: (sq_err / observed.len() as f64).sqrt(), ..model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgd;
+
+    fn synthetic(rows: usize, cols: usize, known: usize, samples: usize) -> RatingMatrix {
+        let mut obs = RatingMatrix::new(rows, cols);
+        let truth = |i: usize, j: usize| {
+            let app_scale = 1.0 + 0.3 * (i as f64 * 0.7).sin();
+            let config_effect = 2.0 + (j as f64 * 0.25).cos();
+            let residual = 0.2 * (i as f64 * 0.4).sin() * (j as f64 * 0.5).cos();
+            app_scale * config_effect + residual
+        };
+        for i in 0..known {
+            for j in 0..cols {
+                obs.set(i, j, truth(i, j));
+            }
+        }
+        for i in known..rows {
+            for s in 0..samples {
+                let j = (s * cols / samples + i) % cols;
+                obs.set(i, j, truth(i, j));
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn parallel_matches_serial_within_hogwild_tolerance() {
+        let obs = synthetic(20, 40, 16, 2);
+        let config = SgdConfig { max_iters: 120, ..SgdConfig::default() };
+        let serial = sgd::fit(&obs, &SgdConfig { convergence_tol: 0.0, ..config });
+        let parallel = fit_parallel(&obs, &config, 4);
+        // Update races reorder the entry visits, so the factors are not
+        // bit-identical; what the paper bounds (~1 %) is the *quality* hit.
+        // Require the parallel model to train essentially as well and its
+        // typical prediction to stay close to the serial one.
+        assert!(
+            parallel.train_rmse <= serial.train_rmse.max(1e-6) * 2.0 + 1e-3,
+            "hogwild train RMSE {} vs serial {}",
+            parallel.train_rmse,
+            serial.train_rmse
+        );
+        let serial_full = serial.reconstruct();
+        let parallel_full = parallel.reconstruct();
+        let mut sum_rel = 0.0_f64;
+        for i in 0..20 {
+            for j in 0..40 {
+                let s = serial_full.get(i, j);
+                sum_rel += (parallel_full.get(i, j) - s).abs() / s.abs().max(1e-9);
+            }
+        }
+        let mean_rel = sum_rel / 800.0;
+        assert!(mean_rel < 0.02, "hogwild mean deviation from serial {mean_rel}");
+    }
+
+    #[test]
+    fn single_thread_converges_like_serial() {
+        let obs = synthetic(12, 20, 10, 3);
+        let model = fit_parallel(&obs, &SgdConfig::default(), 1);
+        assert!(model.train_rmse < 0.05, "train RMSE {}", model.train_rmse);
+    }
+
+    #[test]
+    fn multithreaded_run_trains_successfully() {
+        let obs = synthetic(24, 50, 20, 2);
+        let model = fit_parallel(&obs, &SgdConfig { max_iters: 200, ..SgdConfig::default() }, 8);
+        // Eight workers racing on the column factors converge slightly less
+        // tightly than serial (~0.05); anything in the same decade is a
+        // successful fit.
+        assert!(model.train_rmse < 0.12, "train RMSE {}", model.train_rmse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let obs = synthetic(4, 4, 4, 4);
+        let _ = fit_parallel(&obs, &SgdConfig::default(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Power-cap study: how much batch work survives as the cap tightens from
+//! 90 % to 50 % of nominal, for an ML-inference service (ImgDNN-like)
+//! colocation.
+//!
+//! Mirrors Fig. 5(c) for a single colocation: CuttleSys degrades gracefully
+//! because it can shave partial cores instead of turning whole ones off.
+//!
+//! Run with: `cargo run --release --example power_cap_study`
+
+use baselines::gating::GatingOrder;
+use cuttlesys::managers::CoreGatingManager;
+use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::CuttleSysManager;
+use simulator::power::CoreKind;
+use workloads::latency;
+use workloads::loadgen::LoadPattern;
+
+fn main() {
+    println!("imgdnn @ 80% load + 16 SPEC jobs, batch instructions (1e9) by cap:\n");
+    println!("  cap   core-gating   cuttlesys   advantage");
+    for cap in [0.9, 0.8, 0.7, 0.6, 0.5] {
+        let scenario = Scenario {
+            service: latency::service_by_name("imgdnn").expect("imgdnn exists"),
+            cap: LoadPattern::Constant(cap),
+            ..Scenario::paper_default()
+        };
+        let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+        let gating = {
+            let mut m = CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, true);
+            run_scenario(&fixed, &mut m)
+        };
+        let cuttle = {
+            let mut m = CuttleSysManager::for_scenario(&scenario);
+            run_scenario(&scenario, &mut m)
+        };
+        let (g, c) = (gating.batch_instructions(), cuttle.batch_instructions());
+        println!(
+            "  {:>3.0}%  {:>11.2}  {:>10.2}   {:>6.2}x",
+            cap * 100.0,
+            g / 1e9,
+            c / 1e9,
+            c / g.max(1.0)
+        );
+    }
+}

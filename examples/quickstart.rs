@@ -1,0 +1,48 @@
+//! Quickstart: co-schedule a latency-critical web-search service with a
+//! 16-app SPEC mix on a 32-core reconfigurable multicore under a 70 % power
+//! cap, and let CuttleSys manage it for one second.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::CuttleSysManager;
+
+fn main() {
+    // The paper's standard setup: Xapian at 80 % load plus a random SPEC
+    // mix, a 70 % power cap, ten 100 ms decision intervals.
+    let scenario = Scenario::paper_default();
+    println!(
+        "chip: {} reconfigurable cores, nominal budget {:.1} W, cap {:.1} W",
+        scenario.params.num_cores,
+        scenario.nominal_budget_watts(),
+        0.7 * scenario.nominal_budget_watts(),
+    );
+    println!(
+        "service: {} (QoS {} ms) + batch mix: {:?} ...",
+        scenario.service.name,
+        scenario.service.qos_ms,
+        &scenario.mix.names()[..4],
+    );
+
+    let mut manager = CuttleSysManager::for_scenario(&scenario);
+    let record = run_scenario(&scenario, &mut manager);
+
+    println!("\n t(s)  tail(ms)   QoS?   chip(W)  LC config     batch gmean");
+    for slice in &record.slices {
+        println!(
+            " {:>4.1}  {:>8.2}   {}   {:>7.1}  {:<12}  {:.2} BIPS",
+            slice.t_s,
+            slice.tail_ms,
+            if slice.qos_violation { "VIOL" } else { " ok " },
+            slice.chip_watts,
+            slice.lc_config.to_string(),
+            slice.batch_gmean_bips,
+        );
+    }
+    println!(
+        "\nbatch instructions over 1 s: {:.2}e9;  QoS violations: {}/{}",
+        record.batch_instructions() / 1e9,
+        record.qos_violations(),
+        record.slices.len(),
+    );
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the simulator, queueing, search, and inference crates.
+
+use proptest::prelude::*;
+use recsys::{RatingMatrix, Reconstructor, ValueTransform};
+use simulator::power::CoreKind;
+use simulator::{
+    AppProfile, CacheAlloc, Chip, CoreConfig, JobConfig, PerfModel, PowerModel, SystemParams,
+    NUM_JOB_CONFIGS,
+};
+use workloads::queueing::MmcQueue;
+
+/// A generator of valid application profiles spanning the calibrated space.
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        0.5..5.5f64,
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0.0..1.0f64,
+        0.05..0.6f64,
+        0.005..0.5f64,
+        (0.0..0.9f64, 0.2..12.0f64, 1.0..9.0f64, 0.4..1.4f64),
+    )
+        .prop_map(|(ilp, fe, be, ls, mem, l1m, (floor, ws, mlp, act))| AppProfile {
+            ilp,
+            fe_sensitivity: fe,
+            be_sensitivity: be,
+            ls_sensitivity: ls,
+            mem_fraction: mem,
+            l1_miss_rate: l1m,
+            llc_miss_floor: floor,
+            llc_working_set_ways: ws,
+            mlp,
+            activity: act,
+        })
+}
+
+proptest! {
+    #[test]
+    fn job_config_index_roundtrips(idx in 0..NUM_JOB_CONFIGS) {
+        let jc = JobConfig::from_index(idx);
+        prop_assert_eq!(jc.index(), idx);
+    }
+
+    #[test]
+    fn generated_profiles_validate(profile in arb_profile()) {
+        prop_assert!(profile.validate().is_ok());
+    }
+
+    #[test]
+    fn ipc_is_positive_and_within_structural_caps(
+        profile in arb_profile(),
+        idx in 0..NUM_JOB_CONFIGS,
+        contention in 0.0..6.0f64,
+    ) {
+        let perf = PerfModel::new(SystemParams::default());
+        let jc = JobConfig::from_index(idx);
+        let ipc = perf.ipc(&profile, jc.core, jc.cache.ways(), contention);
+        prop_assert!(ipc > 0.0);
+        prop_assert!(ipc <= f64::from(jc.core.fe.lanes()) + 1e-9);
+        prop_assert!(ipc <= f64::from(jc.core.be.lanes()) + 1e-9);
+    }
+
+    #[test]
+    fn widest_config_dominates_every_other(
+        profile in arb_profile(),
+        idx in 0..NUM_JOB_CONFIGS,
+    ) {
+        let perf = PerfModel::new(SystemParams::default());
+        let jc = JobConfig::from_index(idx);
+        let this = perf.ipc(&profile, jc.core, jc.cache.ways(), 0.0);
+        let widest = perf.ipc(&profile, CoreConfig::widest(), CacheAlloc::Four.ways(), 0.0);
+        prop_assert!(widest >= this - 1e-9);
+    }
+
+    #[test]
+    fn power_is_positive_and_increases_with_width(
+        profile in arb_profile(),
+        ipc in 0.0..6.0f64,
+    ) {
+        let power = PowerModel::new(SystemParams::default(), CoreKind::Reconfigurable);
+        let narrow = power.core_watts(&profile, CoreConfig::narrowest(), ipc).get();
+        let wide = power.core_watts(&profile, CoreConfig::widest(), ipc).get();
+        prop_assert!(narrow > 0.0);
+        prop_assert!(wide > narrow);
+    }
+
+    #[test]
+    fn contention_never_helps(
+        profile in arb_profile(),
+        idx in 0..NUM_JOB_CONFIGS,
+        c1 in 0.0..3.0f64,
+        c2 in 0.0..3.0f64,
+    ) {
+        let perf = PerfModel::new(SystemParams::default());
+        let jc = JobConfig::from_index(idx);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let ipc_lo = perf.ipc(&profile, jc.core, jc.cache.ways(), lo);
+        let ipc_hi = perf.ipc(&profile, jc.core, jc.cache.ways(), hi);
+        prop_assert!(ipc_hi <= ipc_lo + 1e-12);
+    }
+
+    #[test]
+    fn queue_p99_exceeds_median_and_grows_with_load(
+        servers in 1usize..32,
+        mu in 0.1..5.0f64,
+        rho1 in 0.05..0.9f64,
+        rho2 in 0.05..0.9f64,
+    ) {
+        let (lo, hi) = if rho1 <= rho2 { (rho1, rho2) } else { (rho2, rho1) };
+        let k = servers as f64;
+        let q_lo = MmcQueue::new(servers, mu, lo * k * mu);
+        let q_hi = MmcQueue::new(servers, mu, hi * k * mu);
+        prop_assert!(q_hi.p99_ms().get() >= q_lo.p99_ms().get() - 1e-9);
+        prop_assert!(q_lo.p99_ms().get() >= q_lo.response_quantile(0.5).get());
+    }
+
+    #[test]
+    fn frame_power_and_instructions_are_consistent(
+        profile in arb_profile(),
+        idx in 0..NUM_JOB_CONFIGS,
+        ms in 0.5..100.0f64,
+    ) {
+        let chip = Chip::new(SystemParams::default(), CoreKind::Reconfigurable);
+        let jc = JobConfig::from_index(idx);
+        let cores = vec![simulator::CoreState::Active {
+            job: simulator::JobId(0),
+            config: jc.core,
+        }];
+        let partition: simulator::LlcPartition =
+            [(simulator::JobId(0), jc.cache)].into_iter().collect();
+        let r = chip.simulate_frame(&cores, &[profile], &partition, ms);
+        prop_assert!(r.chip_watts.get() > 0.0);
+        prop_assert!(r.total_instructions() > 0.0);
+        // Instructions scale linearly with duration.
+        let r2 = chip.simulate_frame(&cores, &[profile], &partition, ms * 2.0);
+        let ratio = r2.total_instructions() / r.total_instructions();
+        prop_assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_preserves_observations_and_stays_finite(
+        seed_vals in proptest::collection::vec(0.5..10.0f64, 24),
+    ) {
+        // 4 dense rows, 2 sparse rows over 4 columns.
+        let mut m = RatingMatrix::new(6, 4);
+        for (i, v) in seed_vals.iter().take(16).enumerate() {
+            m.set(i / 4, i % 4, *v);
+        }
+        m.set(4, 0, seed_vals[16]);
+        m.set(4, 3, seed_vals[17]);
+        m.set(5, 1, seed_vals[18]);
+        let out = Reconstructor::default().complete(&m, ValueTransform::Log);
+        for (r, c, v) in m.observed() {
+            prop_assert_eq!(out.get(r, c), v);
+        }
+        for r in 0..6 {
+            for c in 0..4 {
+                prop_assert!(out.get(r, c).is_finite());
+                prop_assert!(out.get(r, c) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dds_results_are_always_in_bounds(
+        dims in 1usize..20,
+        choices in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let space = dds::SearchSpace::new(dims, choices);
+        let objective = move |x: &[usize]| -(x.iter().sum::<usize>() as f64);
+        let params = dds::serial::DdsParams {
+            max_iters: 30,
+            initial_points: 5,
+            seed,
+            ..Default::default()
+        };
+        let result = dds::serial::search(&space, &objective, &params);
+        prop_assert!(space.contains(&result.best_point));
+    }
+
+    #[test]
+    fn reflection_maps_any_value_into_range(
+        choices in 1usize..500,
+        value in -1e4..1e4f64,
+    ) {
+        let space = dds::SearchSpace::new(1, choices);
+        prop_assert!(space.reflect(value) < choices);
+    }
+}
