@@ -104,7 +104,13 @@ pub fn plan_with_big_count(input: &AsymmetricInput, big: usize) -> Option<Asymme
         .batch
         .iter()
         .zip(&on_big)
-        .map(|(c, &big)| if big { (c.bips_big, c.watts_big) } else { (c.bips_small, c.watts_small) })
+        .map(|(c, &big)| {
+            if big {
+                (c.bips_big, c.watts_big)
+            } else {
+                (c.bips_small, c.watts_small)
+            }
+        })
         .collect();
     let gated = select_gated(
         &per_job,
@@ -126,7 +132,14 @@ pub fn plan_with_big_count(input: &AsymmetricInput, big: usize) -> Option<Asymme
             total += bips;
         }
     }
-    Some(AsymmetricPlan { big_cores: big, on_big, gated, log_throughput: log_tput, total_bips: total, power })
+    Some(AsymmetricPlan {
+        big_cores: big,
+        on_big,
+        gated,
+        log_throughput: log_tput,
+        total_bips: total,
+        power,
+    })
 }
 
 /// The oracle: evaluates every feasible big/small split and returns the plan
@@ -136,11 +149,11 @@ pub fn oracle_plan(input: &AsymmetricInput) -> AsymmetricPlan {
     let mut best: Option<AsymmetricPlan> = None;
     let mut fallback: Option<AsymmetricPlan> = None;
     for big in input.lc_cores..=input.num_cores {
-        let Some(plan) = plan_with_big_count(input, big) else { continue };
+        let Some(plan) = plan_with_big_count(input, big) else {
+            continue;
+        };
         if plan.feasible(input.budget) {
-            let better = best
-                .as_ref()
-                .is_none_or(|b| plan.total_bips > b.total_bips);
+            let better = best.as_ref().is_none_or(|b| plan.total_bips > b.total_bips);
             if better {
                 best = Some(plan.clone());
             }
@@ -149,7 +162,8 @@ pub fn oracle_plan(input: &AsymmetricInput) -> AsymmetricPlan {
             fallback = Some(plan);
         }
     }
-    best.or(fallback).expect("at least one split must be plannable")
+    best.or(fallback)
+        .expect("at least one split must be plannable")
 }
 
 #[cfg(test)]
@@ -162,10 +176,30 @@ mod tests {
             lc_cores: 4,
             lc_watts_per_core: 4.0,
             batch: vec![
-                CoreChoice { bips_big: 4.0, watts_big: 5.0, bips_small: 1.0, watts_small: 1.5 },
-                CoreChoice { bips_big: 3.0, watts_big: 4.5, bips_small: 1.5, watts_small: 1.2 },
-                CoreChoice { bips_big: 2.0, watts_big: 4.0, bips_small: 1.8, watts_small: 1.0 },
-                CoreChoice { bips_big: 3.5, watts_big: 5.5, bips_small: 0.8, watts_small: 1.4 },
+                CoreChoice {
+                    bips_big: 4.0,
+                    watts_big: 5.0,
+                    bips_small: 1.0,
+                    watts_small: 1.5,
+                },
+                CoreChoice {
+                    bips_big: 3.0,
+                    watts_big: 4.5,
+                    bips_small: 1.5,
+                    watts_small: 1.2,
+                },
+                CoreChoice {
+                    bips_big: 2.0,
+                    watts_big: 4.0,
+                    bips_small: 1.8,
+                    watts_small: 1.0,
+                },
+                CoreChoice {
+                    bips_big: 3.5,
+                    watts_big: 5.5,
+                    bips_small: 0.8,
+                    watts_small: 1.4,
+                },
             ],
             budget,
             gated_watts: 0.05,

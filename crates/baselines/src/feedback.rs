@@ -34,14 +34,20 @@ pub struct PidController {
 impl PidController {
     /// Creates a controller with the given gains.
     pub fn new(kp: f64, ki: f64, kd: f64, integral_limit: f64) -> PidController {
-        PidController { kp, ki, kd, integral_limit, integral: 0.0, last_error: None }
+        PidController {
+            kp,
+            ki,
+            kd,
+            integral_limit,
+            integral: 0.0,
+            last_error: None,
+        }
     }
 
     /// One control step: returns the actuation for the measured `error`
     /// (setpoint − measurement).
     pub fn update(&mut self, error: f64) -> f64 {
-        self.integral =
-            (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
+        self.integral = (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
         let derivative = self.last_error.map_or(0.0, |last| error - last);
         self.last_error = Some(error);
         self.kp * error + self.ki * self.integral + self.kd * derivative
@@ -68,7 +74,10 @@ impl WidthLevel {
     pub fn new() -> WidthLevel {
         let mut ladder: Vec<CoreConfig> = CoreConfig::all().collect();
         ladder.sort_by_key(|c| (c.total_lanes(), c.index()));
-        WidthLevel { level: (NUM_CORE_CONFIGS - 1) as f64, ladder }
+        WidthLevel {
+            level: (NUM_CORE_CONFIGS - 1) as f64,
+            ladder,
+        }
     }
 
     /// Applies an actuation (positive widens, negative narrows).
@@ -125,7 +134,10 @@ mod tests {
             }
             level = (level + pid.update(20.0 - power)).clamp(0.0, 26.0);
         }
-        assert!(out_of_band >= 3, "a PID should take several steps, took {out_of_band}");
+        assert!(
+            out_of_band >= 3,
+            "a PID should take several steps, took {out_of_band}"
+        );
     }
 
     #[test]

@@ -62,8 +62,10 @@ impl FlickerModel {
         let mut bips = Vec::with_capacity(samples.len());
         let mut power = Vec::with_capacity(samples.len());
         for (j, job_samples) in samples.iter().enumerate() {
-            let xs: Vec<Vec<f64>> =
-                job_samples.iter().map(|(c, _, _)| core_features(*c)).collect();
+            let xs: Vec<Vec<f64>> = job_samples
+                .iter()
+                .map(|(c, _, _)| core_features(*c))
+                .collect();
             let ys_b: Vec<f64> = job_samples.iter().map(|&(_, b, _)| b).collect();
             let ys_w: Vec<f64> = job_samples.iter().map(|&(_, _, w)| w).collect();
             bips.push(RbfModel::fit(&xs, &ys_b).map_err(|e| format!("job {j} bips: {e}"))?);
@@ -157,7 +159,10 @@ mod tests {
             let rel = (model.predict_bips(0, c) - truth(c)).abs() / truth(c);
             max_rel = max_rel.max(rel);
         }
-        assert!(max_rel < 0.35, "9-sample RBF should track a smooth response: {max_rel}");
+        assert!(
+            max_rel < 0.35,
+            "9-sample RBF should track a smooth response: {max_rel}"
+        );
     }
 
     #[test]
@@ -173,8 +178,7 @@ mod tests {
 
     #[test]
     fn too_few_samples_fail_to_fit() {
-        let short: Vec<(CoreConfig, f64, f64)> =
-            synth_job(1.0).into_iter().take(1).collect();
+        let short: Vec<(CoreConfig, f64, f64)> = synth_job(1.0).into_iter().take(1).collect();
         assert!(FlickerModel::fit(&[short]).is_err());
     }
 }

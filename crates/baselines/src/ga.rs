@@ -71,21 +71,23 @@ pub fn ga_search(
 ) -> SearchResult {
     assert!(params.population >= 2, "population must be at least 2");
     assert!(params.tournament > 0, "tournament size must be positive");
-    assert!(params.elitism < params.population, "elitism must leave room for offspring");
+    assert!(
+        params.elitism < params.population,
+        "elitism must leave room for offspring"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut explored = Vec::new();
     let mut evaluations = 0;
 
-    let evaluate = |point: &[usize],
-                        explored: &mut Vec<(Vec<usize>, f64)>,
-                        evaluations: &mut usize| {
-        let v = objective.evaluate(point);
-        *evaluations += 1;
-        if params.record_explored {
-            explored.push((point.to_vec(), v));
-        }
-        v
-    };
+    let evaluate =
+        |point: &[usize], explored: &mut Vec<(Vec<usize>, f64)>, evaluations: &mut usize| {
+            let v = objective.evaluate(point);
+            *evaluations += 1;
+            if params.record_explored {
+                explored.push((point.to_vec(), v));
+            }
+            v
+        };
 
     let mut population: Vec<(Vec<usize>, f64)> = (0..params.population)
         .map(|_| {
@@ -124,7 +126,11 @@ pub fn ga_search(
                 }
                 c
             } else {
-                let fitter = if population[a].1 >= population[b].1 { a } else { b };
+                let fitter = if population[a].1 >= population[b].1 {
+                    a
+                } else {
+                    b
+                };
                 population[fitter].0.clone()
             };
             for &d in &free {
@@ -140,7 +146,12 @@ pub fn ga_search(
 
     population.sort_by(|a, b| b.1.total_cmp(&a.1));
     let (best_point, best_value) = population.swap_remove(0);
-    SearchResult { best_point, best_value, evaluations, explored }
+    SearchResult {
+        best_point,
+        best_value,
+        evaluations,
+        explored,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +159,11 @@ mod tests {
     use super::*;
 
     fn separable(target: usize) -> impl Fn(&[usize]) -> f64 + Sync {
-        move |x: &[usize]| -x.iter().map(|&v| (v as f64 - target as f64).abs()).sum::<f64>()
+        move |x: &[usize]| {
+            -x.iter()
+                .map(|&v| (v as f64 - target as f64).abs())
+                .sum::<f64>()
+        }
     }
 
     #[test]
@@ -179,14 +194,21 @@ mod tests {
         let space = SearchSpace::new(4, 20);
         let params = GaParams::default().with_evaluation_budget(500);
         let result = ga_search(&space, &separable(10), &params);
-        assert_eq!(result.evaluations, 50 + params.generations * (50 - params.elitism));
+        assert_eq!(
+            result.evaluations,
+            50 + params.generations * (50 - params.elitism)
+        );
         assert!(result.evaluations <= 550 + 50);
     }
 
     #[test]
     fn explored_points_recorded_when_asked() {
         let space = SearchSpace::new(4, 10);
-        let params = GaParams { record_explored: true, generations: 3, ..GaParams::default() };
+        let params = GaParams {
+            record_explored: true,
+            generations: 3,
+            ..GaParams::default()
+        };
         let result = ga_search(&space, &separable(5), &params);
         assert_eq!(result.explored.len(), result.evaluations);
     }
@@ -195,6 +217,13 @@ mod tests {
     #[should_panic(expected = "population must be at least 2")]
     fn tiny_population_rejected() {
         let space = SearchSpace::new(2, 4);
-        let _ = ga_search(&space, &separable(1), &GaParams { population: 1, ..GaParams::default() });
+        let _ = ga_search(
+            &space,
+            &separable(1),
+            &GaParams {
+                population: 1,
+                ..GaParams::default()
+            },
+        );
     }
 }

@@ -254,7 +254,10 @@ mod tests {
         let hungry = AppProfile::memory_bound();
         let tiny = AppProfile::compute_bound();
         let allocs = ucp_partition(&[hungry, tiny, tiny, tiny], 8.0);
-        assert!(allocs[0] >= allocs[1], "memory-bound job should win ways: {allocs:?}");
+        assert!(
+            allocs[0] >= allocs[1],
+            "memory-bound job should win ways: {allocs:?}"
+        );
         let used: f64 = allocs.iter().map(|a| a.ways()).sum();
         assert!(used <= 8.0);
     }
@@ -281,8 +284,11 @@ mod tests {
         ];
         let core = CoreConfig::widest();
         let allocs = ipc_partition(&perf, &apps, core, 8.0);
-        let partitioned: f64 =
-            apps.iter().zip(&allocs).map(|(a, al)| perf.ipc(a, core, al.ways(), 0.0)).sum();
+        let partitioned: f64 = apps
+            .iter()
+            .zip(&allocs)
+            .map(|(a, al)| perf.ipc(a, core, al.ways(), 0.0))
+            .sum();
         let uniform: f64 = apps.iter().map(|a| perf.ipc(a, core, 1.0, 0.0)).sum();
         assert!(
             partitioned >= uniform,

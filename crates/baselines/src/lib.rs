@@ -31,6 +31,6 @@ pub use asymmetric::{oracle_plan, plan_with_big_count, AsymmetricInput, Asymmetr
 pub use feedback::{PidController, WidthLevel};
 pub use flicker::{three_level_design, FlickerModel};
 pub use ga::{ga_search, GaParams};
-pub use maxbips::{max_bips, MaxBipsPlan};
 pub use gating::{select_gated, ucp_partition, GatingOrder};
+pub use maxbips::{max_bips, MaxBipsPlan};
 pub use rbf::RbfModel;

@@ -44,8 +44,7 @@ pub fn max_bips(cores: &[CoreOptions], fixed_watts: f64, budget: f64) -> MaxBips
         assert!(!options.is_empty(), "core {i} has no DVFS operating points");
     }
     let mut states = vec![0usize; cores.len()];
-    let mut total_watts =
-        fixed_watts + cores.iter().map(|o| o[0].1).sum::<f64>();
+    let mut total_watts = fixed_watts + cores.iter().map(|o| o[0].1).sum::<f64>();
     let mut total_bips: f64 = cores.iter().map(|o| o[0].0).sum();
 
     while total_watts > budget {
@@ -65,14 +64,24 @@ pub fn max_bips(cores: &[CoreOptions], fixed_watts: f64, budget: f64) -> MaxBips
         }
         let Some((i, _)) = best else {
             // Every core already at the bottom of its ladder.
-            return MaxBipsPlan { states, total_bips, total_watts, feasible: false };
+            return MaxBipsPlan {
+                states,
+                total_bips,
+                total_watts,
+                feasible: false,
+            };
         };
         let s = states[i];
         total_bips -= cores[i][s].0 - cores[i][s + 1].0;
         total_watts -= cores[i][s].1 - cores[i][s + 1].1;
         states[i] = s + 1;
     }
-    MaxBipsPlan { states, total_bips, total_watts, feasible: true }
+    MaxBipsPlan {
+        states,
+        total_bips,
+        total_watts,
+        feasible: true,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +108,11 @@ mod tests {
     fn downclocks_the_memory_bound_core_first() {
         // Need to shed 1.5 W: core 1 loses 0.1 BIPS/1.5 W; core 0 loses 1.0.
         let plan = max_bips(&cores(), 0.0, 9.0);
-        assert_eq!(plan.states, vec![0, 1], "memory-bound core downclocks first");
+        assert_eq!(
+            plan.states,
+            vec![0, 1],
+            "memory-bound core downclocks first"
+        );
         assert!(plan.feasible);
         assert!(plan.total_watts <= 9.0);
     }

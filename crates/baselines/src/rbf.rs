@@ -60,7 +60,10 @@ impl RbfModel {
     /// sample points).
     pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<RbfModel, String> {
         if xs.len() < 2 {
-            return Err(format!("RBF fitting needs at least 2 samples, got {}", xs.len()));
+            return Err(format!(
+                "RBF fitting needs at least 2 samples, got {}",
+                xs.len()
+            ));
         }
         if xs.len() != ys.len() {
             return Err("xs and ys lengths differ".to_string());
@@ -125,7 +128,11 @@ impl RbfModel {
             }
             weights[r] = acc / a[r][r];
         }
-        Ok(RbfModel { centers: xs.to_vec(), weights, width })
+        Ok(RbfModel {
+            centers: xs.to_vec(),
+            weights,
+            width,
+        })
     }
 
     /// Predicted value at `x`.
@@ -195,7 +202,10 @@ mod tests {
             let rel = (model.predict(&[x]) - f(x)).abs() / f(x);
             max_rel = max_rel.max(rel);
         }
-        assert!(max_rel > 0.10, "expected visible sparse-sample error, got {max_rel}");
+        assert!(
+            max_rel > 0.10,
+            "expected visible sparse-sample error, got {max_rel}"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! unit of every evaluation experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 
 fn bench_timeslice(c: &mut Criterion) {
@@ -26,8 +27,11 @@ fn bench_one_second(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cuttlesys_10_slices", |b| {
         b.iter(|| {
-            let scenario =
-                Scenario { noise: 0.0, phases: false, ..Scenario::paper_default() };
+            let scenario = Scenario {
+                noise: 0.0,
+                phases: false,
+                ..Scenario::paper_default()
+            };
             let mut m = CuttleSysManager::for_scenario(&scenario);
             run_scenario(&scenario, &mut m)
         })

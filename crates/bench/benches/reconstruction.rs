@@ -28,7 +28,10 @@ fn runtime_matrix() -> RatingMatrix {
 
 fn bench_sgd(c: &mut Criterion) {
     let matrix = runtime_matrix();
-    let config = SgdConfig { max_iters: 60, ..SgdConfig::default() };
+    let config = SgdConfig {
+        max_iters: 60,
+        ..SgdConfig::default()
+    };
     let mut group = c.benchmark_group("sgd");
     group.bench_function("serial_alg1", |b| b.iter(|| sgd::fit(&matrix, &config)));
     for threads in [2usize, 4, 8] {
@@ -43,7 +46,10 @@ fn bench_sgd(c: &mut Criterion) {
 
 fn bench_three_matrix_driver(c: &mut Criterion) {
     let matrix = runtime_matrix();
-    let rec = Reconstructor::new(SgdConfig { max_iters: 60, ..SgdConfig::default() });
+    let rec = Reconstructor::new(SgdConfig {
+        max_iters: 60,
+        ..SgdConfig::default()
+    });
     c.bench_function("complete_all_3_matrices", |b| {
         b.iter(|| {
             rec.complete_all(&[

@@ -22,7 +22,10 @@ fn bench_search(c: &mut Criterion) {
             serial::search(
                 &space,
                 &objective,
-                &serial::DdsParams { max_iters: 400, ..Default::default() },
+                &serial::DdsParams {
+                    max_iters: 400,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -31,7 +34,11 @@ fn bench_search(c: &mut Criterion) {
     });
     group.bench_function("ga_time_matched", |b| {
         b.iter(|| {
-            ga_search(&space, &objective, &GaParams::default().with_evaluation_budget(450))
+            ga_search(
+                &space,
+                &objective,
+                &GaParams::default().with_evaluation_budget(450),
+            )
         })
     });
     group.finish();

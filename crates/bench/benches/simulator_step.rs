@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simulator::power::CoreKind;
-use simulator::{AppProfile, CacheAlloc, Chip, CoreConfig, CoreState, JobId, LlcPartition, SystemParams};
+use simulator::{
+    AppProfile, CacheAlloc, Chip, CoreConfig, CoreState, JobId, LlcPartition, SystemParams,
+};
 use workloads::latency;
 use workloads::oracle::Oracle;
 use workloads::queueing::MmcQueue;
@@ -18,13 +20,18 @@ fn bench_frame(c: &mut Criterion) {
             p
         })
         .collect();
-    let partition: LlcPartition =
-        (0..17).map(|j| (JobId(j), CacheAlloc::One)).collect();
+    let partition: LlcPartition = (0..17).map(|j| (JobId(j), CacheAlloc::One)).collect();
     let mut cores: Vec<CoreState> = (0..16)
-        .map(|_| CoreState::Active { job: JobId(0), config: CoreConfig::widest() })
+        .map(|_| CoreState::Active {
+            job: JobId(0),
+            config: CoreConfig::widest(),
+        })
         .collect();
     for j in 1..17 {
-        cores.push(CoreState::Active { job: JobId(j), config: CoreConfig::narrowest() });
+        cores.push(CoreState::Active {
+            job: JobId(j),
+            config: CoreConfig::narrowest(),
+        });
     }
     c.bench_function("chip_frame_32_cores", |b| {
         b.iter(|| chip.simulate_frame(&cores, &profiles, &partition, 100.0))
@@ -38,7 +45,9 @@ fn bench_oracle_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle");
     group.bench_function("bips_row_108", |b| b.iter(|| oracle.bips_row(&app)));
     group.bench_function("power_row_108", |b| b.iter(|| oracle.power_row(&app)));
-    group.bench_function("tail_row_108", |b| b.iter(|| oracle.tail_row(&svc, 16, 0.8)));
+    group.bench_function("tail_row_108", |b| {
+        b.iter(|| oracle.tail_row(&svc, 16, 0.8))
+    });
     group.finish();
 }
 

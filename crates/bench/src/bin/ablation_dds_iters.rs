@@ -36,15 +36,19 @@ fn main() {
     let watts = preds.batch_watts;
     let objective = SoftPenalty {
         benefit: |x: &[usize]| {
-            (x.iter().enumerate().map(|(j, &c)| bips[j][c].max(1e-9).ln()).sum::<f64>()
+            (x.iter()
+                .enumerate()
+                .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                .sum::<f64>()
                 / 16.0)
                 .exp()
         },
-        power: |x: &[usize]| {
-            32.0 + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>()
-        },
+        power: |x: &[usize]| 32.0 + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>(),
         cache_ways: |x: &[usize]| {
-            2.0 + x.iter().map(|&c| JobConfig::from_index(c).cache.ways()).sum::<f64>()
+            2.0 + x
+                .iter()
+                .map(|&c| JobConfig::from_index(c).cache.ways())
+                .sum::<f64>()
         },
         max_power: budget,
         max_ways: 32.0,
@@ -60,11 +64,17 @@ fn main() {
     let reference = parallel_search(
         &space,
         &objective,
-        &ParallelDdsParams { max_iters: 640, ..Default::default() },
+        &ParallelDdsParams {
+            max_iters: 640,
+            ..Default::default()
+        },
     )
     .best_value;
     for iters in [5usize, 10, 20, 40, 80, 160] {
-        let params = ParallelDdsParams { max_iters: iters, ..Default::default() };
+        let params = ParallelDdsParams {
+            max_iters: iters,
+            ..Default::default()
+        };
         let start = Instant::now();
         let mut best = 0.0;
         const REPS: u32 = 9;

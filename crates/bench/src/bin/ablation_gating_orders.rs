@@ -9,11 +9,15 @@
 use baselines::gating::GatingOrder;
 use bench::{colocations, standard_scenario, Table};
 use cuttlesys::managers::CoreGatingManager;
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use simulator::power::CoreKind;
 
 fn main() {
-    let mixes: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let mixes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
     let mut table = Table::new(
         "Core-gating victim orderings: batch instructions (1e9) by power cap",
         &["cap", "desc power", "asc power", "asc BIPS/W", "asc BIPS"],

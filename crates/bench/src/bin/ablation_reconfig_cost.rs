@@ -18,7 +18,12 @@ fn main() {
 
     let mut table = Table::new(
         "Transition-cost sensitivity at the 100 ms quantum (xapian + mix 0, 70% cap)",
-        &["transition", "batch instr (1e9)", "vs free", "QoS violations"],
+        &[
+            "transition",
+            "batch instr (1e9)",
+            "vs free",
+            "QoS violations",
+        ],
     );
     let mut reference = None;
     for us in [0.0, 10.0, 100.0, 1000.0] {

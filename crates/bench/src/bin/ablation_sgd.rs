@@ -51,10 +51,19 @@ fn main() {
 
     let mut table = Table::new(
         "SGD factor rank: held-out accuracy vs cost (108-config throughput matrix)",
-        &["rank", "held-out mean |err| %", "train RMSE (log)", "wall time"],
+        &[
+            "rank",
+            "held-out mean |err| %",
+            "train RMSE (log)",
+            "wall time",
+        ],
     );
     for rank in [1usize, 2, 4, 8, 16, 108] {
-        let config = SgdConfig { rank, max_iters: 60, ..SgdConfig::default() };
+        let config = SgdConfig {
+            rank,
+            max_iters: 60,
+            ..SgdConfig::default()
+        };
         let start = Instant::now();
         let model = sgd::fit(&m, &config);
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -72,10 +81,18 @@ fn main() {
     // Solver ablation: the paper's SGD vs deterministic ALS.
     let mut table = Table::new(
         "Solver ablation at rank 2: SGD (Alg. 1) vs alternating least squares",
-        &["solver", "held-out mean |err| %", "train RMSE (log)", "wall time"],
+        &[
+            "solver",
+            "held-out mean |err| %",
+            "train RMSE (log)",
+            "wall time",
+        ],
     );
     {
-        let config = SgdConfig { max_iters: 60, ..SgdConfig::default() };
+        let config = SgdConfig {
+            max_iters: 60,
+            ..SgdConfig::default()
+        };
         let start = Instant::now();
         let model = sgd::fit(&m, &config);
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -110,13 +127,23 @@ fn main() {
     };
     let mut table = Table::new(
         "Lock-free parallel SGD at full rank: speedup and inaccuracy (paper: 3.5x, ~1%)",
-        &["threads", "wall time", "speedup", "held-out delta vs serial"],
+        &[
+            "threads",
+            "wall time",
+            "speedup",
+            "held-out delta vs serial",
+        ],
     );
     let start = Instant::now();
     let serial = sgd::fit(&m, &config);
     let serial_ms = start.elapsed().as_secs_f64() * 1e3;
     let serial_err = held_out_err(&serial, &truth, first_live);
-    table.row(vec!["1 (serial)".into(), format!("{serial_ms:.2} ms"), "1.00x".into(), "-".into()]);
+    table.row(vec![
+        "1 (serial)".into(),
+        format!("{serial_ms:.2} ms"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
     for threads in [2usize, 4, 8] {
         let start = Instant::now();
         let model = hogwild::fit_parallel(&m, &config, threads);

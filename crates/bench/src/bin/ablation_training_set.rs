@@ -33,11 +33,21 @@ fn main() {
 
     let mut table = Table::new(
         "Training-set size vs inference accuracy (throughput rows, 2 samples)",
-        &["training apps", "mean |err| %", "worst app |err| %", "reconstruct time", "paper"],
+        &[
+            "training apps",
+            "mean |err| %",
+            "worst app |err| %",
+            "reconstruct time",
+            "paper",
+        ],
     );
     let hi = JobConfig::profiling_high().index();
     let lo = JobConfig::profiling_low().index();
-    for (n_train, paper) in [(8usize, "~20% inaccuracy"), (16, "~10% (chosen)"), (24, "~8%, +18% time")] {
+    for (n_train, paper) in [
+        (8usize, "~20% inaccuracy"),
+        (16, "~10% (chosen)"),
+        (24, "~8%, +18% time"),
+    ] {
         let training = &ordered[..n_train];
         let testing = &ordered[n_train..];
         let mut errors = Vec::new();

@@ -12,14 +12,19 @@
 
 use bench::{standard_scenario, Table};
 use cuttlesys::managers::FeedbackManager;
-use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::{RunRecord, Scenario};
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::latency;
 use workloads::loadgen::LoadPattern;
 
 fn out_of_band(r: &RunRecord) -> (usize, usize) {
-    let over = r.slices.iter().filter(|s| s.chip_watts > s.cap_watts * 1.02).count();
+    let over = r
+        .slices
+        .iter()
+        .filter(|s| s.chip_watts > s.cap_watts * 1.02)
+        .count();
     let under = r
         .slices
         .iter()
@@ -35,7 +40,10 @@ fn main() {
         duration_slices: 10,
         ..standard_scenario(&svc, 0, 0.9)
     };
-    let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+    let fixed = Scenario {
+        kind: CoreKind::Fixed,
+        ..scenario.clone()
+    };
 
     let feedback = run_scenario(&fixed, &mut FeedbackManager::new(&fixed));
     let cuttle = {
@@ -45,7 +53,14 @@ fn main() {
 
     let mut table = Table::new(
         "Open-loop vs closed-loop under cap steps 90% -> 60% -> 90%",
-        &["t (s)", "cap (W)", "PID power", "cuttlesys power", "PID batch", "cuttlesys batch"],
+        &[
+            "t (s)",
+            "cap (W)",
+            "PID power",
+            "cuttlesys power",
+            "PID batch",
+            "cuttlesys batch",
+        ],
     );
     for (f, c) in feedback.slices.iter().zip(&cuttle.slices) {
         table.row(vec![

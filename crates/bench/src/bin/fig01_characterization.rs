@@ -34,12 +34,17 @@ fn characterize(chip: &Chip, svc: &LcService) -> Vec<Row> {
         .map(|config| {
             let ipc = chip.perf().ipc(&svc.profile, config, cache.ways(), 0.0);
             let bips = chip.core_bips(&svc.profile, config, cache.ways(), 0.0);
-            let per_core =
-                chip.power().job_core_watts(&svc.profile, config, cache, ipc, bips);
+            let per_core = chip
+                .power()
+                .job_core_watts(&svc.profile, config, cache, ipc, bips);
             Row {
                 config,
-                tail_low: svc.tail_latency_ms(chip.perf(), cores, config, cache, 0.2, 0.0).get(),
-                tail_high: svc.tail_latency_ms(chip.perf(), cores, config, cache, 0.8, 0.0).get(),
+                tail_low: svc
+                    .tail_latency_ms(chip.perf(), cores, config, cache, 0.2, 0.0)
+                    .get(),
+                tail_high: svc
+                    .tail_latency_ms(chip.perf(), cores, config, cache, 0.8, 0.0)
+                    .get(),
                 watts: per_core.get() * cores as f64,
             }
         })
@@ -62,7 +67,8 @@ fn critical_section(chip: &Chip, svc: &LcService) -> Section {
             Section::LoadStore => 2,
         }] = simulator::SectionWidth::Two;
         let config = CoreConfig::new(widths[0], widths[1], widths[2]);
-        svc.tail_latency_ms(chip.perf(), cores, config, cache, 0.8, 0.0).get()
+        svc.tail_latency_ms(chip.perf(), cores, config, cache, 0.8, 0.0)
+            .get()
     };
     Section::ALL
         .into_iter()
@@ -83,12 +89,20 @@ fn main() {
                 svc.qos_ms,
                 svc.max_qps / 1000.0
             ),
-            &["config", "tail@20% (ms)", "tail@80% (ms)", "power (W, 16 cores)"],
+            &[
+                "config",
+                "tail@20% (ms)",
+                "tail@80% (ms)",
+                "power (W, 16 cores)",
+            ],
         );
         let selected: Vec<&Row> = if full {
             rows.iter().collect()
         } else {
-            rows.iter().take(4).chain(rows.iter().rev().take(4).rev()).collect()
+            rows.iter()
+                .take(4)
+                .chain(rows.iter().rev().take(4).rev())
+                .collect()
         };
         for r in selected {
             table.row(vec![

@@ -15,7 +15,8 @@
 
 use bench::{colocations, standard_scenario, ErrorSummary, Table};
 use cuttlesys::matrices::JobMatrices;
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use recsys::Reconstructor;
 use simulator::power::CoreKind;
@@ -92,7 +93,12 @@ fn isolation() {
         let seed_cfg = hi;
         m.record_tail(0.8, seed_cfg, truth[seed_cfg]);
         let preds = m.reconstruct(&Reconstructor::default(), 0.8);
-        tail_errors.extend(pct_errors(&preds.lc_tail, &truth, &[seed_cfg], Some(TAIL_CEILING_MS)));
+        tail_errors.extend(pct_errors(
+            &preds.lc_tail,
+            &truth,
+            &[seed_cfg],
+            Some(TAIL_CEILING_MS),
+        ));
         power_errors.extend(pct_errors(&preds.lc_watts, &w, &skip, None));
         verdicts.push(verdict_accuracy(&preds.lc_tail, &truth, svc.qos_ms));
     }
@@ -101,9 +107,11 @@ fn isolation() {
         "Fig. 5(a): SGD % error, applications in isolation (2 samples -> 106 inferred)",
         &["metric", "p5", "p25", "p50", "p75", "p95", "n"],
     );
-    for (name, errors) in
-        [("throughput", &tput_errors), ("tail latency", &tail_errors), ("power", &power_errors)]
-    {
+    for (name, errors) in [
+        ("throughput", &tput_errors),
+        ("tail latency", &tail_errors),
+        ("power", &power_errors),
+    ] {
         let s = ErrorSummary::of(errors);
         let mut row = vec![name.to_string()];
         row.extend(s.row());
@@ -125,14 +133,25 @@ fn runtime(mixes: u64) {
     let mut tail_errors = Vec::new();
 
     for (svc, mix) in colocations(mixes) {
-        let scenario = Scenario { duration_slices: 5, ..standard_scenario(&svc, mix, 0.7) };
+        let scenario = Scenario {
+            duration_slices: 5,
+            ..standard_scenario(&svc, mix, 0.7)
+        };
         let mut manager = CuttleSysManager::for_scenario(&scenario);
         // Ground truth from the *base* profiles; runtime predictions chase
         // the drifting, contended, noisy reality.
-        let truth_b: Vec<Vec<f64>> =
-            scenario.mix.profiles().iter().map(|p| oracle.bips_row(p)).collect();
-        let truth_w: Vec<Vec<f64>> =
-            scenario.mix.profiles().iter().map(|p| oracle.power_row(p)).collect();
+        let truth_b: Vec<Vec<f64>> = scenario
+            .mix
+            .profiles()
+            .iter()
+            .map(|p| oracle.bips_row(p))
+            .collect();
+        let truth_w: Vec<Vec<f64>> = scenario
+            .mix
+            .profiles()
+            .iter()
+            .map(|p| oracle.power_row(p))
+            .collect();
         let truth_tail: Vec<f64> = oracle
             .tail_row(&svc, 16, 0.8)
             .into_iter()
@@ -140,21 +159,30 @@ fn runtime(mixes: u64) {
             .collect();
 
         let _ = run_scenario(&scenario, &mut manager);
-        let preds = manager.last_predictions().expect("runtime produced predictions");
+        let preds = manager
+            .last_predictions()
+            .expect("runtime produced predictions");
         for j in 0..scenario.num_batch() {
             tput_errors.extend(pct_errors(&preds.batch_bips[j], &truth_b[j], &[], None));
             power_errors.extend(pct_errors(&preds.batch_watts[j], &truth_w[j], &[], None));
         }
-        tail_errors.extend(pct_errors(&preds.lc_tail, &truth_tail, &[], Some(TAIL_CEILING_MS)));
+        tail_errors.extend(pct_errors(
+            &preds.lc_tail,
+            &truth_tail,
+            &[],
+            Some(TAIL_CEILING_MS),
+        ));
     }
 
     let mut table = Table::new(
         "Fig. 5(b): SGD % error at runtime (colocation + noise + phases + contention)",
         &["metric", "p5", "p25", "p50", "p75", "p95", "n"],
     );
-    for (name, errors) in
-        [("throughput", &tput_errors), ("tail latency", &tail_errors), ("power", &power_errors)]
-    {
+    for (name, errors) in [
+        ("throughput", &tput_errors),
+        ("tail latency", &tail_errors),
+        ("power", &power_errors),
+    ] {
         let s = ErrorSummary::of(errors);
         let mut row = vec![name.to_string()];
         row.extend(s.row());

@@ -9,21 +9,26 @@
 use baselines::gating::GatingOrder;
 use bench::report::ratio;
 use bench::{colocations, standard_scenario, Table, POWER_CAPS};
-use cuttlesys::managers::{
-    AsymmetricManager, AsymmetricMode, CoreGatingManager, NoGatingManager,
-};
-use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::managers::{AsymmetricManager, AsymmetricMode, CoreGatingManager, NoGatingManager};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::{RunRecord, Scenario};
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 
 fn run(scenario: &Scenario, scheme: &str) -> RunRecord {
     match scheme {
         "no-gating" => {
-            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            let s = Scenario {
+                kind: CoreKind::Fixed,
+                ..scenario.clone()
+            };
             run_scenario(&s, &mut NoGatingManager)
         }
         "core-gating" | "core-gating+wp" => {
-            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            let s = Scenario {
+                kind: CoreKind::Fixed,
+                ..scenario.clone()
+            };
             let wp = scheme.ends_with("+wp");
             // The paper's specified baseline configuration: descending
             // power, the ordering their McPAT calibration found best.
@@ -32,15 +37,27 @@ fn run(scenario: &Scenario, scheme: &str) -> RunRecord {
             // ablation_gating_orders and EXPERIMENTS.md) — the paper's
             // regime implies power anti-correlates with BIPS for the
             // memory-bound SPEC power viruses.
-            run_scenario(&s, &mut CoreGatingManager::new(&s, GatingOrder::DescendingPower, wp))
+            run_scenario(
+                &s,
+                &mut CoreGatingManager::new(&s, GatingOrder::DescendingPower, wp),
+            )
         }
         "asymm-oracle" => {
-            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+            let s = Scenario {
+                kind: CoreKind::Fixed,
+                ..scenario.clone()
+            };
             run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::Oracle))
         }
         "asymm-50-50" => {
-            let s = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
-            run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::FixedBig(16)))
+            let s = Scenario {
+                kind: CoreKind::Fixed,
+                ..scenario.clone()
+            };
+            run_scenario(
+                &s,
+                &mut AsymmetricManager::new(&s, AsymmetricMode::FixedBig(16)),
+            )
         }
         "cuttlesys" => {
             let mut m = CuttleSysManager::for_scenario(scenario);
@@ -51,15 +68,31 @@ fn run(scenario: &Scenario, scheme: &str) -> RunRecord {
 }
 
 fn main() {
-    let mixes: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
-    let schemes =
-        ["core-gating", "core-gating+wp", "asymm-oracle", "asymm-50-50", "cuttlesys"];
+    let mixes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let schemes = [
+        "core-gating",
+        "core-gating+wp",
+        "asymm-oracle",
+        "asymm-50-50",
+        "cuttlesys",
+    ];
     let mut table = Table::new(
         &format!(
             "Fig. 5(c): batch instructions relative to no gating ({} colocations, 1 s runs)",
             colocations(mixes).len()
         ),
-        &["cap", "core-gating", "core-gating+wp", "asymm-oracle", "asymm-50-50", "cuttlesys", "qos-viol"],
+        &[
+            "cap",
+            "core-gating",
+            "core-gating+wp",
+            "asymm-oracle",
+            "asymm-50-50",
+            "cuttlesys",
+            "qos-viol",
+        ],
     );
 
     for cap in POWER_CAPS {

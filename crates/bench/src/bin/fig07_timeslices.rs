@@ -11,22 +11,32 @@
 use baselines::gating::GatingOrder;
 use bench::{standard_scenario, Table};
 use cuttlesys::managers::{AsymmetricManager, AsymmetricMode, CoreGatingManager};
-use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::{RunRecord, Scenario};
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::latency;
 
 fn main() {
-    let cap: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.7);
+    let cap: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.7);
     let svc = latency::service_by_name("xapian").expect("xapian exists");
     let scenario = standard_scenario(&svc, 0, cap);
-    let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+    let fixed = Scenario {
+        kind: CoreKind::Fixed,
+        ..scenario.clone()
+    };
 
     let gating = run_scenario(
         &fixed,
         &mut CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, false),
     );
-    let asym = run_scenario(&fixed, &mut AsymmetricManager::new(&fixed, AsymmetricMode::Oracle));
+    let asym = run_scenario(
+        &fixed,
+        &mut AsymmetricManager::new(&fixed, AsymmetricMode::Oracle),
+    );
     let cuttle = {
         let mut m = CuttleSysManager::for_scenario(&scenario);
         run_scenario(&scenario, &mut m)
@@ -37,7 +47,15 @@ fn main() {
             "Fig. 7: instructions per 0.1 s timeslice (billions), xapian + mix 0, {:.0}% cap",
             cap * 100.0
         ),
-        &["t (s)", "core-gating", "gated cores", "asymm oracle", "small cores", "cuttlesys", "narrow cores"],
+        &[
+            "t (s)",
+            "core-gating",
+            "gated cores",
+            "asymm oracle",
+            "small cores",
+            "cuttlesys",
+            "narrow cores",
+        ],
     );
     let giga = |x: f64| format!("{:.2}", x / 1e9);
     for i in 0..scenario.duration_slices {

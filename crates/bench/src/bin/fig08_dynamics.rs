@@ -10,7 +10,8 @@
 //! Usage: `fig08_dynamics [--scenario load|power|relocation] [slices]`
 
 use bench::Table;
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use workloads::latency;
 use workloads::loadgen::LoadPattern;
@@ -51,7 +52,10 @@ fn run(kind: &str, slices: usize) {
     let record = run_scenario(&s, &mut manager);
 
     let mut table = Table::new(
-        &format!("Fig. 8 ({kind}): xapian + mix 0, {} slices", s.duration_slices),
+        &format!(
+            "Fig. 8 ({kind}): xapian + mix 0, {} slices",
+            s.duration_slices
+        ),
         &[
             "t (s)",
             "load",

@@ -12,7 +12,9 @@ use bench::{ErrorSummary, Table};
 use cuttlesys::matrices::JobMatrices;
 use recsys::Reconstructor;
 use simulator::power::CoreKind;
-use simulator::{CacheAlloc, Chip, CoreConfig, JobConfig, SectionWidth, SystemParams, NUM_JOB_CONFIGS};
+use simulator::{
+    CacheAlloc, Chip, CoreConfig, JobConfig, SectionWidth, SystemParams, NUM_JOB_CONFIGS,
+};
 use workloads::batch;
 use workloads::oracle::Oracle;
 
@@ -62,8 +64,12 @@ fn main() {
         let ys_w: Vec<f64> = sample_idx.iter().map(|&i| truth_w[i]).collect();
         let rbf_b = RbfModel::fit(&xs, &ys_b).expect("3 distinct samples fit");
         let rbf_w = RbfModel::fit(&xs, &ys_w).expect("3 distinct samples fit");
-        let pred_b: Vec<f64> = JobConfig::all().map(|c| rbf_b.predict(&job_features(c))).collect();
-        let pred_w: Vec<f64> = JobConfig::all().map(|c| rbf_w.predict(&job_features(c))).collect();
+        let pred_b: Vec<f64> = JobConfig::all()
+            .map(|c| rbf_b.predict(&job_features(c)))
+            .collect();
+        let pred_w: Vec<f64> = JobConfig::all()
+            .map(|c| rbf_w.predict(&job_features(c)))
+            .collect();
         rbf_tput.extend(pct_errors(&pred_b, &truth_b, &sample_idx));
         rbf_power.extend(pct_errors(&pred_w, &truth_w, &sample_idx));
 

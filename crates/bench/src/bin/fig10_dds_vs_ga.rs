@@ -65,15 +65,21 @@ fn scatter() {
     let watts = preds.batch_watts.clone();
     let objective = SoftPenalty {
         benefit: |x: &[usize]| {
-            let log_sum: f64 =
-                x.iter().enumerate().map(|(j, &c)| bips[j][c].max(1e-9).ln()).sum();
+            let log_sum: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                .sum();
             (log_sum / 16.0).exp()
         },
         power: |x: &[usize]| {
             lc_power + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>()
         },
         cache_ways: |x: &[usize]| {
-            2.0 + x.iter().map(|&c| JobConfig::from_index(c).cache.ways()).sum::<f64>()
+            2.0 + x
+                .iter()
+                .map(|&c| JobConfig::from_index(c).cache.ways())
+                .sum::<f64>()
         },
         max_power: budget,
         max_ways: 32.0,
@@ -85,7 +91,10 @@ fn scatter() {
     let dds_result = parallel_search(
         &space,
         &objective,
-        &ParallelDdsParams { record_explored: true, ..Default::default() },
+        &ParallelDdsParams {
+            record_explored: true,
+            ..Default::default()
+        },
     );
     // Budgets are matched by *time*, as in the paper: parallel DDS spreads
     // its candidate evaluations across the chip's cores, while the
@@ -106,10 +115,12 @@ fn scatter() {
         explored
             .iter()
             .map(|(x, _)| {
-                let p = lc_power
-                    + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>();
-                let log_sum: f64 =
-                    x.iter().enumerate().map(|(j, &c)| bips[j][c].max(1e-9).ln()).sum();
+                let p = lc_power + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>();
+                let log_sum: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                    .sum();
                 (p, 1.0 / (log_sum / 16.0).exp())
             })
             .collect()
@@ -119,7 +130,13 @@ fn scatter() {
 
     let mut table = Table::new(
         "Fig. 10(a): exploration quality in the (power, 1/throughput) plane",
-        &["algorithm", "evaluations", "pareto points", "best objective", "best under budget"],
+        &[
+            "algorithm",
+            "evaluations",
+            "pareto points",
+            "best objective",
+            "best under budget",
+        ],
     );
     let best_feasible = |points: &[(f64, f64)]| -> String {
         points
@@ -178,14 +195,18 @@ fn sweep(mixes: u64) {
             // same time.
             let ga_budget = (50 + 40 * 10 * 8) / 8;
             let ga_run = {
-                let mut m = CuttleSysManager::for_scenario(&scenario).with_search(
-                    SearchAlgo::Ga(GaParams::default().with_evaluation_budget(ga_budget)),
-                );
+                let mut m = CuttleSysManager::for_scenario(&scenario).with_search(SearchAlgo::Ga(
+                    GaParams::default().with_evaluation_budget(ga_budget),
+                ));
                 run_scenario(&scenario, &mut m)
             };
-            let steady_gmean = |r: &cuttlesys::testbed::RunRecord| {
-                let g: Vec<f64> =
-                    r.slices.iter().skip(1).map(|s| s.batch_gmean_bips.max(1e-9)).collect();
+            let steady_gmean = |r: &cuttlesys::types::RunRecord| {
+                let g: Vec<f64> = r
+                    .slices
+                    .iter()
+                    .skip(1)
+                    .map(|s| s.batch_gmean_bips.max(1e-9))
+                    .collect();
                 geo_mean(&g)
             };
             dds_g.push(steady_gmean(&dds_run));

@@ -19,12 +19,23 @@ use cuttlesys::testbed::run_scenario;
 use cuttlesys::CuttleSysManager;
 
 fn main() {
-    let cap: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.7);
-    let mixes: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let cap: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.7);
+    let mixes: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
 
     let mut table = Table::new(
         &format!("Flicker vs CuttleSys at a {:.0}% cap", cap * 100.0),
-        &["scheme", "QoS violations", "worst tail/QoS", "batch instr (1e9)"],
+        &[
+            "scheme",
+            "QoS violations",
+            "worst tail/QoS",
+            "batch instr (1e9)",
+        ],
     );
 
     let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
@@ -49,17 +60,31 @@ fn main() {
                     run_scenario(&scenario, &mut m)
                 }
             };
-            violations += record.slices.iter().skip(1).filter(|s| s.qos_violation).count();
+            violations += record
+                .slices
+                .iter()
+                .skip(1)
+                .filter(|s| s.qos_violation)
+                .count();
             slices += record.slices.len() - 1;
             worst = worst.max(record.worst_tail_ratio(scenario.service.qos_ms));
             instr += record.batch_instructions();
         }
-        rows.push((format!("{scheme} ({violations}/{slices})"), violations, worst, instr));
+        rows.push((
+            format!("{scheme} ({violations}/{slices})"),
+            violations,
+            worst,
+            instr,
+        ));
     }
     for (name, _v, worst, instr) in &rows {
         table.row(vec![
             name.clone(),
-            name.split('(').nth(1).unwrap_or("").trim_end_matches(')').to_string(),
+            name.split('(')
+                .nth(1)
+                .unwrap_or("")
+                .trim_end_matches(')')
+                .to_string(),
             format!("{worst:.1}x"),
             format!("{:.2}", instr / 1e9),
         ]);

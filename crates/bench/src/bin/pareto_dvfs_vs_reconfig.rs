@@ -54,7 +54,14 @@ fn main() {
 
     let mut table = Table::new(
         "Pareto: min Watts to reach a fraction of peak BIPS (per app class)",
-        &["app", "target", "DVFS (modern)", "DVFS (wide)", "reconfig", "reconfig gain"],
+        &[
+            "app",
+            "target",
+            "DVFS (modern)",
+            "DVFS (wide)",
+            "reconfig",
+            "reconfig gain",
+        ],
     );
     let examples = [
         ("povray (compute)", batch::catalog()[6].profile),
@@ -94,15 +101,17 @@ fn main() {
     // the bottom of its DVFS ladder, because the gated arrays stop leaking.
     let app = AppProfile::balanced();
     let dvfs_floor = *modern.states().last().expect("ladder non-empty");
-    let reconf_idle = chip.power().core_watts(&app, CoreConfig::narrowest(), 0.0).get();
+    let reconf_idle = chip
+        .power()
+        .core_watts(&app, CoreConfig::narrowest(), 0.0)
+        .get();
     let dvfs_parked = {
         // Parked fixed core: bottom of the ladder at zero activity.
         let fixed = simulator::PowerModel::new(params, CoreKind::Fixed);
         let idle_nominal = fixed.core_watts(&app, CoreConfig::widest(), 0.0).get();
         let leak = idle_nominal * 0.6;
         let dynamic = idle_nominal * 0.4;
-        dynamic * dvfs_floor.dynamic_scale(params.frequency_ghz)
-            + leak * dvfs_floor.leakage_scale()
+        dynamic * dvfs_floor.dynamic_scale(params.frequency_ghz) + leak * dvfs_floor.leakage_scale()
     };
     println!(
         "Idle (parked) core power: fixed core at DVFS floor {:.2} W vs          reconfigurable core at {{2,2,2}} {:.2} W ({:.0}% lower) — the
@@ -179,7 +188,11 @@ fn main() {
         let d = max_bips(&dvfs_gated, 0.0, budget);
         let r = max_bips(&reconf_gated, 0.0, budget);
         let gated = |plan: &baselines::maxbips::MaxBipsPlan, opts: &[CoreOptions]| {
-            plan.states.iter().zip(opts).filter(|(&s, o)| s == o.len() - 1).count()
+            plan.states
+                .iter()
+                .zip(opts)
+                .filter(|(&s, o)| s == o.len() - 1)
+                .count()
         };
         table.row(vec![
             format!("{:.0}%", frac * 100.0),

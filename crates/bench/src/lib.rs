@@ -5,7 +5,7 @@
 //! standard scenario construction (the 50 service × mix co-locations of
 //! §VII-A), plain-text table rendering, and summary statistics.
 
-use cuttlesys::testbed::{Scenario, BATCH_JOBS};
+use cuttlesys::types::{Scenario, BATCH_JOBS};
 use workloads::batch;
 use workloads::latency::{self, LcService};
 use workloads::loadgen::LoadPattern;

@@ -11,35 +11,53 @@
 //!
 //! Modules:
 //!
+//! * [`types`] — the shared vocabulary: scenarios, plans, profiling frames,
+//!   per-slice records, and the [`ResourceManager`] trait.
 //! * [`testbed`] — the simulated server every resource manager runs on:
-//!   scenarios (service + SPEC mix + load pattern + power-cap schedule),
-//!   timeslice execution, noisy measurements, and per-slice records.
+//!   timeslice execution, noisy measurements, and ground-truth records.
 //! * [`matrices`] — the Resource Controller's rating-matrix bookkeeping:
 //!   offline-characterized training rows plus online observations.
-//! * [`runtime`] — the CuttleSys manager itself (§IV-§VI).
+//! * [`pipeline`] — the decision quantum as an instrumented five-stage
+//!   pipeline (profile → reconstruct → pin → search → repair), with
+//!   swappable stage implementations.
+//! * [`telemetry`] — per-stage wall-clock timings and work counters,
+//!   threaded through the slice records (the source of the Table II
+//!   overhead report).
+//! * [`accounting`] — plan-level power arithmetic shared by the pipeline
+//!   stages and the baseline managers.
+//! * [`runtime`] — the CuttleSys manager itself (§IV–§VI), a composition
+//!   of the default pipeline stages.
 //! * [`managers`] — baseline managers: no-gating, core-level gating (± way
-//!   partitioning), oracle-like and fixed 50-50 asymmetric multicores, and
-//!   Flicker.
+//!   partitioning), oracle-like and fixed 50-50 asymmetric multicores,
+//!   Flicker, and a PID feedback controller.
 //!
 //! # Quick example
 //!
 //! ```
-//! use cuttlesys::testbed::{run_scenario, Scenario};
+//! use cuttlesys::types::Scenario;
+//! use cuttlesys::testbed::run_scenario;
 //! use cuttlesys::runtime::CuttleSysManager;
 //!
 //! let scenario = Scenario::quick_demo();
 //! let mut manager = CuttleSysManager::for_scenario(&scenario);
 //! let record = run_scenario(&scenario, &mut manager);
 //! assert_eq!(record.slices.len(), scenario.duration_slices);
+//! // Every CuttleSys decision carries per-stage instrumentation.
+//! assert!(record.stage_summary().is_some());
 //! ```
 
+pub mod accounting;
 pub mod managers;
 pub mod matrices;
+pub mod pipeline;
 pub mod runtime;
+pub mod telemetry;
 pub mod testbed;
+pub mod types;
 
 pub use runtime::CuttleSysManager;
-pub use testbed::{run_scenario, Plan, ResourceManager, RunRecord, Scenario};
+pub use testbed::run_scenario;
+pub use types::{Plan, ResourceManager, RunRecord, Scenario};
 
 /// Draws a standard normal variate via the Box–Muller transform (shared by
 /// the testbed's measurement-noise model).

@@ -22,8 +22,10 @@ use simulator::power::CoreKind;
 use simulator::{CacheAlloc, Chip, CoreConfig, JobConfig, NUM_CORE_CONFIGS};
 use workloads::oracle::Oracle;
 
-use crate::testbed::{
+use crate::accounting::{gate_descending_power, steady_state_budget};
+use crate::types::{
     BatchAction, Plan, ProfilePlan, ProfileSample, ResourceManager, Scenario, SliceInfo,
+    TIMESLICE_MS,
 };
 
 /// The LC service's fixed configuration in every baseline: widest core,
@@ -104,9 +106,18 @@ impl CoreGatingManager {
             let profiles = scenario.mix.profiles();
             let perf = simulator::PerfModel::new(scenario.params);
             // The LC service holds four ways; UCP divides the rest.
-            ipc_partition(&perf, &profiles, CoreConfig::widest(), scenario.params.llc_ways as f64 - 4.0)
+            ipc_partition(
+                &perf,
+                &profiles,
+                CoreConfig::widest(),
+                scenario.params.llc_ways as f64 - 4.0,
+            )
         });
-        CoreGatingManager { order, partition, gated_watts: scenario.params.gated_core_watts }
+        CoreGatingManager {
+            order,
+            partition,
+            gated_watts: scenario.params.gated_core_watts,
+        }
     }
 
     /// Configuration of batch job `j` given how many batch jobs are active
@@ -161,13 +172,24 @@ impl ResourceManager for CoreGatingManager {
                 per_job[s.job - 1] = (s.bips, s.watts);
             }
         }
-        let gated = select_gated(
-            &per_job,
-            lc_cores as f64 * lc_watts,
-            info.cap_watts,
-            self.gated_watts,
-            self.order,
-        );
+        // The cap constrains the slice average, and the all-widest probe
+        // frame runs hotter than the steady state it selects: gate against
+        // the budget net of the probe's energy, not the raw cap. The guard
+        // band covers the cache-share growth of the surviving jobs — the
+        // probe measures everyone at the all-active unpartitioned share,
+        // which shrinks each job's LLC slice relative to the post-gating
+        // steady state.
+        const SHARE_GROWTH_GUARD: f64 = 0.99;
+        let lc_power = lc_cores as f64 * lc_watts;
+        let probe_watts = lc_power + per_job.iter().map(|(_, w)| w).sum::<f64>();
+        let budget = SHARE_GROWTH_GUARD
+            * steady_state_budget(
+                info.cap_watts,
+                TIMESLICE_MS,
+                sample.duration_ms,
+                probe_watts,
+            );
+        let gated = select_gated(&per_job, lc_power, budget, self.gated_watts, self.order);
         let active = gated.iter().filter(|&&g| !g).count();
         let batch = gated
             .iter()
@@ -180,7 +202,11 @@ impl ResourceManager for CoreGatingManager {
                 }
             })
             .collect();
-        Plan { lc_cores, lc_config: self.lc_config(active), batch }
+        Plan {
+            lc_cores,
+            lc_config: self.lc_config(active),
+            batch,
+        }
     }
 }
 
@@ -257,8 +283,9 @@ impl ResourceManager for AsymmetricManager {
         };
         let plan = match self.mode {
             AsymmetricMode::Oracle => oracle_plan(&input),
-            AsymmetricMode::FixedBig(n) => plan_with_big_count(&input, n.max(lc_cores))
-                .unwrap_or_else(|| oracle_plan(&input)),
+            AsymmetricMode::FixedBig(n) => {
+                plan_with_big_count(&input, n.max(lc_cores)).unwrap_or_else(|| oracle_plan(&input))
+            }
         };
         let active = plan.gated.iter().filter(|&&g| !g).count();
         let (lc_share, batch_share) = unpartitioned_share(32, active);
@@ -270,8 +297,11 @@ impl ResourceManager for AsymmetricManager {
                 if gated {
                     BatchAction::Gated
                 } else {
-                    let core =
-                        if big { CoreConfig::widest() } else { CoreConfig::narrowest() };
+                    let core = if big {
+                        CoreConfig::widest()
+                    } else {
+                        CoreConfig::narrowest()
+                    };
                     BatchAction::Run(JobConfig::new(core, batch_share))
                 }
             })
@@ -313,7 +343,10 @@ impl FlickerManager {
         FlickerManager {
             variant,
             qos_ms: scenario.service.qos_ms,
-            ga: GaParams { seed: scenario.seed, ..GaParams::default() },
+            ga: GaParams {
+                seed: scenario.seed,
+                ..GaParams::default()
+            },
             gated_watts: scenario.params.gated_core_watts,
         }
     }
@@ -362,7 +395,11 @@ impl ResourceManager for FlickerManager {
                 .map(|_| BatchAction::Run(JobConfig::new(*config, Self::cache())))
                 .collect();
             let sample = probe(
-                &ProfilePlan { lc_cores, lc_configs: vec![lc_config; lc_cores], batch },
+                &ProfilePlan {
+                    lc_cores,
+                    lc_configs: vec![lc_config; lc_cores],
+                    batch,
+                },
                 per_config_ms,
             );
             for s in &sample.samples {
@@ -399,7 +436,11 @@ impl ResourceManager for FlickerManager {
             Err(_) => {
                 let narrow = JobConfig::new(CoreConfig::narrowest(), Self::cache());
                 let batch = vec![BatchAction::Run(narrow); info.num_batch];
-                return Plan { lc_cores, lc_config, batch };
+                return Plan {
+                    lc_cores,
+                    lc_config,
+                    batch,
+                };
             }
         };
         let bips: Vec<Vec<f64>> = (0..info.num_batch).map(|j| model.bips_row(j)).collect();
@@ -409,8 +450,11 @@ impl ResourceManager for FlickerManager {
         let watts_for_power = watts.clone();
         let objective = SoftPenalty {
             benefit: move |x: &[usize]| {
-                let log_sum: f64 =
-                    x.iter().enumerate().map(|(j, &c)| bips[j][c].max(1e-9).ln()).sum();
+                let log_sum: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                    .sum();
                 (log_sum / num_batch as f64).exp()
             },
             power: move |x: &[usize]| {
@@ -432,22 +476,22 @@ impl ResourceManager for FlickerManager {
         // The same last-resort rule as CuttleSys: gate in descending power
         // if even the narrowest plan misses the cap.
         let lowest = CoreConfig::narrowest().index();
-        let lowest_power: f64 =
-            lc_power + (0..info.num_batch).map(|j| watts[j][lowest].max(0.0)).sum::<f64>();
+        let narrowest_watts: Vec<f64> = (0..info.num_batch)
+            .map(|j| watts[j][lowest].max(0.0))
+            .collect();
+        let lowest_power: f64 = lc_power + narrowest_watts.iter().sum::<f64>();
         let batch: Vec<BatchAction> = if lowest_power > info.cap_watts {
             let narrow = JobConfig::new(CoreConfig::narrowest(), Self::cache());
-            let mut actions = vec![BatchAction::Run(narrow); info.num_batch];
-            let mut order: Vec<usize> = (0..info.num_batch).collect();
-            order.sort_by(|&a, &b| watts[b][lowest].total_cmp(&watts[a][lowest]));
-            let mut power = lowest_power;
-            for j in order {
-                if power <= info.cap_watts {
-                    break;
-                }
-                power -= watts[j][lowest].max(0.0) - self.gated_watts;
-                actions[j] = BatchAction::Gated;
-            }
-            actions
+            gate_descending_power(&narrowest_watts, lc_power, info.cap_watts, self.gated_watts)
+                .into_iter()
+                .map(|g| {
+                    if g {
+                        BatchAction::Gated
+                    } else {
+                        BatchAction::Run(narrow)
+                    }
+                })
+                .collect()
         } else {
             result
                 .best_point
@@ -457,7 +501,11 @@ impl ResourceManager for FlickerManager {
                 })
                 .collect()
         };
-        Plan { lc_cores, lc_config, batch }
+        Plan {
+            lc_cores,
+            lc_config,
+            batch,
+        }
     }
 }
 
@@ -474,12 +522,15 @@ pub struct FeedbackManager {
 
 impl FeedbackManager {
     /// Builds the controller with gains tuned for the 32-core chip's
-    /// ~1.5 W-per-level actuation authority.
-    pub fn new(_scenario: &Scenario) -> FeedbackManager {
+    /// ~1.5 W-per-level actuation authority. The loop is primed with the
+    /// scenario's nominal chip draw: an uncontrolled all-widest chip starts
+    /// near the 100 % budget, so the controller actuates from the very
+    /// first timeslice instead of idling until the first measurement.
+    pub fn new(scenario: &Scenario) -> FeedbackManager {
         FeedbackManager {
             pid: baselines::feedback::PidController::new(0.12, 0.03, 0.05, 200.0),
             level: baselines::feedback::WidthLevel::new(),
-            last_power: None,
+            last_power: Some(scenario.nominal_budget_watts()),
         }
     }
 }
@@ -510,7 +561,7 @@ impl ResourceManager for FeedbackManager {
         }
     }
 
-    fn observe(&mut self, outcome: &crate::testbed::SliceOutcome) {
+    fn observe(&mut self, outcome: &crate::types::SliceOutcome) {
         // Total chip power estimate from the per-job measurements.
         let lc = outcome.measured_watts[0] * outcome.plan.lc_cores as f64;
         let batch: f64 = outcome.measured_watts[1..].iter().sum();
@@ -539,7 +590,10 @@ mod tests {
     fn no_gating_ignores_the_cap() {
         let s = scenario(CoreKind::Fixed, 0.5);
         let record = run_scenario(&s, &mut NoGatingManager);
-        assert!(record.power_violations() > 0, "no-gating must bust a 50% cap");
+        assert!(
+            record.power_violations() > 0,
+            "no-gating must bust a 50% cap"
+        );
         assert_eq!(record.qos_violations(), 0);
     }
 
@@ -594,8 +648,10 @@ mod tests {
     fn oracle_beats_fixed_5050_split() {
         let s = scenario(CoreKind::Fixed, 0.8);
         let oracle = run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::Oracle));
-        let fixed =
-            run_scenario(&s, &mut AsymmetricManager::new(&s, AsymmetricMode::FixedBig(16)));
+        let fixed = run_scenario(
+            &s,
+            &mut AsymmetricManager::new(&s, AsymmetricMode::FixedBig(16)),
+        );
         assert!(oracle.batch_instructions() >= fixed.batch_instructions() * 0.999);
     }
 
@@ -625,7 +681,10 @@ mod tests {
             .take(6)
             .filter(|sl| sl.chip_watts > sl.cap_watts * 1.02)
             .count();
-        assert!(violations >= 2, "expected a slow transient, got {violations}");
+        assert!(
+            violations >= 2,
+            "expected a slow transient, got {violations}"
+        );
     }
 
     #[test]

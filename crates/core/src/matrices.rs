@@ -72,6 +72,30 @@ pub struct Predictions {
     pub lc_tail_guarded: Vec<f64>,
 }
 
+impl Predictions {
+    /// Rescales the tail predictions from the library's
+    /// [`TAIL_REFERENCE_CORES`]-core characterization to `cores` LC cores.
+    ///
+    /// Service capacity scales with the core count, so the per-core load
+    /// ratio — and with it the predicted tail — scales by
+    /// `TAIL_REFERENCE_CORES / cores` (an M/M/k approximation adequate for
+    /// the few cores relocation moves). Throughput and power rows are
+    /// per-core and unaffected.
+    pub fn rescaled_for_cores(&self, cores: usize) -> Predictions {
+        assert!(cores > 0, "cannot rescale tails to zero cores");
+        let mut scaled = self.clone();
+        let ratio = TAIL_REFERENCE_CORES as f64 / cores as f64;
+        for t in scaled
+            .lc_tail
+            .iter_mut()
+            .chain(scaled.lc_tail_guarded.iter_mut())
+        {
+            *t *= ratio;
+        }
+        scaled
+    }
+}
+
 /// The three-matrix bookkeeping.
 pub struct JobMatrices {
     num_batch: usize,
@@ -144,9 +168,7 @@ impl JobMatrices {
     pub fn record_sample(&mut self, job: usize, config_idx: usize, bips: f64, watts: f64) {
         assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
         if job == 0 {
-            if watts > 0.0 {
-                self.lc_watts_obs.insert(config_idx, watts);
-            }
+            self.record_lc_power(config_idx, watts);
             return;
         }
         let j = job - 1;
@@ -156,6 +178,20 @@ impl JobMatrices {
         }
         if watts > 0.0 {
             self.batch_watts_obs[j].insert(config_idx, watts);
+        }
+    }
+
+    /// Records the LC service's measured per-core power at a configuration.
+    ///
+    /// The service has no throughput row — its performance metric is tail
+    /// latency ([`record_tail`]) — so this is the only steady-state sample
+    /// the LC service contributes to the rating matrices.
+    ///
+    /// [`record_tail`]: JobMatrices::record_tail
+    pub fn record_lc_power(&mut self, config_idx: usize, watts: f64) {
+        assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
+        if watts > 0.0 {
+            self.lc_watts_obs.insert(config_idx, watts);
         }
     }
 
@@ -183,9 +219,10 @@ impl JobMatrices {
     pub fn tail_observations_near(&self, bucket: usize) -> HashMap<usize, f64> {
         let mut merged = HashMap::new();
         for distance in (0..=2).rev() {
-            for b in
-                [bucket.saturating_sub(distance), (bucket + distance).min(200)]
-            {
+            for b in [
+                bucket.saturating_sub(distance),
+                (bucket + distance).min(200),
+            ] {
                 if let Some(obs) = self.tail_obs.get(&b) {
                     merged.extend(obs.iter().map(|(&c, &t)| (c, t)));
                 }
@@ -270,7 +307,9 @@ impl JobMatrices {
         let batch_watts = (0..self.num_batch)
             .map(|j| (0..cols).map(|c| watts_d.get(t_rows + j, c)).collect())
             .collect();
-        let lc_watts = (0..cols).map(|c| watts_d.get(t_rows + self.num_batch, c)).collect();
+        let lc_watts = (0..cols)
+            .map(|c| watts_d.get(t_rows + self.num_batch, c))
+            .collect();
         let lc_tail: Vec<f64> = (0..cols).map(|c| tail_d.get(lib_rows.len(), c)).collect();
 
         // Monotone closure over (neighbour-merged) direct observations:
@@ -304,7 +343,13 @@ impl JobMatrices {
                 }
             }
         }
-        Predictions { batch_bips, batch_watts, lc_watts, lc_tail, lc_tail_guarded }
+        Predictions {
+            batch_bips,
+            batch_watts,
+            lc_watts,
+            lc_tail,
+            lc_tail_guarded,
+        }
     }
 }
 
@@ -317,8 +362,7 @@ mod tests {
 
     fn matrices() -> JobMatrices {
         let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
-        let training: Vec<AppProfile> =
-            batch::training_set().iter().map(|b| b.profile).collect();
+        let training: Vec<AppProfile> = batch::training_set().iter().map(|b| b.profile).collect();
         JobMatrices::new(oracle, &training, 4)
     }
 
@@ -355,7 +399,10 @@ mod tests {
         let truth = oracle.bips_row(&app);
         let truth_w = oracle.power_row(&app);
         // Two profiling samples, as at runtime.
-        for cfg in [JobConfig::profiling_high().index(), JobConfig::profiling_low().index()] {
+        for cfg in [
+            JobConfig::profiling_high().index(),
+            JobConfig::profiling_low().index(),
+        ] {
             m.record_sample(1, cfg, truth[cfg], truth_w[cfg]);
         }
         let preds = m.reconstruct(&Reconstructor::default(), 0.8);
@@ -407,7 +454,10 @@ mod tests {
         let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
         let svc = latency::service_by_name("moses").unwrap();
         let truth = oracle.power_row(&svc.profile);
-        for cfg in [JobConfig::profiling_high().index(), JobConfig::profiling_low().index()] {
+        for cfg in [
+            JobConfig::profiling_high().index(),
+            JobConfig::profiling_low().index(),
+        ] {
             m.record_sample(0, cfg, 0.0, truth[cfg]);
         }
         let preds = m.reconstruct(&Reconstructor::default(), 0.8);
@@ -426,5 +476,32 @@ mod tests {
     fn out_of_range_config_rejected() {
         let mut m = matrices();
         m.record_sample(1, 108, 1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_valued_samples_are_dropped() {
+        let mut m = matrices();
+        // A gated or unmeasured sample must not poison any matrix row.
+        m.record_sample(1, 5, 0.0, 0.0);
+        m.record_lc_power(5, 0.0);
+        assert_eq!(m.batch_observations(0), 0);
+        assert!(m.lc_watts_obs.is_empty());
+    }
+
+    #[test]
+    fn rescaling_applies_the_mmk_core_ratio() {
+        let mut m = matrices();
+        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let idx = JobConfig::profiling_high().index();
+        // Halving the cores doubles the per-core load ratio and hence the
+        // predicted tail; power and throughput rows are per-core and fixed.
+        let halved = preds.rescaled_for_cores(TAIL_REFERENCE_CORES / 2);
+        assert!((halved.lc_tail[idx] - 2.0 * preds.lc_tail[idx]).abs() < 1e-12);
+        assert!((halved.lc_tail_guarded[idx] - 2.0 * preds.lc_tail_guarded[idx]).abs() < 1e-12);
+        assert_eq!(halved.lc_watts, preds.lc_watts);
+        assert_eq!(halved.batch_bips, preds.batch_bips);
+        // The reference core count is the identity.
+        let same = preds.rescaled_for_cores(TAIL_REFERENCE_CORES);
+        assert!((same.lc_tail[idx] - preds.lc_tail[idx]).abs() < 1e-12);
     }
 }

@@ -1,0 +1,796 @@
+//! The decision quantum as an instrumented stage pipeline.
+//!
+//! §IV–§VI describe CuttleSys as five consecutive stages per 100 ms
+//! quantum — profile, reconstruct, pin the LC configuration, search the
+//! batch space, repair against the cap. This module makes that structure
+//! explicit: each stage is a trait object behind [`DecisionPipeline`], the
+//! driver times every stage with a wall clock, and the resulting
+//! [`StageTelemetry`] flows into the run record so Table II-style overhead
+//! numbers come from the actual runtime rather than a separate
+//! micro-benchmark.
+//!
+//! [`crate::runtime::CuttleSysManager`] is a composition of the default
+//! stage set; ablations swap a single stage (a different search algorithm,
+//! a different reconstruction configuration) without touching the rest.
+
+use std::time::Instant;
+
+use baselines::ga::{ga_search, GaParams};
+use dds::{parallel_search, ParallelDdsParams, SearchSpace, SoftPenalty};
+use recsys::Reconstructor;
+use simulator::{CacheAlloc, CoreConfig, JobConfig, NUM_JOB_CONFIGS};
+
+use crate::accounting::{gate_descending_power, PowerAccount};
+use crate::matrices::{bucket_for, JobMatrices, Predictions};
+use crate::telemetry::StageTelemetry;
+use crate::types::{BatchAction, Plan, ProfilePlan, ProfileSample, SliceInfo};
+
+/// The LC service's core allocation, mutated by the QoS stage's relocation
+/// policy (§VI-A: reclaim on measured violations at the widest
+/// configuration; relinquish once predictions show slack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcAllocation {
+    /// Cores currently held by the service.
+    pub cores: usize,
+    /// The scenario's initial allocation — relinquishing never goes below.
+    pub min_cores: usize,
+}
+
+/// Mutable state the stages operate over. Owned by the manager, borrowed
+/// for the duration of one [`DecisionPipeline::decide`] call.
+pub struct DecisionCtx<'a> {
+    /// Facts about the current timeslice.
+    pub info: &'a SliceInfo,
+    /// The rating-matrix bookkeeping samples land in.
+    pub matrices: &'a mut JobMatrices,
+    /// The LC core allocation.
+    pub lc: &'a mut LcAllocation,
+    /// The plan of the previous quantum, if any (trust region, reclaim).
+    pub last_plan: &'a Option<Plan>,
+    /// Number of batch jobs.
+    pub num_batch: usize,
+    /// Power of a gated core (W).
+    pub gated_watts: f64,
+}
+
+/// A probe callback: runs a profiling frame, consuming its duration from
+/// the slice, and returns the measurements.
+pub type Probe<'a> = dyn FnMut(&ProfilePlan, f64) -> ProfileSample + 'a;
+
+/// Stage 1: run profiling frames and record their samples.
+pub trait ProfileStage {
+    /// Issues frames through `probe` and folds samples into `ctx.matrices`.
+    fn profile(&mut self, ctx: &mut DecisionCtx, probe: &mut Probe, tel: &mut StageTelemetry);
+}
+
+/// Stage 2: complete the rating matrices into dense predictions.
+pub trait ReconstructStage {
+    /// Returns predictions at the tail library's reference core count.
+    fn reconstruct(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) -> Predictions;
+}
+
+/// Stage 3: core relocation and LC configuration pinning (§VI-A).
+pub trait QosStage {
+    /// Pre-profiling half: reclaim a core after a measured violation that
+    /// reconfiguration alone cannot fix. Runs before stage 1 so the frames
+    /// profile the post-relocation layout.
+    fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry);
+
+    /// Post-reconstruction half: relinquish reclaimed cores when
+    /// predictions show slack, rescale the tail rows to the final core
+    /// count, and pin the LC configuration. Returns the pinned
+    /// configuration and the rescaled predictions the later stages use.
+    fn pin(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        preds: &Predictions,
+        tel: &mut StageTelemetry,
+    ) -> (JobConfig, Predictions);
+}
+
+/// Stage 4: search the batch jobs' configuration space.
+pub trait SearchStage {
+    /// Returns the best configuration index per batch job.
+    fn search(
+        &mut self,
+        ctx: &DecisionCtx,
+        preds: &Predictions,
+        lc_config: JobConfig,
+        tel: &mut StageTelemetry,
+    ) -> Vec<usize>;
+}
+
+/// Stage 5: enforce the cap when even the narrowest plan misses it (§VI-B).
+pub trait RepairStage {
+    /// Turns the searched point into batch actions, gating if necessary.
+    fn repair(
+        &mut self,
+        ctx: &DecisionCtx,
+        preds: &Predictions,
+        lc_config: JobConfig,
+        point: &[usize],
+        tel: &mut StageTelemetry,
+    ) -> Vec<BatchAction>;
+}
+
+/// The instrumented five-stage driver.
+pub struct DecisionPipeline {
+    /// Stage 1: profiling.
+    pub profile: Box<dyn ProfileStage + Send>,
+    /// Stage 2: matrix completion.
+    pub reconstruct: Box<dyn ReconstructStage + Send>,
+    /// Stage 3: QoS (relocation + pinning).
+    pub qos: Box<dyn QosStage + Send>,
+    /// Stage 4: batch search.
+    pub search: Box<dyn SearchStage + Send>,
+    /// Stage 5: power-cap repair.
+    pub repair: Box<dyn RepairStage + Send>,
+}
+
+impl DecisionPipeline {
+    /// Runs the five stages in order, timing each, and returns the plan,
+    /// the predictions it was built from, and the quantum's telemetry.
+    pub fn decide(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        probe: &mut Probe,
+    ) -> (Plan, Predictions, StageTelemetry) {
+        let mut tel = StageTelemetry::default();
+
+        let t = Instant::now();
+        self.qos.relocate(ctx, &mut tel);
+        tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        self.profile.profile(ctx, probe, &mut tel);
+        tel.profile_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let raw = self.reconstruct.reconstruct(ctx, &mut tel);
+        tel.reconstruct_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let (lc_config, preds) = self.qos.pin(ctx, &raw, &mut tel);
+        tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let point = self.search.search(ctx, &preds, lc_config, &mut tel);
+        tel.search_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let batch = self.repair.repair(ctx, &preds, lc_config, &point, &mut tel);
+        tel.repair_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let plan = Plan {
+            lc_cores: ctx.lc.cores,
+            lc_config,
+            batch,
+        };
+        (plan, preds, tel)
+    }
+}
+
+/// The fixed per-core power components of the current split, from the LC
+/// service's predicted Watts at `lc_config`.
+fn account_for(ctx: &DecisionCtx, preds: &Predictions, lc_config: JobConfig) -> PowerAccount {
+    PowerAccount::for_split(
+        ctx.info.num_cores,
+        ctx.lc.cores,
+        ctx.num_batch,
+        preds.lc_watts[lc_config.index()],
+        ctx.gated_watts,
+    )
+}
+
+/// §VIII-A1: two 1 ms frames in which half the cores run the widest-issue
+/// configuration and half the narrowest (swapped in the second frame, to
+/// avoid a chip-wide power overshoot), each job holding one LLC way.
+#[derive(Debug, Default)]
+pub struct SplitHalvesProfile;
+
+impl ProfileStage for SplitHalvesProfile {
+    fn profile(&mut self, ctx: &mut DecisionCtx, probe: &mut Probe, tel: &mut StageTelemetry) {
+        let high = JobConfig::profiling_high();
+        let low = JobConfig::profiling_low();
+        let lc_cores = ctx.lc.cores;
+        for swap in [false, true] {
+            let lc_configs: Vec<JobConfig> = (0..lc_cores)
+                .map(|i| if (i < lc_cores / 2) ^ swap { high } else { low })
+                .collect();
+            let batch: Vec<BatchAction> = (0..ctx.num_batch)
+                .map(|j| {
+                    BatchAction::Run(if (j < ctx.num_batch / 2) ^ swap {
+                        high
+                    } else {
+                        low
+                    })
+                })
+                .collect();
+            let sample = probe(
+                &ProfilePlan {
+                    lc_cores,
+                    lc_configs,
+                    batch,
+                },
+                1.0,
+            );
+            tel.profile_sim_ms += sample.duration_ms;
+            tel.samples_recorded += sample.samples.len();
+            for s in &sample.samples {
+                ctx.matrices
+                    .record_sample(s.job, s.config.index(), s.bips, s.watts);
+            }
+        }
+    }
+}
+
+/// §V: collaborative-filtering completion of the three rating matrices via
+/// parallel SGD.
+pub struct CfReconstruct {
+    reconstructor: Reconstructor,
+}
+
+impl CfReconstruct {
+    /// Wraps a configured reconstructor.
+    pub fn new(reconstructor: Reconstructor) -> CfReconstruct {
+        CfReconstruct { reconstructor }
+    }
+}
+
+impl ReconstructStage for CfReconstruct {
+    fn reconstruct(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) -> Predictions {
+        // Hogwild SGD runs a fixed epoch count per matrix; three matrices
+        // complete per quantum (throughput, power, tail).
+        tel.sgd_epochs += 3 * self.reconstructor.config.max_iters;
+        ctx.matrices.reconstruct(&self.reconstructor, ctx.info.load)
+    }
+}
+
+/// §VI-A: trust-region pinning with the reclaim/relinquish relocation
+/// policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustRegionQos {
+    /// Relinquish threshold: yield a reclaimed core when the predicted tail
+    /// has at least this much slack (§VI-A: 20 %).
+    pub slack: f64,
+    /// QoS headroom: a configuration is considered safe when its predicted
+    /// tail is below `headroom × QoS`, absorbing reconstruction error.
+    pub headroom: f64,
+}
+
+impl Default for TrustRegionQos {
+    fn default() -> TrustRegionQos {
+        TrustRegionQos {
+            slack: 0.2,
+            headroom: 0.9,
+        }
+    }
+}
+
+impl TrustRegionQos {
+    /// Pins the LC configuration from the reconstructed tail row. Returns
+    /// `(config, met_qos)`.
+    ///
+    /// Among configurations predicted to meet QoS (with headroom), the scan
+    /// minimizes predicted power, breaking ties toward smaller cache
+    /// allocations — at tight caps the LC service's Watts are the binding
+    /// resource; its ways only matter as a tiebreak against the batch jobs'
+    /// cache demand.
+    pub fn pin_lc_config(
+        &self,
+        preds: &Predictions,
+        qos_ms: f64,
+        last_plan: &Option<Plan>,
+    ) -> (JobConfig, bool) {
+        let mut best: Option<(JobConfig, f64)> = None;
+        // Trust region: downsizing proceeds at most one step per dimension
+        // per timeslice from the previous configuration (widening is
+        // unlimited). Gradual descent means a mispredicted step lands just
+        // past the previous — observed-safe — configuration, bounding the
+        // magnitude of any transient violation.
+        let floor = last_plan
+            .as_ref()
+            .map(|p| p.lc_config)
+            .unwrap_or_else(|| JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
+        let within_trust = |jc: JobConfig| {
+            jc.core.fe.index() + 1 >= floor.core.fe.index()
+                && jc.core.be.index() + 1 >= floor.core.be.index()
+                && jc.core.ls.index() + 1 >= floor.core.ls.index()
+                && jc.cache.index() + 1 >= floor.cache.index()
+        };
+        for c in 0..NUM_JOB_CONFIGS {
+            if preds.lc_tail_guarded[c] > qos_ms * self.headroom {
+                continue;
+            }
+            let jc = JobConfig::from_index(c);
+            if !within_trust(jc) {
+                continue;
+            }
+            let watts = preds.lc_watts[c];
+            let better = match &best {
+                None => true,
+                Some((b, w)) => (watts, jc.cache) < (*w, b.cache),
+            };
+            if better {
+                best = Some((jc, watts));
+            }
+        }
+        match best {
+            Some((jc, _)) => (jc, true),
+            None => {
+                // Nothing meets QoS: run the strongest configuration while
+                // the relocation policy reclaims cores.
+                (
+                    JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+                    false,
+                )
+            }
+        }
+    }
+}
+
+impl QosStage for TrustRegionQos {
+    fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) {
+        // Reclaim half (§VI-A): a measured QoS violation while already at
+        // the widest configuration means reconfiguration alone cannot
+        // help — take one core from the batch jobs.
+        if let Some(tail) = ctx.info.last_tail_ms {
+            if tail > ctx.info.qos_ms
+                && ctx.lc.cores + 1 < ctx.info.num_cores
+                && ctx
+                    .last_plan
+                    .as_ref()
+                    .is_some_and(|p| p.lc_config.core == CoreConfig::widest())
+            {
+                ctx.lc.cores += 1;
+                tel.reclaimed_core = true;
+            }
+        }
+    }
+
+    fn pin(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        preds: &Predictions,
+        tel: &mut StageTelemetry,
+    ) -> (JobConfig, Predictions) {
+        let info = ctx.info;
+        // Relinquish half: a reclaimed core is yielded back as soon as the
+        // predictions say one fewer core still meets QoS with slack
+        // (measured slack at the chosen configuration is not meaningful —
+        // the scan deliberately sits near the headroom boundary).
+        if ctx.lc.cores > ctx.lc.min_cores {
+            let fewer = preds.rescaled_for_cores(ctx.lc.cores - 1);
+            let (_, met) = self.pin_lc_config(
+                &fewer,
+                info.qos_ms * (1.0 - self.slack / 2.0),
+                ctx.last_plan,
+            );
+            if met && info.last_tail_ms.is_some_and(|t| t <= info.qos_ms) {
+                ctx.lc.cores -= 1;
+                tel.relinquished_core = true;
+            }
+        }
+
+        let preds = preds.rescaled_for_cores(ctx.lc.cores);
+        // First touch of a load region: no observation within ±2 % load
+        // means the saturation wall's position is unknown — run the widest
+        // configuration for one slice and learn from it (this is also the
+        // system's t = 0 state).
+        let first_touch = ctx
+            .matrices
+            .tail_observations_near(bucket_for(info.load))
+            .is_empty();
+        let (lc_config, _met) = if first_touch {
+            (JobConfig::new(CoreConfig::widest(), CacheAlloc::Four), true)
+        } else {
+            self.pin_lc_config(&preds, info.qos_ms, ctx.last_plan)
+        };
+        (lc_config, preds)
+    }
+}
+
+/// Which design-space exploration algorithm drives stage 4.
+#[derive(Debug, Clone)]
+pub enum SearchAlgo {
+    /// The paper's parallel Dynamically Dimensioned Search.
+    Dds(ParallelDdsParams),
+    /// Genetic algorithm at a matched evaluation budget (Fig. 10 ablation).
+    Ga(GaParams),
+}
+
+/// §VI-A: the soft power/cache penalty objective over the batch dimensions,
+/// explored by DDS or a GA.
+pub struct PenaltySearch {
+    /// The exploration algorithm.
+    pub algo: SearchAlgo,
+}
+
+impl PenaltySearch {
+    /// Wraps a search algorithm choice.
+    pub fn new(algo: SearchAlgo) -> PenaltySearch {
+        PenaltySearch { algo }
+    }
+}
+
+impl SearchStage for PenaltySearch {
+    fn search(
+        &mut self,
+        ctx: &DecisionCtx,
+        preds: &Predictions,
+        lc_config: JobConfig,
+        tel: &mut StageTelemetry,
+    ) -> Vec<usize> {
+        let acct = account_for(ctx, preds, lc_config);
+        let base_watts = acct.base_watts();
+        let bips = &preds.batch_bips;
+        let watts = &preds.batch_watts;
+        let num_batch = ctx.num_batch;
+        let objective = SoftPenalty {
+            benefit: move |x: &[usize]| {
+                let log_sum: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                    .sum();
+                (log_sum / num_batch as f64).exp()
+            },
+            power: move |x: &[usize]| {
+                base_watts + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>()
+            },
+            cache_ways: move |x: &[usize]| {
+                lc_config.cache.ways()
+                    + x.iter()
+                        .map(|&c| JobConfig::from_index(c).cache.ways())
+                        .sum::<f64>()
+            },
+            max_power: ctx.info.cap_watts,
+            max_ways: 32.0,
+            penalty_power: 2.0,
+            penalty_cache: 2.0,
+        };
+        let space = SearchSpace::new(ctx.num_batch, NUM_JOB_CONFIGS);
+        let result = match &self.algo {
+            SearchAlgo::Dds(params) => parallel_search(&space, &objective, params),
+            SearchAlgo::Ga(params) => ga_search(&space, &objective, params),
+        };
+        tel.search_evaluations += result.evaluations;
+        result.best_point
+    }
+}
+
+/// §VI-B last resort: if the cap is missed even with every batch job at the
+/// narrowest configuration, gate batch cores in descending predicted power.
+#[derive(Debug, Default)]
+pub struct PowerCapRepair;
+
+impl RepairStage for PowerCapRepair {
+    fn repair(
+        &mut self,
+        ctx: &DecisionCtx,
+        preds: &Predictions,
+        lc_config: JobConfig,
+        point: &[usize],
+        tel: &mut StageTelemetry,
+    ) -> Vec<BatchAction> {
+        let lowest = JobConfig::profiling_low().index();
+        let lc_watts = ctx.lc.cores as f64 * preds.lc_watts[lc_config.index()];
+        let narrowest_watts: Vec<f64> = (0..ctx.num_batch)
+            .map(|j| preds.batch_watts[j][lowest])
+            .collect();
+        let lowest_power: f64 = lc_watts + narrowest_watts.iter().sum::<f64>();
+        if lowest_power <= ctx.info.cap_watts {
+            return point
+                .iter()
+                .map(|&c| BatchAction::Run(JobConfig::from_index(c)))
+                .collect();
+        }
+        // Not even the narrowest plan fits: start from all-narrowest and
+        // gate the hungriest jobs until the predicted power fits.
+        let gated = gate_descending_power(
+            &narrowest_watts,
+            lc_watts,
+            ctx.info.cap_watts,
+            ctx.gated_watts,
+        );
+        tel.gated_jobs += gated.iter().filter(|&&g| g).count();
+        gated
+            .iter()
+            .map(|&g| {
+                if g {
+                    BatchAction::Gated
+                } else {
+                    BatchAction::Run(JobConfig::from_index(lowest))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SliceInfo;
+
+    fn flat_predictions(tail_ms: f64) -> Predictions {
+        Predictions {
+            batch_bips: vec![vec![1.0; NUM_JOB_CONFIGS]; 4],
+            batch_watts: vec![vec![2.0; NUM_JOB_CONFIGS]; 4],
+            lc_watts: vec![3.0; NUM_JOB_CONFIGS],
+            lc_tail: vec![tail_ms; NUM_JOB_CONFIGS],
+            lc_tail_guarded: vec![tail_ms; NUM_JOB_CONFIGS],
+        }
+    }
+
+    fn info(cap_watts: f64) -> SliceInfo {
+        SliceInfo {
+            slice: 5,
+            load: 0.8,
+            cap_watts,
+            num_cores: 32,
+            num_batch: 4,
+            qos_ms: 10.0,
+            last_tail_ms: Some(5.0),
+            last_lc_cores: 16,
+        }
+    }
+
+    #[test]
+    fn pin_minimizes_power_among_safe_configs() {
+        let qos = TrustRegionQos::default();
+        let mut preds = flat_predictions(1.0);
+        // Make one configuration clearly cheapest.
+        let cheap = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One).index();
+        preds.lc_watts[cheap] = 0.5;
+        // No previous plan: the trust floor is the widest configuration,
+        // so only one-step-down configurations are eligible; make the
+        // eligible set contain a known minimum instead.
+        let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
+        let last = Some(Plan {
+            lc_cores: 16,
+            lc_config: widest,
+            batch: vec![],
+        });
+        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        assert!(met);
+        // The chosen config must be within one step of widest per dimension.
+        assert!(jc.core.fe.index() + 1 >= widest.core.fe.index());
+        assert!(jc.core.be.index() + 1 >= widest.core.be.index());
+        assert!(jc.core.ls.index() + 1 >= widest.core.ls.index());
+        assert!(jc.cache.index() + 1 >= widest.cache.index());
+        // And it must be the cheapest within that trust region.
+        let best_watts = (0..NUM_JOB_CONFIGS)
+            .filter(|&c| {
+                let x = JobConfig::from_index(c);
+                x.core.fe.index() + 1 >= widest.core.fe.index()
+                    && x.core.be.index() + 1 >= widest.core.be.index()
+                    && x.core.ls.index() + 1 >= widest.core.ls.index()
+                    && x.cache.index() + 1 >= widest.cache.index()
+            })
+            .map(|c| preds.lc_watts[c])
+            .fold(f64::INFINITY, f64::min);
+        assert!((preds.lc_watts[jc.index()] - best_watts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_trust_region_downsizes_one_step_per_dimension() {
+        let qos = TrustRegionQos::default();
+        // Every configuration is predicted safe and equally cheap except
+        // the narrowest, which is strictly cheapest — the scan wants it.
+        let mut preds = flat_predictions(1.0);
+        let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
+        preds.lc_watts[narrow.index()] = 0.1;
+        let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
+        let last = Some(Plan {
+            lc_cores: 16,
+            lc_config: widest,
+            batch: vec![],
+        });
+        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        assert!(met);
+        assert_ne!(
+            jc, narrow,
+            "one quantum must not jump straight to the narrowest config"
+        );
+        // Each dimension moved at most one step down from the floor.
+        assert!(jc.core.fe.index() + 1 >= widest.core.fe.index());
+        assert!(jc.cache.index() + 1 >= widest.cache.index());
+    }
+
+    #[test]
+    fn pin_allows_unrestricted_widening() {
+        let qos = TrustRegionQos::default();
+        // Only the widest configuration is safe; the previous plan was the
+        // narrowest. Widening is not trust-limited, so the scan must reach
+        // the widest in one quantum.
+        let mut preds = flat_predictions(50.0);
+        let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
+        preds.lc_tail_guarded[widest.index()] = 1.0;
+        let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
+        let last = Some(Plan {
+            lc_cores: 16,
+            lc_config: narrow,
+            batch: vec![],
+        });
+        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        assert!(met);
+        assert_eq!(jc, widest);
+    }
+
+    #[test]
+    fn pin_falls_back_to_widest_when_nothing_meets_qos() {
+        let qos = TrustRegionQos::default();
+        let preds = flat_predictions(1000.0);
+        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &None);
+        assert!(!met);
+        assert_eq!(jc, JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
+    }
+
+    #[test]
+    fn repair_keeps_searched_point_when_narrowest_fits() {
+        let mut repair = PowerCapRepair;
+        let preds = flat_predictions(1.0);
+        // lc 16 × 3 W + 4 × 2 W = 56 W, well under a 200 W cap.
+        let inf = info(200.0);
+        let mut matrices = crate::matrices::JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            4,
+        );
+        let mut lc = LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        };
+        let last = None;
+        let ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+        };
+        let point = vec![3, 17, 42, 99];
+        let mut tel = StageTelemetry::default();
+        let actions = repair.repair(&ctx, &preds, JobConfig::from_index(0), &point, &mut tel);
+        let expect: Vec<BatchAction> = point
+            .iter()
+            .map(|&c| BatchAction::Run(JobConfig::from_index(c)))
+            .collect();
+        assert_eq!(actions, expect);
+        assert_eq!(tel.gated_jobs, 0);
+    }
+
+    #[test]
+    fn repair_gates_descending_power_until_under_cap() {
+        let mut repair = PowerCapRepair;
+        let mut preds = flat_predictions(1.0);
+        let lowest = JobConfig::profiling_low().index();
+        // Distinct narrowest-config powers so the gating order is known.
+        for (j, w) in [(0usize, 8.0), (1, 6.0), (2, 4.0), (3, 2.0)] {
+            preds.batch_watts[j][lowest] = w;
+        }
+        // lc 16 × 3 = 48 W + 20 W batch = 68 W against a 60 W cap with
+        // 0.5 W gated cores: gating job 0 leaves 60.5, gating job 1 leaves
+        // 55 — under the cap, so exactly jobs 0 and 1 gate.
+        let inf = info(60.0);
+        let mut matrices = crate::matrices::JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            4,
+        );
+        let mut lc = LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        };
+        let last = None;
+        let ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.5,
+        };
+        let mut tel = StageTelemetry::default();
+        let actions = repair.repair(
+            &ctx,
+            &preds,
+            JobConfig::from_index(0),
+            &[0, 0, 0, 0],
+            &mut tel,
+        );
+        assert_eq!(actions[0], BatchAction::Gated);
+        assert_eq!(actions[1], BatchAction::Gated);
+        assert_eq!(actions[2], BatchAction::Run(JobConfig::from_index(lowest)));
+        assert_eq!(actions[3], BatchAction::Run(JobConfig::from_index(lowest)));
+        assert_eq!(tel.gated_jobs, 2);
+    }
+
+    #[test]
+    fn repair_gates_everything_at_impossible_caps() {
+        let mut repair = PowerCapRepair;
+        let preds = flat_predictions(1.0);
+        // A 1 W cap cannot be met even fully gated: every job gates.
+        let inf = info(1.0);
+        let mut matrices = crate::matrices::JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            4,
+        );
+        let mut lc = LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        };
+        let last = None;
+        let ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.5,
+        };
+        let mut tel = StageTelemetry::default();
+        let actions = repair.repair(
+            &ctx,
+            &preds,
+            JobConfig::from_index(0),
+            &[0, 0, 0, 0],
+            &mut tel,
+        );
+        assert!(actions.iter().all(|a| *a == BatchAction::Gated));
+        assert_eq!(tel.gated_jobs, 4);
+    }
+
+    #[test]
+    fn relocate_reclaims_only_at_widest_config() {
+        let mut qos = TrustRegionQos::default();
+        let inf = SliceInfo {
+            last_tail_ms: Some(50.0),
+            ..info(100.0)
+        };
+        let mut matrices = crate::matrices::JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            4,
+        );
+        let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
+        let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
+        for (config, expect_reclaim) in [(widest, true), (narrow, false)] {
+            let mut lc = LcAllocation {
+                cores: 16,
+                min_cores: 16,
+            };
+            let last = Some(Plan {
+                lc_cores: 16,
+                lc_config: config,
+                batch: vec![],
+            });
+            let mut ctx = DecisionCtx {
+                info: &inf,
+                matrices: &mut matrices,
+                lc: &mut lc,
+                last_plan: &last,
+                num_batch: 4,
+                gated_watts: 0.5,
+            };
+            let mut tel = StageTelemetry::default();
+            qos.relocate(&mut ctx, &mut tel);
+            assert_eq!(tel.reclaimed_core, expect_reclaim, "config {config:?}");
+            assert_eq!(lc.cores, if expect_reclaim { 17 } else { 16 });
+        }
+    }
+}

@@ -1,67 +1,68 @@
 //! The CuttleSys resource manager (§IV–§VI).
 //!
-//! Every 100 ms decision quantum:
+//! Every 100 ms decision quantum runs the five-stage
+//! [`DecisionPipeline`]:
 //!
 //! 1. **Profile** for 2 ms: two 1 ms frames in which half the cores run the
 //!    widest-issue configuration and half the narrowest (swapped in the
 //!    second frame, to avoid a chip-wide power overshoot), each job holding
-//!    one LLC way.
+//!    one LLC way ([`SplitHalvesProfile`]).
 //! 2. **Reconstruct** the throughput, tail-latency, and power matrices with
 //!    parallel SGD, seeded by the offline-characterized training
 //!    applications and all observations accumulated from previous steady
-//!    states.
+//!    states ([`CfReconstruct`]).
 //! 3. **Pin the LC configuration**: scan the reconstructed tail row for
 //!    configurations meeting QoS; take the smallest cache allocation and,
 //!    among those, the lowest predicted power (§VI-A). If nothing meets
 //!    QoS, reclaim one core from the batch jobs (§VI-A); once the measured
-//!    tail shows ≥ 20 % slack, yield reclaimed cores back.
+//!    tail shows ≥ 20 % slack, yield reclaimed cores back
+//!    ([`TrustRegionQos`]).
 //! 4. **Search** the batch jobs' configuration space with parallel DDS
 //!    (Alg. 2) under the soft power/cache penalty objective; optionally a
-//!    GA can be substituted (the paper's Fig. 10 comparison).
+//!    GA can be substituted (the paper's Fig. 10 comparison)
+//!    ([`PenaltySearch`]).
 //! 5. **Repair**: if even the all-narrowest plan exceeds the cap, gate
-//!    batch cores in descending predicted power (§VI-B).
+//!    batch cores in descending predicted power (§VI-B)
+//!    ([`PowerCapRepair`]).
+//!
+//! The manager itself only owns the pipeline state — the rating matrices,
+//! the LC core allocation, and the previous plan — and wires the stages
+//! together; each stage's logic lives in [`crate::pipeline`]. The pipeline
+//! driver times every stage and the manager surfaces the resulting
+//! [`StageTelemetry`] through [`ResourceManager::take_telemetry`], which is
+//! how the Table II overhead report gets runtime-measured numbers.
 
-use dds::{parallel_search, ParallelDdsParams, SearchSpace, SoftPenalty};
-use baselines::ga::{ga_search, GaParams};
+use dds::ParallelDdsParams;
 use recsys::{Reconstructor, SgdConfig};
 use simulator::power::CoreKind;
-use simulator::{CacheAlloc, Chip, CoreConfig, JobConfig, NUM_JOB_CONFIGS};
+use simulator::Chip;
 use workloads::batch;
 use workloads::oracle::Oracle;
 
 use crate::matrices::{JobMatrices, Predictions};
-use crate::testbed::{
+pub use crate::pipeline::SearchAlgo;
+use crate::pipeline::{
+    CfReconstruct, DecisionCtx, DecisionPipeline, LcAllocation, PenaltySearch, PowerCapRepair,
+    SplitHalvesProfile, TrustRegionQos,
+};
+use crate::telemetry::StageTelemetry;
+use crate::types::{
     BatchAction, Plan, ProfilePlan, ProfileSample, ResourceManager, Scenario, SliceInfo,
     SliceOutcome,
 };
 
-/// Which design-space exploration algorithm drives step 4.
-#[derive(Debug, Clone)]
-pub enum SearchAlgo {
-    /// The paper's parallel Dynamically Dimensioned Search.
-    Dds(ParallelDdsParams),
-    /// Genetic algorithm at a matched evaluation budget (Fig. 10 ablation).
-    Ga(GaParams),
-}
-
-/// The CuttleSys runtime.
+/// The CuttleSys runtime: pipeline state plus the five default stages.
 pub struct CuttleSysManager {
     matrices: JobMatrices,
-    reconstructor: Reconstructor,
-    search: SearchAlgo,
-    lc_cores: usize,
-    min_lc_cores: usize,
+    pipeline: DecisionPipeline,
+    lc: LcAllocation,
     gated_watts: f64,
-    /// Relinquish threshold: yield a reclaimed core when the measured tail
-    /// has at least this much slack (§VI-A: 20 %).
-    slack: f64,
-    /// QoS headroom: a configuration is considered safe when its predicted
-    /// tail is below `headroom × QoS`, absorbing reconstruction error.
-    headroom: f64,
     num_batch: usize,
+    name: String,
     last_plan: Option<Plan>,
     last_load: f64,
     last_predictions: Option<Predictions>,
+    last_telemetry: Option<StageTelemetry>,
 }
 
 impl CuttleSysManager {
@@ -73,40 +74,59 @@ impl CuttleSysManager {
         let training: Vec<simulator::AppProfile> =
             batch::training_set().iter().map(|b| b.profile).collect();
         let matrices = JobMatrices::new(oracle, &training, scenario.num_batch());
+        let search = SearchAlgo::Dds(ParallelDdsParams {
+            seed: scenario.seed,
+            ..Default::default()
+        });
         CuttleSysManager {
             matrices,
-            reconstructor: Reconstructor::new(SgdConfig {
-                max_iters: 60,
-                ..SgdConfig::default()
-            }),
-            search: SearchAlgo::Dds(ParallelDdsParams { seed: scenario.seed, ..Default::default() }),
-            lc_cores: scenario.lc_cores,
-            min_lc_cores: scenario.lc_cores,
+            pipeline: DecisionPipeline {
+                profile: Box::new(SplitHalvesProfile),
+                reconstruct: Box::new(CfReconstruct::new(Reconstructor::new(SgdConfig {
+                    max_iters: 60,
+                    ..SgdConfig::default()
+                }))),
+                qos: Box::new(TrustRegionQos::default()),
+                search: Box::new(PenaltySearch::new(search.clone())),
+                repair: Box::new(PowerCapRepair),
+            },
+            lc: LcAllocation {
+                cores: scenario.lc_cores,
+                min_cores: scenario.lc_cores,
+            },
             gated_watts: scenario.params.gated_core_watts,
-            slack: 0.2,
-            headroom: 0.9,
             num_batch: scenario.num_batch(),
+            name: Self::name_for(&search),
             last_plan: None,
             last_load: 0.0,
             last_predictions: None,
+            last_telemetry: None,
+        }
+    }
+
+    fn name_for(search: &SearchAlgo) -> String {
+        match search {
+            SearchAlgo::Dds(_) => "cuttlesys".to_string(),
+            SearchAlgo::Ga(_) => "cuttlesys-sgd-ga".to_string(),
         }
     }
 
     /// Substitutes the search algorithm (used by the Fig. 10 GA ablation).
     pub fn with_search(mut self, search: SearchAlgo) -> CuttleSysManager {
-        self.search = search;
+        self.name = Self::name_for(&search);
+        self.pipeline.search = Box::new(PenaltySearch::new(search));
         self
     }
 
     /// Substitutes the reconstruction configuration.
     pub fn with_reconstructor(mut self, reconstructor: Reconstructor) -> CuttleSysManager {
-        self.reconstructor = reconstructor;
+        self.pipeline.reconstruct = Box::new(CfReconstruct::new(reconstructor));
         self
     }
 
     /// Cores currently held by the latency-critical service.
     pub fn lc_cores(&self) -> usize {
-        self.lc_cores
+        self.lc.cores
     }
 
     /// The predictions produced by the most recent decision interval
@@ -114,174 +134,11 @@ impl CuttleSysManager {
     pub fn last_predictions(&self) -> Option<&Predictions> {
         self.last_predictions.as_ref()
     }
-
-    /// The two-frame split-halves profiling schedule of §VIII-A1.
-    fn profile(
-        &mut self,
-        _info: &SliceInfo,
-        probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
-    ) {
-        let high = JobConfig::profiling_high();
-        let low = JobConfig::profiling_low();
-        for swap in [false, true] {
-            let lc_configs: Vec<JobConfig> = (0..self.lc_cores)
-                .map(|i| if (i < self.lc_cores / 2) ^ swap { high } else { low })
-                .collect();
-            let batch: Vec<BatchAction> = (0..self.num_batch)
-                .map(|j| {
-                    BatchAction::Run(if (j < self.num_batch / 2) ^ swap { high } else { low })
-                })
-                .collect();
-            let sample = probe(&ProfilePlan { lc_cores: self.lc_cores, lc_configs, batch }, 1.0);
-            for s in &sample.samples {
-                self.matrices.record_sample(s.job, s.config.index(), s.bips, s.watts);
-            }
-        }
-    }
-
-    /// §VI-A: pins the LC configuration from the reconstructed tail row.
-    /// Returns `(config, met_qos)`.
-    ///
-    /// Among configurations predicted to meet QoS (with headroom), the scan
-    /// minimizes predicted power, breaking ties toward smaller cache
-    /// allocations — at tight caps the LC service's Watts are the binding
-    /// resource; its ways only matter as a tiebreak against the batch
-    /// jobs' cache demand.
-    fn pin_lc_config(&self, preds: &Predictions, qos_ms: f64) -> (JobConfig, bool) {
-        let mut best: Option<(JobConfig, f64)> = None;
-        // Trust region: downsizing proceeds at most one step per dimension
-        // per timeslice from the previous configuration (widening is
-        // unlimited). Gradual descent means a mispredicted step lands just
-        // past the previous — observed-safe — configuration, bounding the
-        // magnitude of any transient violation.
-        let floor = self
-            .last_plan
-            .as_ref()
-            .map(|p| p.lc_config)
-            .unwrap_or_else(|| JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
-        let within_trust = |jc: JobConfig| {
-            jc.core.fe.index() + 1 >= floor.core.fe.index()
-                && jc.core.be.index() + 1 >= floor.core.be.index()
-                && jc.core.ls.index() + 1 >= floor.core.ls.index()
-                && jc.cache.index() + 1 >= floor.cache.index()
-        };
-        for c in 0..NUM_JOB_CONFIGS {
-            if preds.lc_tail_guarded[c] > qos_ms * self.headroom {
-                continue;
-            }
-            let jc = JobConfig::from_index(c);
-            if !within_trust(jc) {
-                continue;
-            }
-            let watts = preds.lc_watts[c];
-            let better = match &best {
-                None => true,
-                Some((b, w)) => (watts, jc.cache) < (*w, b.cache),
-            };
-            if better {
-                best = Some((jc, watts));
-            }
-        }
-        match best {
-            Some((jc, _)) => (jc, true),
-            None => {
-                // Nothing meets QoS: run the strongest configuration while
-                // the relocation policy reclaims cores.
-                (JobConfig::new(CoreConfig::widest(), CacheAlloc::Four), false)
-            }
-        }
-    }
-
-    /// Builds the §VI-A penalty objective over the batch dimensions.
-    fn searched_plan(
-        &self,
-        preds: &Predictions,
-        info: &SliceInfo,
-        lc_config: JobConfig,
-    ) -> Vec<usize> {
-        let lc_power = self.lc_cores as f64 * preds.lc_watts[lc_config.index()];
-        let batch_cores = info.num_cores - self.lc_cores;
-        // Cores without a job (after relocation) stay gated.
-        let idle_core_watts =
-            (batch_cores as f64 - self.num_batch as f64).max(0.0) * self.gated_watts;
-        let bips = &preds.batch_bips;
-        let watts = &preds.batch_watts;
-        let num_batch = self.num_batch;
-        let objective = SoftPenalty {
-            benefit: move |x: &[usize]| {
-                let log_sum: f64 =
-                    x.iter().enumerate().map(|(j, &c)| bips[j][c].max(1e-9).ln()).sum();
-                (log_sum / num_batch as f64).exp()
-            },
-            power: move |x: &[usize]| {
-                lc_power
-                    + idle_core_watts
-                    + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>()
-            },
-            cache_ways: move |x: &[usize]| {
-                lc_config.cache.ways()
-                    + x.iter()
-                        .map(|&c| JobConfig::from_index(c).cache.ways())
-                        .sum::<f64>()
-            },
-            max_power: info.cap_watts,
-            max_ways: 32.0,
-            penalty_power: 2.0,
-            penalty_cache: 2.0,
-        };
-        let space = SearchSpace::new(self.num_batch, NUM_JOB_CONFIGS);
-        match &self.search {
-            SearchAlgo::Dds(params) => parallel_search(&space, &objective, params).best_point,
-            SearchAlgo::Ga(params) => ga_search(&space, &objective, params).best_point,
-        }
-    }
-
-    /// §VI-B last resort: if the cap is missed even with every batch job at
-    /// the narrowest configuration, gate batch cores in descending predicted
-    /// power.
-    fn repair_plan(
-        &self,
-        preds: &Predictions,
-        info: &SliceInfo,
-        lc_config: JobConfig,
-        point: &[usize],
-    ) -> Vec<BatchAction> {
-        let lowest = JobConfig::profiling_low().index();
-        let lc_power = self.lc_cores as f64 * preds.lc_watts[lc_config.index()];
-        let lowest_power: f64 = lc_power
-            + (0..self.num_batch).map(|j| preds.batch_watts[j][lowest]).sum::<f64>();
-        let mut actions: Vec<BatchAction> =
-            point.iter().map(|&c| BatchAction::Run(JobConfig::from_index(c))).collect();
-        if lowest_power <= info.cap_watts {
-            return actions;
-        }
-        // Not even the narrowest plan fits: start from all-narrowest and
-        // gate the hungriest jobs until the predicted power fits.
-        let mut power = lowest_power;
-        for a in &mut actions {
-            *a = BatchAction::Run(JobConfig::from_index(lowest));
-        }
-        let mut order: Vec<usize> = (0..self.num_batch).collect();
-        order.sort_by(|&a, &b| {
-            preds.batch_watts[b][lowest].total_cmp(&preds.batch_watts[a][lowest])
-        });
-        for j in order {
-            if power <= info.cap_watts {
-                break;
-            }
-            power -= preds.batch_watts[j][lowest] - self.gated_watts;
-            actions[j] = BatchAction::Gated;
-        }
-        actions
-    }
 }
 
 impl ResourceManager for CuttleSysManager {
     fn name(&self) -> String {
-        match self.search {
-            SearchAlgo::Dds(_) => "cuttlesys".to_string(),
-            SearchAlgo::Ga(_) => "cuttlesys-sgd-ga".to_string(),
-        }
+        self.name.clone()
     }
 
     fn plan(
@@ -290,76 +147,30 @@ impl ResourceManager for CuttleSysManager {
         probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
         self.last_load = info.load;
-        // Relocation policy, reclaim half (§VI-A): a measured QoS
-        // violation while already at the widest configuration means
-        // reconfiguration alone cannot help — take one core from the batch
-        // jobs.
-        if let Some(tail) = info.last_tail_ms {
-            if tail > info.qos_ms
-                && self.lc_cores + 1 < info.num_cores
-                && self
-                    .last_plan
-                    .as_ref()
-                    .is_some_and(|p| p.lc_config.core == CoreConfig::widest())
-            {
-                self.lc_cores += 1;
-            }
-        }
-
-        self.profile(info, probe);
-        let preds = self.matrices.reconstruct(&self.reconstructor, info.load);
-        // The tail library is characterized at 16 cores; rescale
-        // predictions for a given core count by the load ratio (an M/M/k
-        // approximation adequate for a few cores of relocation).
-        let scale_for = |preds: &Predictions, cores: usize| -> Predictions {
-            let mut scaled = preds.clone();
-            let ratio = crate::matrices::TAIL_REFERENCE_CORES as f64 / cores as f64;
-            for t in scaled.lc_tail.iter_mut().chain(scaled.lc_tail_guarded.iter_mut()) {
-                *t *= ratio;
-            }
-            scaled
+        let mut ctx = DecisionCtx {
+            info,
+            matrices: &mut self.matrices,
+            lc: &mut self.lc,
+            last_plan: &self.last_plan,
+            num_batch: self.num_batch,
+            gated_watts: self.gated_watts,
         };
-
-        // Relinquish half: a reclaimed core is yielded back as soon as the
-        // predictions say one fewer core still meets QoS with slack
-        // (measured slack at the chosen configuration is not meaningful —
-        // the scan deliberately sits near the headroom boundary).
-        if self.lc_cores > self.min_lc_cores {
-            let fewer = scale_for(&preds, self.lc_cores - 1);
-            let (_, met) = self.pin_lc_config(&fewer, info.qos_ms * (1.0 - self.slack / 2.0));
-            if met && info.last_tail_ms.is_some_and(|t| t <= info.qos_ms) {
-                self.lc_cores -= 1;
-            }
-        }
-
-        let preds = scale_for(&preds, self.lc_cores);
-        // First touch of a load region: no observation within ±2 % load
-        // means the saturation wall's position is unknown — run the widest
-        // configuration for one slice and learn from it (this is also the
-        // system's t = 0 state).
-        let first_touch = self
-            .matrices
-            .tail_observations_near(crate::matrices::bucket_for(info.load))
-            .is_empty();
-        let (lc_config, _met) = if first_touch {
-            (JobConfig::new(CoreConfig::widest(), CacheAlloc::Four), true)
-        } else {
-            self.pin_lc_config(&preds, info.qos_ms)
-        };
-        let point = self.searched_plan(&preds, info, lc_config);
-        let batch = self.repair_plan(&preds, info, lc_config, &point);
-        let plan = Plan { lc_cores: self.lc_cores, lc_config, batch };
+        let (plan, preds, telemetry) = self.pipeline.decide(&mut ctx, probe);
         self.last_plan = Some(plan.clone());
         self.last_predictions = Some(preds);
+        self.last_telemetry = Some(telemetry);
         plan
     }
 
     fn observe(&mut self, outcome: &SliceOutcome) {
         // Fold steady-state measurements back into the matrices (§IV-B:
-        // "measured and updated in the SGD matrix").
+        // "measured and updated in the SGD matrix"). The LC service has no
+        // throughput row — only its power and tail are recorded.
         let lc_idx = outcome.plan.lc_config.index();
-        self.matrices.record_sample(0, lc_idx, 0.0, outcome.measured_watts[0]);
-        self.matrices.record_tail(self.last_load, lc_idx, outcome.tail_ms);
+        self.matrices
+            .record_lc_power(lc_idx, outcome.measured_watts[0]);
+        self.matrices
+            .record_tail(self.last_load, lc_idx, outcome.tail_ms);
         for (j, action) in outcome.plan.batch.iter().enumerate() {
             if let BatchAction::Run(cfg) = action {
                 let bips = outcome.measured_bips[1 + j];
@@ -370,12 +181,17 @@ impl ResourceManager for CuttleSysManager {
             }
         }
     }
+
+    fn take_telemetry(&mut self) -> Option<StageTelemetry> {
+        self.last_telemetry.take()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testbed::run_scenario;
+    use baselines::ga::GaParams;
     use workloads::loadgen::LoadPattern;
 
     fn quick(cap: f64, load: f64) -> Scenario {
@@ -395,9 +211,16 @@ mod tests {
         let mut manager = CuttleSysManager::for_scenario(&scenario);
         let record = run_scenario(&scenario, &mut manager);
         // Allow the cold-start slice to settle; afterwards QoS must hold.
-        let late_violations =
-            record.slices.iter().skip(1).filter(|s| s.qos_violation).count();
-        assert_eq!(late_violations, 0, "QoS violations after warm-up: {record:#?}");
+        let late_violations = record
+            .slices
+            .iter()
+            .skip(1)
+            .filter(|s| s.qos_violation)
+            .count();
+        assert_eq!(
+            late_violations, 0,
+            "QoS violations after warm-up: {record:#?}"
+        );
     }
 
     #[test]
@@ -427,7 +250,10 @@ mod tests {
                 run_scenario(&scenario, &mut manager).batch_instructions()
             })
             .collect();
-        assert!(runs[0] > runs[1], "tighter cap must cost throughput: {runs:?}");
+        assert!(
+            runs[0] > runs[1],
+            "tighter cap must cost throughput: {runs:?}"
+        );
     }
 
     #[test]
@@ -451,10 +277,27 @@ mod tests {
     #[test]
     fn ga_variant_runs() {
         let scenario = quick(0.7, 0.8);
-        let mut manager = CuttleSysManager::for_scenario(&scenario)
-            .with_search(SearchAlgo::Ga(GaParams::default().with_evaluation_budget(3200)));
+        let mut manager = CuttleSysManager::for_scenario(&scenario).with_search(SearchAlgo::Ga(
+            GaParams::default().with_evaluation_budget(3200),
+        ));
         let record = run_scenario(&scenario, &mut manager);
         assert_eq!(record.scheme, "cuttlesys-sgd-ga");
         assert!(record.batch_instructions() > 0.0);
+    }
+
+    #[test]
+    fn every_slice_carries_stage_telemetry() {
+        let scenario = quick(0.7, 0.8);
+        let mut manager = CuttleSysManager::for_scenario(&scenario);
+        let record = run_scenario(&scenario, &mut manager);
+        assert!(record.slices.iter().all(|s| s.telemetry.is_some()));
+        let summary = record.stage_summary().expect("telemetry present");
+        assert_eq!(summary.decisions, record.slices.len());
+        // The paper's 2 × 1 ms sampling cost, measured from the runtime.
+        assert!((summary.mean_profile_sim_ms - 2.0).abs() < 1e-9);
+        // SGD runs a fixed 60 epochs over three matrices every quantum.
+        assert!((summary.mean_sgd_epochs - 180.0).abs() < 1e-9);
+        assert!(summary.mean_search_evaluations > 0.0);
+        assert!(summary.mean_total_wall_ms() > 0.0);
     }
 }

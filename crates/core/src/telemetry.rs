@@ -1,0 +1,187 @@
+//! Per-decision instrumentation of the stage pipeline.
+//!
+//! Each decision quantum produces one [`StageTelemetry`]: wall-clock time
+//! spent inside every pipeline stage (the manager's own compute cost, the
+//! quantity Table II of the paper reports), the simulated milliseconds the
+//! profiling stage consumed from the slice, and work counters such as SGD
+//! epochs and search evaluations. [`TelemetrySummary`] aggregates the
+//! records of a run for reporting.
+
+use serde::Serialize;
+
+/// Instrumentation of one decision quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct StageTelemetry {
+    /// Wall-clock time of the profiling stage (ms): issuing the split-halves
+    /// frames and recording samples. Excludes the simulated frame time.
+    pub profile_wall_ms: f64,
+    /// Wall-clock time of matrix reconstruction, i.e. the SGD solves (ms).
+    pub reconstruct_wall_ms: f64,
+    /// Wall-clock time of the QoS stage: tail-row scan, trust region, and
+    /// core-relocation bookkeeping (ms).
+    pub qos_wall_ms: f64,
+    /// Wall-clock time of the batch-allocation search (ms).
+    pub search_wall_ms: f64,
+    /// Wall-clock time of the power-cap repair pass (ms).
+    pub repair_wall_ms: f64,
+    /// Simulated slice time consumed by profiling frames (ms) — the paper's
+    /// 2 × 1 ms sampling cost.
+    pub profile_sim_ms: f64,
+    /// Samples recorded into the throughput/power matrices this quantum.
+    pub samples_recorded: usize,
+    /// SGD epochs executed across the three matrix completions.
+    pub sgd_epochs: usize,
+    /// Objective evaluations performed by the search stage.
+    pub search_evaluations: usize,
+    /// Whether the QoS stage reclaimed a core for the LC service.
+    pub reclaimed_core: bool,
+    /// Whether the QoS stage relinquished a core to the batch pool.
+    pub relinquished_core: bool,
+    /// Batch jobs gated by the repair stage.
+    pub gated_jobs: usize,
+}
+
+impl StageTelemetry {
+    /// Total manager compute (wall-clock) this quantum, across stages (ms).
+    pub fn total_wall_ms(&self) -> f64 {
+        self.profile_wall_ms
+            + self.reconstruct_wall_ms
+            + self.qos_wall_ms
+            + self.search_wall_ms
+            + self.repair_wall_ms
+    }
+}
+
+/// Per-stage statistics over a run — means and maxima of the fields of
+/// [`StageTelemetry`] across the slices that reported one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TelemetrySummary {
+    /// Number of decision quanta aggregated.
+    pub decisions: usize,
+    /// Mean wall-clock per stage (ms), in pipeline order:
+    /// profile, reconstruct, qos, search, repair.
+    pub mean_wall_ms: [f64; 5],
+    /// Maximum wall-clock per stage (ms), same order.
+    pub max_wall_ms: [f64; 5],
+    /// Mean simulated profiling time per quantum (ms).
+    pub mean_profile_sim_ms: f64,
+    /// Mean samples recorded per quantum.
+    pub mean_samples: f64,
+    /// Mean SGD epochs per quantum.
+    pub mean_sgd_epochs: f64,
+    /// Mean search evaluations per quantum.
+    pub mean_search_evaluations: f64,
+    /// Quanta in which a core was reclaimed for the LC service.
+    pub reclaims: usize,
+    /// Quanta in which a core was relinquished to the batch pool.
+    pub relinquishes: usize,
+    /// Quanta in which the repair stage gated at least one job.
+    pub repairs: usize,
+}
+
+impl TelemetrySummary {
+    /// Aggregates an iterator of per-quantum records; `None` if empty.
+    pub fn over<'a>(records: impl IntoIterator<Item = &'a StageTelemetry>) -> Option<Self> {
+        let mut n = 0usize;
+        let mut sum = [0.0f64; 5];
+        let mut max = [0.0f64; 5];
+        let mut sim = 0.0;
+        let mut samples = 0usize;
+        let mut epochs = 0usize;
+        let mut evals = 0usize;
+        let (mut reclaims, mut relinquishes, mut repairs) = (0usize, 0usize, 0usize);
+        for t in records {
+            n += 1;
+            let walls = [
+                t.profile_wall_ms,
+                t.reconstruct_wall_ms,
+                t.qos_wall_ms,
+                t.search_wall_ms,
+                t.repair_wall_ms,
+            ];
+            for (i, w) in walls.into_iter().enumerate() {
+                sum[i] += w;
+                max[i] = max[i].max(w);
+            }
+            sim += t.profile_sim_ms;
+            samples += t.samples_recorded;
+            epochs += t.sgd_epochs;
+            evals += t.search_evaluations;
+            reclaims += usize::from(t.reclaimed_core);
+            relinquishes += usize::from(t.relinquished_core);
+            repairs += usize::from(t.gated_jobs > 0);
+        }
+        if n == 0 {
+            return None;
+        }
+        let inv = 1.0 / n as f64;
+        Some(TelemetrySummary {
+            decisions: n,
+            mean_wall_ms: sum.map(|s| s * inv),
+            max_wall_ms: max,
+            mean_profile_sim_ms: sim * inv,
+            mean_samples: samples as f64 * inv,
+            mean_sgd_epochs: epochs as f64 * inv,
+            mean_search_evaluations: evals as f64 * inv,
+            reclaims,
+            relinquishes,
+            repairs,
+        })
+    }
+
+    /// Mean total manager compute per quantum (ms).
+    pub fn mean_total_wall_ms(&self) -> f64 {
+        self.mean_wall_ms.iter().sum()
+    }
+}
+
+/// Names of the pipeline stages, in the order `mean_wall_ms` uses.
+pub const STAGE_NAMES: [&str; 5] = ["profile", "reconstruct", "qos", "search", "repair"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scale: f64) -> StageTelemetry {
+        StageTelemetry {
+            profile_wall_ms: 0.1 * scale,
+            reconstruct_wall_ms: 4.0 * scale,
+            qos_wall_ms: 0.05 * scale,
+            search_wall_ms: 1.3 * scale,
+            repair_wall_ms: 0.01 * scale,
+            profile_sim_ms: 2.0,
+            samples_recorded: 34,
+            sgd_epochs: 180,
+            search_evaluations: 640,
+            reclaimed_core: scale > 1.0,
+            relinquished_core: false,
+            gated_jobs: if scale > 1.0 { 3 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn summary_over_empty_is_none() {
+        assert!(TelemetrySummary::over(std::iter::empty::<&StageTelemetry>()).is_none());
+    }
+
+    #[test]
+    fn summary_means_and_maxima() {
+        let records = [record(1.0), record(3.0)];
+        let s = TelemetrySummary::over(records.iter()).expect("non-empty");
+        assert_eq!(s.decisions, 2);
+        // Mean of 1x and 3x scales is 2x.
+        assert!((s.mean_wall_ms[1] - 8.0).abs() < 1e-12);
+        assert!((s.max_wall_ms[3] - 3.9).abs() < 1e-12);
+        assert!((s.mean_profile_sim_ms - 2.0).abs() < 1e-12);
+        assert_eq!(s.reclaims, 1);
+        assert_eq!(s.repairs, 1);
+        let expected_total: f64 = s.mean_wall_ms.iter().sum();
+        assert!((s.mean_total_wall_ms() - expected_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_wall_sums_all_stages() {
+        let t = record(1.0);
+        assert!((t.total_wall_ms() - (0.1 + 4.0 + 0.05 + 1.3 + 0.01)).abs() < 1e-12);
+    }
+}

@@ -6,6 +6,8 @@
 //! [`ResourceManager`] under test may run short profiling frames (consuming
 //! real slice time, as in the paper — "results include all overheads") and
 //! must return a [`Plan`]; the remainder of the slice runs in steady state.
+//! The shared vocabulary (scenarios, plans, records) lives in
+//! [`crate::types`]; this module is only the simulation loop.
 //!
 //! Managers only see *measurements*: noisy per-job throughput and power
 //! samples from the frames they request, and the tail latency of the
@@ -21,303 +23,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
-use simulator::power::CoreKind;
-use simulator::{
-    CacheAlloc, Chip, CoreConfig, CoreState, JobConfig, JobId, LlcPartition, SystemParams,
-};
-use workloads::batch::{self, SpecMix};
-use workloads::latency::LcService;
-use workloads::loadgen::LoadPattern;
+use simulator::{CacheAlloc, Chip, CoreState, JobConfig, JobId, LlcPartition};
 use workloads::phase::PhasedProfile;
 use workloads::queueing::MmcQueue;
 
 use crate::rng_normal;
-
-/// Number of batch applications in the standard co-location.
-pub const BATCH_JOBS: usize = 16;
-
-/// The default decision quantum in milliseconds (§IV-B).
-pub const TIMESLICE_MS: f64 = 100.0;
-
-/// A complete experiment configuration.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Chip parameters (Table I).
-    pub params: SystemParams,
-    /// Core kind: reconfigurable for CuttleSys/Flicker, fixed for the
-    /// gating/asymmetric/no-gating baselines.
-    pub kind: CoreKind,
-    /// The latency-critical service (JobId 0).
-    pub service: LcService,
-    /// The batch mix (JobIds 1..=16).
-    pub mix: SpecMix,
-    /// Input load of the service over time, as a fraction of its max QPS.
-    pub load: LoadPattern,
-    /// Power cap over time, as a fraction of the nominal budget.
-    pub cap: LoadPattern,
-    /// Number of 100 ms timeslices to simulate.
-    pub duration_slices: usize,
-    /// Relative standard deviation of measurement noise.
-    pub noise: f64,
-    /// Whether applications drift through execution phases.
-    pub phases: bool,
-    /// Cores initially assigned to the latency-critical service (§VII-A:
-    /// 50 % of the chip).
-    pub lc_cores: usize,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl Scenario {
-    /// The paper's standard setup: 32 cores, 50/50 split, Xapian at 80 %
-    /// load with mix 0, a 70 % power cap, one second of simulated time.
-    pub fn paper_default() -> Scenario {
-        Scenario {
-            params: SystemParams::default(),
-            kind: CoreKind::Reconfigurable,
-            service: workloads::latency::service_by_name("xapian").expect("xapian exists"),
-            mix: batch::mix(BATCH_JOBS, 0xC0FFEE),
-            load: LoadPattern::Constant(0.8),
-            cap: LoadPattern::Constant(0.7),
-            duration_slices: 10,
-            noise: 0.03,
-            phases: true,
-            lc_cores: 16,
-            seed: 7,
-        }
-    }
-
-    /// A fast, small configuration for doc examples and smoke tests.
-    pub fn quick_demo() -> Scenario {
-        Scenario { duration_slices: 3, ..Scenario::paper_default() }
-    }
-
-    /// Nominal (100 %) power budget in Watts: the §VII-A definition —
-    /// average per-core power across all jobs on reconfigurable cores,
-    /// scaled to the full chip. Identical across core kinds so every design
-    /// is compared at the same Wattage.
-    pub fn nominal_budget_watts(&self) -> f64 {
-        let reconf = Chip::new(self.params, CoreKind::Reconfigurable);
-        let mut profiles = self.mix.profiles();
-        profiles.push(self.service.profile);
-        reconf.nominal_power_budget(&profiles).get()
-    }
-
-    /// Number of batch jobs in the mix.
-    pub fn num_batch(&self) -> usize {
-        self.mix.apps.len()
-    }
-}
-
-/// What a batch job does during a timeslice.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub enum BatchAction {
-    /// Run on one core at this configuration.
-    Run(JobConfig),
-    /// The job's core is power-gated; it executes nothing.
-    Gated,
-}
-
-impl BatchAction {
-    /// The configuration, if running.
-    pub fn config(&self) -> Option<JobConfig> {
-        match self {
-            BatchAction::Run(c) => Some(*c),
-            BatchAction::Gated => None,
-        }
-    }
-}
-
-/// A steady-state plan for one timeslice.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct Plan {
-    /// Cores assigned to the latency-critical service.
-    pub lc_cores: usize,
-    /// Configuration of every LC core.
-    pub lc_config: JobConfig,
-    /// Action for each batch job.
-    pub batch: Vec<BatchAction>,
-}
-
-impl Plan {
-    /// All cores at the widest configuration with one LLC way — the
-    /// no-gating reference.
-    pub fn all_widest(lc_cores: usize, num_batch: usize) -> Plan {
-        Plan {
-            lc_cores,
-            lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
-            batch: vec![BatchAction::Run(JobConfig::profiling_high()); num_batch],
-        }
-    }
-
-    /// Total LLC ways this plan allocates.
-    pub fn total_ways(&self) -> f64 {
-        self.lc_config.cache.ways()
-            + self
-                .batch
-                .iter()
-                .filter_map(|a| a.config())
-                .map(|c| c.cache.ways())
-                .sum::<f64>()
-    }
-}
-
-/// A profiling frame request: per-core LC configurations (so halves can be
-/// split across the widest/narrowest extremes) plus per-job batch actions.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct ProfilePlan {
-    /// Cores assigned to the LC service.
-    pub lc_cores: usize,
-    /// Configuration of each LC core (length `lc_cores`).
-    pub lc_configs: Vec<JobConfig>,
-    /// Action for each batch job.
-    pub batch: Vec<BatchAction>,
-}
-
-/// One measured sample: a job observed at a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct SamplePoint {
-    /// Job index: 0 is the LC service, `1..=num_batch` are batch jobs.
-    pub job: usize,
-    /// The configuration the job (or a subset of its cores) ran in.
-    pub config: JobConfig,
-    /// Measured per-core throughput (BIPS), with measurement noise.
-    pub bips: f64,
-    /// Measured per-core power (W), with measurement noise.
-    pub watts: f64,
-}
-
-/// Measurements returned by a profiling frame.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct ProfileSample {
-    /// Frame duration in milliseconds.
-    pub duration_ms: f64,
-    /// Per-(job, config) samples.
-    pub samples: Vec<SamplePoint>,
-    /// Noisy estimate of the LC tail latency under this frame's regime —
-    /// what a 10 ms Flicker profiling period would measure (ms).
-    pub lc_tail_ms: f64,
-}
-
-/// Static facts a manager sees at the start of a timeslice.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct SliceInfo {
-    /// Timeslice index.
-    pub slice: usize,
-    /// Measured arrival rate as a fraction of the service's calibrated
-    /// maximum QPS — directly observable from request counters in a real
-    /// deployment.
-    pub load: f64,
-    /// Power cap for this slice, in Watts.
-    pub cap_watts: f64,
-    /// Total cores on the chip.
-    pub num_cores: usize,
-    /// Number of batch jobs.
-    pub num_batch: usize,
-    /// The LC service's QoS target (ms).
-    pub qos_ms: f64,
-    /// Measured 99th-percentile latency of the previous slice, if any.
-    pub last_tail_ms: Option<f64>,
-    /// Cores the LC service held in the previous slice.
-    pub last_lc_cores: usize,
-}
-
-/// Steady-state measurements a manager receives after its plan ran.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct SliceOutcome {
-    /// The plan that ran.
-    pub plan: Plan,
-    /// Noisy per-core throughput of each job (index 0 = LC).
-    pub measured_bips: Vec<f64>,
-    /// Noisy per-core power of each job.
-    pub measured_watts: Vec<f64>,
-    /// Measured 99th-percentile latency over the whole slice (ms).
-    pub tail_ms: f64,
-}
-
-/// A resource manager under test.
-pub trait ResourceManager {
-    /// Human-readable scheme name for reports.
-    fn name(&self) -> String;
-
-    /// Decides the steady-state plan for this timeslice. `probe` runs a
-    /// profiling frame and returns its measurements; every probe consumes
-    /// its duration from the slice.
-    fn plan(
-        &mut self,
-        info: &SliceInfo,
-        probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
-    ) -> Plan;
-
-    /// Observes the steady-state outcome (default: ignore).
-    fn observe(&mut self, _outcome: &SliceOutcome) {}
-}
-
-/// Ground-truth record of one timeslice.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct SliceRecord {
-    /// Slice start time in seconds.
-    pub t_s: f64,
-    /// Input load fraction during the slice.
-    pub load: f64,
-    /// Power cap (W).
-    pub cap_watts: f64,
-    /// Time-weighted average chip power over the slice (W).
-    pub chip_watts: f64,
-    /// Whether average power exceeded the cap.
-    pub power_violation: bool,
-    /// True 99th-percentile latency over the slice (ms), before noise.
-    pub tail_ms: f64,
-    /// Whether the tail violated the service's QoS.
-    pub qos_violation: bool,
-    /// Instructions executed by batch jobs during the slice.
-    pub batch_instructions: f64,
-    /// Instructions executed by all jobs during the slice.
-    pub total_instructions: f64,
-    /// Per-job instructions (index 0 = LC).
-    pub per_job_instructions: Vec<f64>,
-    /// Cores held by the LC service.
-    pub lc_cores: usize,
-    /// The LC configuration of the steady phase.
-    pub lc_config: JobConfig,
-    /// Steady-phase batch configurations (`None` = gated).
-    pub batch_configs: Vec<Option<JobConfig>>,
-    /// Geometric mean of running batch jobs' throughput (BIPS).
-    pub batch_gmean_bips: f64,
-}
-
-/// A completed scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct RunRecord {
-    /// The manager's name.
-    pub scheme: String,
-    /// Per-slice records.
-    pub slices: Vec<SliceRecord>,
-}
-
-impl RunRecord {
-    /// Total instructions executed by batch jobs across the run — the
-    /// paper's comparison metric (§VII-B).
-    pub fn batch_instructions(&self) -> f64 {
-        self.slices.iter().map(|s| s.batch_instructions).sum()
-    }
-
-    /// Number of slices whose tail latency violated QoS.
-    pub fn qos_violations(&self) -> usize {
-        self.slices.iter().filter(|s| s.qos_violation).count()
-    }
-
-    /// Number of slices whose average power exceeded the cap.
-    pub fn power_violations(&self) -> usize {
-        self.slices.iter().filter(|s| s.power_violation).count()
-    }
-
-    /// Worst tail-latency-to-QoS ratio across the run.
-    pub fn worst_tail_ratio(&self, qos_ms: f64) -> f64 {
-        self.slices.iter().map(|s| s.tail_ms / qos_ms).fold(0.0, f64::max)
-    }
-}
+use crate::types::{
+    BatchAction, ProfilePlan, ProfileSample, ResourceManager, RunRecord, SamplePoint, Scenario,
+    SliceInfo, SliceOutcome, SliceRecord, TIMESLICE_MS,
+};
 
 /// A queueing regime segment within a slice.
 struct TailSegment {
@@ -339,7 +53,9 @@ impl TailSegment {
     /// jitter.
     fn stochastic_p99(&self) -> f64 {
         let capped_arrival = self.arrival_rate.min(0.95 * self.capacity());
-        MmcQueue::new(self.servers, self.service_rate, capped_arrival).p99_ms().get()
+        MmcQueue::new(self.servers, self.service_rate, capped_arrival)
+            .p99_ms()
+            .get()
     }
 }
 
@@ -429,7 +145,11 @@ impl Testbed {
         batch: &[BatchAction],
     ) -> (Vec<CoreState>, LlcPartition, Vec<usize>) {
         assert_eq!(lc_configs.len(), lc_cores, "need one LC config per LC core");
-        assert_eq!(batch.len(), self.scenario.num_batch(), "one action per batch job");
+        assert_eq!(
+            batch.len(),
+            self.scenario.num_batch(),
+            "one action per batch job"
+        );
         let num_cores = self.scenario.params.num_cores;
         assert!(lc_cores < num_cores, "LC cannot occupy the whole chip");
         let batch_cores = num_cores - lc_cores;
@@ -437,10 +157,19 @@ impl Testbed {
         let mut cores = Vec::with_capacity(num_cores);
         let mut partition = LlcPartition::new();
         for cfg in lc_configs {
-            cores.push(CoreState::Active { job: JobId(0), config: cfg.core });
+            cores.push(CoreState::Active {
+                job: JobId(0),
+                config: cfg.core,
+            });
         }
         // The LC job's cache allocation follows its (first) configuration.
-        partition.set(JobId(0), lc_configs.first().map(|c| c.cache).unwrap_or(CacheAlloc::One));
+        partition.set(
+            JobId(0),
+            lc_configs
+                .first()
+                .map(|c| c.cache)
+                .unwrap_or(CacheAlloc::One),
+        );
 
         let runnable: Vec<usize> = (0..batch.len())
             .filter(|&j| matches!(batch[j], BatchAction::Run(_)))
@@ -449,13 +178,18 @@ impl Testbed {
         // jobs run each frame.
         let running: Vec<usize> = if runnable.len() > batch_cores {
             let start = self.rotation % runnable.len();
-            (0..batch_cores).map(|k| runnable[(start + k) % runnable.len()]).collect()
+            (0..batch_cores)
+                .map(|k| runnable[(start + k) % runnable.len()])
+                .collect()
         } else {
             runnable
         };
         for &j in &running {
             let config = batch[j].config().expect("running job has a config");
-            cores.push(CoreState::Active { job: JobId(1 + j), config: config.core });
+            cores.push(CoreState::Active {
+                job: JobId(1 + j),
+                config: config.core,
+            });
             partition.set(JobId(1 + j), config.cache);
         }
         // Remaining cores (gated jobs' cores and any surplus) are gated.
@@ -616,8 +350,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                         lc_tail_ms: 0.0,
                     };
                 }
-                let result =
-                    tb_ref.run_frame(pp.lc_cores, &pp.lc_configs, &pp.batch, ms);
+                let result = tb_ref.run_frame(pp.lc_cores, &pp.lc_configs, &pp.batch, ms);
                 let mut samples = Vec::new();
                 // LC: one sample per distinct configuration among its cores.
                 let mut seen: Vec<JobConfig> = Vec::new();
@@ -672,10 +405,15 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                         .get();
                     tb_ref.noisy(p99)
                 };
-                ProfileSample { duration_ms: ms, samples, lc_tail_ms }
+                ProfileSample {
+                    duration_ms: ms,
+                    samples,
+                    lc_tail_ms,
+                }
             };
             manager.plan(&info, &mut probe)
         };
+        let telemetry = manager.take_telemetry();
 
         // Steady phase for the remainder of the slice.
         let steady_ms = (tb.slice_end_ms - tb.now_ms).max(0.0);
@@ -721,6 +459,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
             lc_config: plan.lc_config,
             batch_configs: plan.batch.iter().map(|a| a.config()).collect(),
             batch_gmean_bips: gmean,
+            telemetry,
         };
 
         // Tell the manager what happened (noisy measurements).
@@ -734,7 +473,10 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
             }
             (bips, watts)
         } else {
-            (vec![0.0; 1 + scenario.num_batch()], vec![0.0; 1 + scenario.num_batch()])
+            (
+                vec![0.0; 1 + scenario.num_batch()],
+                vec![0.0; 1 + scenario.num_batch()],
+            )
         };
         let measured_tail = tb.noisy(tail_ms);
         manager.observe(&SliceOutcome {
@@ -751,12 +493,17 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
         slices.push(record);
     }
 
-    RunRecord { scheme: manager.name(), slices }
+    RunRecord {
+        scheme: manager.name(),
+        slices,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::Plan;
+    use simulator::CoreConfig;
 
     /// A trivial manager: everything at the widest configuration.
     struct Widest;
@@ -798,16 +545,31 @@ mod tests {
 
     #[test]
     fn widest_plan_runs_and_meets_qos_at_80_percent() {
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         let record = run_scenario(&scenario, &mut Widest);
         assert_eq!(record.slices.len(), 3);
-        assert_eq!(record.qos_violations(), 0, "widest config must meet QoS: {record:?}");
+        assert_eq!(
+            record.qos_violations(),
+            0,
+            "widest config must meet QoS: {record:?}"
+        );
         assert!(record.batch_instructions() > 0.0);
+        // A manager without instrumentation leaves the telemetry empty.
+        assert!(record.slices.iter().all(|s| s.telemetry.is_none()));
+        assert!(record.stage_summary().is_none());
     }
 
     #[test]
     fn gating_batch_jobs_zeroes_their_instructions() {
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         let gated = run_scenario(&scenario, &mut AllGated);
         assert_eq!(gated.batch_instructions(), 0.0);
         // The LC service still executes.
@@ -842,7 +604,11 @@ mod tests {
                 Plan::all_widest(info.last_lc_cores, info.num_batch)
             }
         }
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         let mut m = Prober { probed_ms: 0.0 };
         let record = run_scenario(&scenario, &mut m);
         assert_eq!(m.probed_ms, 3.0, "one 1 ms probe per slice");
@@ -872,14 +638,17 @@ mod tests {
                     batch: vec![BatchAction::Run(JobConfig::profiling_high()); info.num_batch],
                 };
                 let s = probe(&pp, 1.0);
-                let lc_samples: Vec<_> =
-                    s.samples.iter().filter(|sp| sp.job == 0).collect();
+                let lc_samples: Vec<_> = s.samples.iter().filter(|sp| sp.job == 0).collect();
                 assert_eq!(lc_samples.len(), 2, "expected high+low LC samples");
                 assert!(lc_samples[0].bips > lc_samples[1].bips);
                 Plan::all_widest(k, info.num_batch)
             }
         }
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         run_scenario(&scenario, &mut SplitProber);
     }
 
@@ -900,7 +669,11 @@ mod tests {
                 plan
             }
         }
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         let record = run_scenario(&scenario, &mut NarrowLc);
         assert_eq!(record.qos_violations(), record.slices.len());
         assert!(record.worst_tail_ratio(scenario.service.qos_ms) > 2.0);
@@ -918,10 +691,17 @@ mod tests {
                 info: &SliceInfo,
                 _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
             ) -> Plan {
-                Plan { lc_cores: 18, ..Plan::all_widest(18, info.num_batch) }
+                Plan {
+                    lc_cores: 18,
+                    ..Plan::all_widest(18, info.num_batch)
+                }
             }
         }
-        let scenario = Scenario { noise: 0.0, phases: false, ..Scenario::quick_demo() };
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            ..Scenario::quick_demo()
+        };
         let reclaimed = run_scenario(&scenario, &mut Reclaimer);
         let baseline = run_scenario(&scenario, &mut Widest);
         // 14 cores for 16 jobs: batch throughput must drop vs 16 cores.
@@ -931,9 +711,18 @@ mod tests {
         );
         // But every job should still make progress across slices (rotation).
         let per_job: Vec<f64> = (1..=16)
-            .map(|j| reclaimed.slices.iter().map(|s| s.per_job_instructions[j]).sum())
+            .map(|j| {
+                reclaimed
+                    .slices
+                    .iter()
+                    .map(|s| s.per_job_instructions[j])
+                    .sum()
+            })
             .collect();
-        assert!(per_job.iter().all(|&i| i > 0.0), "rotation must serve every job: {per_job:?}");
+        assert!(
+            per_job.iter().all(|&i| i > 0.0),
+            "rotation must serve every job: {per_job:?}"
+        );
     }
 
     #[test]

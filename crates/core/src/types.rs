@@ -1,0 +1,328 @@
+//! Shared vocabulary of the decision loop: scenarios, plans, measurements,
+//! records, and the [`ResourceManager`] contract.
+//!
+//! These types are the interface between three worlds — the simulated server
+//! in [`crate::testbed`], the decision pipeline in [`crate::pipeline`], and
+//! the experiment harness in the `bench` crate — so they live in their own
+//! module with no dependency on any of them.
+
+use serde::Serialize;
+use simulator::power::CoreKind;
+use simulator::{CacheAlloc, Chip, CoreConfig, JobConfig, SystemParams};
+use workloads::batch::{self, SpecMix};
+use workloads::latency::LcService;
+use workloads::loadgen::LoadPattern;
+
+use crate::telemetry::StageTelemetry;
+
+/// Number of batch applications in the standard co-location.
+pub const BATCH_JOBS: usize = 16;
+
+/// The default decision quantum in milliseconds (§IV-B).
+pub const TIMESLICE_MS: f64 = 100.0;
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Chip parameters (Table I).
+    pub params: SystemParams,
+    /// Core kind: reconfigurable for CuttleSys/Flicker, fixed for the
+    /// gating/asymmetric/no-gating baselines.
+    pub kind: CoreKind,
+    /// The latency-critical service (JobId 0).
+    pub service: LcService,
+    /// The batch mix (JobIds 1..=16).
+    pub mix: SpecMix,
+    /// Input load of the service over time, as a fraction of its max QPS.
+    pub load: LoadPattern,
+    /// Power cap over time, as a fraction of the nominal budget.
+    pub cap: LoadPattern,
+    /// Number of 100 ms timeslices to simulate.
+    pub duration_slices: usize,
+    /// Relative standard deviation of measurement noise.
+    pub noise: f64,
+    /// Whether applications drift through execution phases.
+    pub phases: bool,
+    /// Cores initially assigned to the latency-critical service (§VII-A:
+    /// 50 % of the chip).
+    pub lc_cores: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's standard setup: 32 cores, 50/50 split, Xapian at 80 %
+    /// load with mix 0, a 70 % power cap, one second of simulated time.
+    pub fn paper_default() -> Scenario {
+        Scenario {
+            params: SystemParams::default(),
+            kind: CoreKind::Reconfigurable,
+            service: workloads::latency::service_by_name("xapian").expect("xapian exists"),
+            mix: batch::mix(BATCH_JOBS, 0xC0FFEE),
+            load: LoadPattern::Constant(0.8),
+            cap: LoadPattern::Constant(0.7),
+            duration_slices: 10,
+            noise: 0.03,
+            phases: true,
+            lc_cores: 16,
+            seed: 7,
+        }
+    }
+
+    /// A fast, small configuration for doc examples and smoke tests.
+    pub fn quick_demo() -> Scenario {
+        Scenario {
+            duration_slices: 3,
+            ..Scenario::paper_default()
+        }
+    }
+
+    /// Nominal (100 %) power budget in Watts: the §VII-A definition —
+    /// average per-core power across all jobs on reconfigurable cores,
+    /// scaled to the full chip. Identical across core kinds so every design
+    /// is compared at the same Wattage.
+    pub fn nominal_budget_watts(&self) -> f64 {
+        let reconf = Chip::new(self.params, CoreKind::Reconfigurable);
+        let mut profiles = self.mix.profiles();
+        profiles.push(self.service.profile);
+        reconf.nominal_power_budget(&profiles).get()
+    }
+
+    /// Number of batch jobs in the mix.
+    pub fn num_batch(&self) -> usize {
+        self.mix.apps.len()
+    }
+}
+
+/// What a batch job does during a timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum BatchAction {
+    /// Run on one core at this configuration.
+    Run(JobConfig),
+    /// The job's core is power-gated; it executes nothing.
+    Gated,
+}
+
+impl BatchAction {
+    /// The configuration, if running.
+    pub fn config(&self) -> Option<JobConfig> {
+        match self {
+            BatchAction::Run(c) => Some(*c),
+            BatchAction::Gated => None,
+        }
+    }
+}
+
+/// A steady-state plan for one timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Plan {
+    /// Cores assigned to the latency-critical service.
+    pub lc_cores: usize,
+    /// Configuration of every LC core.
+    pub lc_config: JobConfig,
+    /// Action for each batch job.
+    pub batch: Vec<BatchAction>,
+}
+
+impl Plan {
+    /// All cores at the widest configuration with one LLC way — the
+    /// no-gating reference.
+    pub fn all_widest(lc_cores: usize, num_batch: usize) -> Plan {
+        Plan {
+            lc_cores,
+            lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+            batch: vec![BatchAction::Run(JobConfig::profiling_high()); num_batch],
+        }
+    }
+
+    /// Total LLC ways this plan allocates.
+    pub fn total_ways(&self) -> f64 {
+        self.lc_config.cache.ways()
+            + self
+                .batch
+                .iter()
+                .filter_map(|a| a.config())
+                .map(|c| c.cache.ways())
+                .sum::<f64>()
+    }
+}
+
+/// A profiling frame request: per-core LC configurations (so halves can be
+/// split across the widest/narrowest extremes) plus per-job batch actions.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfilePlan {
+    /// Cores assigned to the LC service.
+    pub lc_cores: usize,
+    /// Configuration of each LC core (length `lc_cores`).
+    pub lc_configs: Vec<JobConfig>,
+    /// Action for each batch job.
+    pub batch: Vec<BatchAction>,
+}
+
+/// One measured sample: a job observed at a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SamplePoint {
+    /// Job index: 0 is the LC service, `1..=num_batch` are batch jobs.
+    pub job: usize,
+    /// The configuration the job (or a subset of its cores) ran in.
+    pub config: JobConfig,
+    /// Measured per-core throughput (BIPS), with measurement noise.
+    pub bips: f64,
+    /// Measured per-core power (W), with measurement noise.
+    pub watts: f64,
+}
+
+/// Measurements returned by a profiling frame.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileSample {
+    /// Frame duration in milliseconds.
+    pub duration_ms: f64,
+    /// Per-(job, config) samples.
+    pub samples: Vec<SamplePoint>,
+    /// Noisy estimate of the LC tail latency under this frame's regime —
+    /// what a 10 ms Flicker profiling period would measure (ms).
+    pub lc_tail_ms: f64,
+}
+
+/// Static facts a manager sees at the start of a timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SliceInfo {
+    /// Timeslice index.
+    pub slice: usize,
+    /// Measured arrival rate as a fraction of the service's calibrated
+    /// maximum QPS — directly observable from request counters in a real
+    /// deployment.
+    pub load: f64,
+    /// Power cap for this slice, in Watts.
+    pub cap_watts: f64,
+    /// Total cores on the chip.
+    pub num_cores: usize,
+    /// Number of batch jobs.
+    pub num_batch: usize,
+    /// The LC service's QoS target (ms).
+    pub qos_ms: f64,
+    /// Measured 99th-percentile latency of the previous slice, if any.
+    pub last_tail_ms: Option<f64>,
+    /// Cores the LC service held in the previous slice.
+    pub last_lc_cores: usize,
+}
+
+/// Steady-state measurements a manager receives after its plan ran.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SliceOutcome {
+    /// The plan that ran.
+    pub plan: Plan,
+    /// Noisy per-core throughput of each job (index 0 = LC).
+    pub measured_bips: Vec<f64>,
+    /// Noisy per-core power of each job.
+    pub measured_watts: Vec<f64>,
+    /// Measured 99th-percentile latency over the whole slice (ms).
+    pub tail_ms: f64,
+}
+
+/// A resource manager under test.
+pub trait ResourceManager {
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> String;
+
+    /// Decides the steady-state plan for this timeslice. `probe` runs a
+    /// profiling frame and returns its measurements; every probe consumes
+    /// its duration from the slice.
+    fn plan(
+        &mut self,
+        info: &SliceInfo,
+        probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+    ) -> Plan;
+
+    /// Observes the steady-state outcome (default: ignore).
+    fn observe(&mut self, _outcome: &SliceOutcome) {}
+
+    /// Yields the instrumentation record of the most recent [`plan`] call,
+    /// if the manager collects one (default: none). The testbed stores it in
+    /// the slice's [`SliceRecord::telemetry`].
+    ///
+    /// [`plan`]: ResourceManager::plan
+    fn take_telemetry(&mut self) -> Option<StageTelemetry> {
+        None
+    }
+}
+
+/// Ground-truth record of one timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SliceRecord {
+    /// Slice start time in seconds.
+    pub t_s: f64,
+    /// Input load fraction during the slice.
+    pub load: f64,
+    /// Power cap (W).
+    pub cap_watts: f64,
+    /// Time-weighted average chip power over the slice (W).
+    pub chip_watts: f64,
+    /// Whether average power exceeded the cap.
+    pub power_violation: bool,
+    /// True 99th-percentile latency over the slice (ms), before noise.
+    pub tail_ms: f64,
+    /// Whether the tail violated the service's QoS.
+    pub qos_violation: bool,
+    /// Instructions executed by batch jobs during the slice.
+    pub batch_instructions: f64,
+    /// Instructions executed by all jobs during the slice.
+    pub total_instructions: f64,
+    /// Per-job instructions (index 0 = LC).
+    pub per_job_instructions: Vec<f64>,
+    /// Cores held by the LC service.
+    pub lc_cores: usize,
+    /// The LC configuration of the steady phase.
+    pub lc_config: JobConfig,
+    /// Steady-phase batch configurations (`None` = gated).
+    pub batch_configs: Vec<Option<JobConfig>>,
+    /// Geometric mean of running batch jobs' throughput (BIPS).
+    pub batch_gmean_bips: f64,
+    /// Per-stage instrumentation of the decision that produced this slice's
+    /// plan, when the manager collects it (CuttleSys does; see
+    /// [`StageTelemetry`]).
+    pub telemetry: Option<StageTelemetry>,
+}
+
+/// A completed scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunRecord {
+    /// The manager's name.
+    pub scheme: String,
+    /// Per-slice records.
+    pub slices: Vec<SliceRecord>,
+}
+
+impl RunRecord {
+    /// Total instructions executed by batch jobs across the run — the
+    /// paper's comparison metric (§VII-B).
+    pub fn batch_instructions(&self) -> f64 {
+        self.slices.iter().map(|s| s.batch_instructions).sum()
+    }
+
+    /// Number of slices whose tail latency violated QoS.
+    pub fn qos_violations(&self) -> usize {
+        self.slices.iter().filter(|s| s.qos_violation).count()
+    }
+
+    /// Number of slices whose average power exceeded the cap.
+    pub fn power_violations(&self) -> usize {
+        self.slices.iter().filter(|s| s.power_violation).count()
+    }
+
+    /// Worst tail-latency-to-QoS ratio across the run.
+    pub fn worst_tail_ratio(&self, qos_ms: f64) -> f64 {
+        self.slices
+            .iter()
+            .map(|s| s.tail_ms / qos_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-stage telemetry aggregated over the slices that carry it
+    /// (`None` when no slice does — e.g. baseline managers).
+    pub fn stage_summary(&self) -> Option<crate::telemetry::TelemetrySummary> {
+        crate::telemetry::TelemetrySummary::over(
+            self.slices.iter().filter_map(|s| s.telemetry.as_ref()),
+        )
+    }
+}

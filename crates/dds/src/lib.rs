@@ -67,7 +67,11 @@ impl SearchSpace {
     pub fn new(dims: usize, num_choices: usize) -> SearchSpace {
         assert!(dims > 0, "search space needs at least one dimension");
         assert!(num_choices > 0, "each dimension needs at least one choice");
-        SearchSpace { dims, num_choices, frozen: vec![None; dims] }
+        SearchSpace {
+            dims,
+            num_choices,
+            frozen: vec![None; dims],
+        }
     }
 
     /// Freezes dimension `dim` to `value`.
@@ -98,7 +102,9 @@ impl SearchSpace {
 
     /// Indices of the dimensions DDS may perturb.
     pub fn free_dims(&self) -> Vec<usize> {
-        (0..self.dims).filter(|&d| self.frozen[d].is_none()).collect()
+        (0..self.dims)
+            .filter(|&d| self.frozen[d].is_none())
+            .collect()
     }
 
     /// Whether `point` lies in the space and honours the frozen values.

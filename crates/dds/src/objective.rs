@@ -89,11 +89,7 @@ where
 mod tests {
     use super::*;
 
-    type TestPenalty = SoftPenalty<
-        fn(&[usize]) -> f64,
-        fn(&[usize]) -> f64,
-        fn(&[usize]) -> f64,
-    >;
+    type TestPenalty = SoftPenalty<fn(&[usize]) -> f64, fn(&[usize]) -> f64, fn(&[usize]) -> f64>;
 
     fn penalty() -> TestPenalty {
         SoftPenalty {

@@ -72,10 +72,16 @@ pub fn parallel_search(
     params: &ParallelDdsParams,
 ) -> SearchResult {
     assert!(params.max_iters > 0, "need at least one iteration");
-    assert!(params.points_per_iteration > 0, "need at least one point per iteration");
+    assert!(
+        params.points_per_iteration > 0,
+        "need at least one point per iteration"
+    );
     assert!(params.initial_points > 0, "need at least one initial point");
     assert!(params.threads > 0, "need at least one thread");
-    assert!(!params.r_values.is_empty(), "need at least one perturbation radius");
+    assert!(
+        !params.r_values.is_empty(),
+        "need at least one perturbation radius"
+    );
 
     // Phase 1 (Alg. 2 lines 5-6): random initial points, best becomes the
     // incumbent. Done serially — it is a tiny fraction of the work.
@@ -85,7 +91,10 @@ pub fn parallel_search(
     let explored = Mutex::new(Vec::new());
     let mut evaluations = params.initial_points;
     if params.record_explored {
-        explored.lock().unwrap().push((best_point.clone(), best_value));
+        explored
+            .lock()
+            .unwrap()
+            .push((best_point.clone(), best_value));
     }
     for _ in 1..params.initial_points {
         let p = space.random_point(&mut rng);
@@ -99,14 +108,16 @@ pub fn parallel_search(
         }
     }
 
-    let shared = Mutex::new(Shared { best_point, best_value });
+    let shared = Mutex::new(Shared {
+        best_point,
+        best_value,
+    });
     let barrier = Barrier::new(params.threads);
     let free = space.free_dims();
     let ln_max = (params.max_iters as f64).ln().max(f64::MIN_POSITIVE);
     // Local bests posted by each thread every iteration, reduced by thread 0.
     type Post = Mutex<Option<(Vec<usize>, f64)>>;
-    let posts: Vec<Post> =
-        (0..params.threads).map(|_| Mutex::new(None)).collect();
+    let posts: Vec<Post> = (0..params.threads).map(|_| Mutex::new(None)).collect();
 
     crossbeam::scope(|scope| {
         for t in 0..params.threads {
@@ -133,18 +144,15 @@ pub fn parallel_search(
                         let mut perturbed_any = false;
                         for &d in free {
                             if rng.random_range(0.0..1.0) < p_select {
-                                let delta = r
-                                    * space.num_choices() as f64
-                                    * standard_normal(&mut rng);
-                                candidate[d] =
-                                    space.reflect(candidate[d] as f64 + delta);
+                                let delta =
+                                    r * space.num_choices() as f64 * standard_normal(&mut rng);
+                                candidate[d] = space.reflect(candidate[d] as f64 + delta);
                                 perturbed_any = true;
                             }
                         }
                         if !perturbed_any && !free.is_empty() {
                             let d = free[rng.random_range(0..free.len())];
-                            let delta =
-                                r * space.num_choices() as f64 * standard_normal(&mut rng);
+                            let delta = r * space.num_choices() as f64 * standard_normal(&mut rng);
                             candidate[d] = space.reflect(candidate[d] as f64 + delta);
                         }
                         let v = objective.evaluate(&candidate);
@@ -192,14 +200,22 @@ mod tests {
     use crate::serial::{search, DdsParams};
 
     fn separable(target: usize) -> impl Fn(&[usize]) -> f64 + Sync {
-        move |x: &[usize]| -x.iter().map(|&v| (v as f64 - target as f64).abs()).sum::<f64>()
+        move |x: &[usize]| {
+            -x.iter()
+                .map(|&v| (v as f64 - target as f64).abs())
+                .sum::<f64>()
+        }
     }
 
     #[test]
     fn finds_separable_optimum() {
         let space = SearchSpace::new(16, 108);
         let result = parallel_search(&space, &separable(54), &ParallelDdsParams::default());
-        assert!(result.best_value > -40.0, "best value {}", result.best_value);
+        assert!(
+            result.best_value > -40.0,
+            "best value {}",
+            result.best_value
+        );
     }
 
     #[test]
@@ -215,7 +231,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let space = SearchSpace::new(8, 108);
-        let params = ParallelDdsParams { threads: 4, ..ParallelDdsParams::default() };
+        let params = ParallelDdsParams {
+            threads: 4,
+            ..ParallelDdsParams::default()
+        };
         let a = parallel_search(&space, &separable(30), &params);
         let b = parallel_search(&space, &separable(30), &params);
         assert_eq!(a.best_point, b.best_point);
@@ -234,13 +253,19 @@ mod tests {
                 })
                 .sum::<f64>()
         };
-        let par_params = ParallelDdsParams { threads: 4, ..ParallelDdsParams::default() };
+        let par_params = ParallelDdsParams {
+            threads: 4,
+            ..ParallelDdsParams::default()
+        };
         let par = parallel_search(&space, &objective, &par_params);
         let serial_budget = par.evaluations - par_params.initial_points;
         let ser = search(
             &space,
             &objective,
-            &DdsParams { max_iters: serial_budget, ..DdsParams::default() },
+            &DdsParams {
+                max_iters: serial_budget,
+                ..DdsParams::default()
+            },
         );
         assert!(
             par.best_value > ser.best_value * 0.95,
@@ -269,7 +294,10 @@ mod tests {
     #[test]
     fn single_thread_works() {
         let space = SearchSpace::new(6, 20);
-        let params = ParallelDdsParams { threads: 1, ..ParallelDdsParams::default() };
+        let params = ParallelDdsParams {
+            threads: 1,
+            ..ParallelDdsParams::default()
+        };
         let result = parallel_search(&space, &separable(10), &params);
         assert!(space.contains(&result.best_point));
     }

@@ -34,9 +34,14 @@ mod tests {
     fn tails_behave_like_a_gaussian() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
-        let beyond_2 =
-            (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count() as f64 / n as f64;
+        let beyond_2 = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
         // P(|Z| > 2) ≈ 0.0455.
-        assert!((beyond_2 - 0.0455).abs() < 0.01, "two-sigma mass {beyond_2}");
+        assert!(
+            (beyond_2 - 0.0455).abs() < 0.01,
+            "two-sigma mass {beyond_2}"
+        );
     }
 }

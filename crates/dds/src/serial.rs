@@ -32,7 +32,13 @@ pub struct DdsParams {
 
 impl Default for DdsParams {
     fn default() -> Self {
-        DdsParams { max_iters: 400, r: 0.2, initial_points: 50, seed: 0xDD5, record_explored: false }
+        DdsParams {
+            max_iters: 400,
+            r: 0.2,
+            initial_points: 50,
+            seed: 0xDD5,
+            record_explored: false,
+        }
     }
 }
 
@@ -78,8 +84,7 @@ pub fn search(space: &SearchSpace, objective: &dyn Objective, params: &DdsParams
         let mut perturbed_any = false;
         for &d in &free {
             if rng.random_range(0.0..1.0) < p_select {
-                let delta =
-                    params.r * space.num_choices() as f64 * standard_normal(&mut rng);
+                let delta = params.r * space.num_choices() as f64 * standard_normal(&mut rng);
                 candidate[d] = space.reflect(candidate[d] as f64 + delta);
                 perturbed_any = true;
             }
@@ -99,7 +104,12 @@ pub fn search(space: &SearchSpace, objective: &dyn Objective, params: &DdsParams
         }
     }
 
-    SearchResult { best_point, best_value, evaluations, explored }
+    SearchResult {
+        best_point,
+        best_value,
+        evaluations,
+        explored,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +120,9 @@ mod tests {
     /// dimension.
     fn separable(target: usize) -> impl Fn(&[usize]) -> f64 + Sync {
         move |x: &[usize]| {
-            -x.iter().map(|&v| (v as f64 - target as f64).abs()).sum::<f64>()
+            -x.iter()
+                .map(|&v| (v as f64 - target as f64).abs())
+                .sum::<f64>()
         }
     }
 
@@ -119,7 +131,11 @@ mod tests {
         let space = SearchSpace::new(10, 108);
         let result = search(&space, &separable(54), &DdsParams::default());
         // Perfect would be 0; DDS should land very close.
-        assert!(result.best_value > -20.0, "best value {}", result.best_value);
+        assert!(
+            result.best_value > -20.0,
+            "best value {}",
+            result.best_value
+        );
     }
 
     #[test]
@@ -148,12 +164,18 @@ mod tests {
         let short = search(
             &space,
             &separable(100),
-            &DdsParams { max_iters: 20, ..DdsParams::default() },
+            &DdsParams {
+                max_iters: 20,
+                ..DdsParams::default()
+            },
         );
         let long = search(
             &space,
             &separable(100),
-            &DdsParams { max_iters: 2000, ..DdsParams::default() },
+            &DdsParams {
+                max_iters: 2000,
+                ..DdsParams::default()
+            },
         );
         assert!(long.best_value >= short.best_value);
     }
@@ -161,11 +183,22 @@ mod tests {
     #[test]
     fn explored_points_are_recorded_when_asked() {
         let space = SearchSpace::new(4, 10);
-        let params = DdsParams { record_explored: true, max_iters: 25, ..DdsParams::default() };
+        let params = DdsParams {
+            record_explored: true,
+            max_iters: 25,
+            ..DdsParams::default()
+        };
         let result = search(&space, &separable(5), &params);
         assert_eq!(result.explored.len(), result.evaluations);
         assert_eq!(result.evaluations, 50 + 25);
-        let off = search(&space, &separable(5), &DdsParams { max_iters: 25, ..DdsParams::default() });
+        let off = search(
+            &space,
+            &separable(5),
+            &DdsParams {
+                max_iters: 25,
+                ..DdsParams::default()
+            },
+        );
         assert!(off.explored.is_empty());
     }
 
@@ -180,6 +213,10 @@ mod tests {
             (10.0 - d_local / 10.0).max(20.0 - d_global / 10.0)
         };
         let result = search(&space, &objective, &DdsParams::default());
-        assert!(result.best_value > 15.0, "should find the global basin, got {}", result.best_value);
+        assert!(
+            result.best_value > 15.0,
+            "should find the global basin, got {}",
+            result.best_value
+        );
     }
 }

@@ -29,7 +29,12 @@ pub struct AlsConfig {
 
 impl Default for AlsConfig {
     fn default() -> Self {
-        AlsConfig { rank: 2, regularization: 0.02, sweeps: 8, seed: 0xA15 }
+        AlsConfig {
+            rank: 2,
+            regularization: 0.02,
+            sweeps: 8,
+            seed: 0xA15,
+        }
     }
 }
 
@@ -87,7 +92,7 @@ fn solve_side(
     lambda: f64,
 ) {
     let n = rank + 1; // [bias; factors]
-    // Group entries per target index.
+                      // Group entries per target index.
     let mut grouped: Vec<Vec<(usize, f64)>> = vec![Vec::new(); count];
     for &(i, j, r) in entries {
         grouped[i].push((j, r));
@@ -132,8 +137,15 @@ fn solve_side(
 ///
 /// Panics if the matrix has no observed entries.
 pub fn fit(matrix: &RatingMatrix, config: &AlsConfig) -> SgdModel {
-    assert!(matrix.observed_len() > 0, "cannot fit an empty rating matrix");
-    let sgd_like = SgdConfig { rank: config.rank, seed: config.seed, ..SgdConfig::default() };
+    assert!(
+        matrix.observed_len() > 0,
+        "cannot fit an empty rating matrix"
+    );
+    let sgd_like = SgdConfig {
+        rank: config.rank,
+        seed: config.seed,
+        ..SgdConfig::default()
+    };
     let (mu, mut row_bias, mut col_bias) = initial_biases(matrix);
     let (mut q, mut p) = initial_factors(matrix, &sgd_like, mu, &row_bias, &col_bias);
     let rank = q.cols();
@@ -259,8 +271,20 @@ mod tests {
     #[test]
     fn more_sweeps_do_not_hurt_training_fit() {
         let obs = synthetic(12, 20, 10, 3);
-        let short = fit(&obs, &AlsConfig { sweeps: 1, ..AlsConfig::default() });
-        let long = fit(&obs, &AlsConfig { sweeps: 10, ..AlsConfig::default() });
+        let short = fit(
+            &obs,
+            &AlsConfig {
+                sweeps: 1,
+                ..AlsConfig::default()
+            },
+        );
+        let long = fit(
+            &obs,
+            &AlsConfig {
+                sweeps: 10,
+                ..AlsConfig::default()
+            },
+        );
         assert!(long.train_rmse <= short.train_rmse + 1e-9);
     }
 

@@ -23,7 +23,11 @@ impl RatingMatrix {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> RatingMatrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        RatingMatrix { rows, cols, data: vec![None; rows * cols] }
+        RatingMatrix {
+            rows,
+            cols,
+            data: vec![None; rows * cols],
+        }
     }
 
     /// Number of rows (applications).
@@ -38,7 +42,10 @@ impl RatingMatrix {
 
     #[inline]
     fn idx(&self, r: usize, c: usize) -> usize {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         r * self.cols + c
     }
 
@@ -53,7 +60,10 @@ impl RatingMatrix {
     ///
     /// Panics if `value` is not finite — ratings feed gradient descent.
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(value.is_finite(), "rating at ({r}, {c}) must be finite, got {value}");
+        assert!(
+            value.is_finite(),
+            "rating at ({r}, {c}) must be finite, got {value}"
+        );
         let i = self.idx(r, c);
         self.data[i] = Some(value);
     }
@@ -110,9 +120,14 @@ impl RatingMatrix {
 
     /// Mean of all observed entries (0 if none).
     pub fn global_mean(&self) -> f64 {
-        let (sum, n) =
-            self.observed().fold((0.0, 0usize), |(s, n), (_, _, v)| (s + v, n + 1));
-        if n > 0 { sum / n as f64 } else { 0.0 }
+        let (sum, n) = self
+            .observed()
+            .fold((0.0, 0usize), |(s, n), (_, _, v)| (s + v, n + 1));
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
     }
 
     /// Minimum and maximum observed values, if any entry is observed.
@@ -167,7 +182,11 @@ impl DenseMatrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -196,7 +215,10 @@ impl DenseMatrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -206,7 +228,10 @@ impl DenseMatrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -245,8 +270,7 @@ impl DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             for j in 0..rhs.rows {
-                let dot: f64 =
-                    self.row(i).iter().zip(rhs.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = self.row(i).iter().zip(rhs.row(j)).map(|(a, b)| a * b).sum();
                 out.set(i, j, dot);
             }
         }

@@ -54,7 +54,10 @@ pub struct Reconstructor {
 
 impl Default for Reconstructor {
     fn default() -> Self {
-        Reconstructor { config: SgdConfig::default(), threads: 1 }
+        Reconstructor {
+            config: SgdConfig::default(),
+            threads: 1,
+        }
     }
 }
 
@@ -85,7 +88,9 @@ impl Reconstructor {
         } else {
             sgd::fit(&transformed, &self.config)
         };
-        let (lo, hi) = transformed.observed_range().expect("matrix has observations");
+        let (lo, hi) = transformed
+            .observed_range()
+            .expect("matrix has observations");
         let span = (hi - lo).max(1e-9);
         let (clamp_lo, clamp_hi) = (lo - 0.25 * span, hi + 0.25 * span);
         let mut out = DenseMatrix::zeros(matrix.rows(), matrix.cols());
@@ -104,10 +109,7 @@ impl Reconstructor {
     /// Runs several reconstructions concurrently — one OS thread per matrix,
     /// mirroring the paper's "three reconstructions all run in parallel on
     /// the same server".
-    pub fn complete_all(
-        &self,
-        inputs: &[(&RatingMatrix, ValueTransform)],
-    ) -> Vec<DenseMatrix> {
+    pub fn complete_all(&self, inputs: &[(&RatingMatrix, ValueTransform)]) -> Vec<DenseMatrix> {
         crossbeam::scope(|scope| {
             let handles: Vec<_> = inputs
                 .iter()
@@ -117,7 +119,10 @@ impl Reconstructor {
                     scope.spawn(move |_| this.complete(m, t))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("reconstruction panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reconstruction panicked"))
+                .collect()
         })
         .expect("reconstruction scope panicked")
     }
@@ -127,7 +132,12 @@ impl Reconstructor {
 mod tests {
     use super::*;
 
-    fn structured(rows: usize, cols: usize, known: usize, samples: usize) -> (Vec<f64>, RatingMatrix) {
+    fn structured(
+        rows: usize,
+        cols: usize,
+        known: usize,
+        samples: usize,
+    ) -> (Vec<f64>, RatingMatrix) {
         // Multiplicative app-scale × config-effect structure plus a small
         // interaction — the shape performance matrices actually have.
         let truth: Vec<f64> = (0..rows * cols)
@@ -180,7 +190,8 @@ mod tests {
         // Latency-like data spanning 4 orders of magnitude.
         let rows = 10;
         let cols = 12;
-        let truth = |r: usize, c: usize| 0.5 * 10f64.powf(3.0 * c as f64 / cols as f64 + 0.05 * r as f64);
+        let truth =
+            |r: usize, c: usize| 0.5 * 10f64.powf(3.0 * c as f64 / cols as f64 + 0.05 * r as f64);
         let mut m = RatingMatrix::new(rows, cols);
         for r in 0..8 {
             for c in 0..cols {
@@ -229,7 +240,9 @@ mod tests {
     #[test]
     fn parallel_reconstructor_completes() {
         let (_, m) = structured(16, 24, 13, 2);
-        let out = Reconstructor::default().parallel(4).complete(&m, ValueTransform::Linear);
+        let out = Reconstructor::default()
+            .parallel(4)
+            .complete(&m, ValueTransform::Linear);
         assert_eq!(out.rows(), 16);
         for (r, c, v) in m.observed() {
             assert_eq!(out.get(r, c), v);

@@ -76,8 +76,13 @@ pub struct SgdModel {
 impl SgdModel {
     /// Predicted rating for `(row, col)`.
     pub fn predict(&self, row: usize, col: usize) -> f64 {
-        let residual: f64 =
-            self.q.row(row).iter().zip(self.p.row(col)).map(|(a, b)| a * b).sum();
+        let residual: f64 = self
+            .q
+            .row(row)
+            .iter()
+            .zip(self.p.row(col))
+            .map(|(a, b)| a * b)
+            .sum();
         self.mu + self.row_bias[row] + self.col_bias[col] + residual
     }
 
@@ -168,7 +173,10 @@ pub(crate) fn initial_factors(
 ///
 /// Panics if the matrix has no observed entries.
 pub fn fit(matrix: &RatingMatrix, config: &SgdConfig) -> SgdModel {
-    assert!(matrix.observed_len() > 0, "cannot fit an empty rating matrix");
+    assert!(
+        matrix.observed_len() > 0,
+        "cannot fit an empty rating matrix"
+    );
     let (mu, mut row_bias, mut col_bias) = initial_biases(matrix);
     let (mut q, mut p) = initial_factors(matrix, config, mu, &row_bias, &col_bias);
     let observed: Vec<(usize, usize, f64)> = matrix.observed().collect();
@@ -197,13 +205,20 @@ pub fn fit(matrix: &RatingMatrix, config: &SgdConfig) -> SgdModel {
             }
         }
         rmse = (sq_err / n).sqrt();
-        if prev_rmse.is_finite() && (prev_rmse - rmse).abs() <= config.convergence_tol * prev_rmse
-        {
+        if prev_rmse.is_finite() && (prev_rmse - rmse).abs() <= config.convergence_tol * prev_rmse {
             break;
         }
         prev_rmse = rmse;
     }
-    SgdModel { mu, row_bias, col_bias, q, p, train_rmse: rmse, epochs }
+    SgdModel {
+        mu,
+        row_bias,
+        col_bias,
+        q,
+        p,
+        train_rmse: rmse,
+        epochs,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +269,10 @@ mod tests {
                 max_rel = max_rel.max(rel);
             }
         }
-        assert!(max_rel < 0.25, "held-out relative error too large: {max_rel}");
+        assert!(
+            max_rel < 0.25,
+            "held-out relative error too large: {max_rel}"
+        );
     }
 
     #[test]
@@ -268,8 +286,20 @@ mod tests {
     #[test]
     fn convergence_tolerance_stops_early() {
         let (_, obs) = synthetic(10, 15, 8, 3);
-        let loose = fit(&obs, &SgdConfig { convergence_tol: 0.05, ..SgdConfig::default() });
-        let tight = fit(&obs, &SgdConfig { convergence_tol: 1e-9, ..SgdConfig::default() });
+        let loose = fit(
+            &obs,
+            &SgdConfig {
+                convergence_tol: 0.05,
+                ..SgdConfig::default()
+            },
+        );
+        let tight = fit(
+            &obs,
+            &SgdConfig {
+                convergence_tol: 1e-9,
+                ..SgdConfig::default()
+            },
+        );
         assert!(loose.epochs < tight.epochs);
     }
 
@@ -287,7 +317,13 @@ mod tests {
     fn full_rank_configuration_is_supported() {
         // The paper's literal choice: rank = number of configurations.
         let (_, obs) = synthetic(8, 12, 7, 3);
-        let model = fit(&obs, &SgdConfig { rank: 12, ..SgdConfig::default() });
+        let model = fit(
+            &obs,
+            &SgdConfig {
+                rank: 12,
+                ..SgdConfig::default()
+            },
+        );
         assert_eq!(model.q.cols(), 12);
         assert!(model.train_rmse < 0.1);
     }

@@ -123,8 +123,11 @@ pub fn truncated_svd(a: &DenseMatrix, rank: usize, iters: usize, seed: u64) -> T
         let y = mat_vec(&work, &x);
         let s = norm(&y);
         sigma.push(s);
-        let uvec: Vec<f64> =
-            if s > 1e-14 { y.iter().map(|yi| yi / s).collect() } else { vec![0.0; rows] };
+        let uvec: Vec<f64> = if s > 1e-14 {
+            y.iter().map(|yi| yi / s).collect()
+        } else {
+            vec![0.0; rows]
+        };
         for i in 0..rows {
             u.set(i, k, uvec[i]);
         }
@@ -179,7 +182,10 @@ mod tests {
         let a = rank2_matrix();
         let svd = truncated_svd(&a, 2, 60, 1);
         let err = frobenius_diff(&a, &svd.reconstruct());
-        assert!(err < 1e-6, "rank-2 matrix should be exactly recovered, err = {err}");
+        assert!(
+            err < 1e-6,
+            "rank-2 matrix should be exactly recovered, err = {err}"
+        );
     }
 
     #[test]
@@ -187,7 +193,11 @@ mod tests {
         let a = rank2_matrix();
         let svd = truncated_svd(&a, 4, 60, 2);
         for w in svd.sigma.windows(2) {
-            assert!(w[0] >= w[1] - 1e-9, "sigma must be non-increasing: {:?}", svd.sigma);
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "sigma must be non-increasing: {:?}",
+                svd.sigma
+            );
         }
         assert!(svd.sigma[0] > 0.0);
         // Rank beyond the true rank collapses to ~0.

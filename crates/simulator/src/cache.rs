@@ -84,7 +84,9 @@ impl LlcPartition {
 
 impl FromIterator<(JobId, CacheAlloc)> for LlcPartition {
     fn from_iter<T: IntoIterator<Item = (JobId, CacheAlloc)>>(iter: T) -> Self {
-        LlcPartition { allocs: iter.into_iter().collect() }
+        LlcPartition {
+            allocs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -113,7 +115,11 @@ pub struct BandwidthModel {
 impl BandwidthModel {
     /// Builds the model from system parameters.
     pub fn new(params: &SystemParams) -> BandwidthModel {
-        BandwidthModel { capacity_gaps: params.memory_bandwidth_gaps, knee: 0.55, max_factor: 6.0 }
+        BandwidthModel {
+            capacity_gaps: params.memory_bandwidth_gaps,
+            knee: 0.55,
+            max_factor: 6.0,
+        }
     }
 
     /// Contention factor (extra fraction of DRAM latency) at the given total
@@ -187,8 +193,9 @@ mod tests {
 
     #[test]
     fn partition_collects_from_iterator() {
-        let p: LlcPartition =
-            [(JobId(0), CacheAlloc::One), (JobId(1), CacheAlloc::Two)].into_iter().collect();
+        let p: LlcPartition = [(JobId(0), CacheAlloc::One), (JobId(1), CacheAlloc::Two)]
+            .into_iter()
+            .collect();
         assert_eq!(p.total_ways(), 3.0);
     }
 }

@@ -21,9 +21,7 @@ use crate::profile::AppProfile;
 ///
 /// Job ids index the job table supplied to [`Chip::simulate_frame`]; a
 /// latency-critical service running on several cores is one job.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub usize);
 
 impl std::fmt::Display for JobId {
@@ -102,7 +100,10 @@ impl FrameResult {
 
     /// Total instructions executed on the chip during the frame.
     pub fn total_instructions(&self) -> f64 {
-        self.per_core_bips.iter().map(|b| b.get() * 1e6 * self.duration_ms).sum()
+        self.per_core_bips
+            .iter()
+            .map(|b| b.get() * 1e6 * self.duration_ms)
+            .sum()
     }
 }
 
@@ -196,7 +197,10 @@ impl Chip {
         );
         for c in cores {
             if let Some(job) = c.job() {
-                assert!(job.0 < profiles.len(), "assignment references unknown {job}");
+                assert!(
+                    job.0 < profiles.len(),
+                    "assignment references unknown {job}"
+                );
             }
         }
 
@@ -262,7 +266,9 @@ impl Chip {
                 continue;
             }
             let app = &profiles[job.0];
-            let traffic = self.perf.dram_traffic_gaps(app, per_job_bips[job.0], cache.ways());
+            let traffic = self
+                .perf
+                .dram_traffic_gaps(app, per_job_bips[job.0], cache.ways());
             let w = self.power.llc_watts(cache, traffic);
             per_job_watts[job.0] += w;
             chip_watts += w;
@@ -283,7 +289,10 @@ impl Chip {
     /// power across all supplied jobs running on reconfigurable cores at the
     /// widest configuration, scaled to the chip's core count.
     pub fn nominal_power_budget(&self, profiles: &[AppProfile]) -> Watts {
-        assert!(!profiles.is_empty(), "need at least one profile for a budget");
+        assert!(
+            !profiles.is_empty(),
+            "need at least one profile for a budget"
+        );
         let reconf = PowerModel::new(self.params, CoreKind::Reconfigurable);
         let total: f64 = profiles
             .iter()
@@ -306,8 +315,11 @@ mod tests {
 
     fn simple_setup() -> (Chip, Vec<AppProfile>, LlcPartition) {
         let chip = Chip::new(SystemParams::default(), CoreKind::Reconfigurable);
-        let profiles =
-            vec![AppProfile::balanced(), AppProfile::compute_bound(), AppProfile::memory_bound()];
+        let profiles = vec![
+            AppProfile::balanced(),
+            AppProfile::compute_bound(),
+            AppProfile::memory_bound(),
+        ];
         let partition: LlcPartition = (0..3).map(|i| (JobId(i), CacheAlloc::Two)).collect();
         (chip, profiles, partition)
     }
@@ -316,8 +328,14 @@ mod tests {
     fn frame_accounts_every_core() {
         let (chip, profiles, partition) = simple_setup();
         let cores = vec![
-            CoreState::Active { job: JobId(0), config: CoreConfig::widest() },
-            CoreState::Active { job: JobId(1), config: CoreConfig::narrowest() },
+            CoreState::Active {
+                job: JobId(0),
+                config: CoreConfig::widest(),
+            },
+            CoreState::Active {
+                job: JobId(1),
+                config: CoreConfig::narrowest(),
+            },
             CoreState::Gated,
             CoreState::Idle,
         ];
@@ -333,10 +351,19 @@ mod tests {
     #[test]
     fn multi_core_job_aggregates_throughput() {
         let (chip, profiles, partition) = simple_setup();
-        let one = vec![CoreState::Active { job: JobId(0), config: CoreConfig::widest() }];
+        let one = vec![CoreState::Active {
+            job: JobId(0),
+            config: CoreConfig::widest(),
+        }];
         let two = vec![
-            CoreState::Active { job: JobId(0), config: CoreConfig::widest() },
-            CoreState::Active { job: JobId(0), config: CoreConfig::widest() },
+            CoreState::Active {
+                job: JobId(0),
+                config: CoreConfig::widest(),
+            },
+            CoreState::Active {
+                job: JobId(0),
+                config: CoreConfig::widest(),
+            },
         ];
         let r1 = chip.simulate_frame(&one, &profiles, &partition, 1.0);
         let r2 = chip.simulate_frame(&two, &profiles, &partition, 1.0);
@@ -348,34 +375,55 @@ mod tests {
     fn chip_power_is_sum_of_parts() {
         let (chip, profiles, partition) = simple_setup();
         let cores = vec![
-            CoreState::Active { job: JobId(0), config: CoreConfig::widest() },
-            CoreState::Active { job: JobId(2), config: CoreConfig::widest() },
+            CoreState::Active {
+                job: JobId(0),
+                config: CoreConfig::widest(),
+            },
+            CoreState::Active {
+                job: JobId(2),
+                config: CoreConfig::widest(),
+            },
             CoreState::Gated,
         ];
         let r = chip.simulate_frame(&cores, &profiles, &partition, 100.0);
         let core_sum: f64 = r.per_core_watts.iter().map(|w| w.get()).sum();
-        assert!(r.chip_watts.get() > core_sum, "chip power must include LLC power");
+        assert!(
+            r.chip_watts.get() > core_sum,
+            "chip power must include LLC power"
+        );
     }
 
     #[test]
     fn saturating_the_chip_raises_contention() {
         let (chip, profiles, _) = simple_setup();
         let partition: LlcPartition = (0..3).map(|i| (JobId(i), CacheAlloc::Half)).collect();
-        let light = vec![CoreState::Active { job: JobId(2), config: CoreConfig::widest() }];
+        let light = vec![CoreState::Active {
+            job: JobId(2),
+            config: CoreConfig::widest(),
+        }];
         let heavy: Vec<CoreState> = (0..32)
-            .map(|_| CoreState::Active { job: JobId(2), config: CoreConfig::widest() })
+            .map(|_| CoreState::Active {
+                job: JobId(2),
+                config: CoreConfig::widest(),
+            })
             .collect();
         let r_light = chip.simulate_frame(&light, &profiles, &partition, 1.0);
         let r_heavy = chip.simulate_frame(&heavy, &profiles, &partition, 1.0);
         assert_eq!(r_light.contention, 0.0);
-        assert!(r_heavy.contention > 0.0, "32 memory-bound cores should contend");
+        assert!(
+            r_heavy.contention > 0.0,
+            "32 memory-bound cores should contend"
+        );
         assert!(r_heavy.per_core_bips[0].get() < r_light.per_core_bips[0].get());
     }
 
     #[test]
     fn instructions_scale_with_duration() {
         let (chip, profiles, partition) = simple_setup();
-        let cores = vec![CoreState::Active { job: JobId(0), config: CoreConfig::widest() }];
+        let cores = vec![CoreState::Active {
+            job: JobId(0),
+            config: CoreConfig::widest(),
+        }];
         let r1 = chip.simulate_frame(&cores, &profiles, &partition, 1.0);
         let r100 = chip.simulate_frame(&cores, &profiles, &partition, 100.0);
         let ratio = r100.core_instructions(0) / r1.core_instructions(0);
@@ -387,7 +435,10 @@ mod tests {
     #[should_panic(expected = "unknown job")]
     fn unknown_job_panics() {
         let (chip, profiles, partition) = simple_setup();
-        let cores = vec![CoreState::Active { job: JobId(9), config: CoreConfig::widest() }];
+        let cores = vec![CoreState::Active {
+            job: JobId(9),
+            config: CoreConfig::widest(),
+        }];
         let _ = chip.simulate_frame(&cores, &profiles, &partition, 1.0);
     }
 
@@ -404,7 +455,10 @@ mod tests {
         let params = SystemParams::default();
         let profiles = vec![AppProfile::balanced()];
         let partition: LlcPartition = [(JobId(0), CacheAlloc::Two)].into_iter().collect();
-        let cores = vec![CoreState::Active { job: JobId(0), config: CoreConfig::widest() }];
+        let cores = vec![CoreState::Active {
+            job: JobId(0),
+            config: CoreConfig::widest(),
+        }];
         let reconf = Chip::new(params, CoreKind::Reconfigurable)
             .simulate_frame(&cores, &profiles, &partition, 1.0);
         let fixed =

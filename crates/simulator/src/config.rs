@@ -160,7 +160,10 @@ impl CoreConfig {
     ///
     /// Panics if `index >= 27`.
     pub fn from_index(index: usize) -> CoreConfig {
-        assert!(index < NUM_CORE_CONFIGS, "core config index {index} out of range");
+        assert!(
+            index < NUM_CORE_CONFIGS,
+            "core config index {index} out of range"
+        );
         CoreConfig {
             fe: SectionWidth::from_index(index / 9),
             be: SectionWidth::from_index((index / 3) % 3),
@@ -227,8 +230,12 @@ pub enum CacheAlloc {
 
 impl CacheAlloc {
     /// All allocations in ascending order.
-    pub const ALL: [CacheAlloc; 4] =
-        [CacheAlloc::Half, CacheAlloc::One, CacheAlloc::Two, CacheAlloc::Four];
+    pub const ALL: [CacheAlloc; 4] = [
+        CacheAlloc::Half,
+        CacheAlloc::One,
+        CacheAlloc::Two,
+        CacheAlloc::Four,
+    ];
 
     /// The allocation in fractional ways.
     ///
@@ -307,7 +314,10 @@ impl JobConfig {
     ///
     /// Panics if `index >= 108`.
     pub fn from_index(index: usize) -> JobConfig {
-        assert!(index < NUM_JOB_CONFIGS, "job config index {index} out of range");
+        assert!(
+            index < NUM_JOB_CONFIGS,
+            "job config index {index} out of range"
+        );
         JobConfig {
             core: CoreConfig::from_index(index / NUM_CACHE_ALLOCS),
             cache: CacheAlloc::from_index(index % NUM_CACHE_ALLOCS),

@@ -69,7 +69,10 @@ impl DvfsLadder {
             });
             f -= 0.25;
         }
-        DvfsLadder { nominal_ghz: nominal, states }
+        DvfsLadder {
+            nominal_ghz: nominal,
+            states,
+        }
     }
 
     /// An idealized wide-margin ladder (older process nodes): voltage
@@ -121,7 +124,10 @@ impl DvfsModel {
     /// Builds the model for conventional fixed cores (DVFS is the
     /// alternative knob to reconfiguration, not an addition to it here).
     pub fn new(params: SystemParams) -> DvfsModel {
-        DvfsModel { params, power: PowerModel::new(params, CoreKind::Fixed) }
+        DvfsModel {
+            params,
+            power: PowerModel::new(params, CoreKind::Fixed),
+        }
     }
 
     /// IPC at `state`, accounting for the frequency-dependent memory-stall
@@ -206,7 +212,11 @@ mod tests {
 
     fn setup() -> (DvfsModel, DvfsLadder, DvfsLadder) {
         let params = SystemParams::default();
-        (DvfsModel::new(params), DvfsLadder::modern(&params), DvfsLadder::wide_margin(&params))
+        (
+            DvfsModel::new(params),
+            DvfsLadder::modern(&params),
+            DvfsLadder::wide_margin(&params),
+        )
     }
 
     #[test]
@@ -224,7 +234,10 @@ mod tests {
         let lowest_modern = modern.states().last().unwrap();
         let lowest_wide = wide.states().last().unwrap();
         assert_eq!(lowest_modern.voltage_ratio, 0.88, "margin floor must bind");
-        assert!(lowest_wide.voltage_ratio < 0.88, "wide-margin ladder keeps scaling");
+        assert!(
+            lowest_wide.voltage_ratio < 0.88,
+            "wide-margin ladder keeps scaling"
+        );
     }
 
     #[test]
@@ -233,10 +246,18 @@ mod tests {
         let app = AppProfile::balanced();
         let hi = modern.states()[0];
         let lo = *modern.states().last().unwrap();
-        let b_hi = model.bips(&app, CoreConfig::widest(), CacheAlloc::Two, hi).get();
-        let b_lo = model.bips(&app, CoreConfig::widest(), CacheAlloc::Two, lo).get();
-        let w_hi = model.watts(&app, CoreConfig::widest(), CacheAlloc::Two, hi).get();
-        let w_lo = model.watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo).get();
+        let b_hi = model
+            .bips(&app, CoreConfig::widest(), CacheAlloc::Two, hi)
+            .get();
+        let b_lo = model
+            .bips(&app, CoreConfig::widest(), CacheAlloc::Two, lo)
+            .get();
+        let w_hi = model
+            .watts(&app, CoreConfig::widest(), CacheAlloc::Two, hi)
+            .get();
+        let w_lo = model
+            .watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo)
+            .get();
         assert!(b_hi > b_lo);
         assert!(w_hi > w_lo);
     }
@@ -247,8 +268,12 @@ mod tests {
         let lo = *modern.states().last().unwrap();
         let hi = modern.states()[0];
         let ratio = |app: &AppProfile| {
-            model.bips(app, CoreConfig::widest(), CacheAlloc::Two, lo).get()
-                / model.bips(app, CoreConfig::widest(), CacheAlloc::Two, hi).get()
+            model
+                .bips(app, CoreConfig::widest(), CacheAlloc::Two, lo)
+                .get()
+                / model
+                    .bips(app, CoreConfig::widest(), CacheAlloc::Two, hi)
+                    .get()
         };
         assert!(
             ratio(&AppProfile::memory_bound()) > ratio(&AppProfile::compute_bound()),
@@ -262,9 +287,16 @@ mod tests {
         let app = AppProfile::balanced();
         let lo_m = *modern.states().last().unwrap();
         let lo_w = *wide.states().last().unwrap();
-        let w_m = model.watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo_m).get();
-        let w_w = model.watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo_w).get();
-        assert!(w_w < w_m, "the voltage floor must cost power at the ladder bottom");
+        let w_m = model
+            .watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo_m)
+            .get();
+        let w_w = model
+            .watts(&app, CoreConfig::widest(), CacheAlloc::Two, lo_w)
+            .get();
+        assert!(
+            w_w < w_m,
+            "the voltage floor must cost power at the ladder bottom"
+        );
     }
 
     #[test]

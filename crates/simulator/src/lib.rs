@@ -38,9 +38,12 @@ pub mod power;
 pub mod profile;
 
 pub use cache::{BandwidthModel, LlcPartition};
-pub use dvfs::{DvfsLadder, DvfsModel, DvfsState};
 pub use chip::{Chip, CoreAssignment, CoreState, FrameResult, JobId};
-pub use config::{CacheAlloc, CoreConfig, JobConfig, Section, SectionWidth, NUM_CACHE_ALLOCS, NUM_CORE_CONFIGS, NUM_JOB_CONFIGS};
+pub use config::{
+    CacheAlloc, CoreConfig, JobConfig, Section, SectionWidth, NUM_CACHE_ALLOCS, NUM_CORE_CONFIGS,
+    NUM_JOB_CONFIGS,
+};
+pub use dvfs::{DvfsLadder, DvfsModel, DvfsState};
 pub use metrics::{Bips, Millis, Watts};
 pub use params::SystemParams;
 pub use perf::PerfModel;

@@ -141,7 +141,11 @@ pub fn geometric_mean(values: &[Bips]) -> Bips {
         .iter()
         .map(|v| {
             let x = v.get();
-            if x <= 0.0 { f64::NEG_INFINITY } else { x.ln() }
+            if x <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                x.ln()
+            }
         })
         .sum();
     if log_sum.is_infinite() {

@@ -52,7 +52,10 @@ impl SystemParams {
     /// The 16-core homogeneous system used for the §III characterization
     /// (Fig. 1) and for finding each service's maximum load.
     pub fn paper_16core() -> SystemParams {
-        SystemParams { num_cores: 16, ..SystemParams::default() }
+        SystemParams {
+            num_cores: 16,
+            ..SystemParams::default()
+        }
     }
 
     /// Effective clock frequency of a reconfigurable core in GHz, after the

@@ -57,7 +57,10 @@ pub struct PerfModel {
 impl PerfModel {
     /// Creates a model with default calibration.
     pub fn new(params: SystemParams) -> PerfModel {
-        PerfModel { cal: PerfCalibration::default(), params }
+        PerfModel {
+            cal: PerfCalibration::default(),
+            params,
+        }
     }
 
     /// Creates a model with explicit calibration constants.
@@ -83,13 +86,7 @@ impl PerfModel {
     /// Memory CPI: exposed LLC hit latency plus DRAM misses amortized over
     /// the effective memory-level parallelism, inflated by bandwidth
     /// contention.
-    fn memory_cpi(
-        &self,
-        app: &AppProfile,
-        ls: SectionWidth,
-        ways: f64,
-        contention: f64,
-    ) -> f64 {
+    fn memory_cpi(&self, app: &AppProfile, ls: SectionWidth, ways: f64, contention: f64) -> f64 {
         let apki = app.llc_accesses_per_instr();
         let miss = app.llc_miss_rate(ways);
         // A narrower load/store queue tracks fewer outstanding misses, so it
@@ -120,12 +117,19 @@ impl PerfModel {
         let ipc = 1.0 / cpi;
         // Hard structural caps: the core cannot retire more micro-ops per
         // cycle than the narrowest of its fetch and issue widths.
-        ipc.min(f64::from(config.fe.lanes())).min(f64::from(config.be.lanes()))
+        ipc.min(f64::from(config.fe.lanes()))
+            .min(f64::from(config.be.lanes()))
     }
 
     /// Throughput on a *reconfigurable* core (pays the AnyCore frequency
     /// penalty), in BIPS.
-    pub fn bips(&self, app: &AppProfile, config: CoreConfig, cache: CacheAlloc, contention: f64) -> Bips {
+    pub fn bips(
+        &self,
+        app: &AppProfile,
+        config: CoreConfig,
+        cache: CacheAlloc,
+        contention: f64,
+    ) -> Bips {
         let ipc = self.ipc(app, config, cache.ways(), contention);
         Bips::new(ipc * self.params.reconfig_frequency_ghz())
     }
@@ -168,8 +172,11 @@ mod tests {
     #[test]
     fn widest_config_beats_narrowest_for_everyone() {
         let m = model();
-        for app in [AppProfile::balanced(), AppProfile::compute_bound(), AppProfile::memory_bound()]
-        {
+        for app in [
+            AppProfile::balanced(),
+            AppProfile::compute_bound(),
+            AppProfile::memory_bound(),
+        ] {
             let hi = m.ipc(&app, CoreConfig::widest(), 4.0, 0.0);
             let lo = m.ipc(&app, CoreConfig::narrowest(), 4.0, 0.0);
             assert!(hi > lo, "widest must dominate narrowest");
@@ -247,10 +254,18 @@ mod tests {
         let m = model();
         let app = AppProfile::memory_bound();
         let full = m.ipc(&app, CoreConfig::widest(), 4.0, 0.0);
-        let ls2 =
-            m.ipc(&app, CoreConfig::new(SectionWidth::Six, SectionWidth::Six, SectionWidth::Two), 4.0, 0.0);
-        let fe2 =
-            m.ipc(&app, CoreConfig::new(SectionWidth::Two, SectionWidth::Six, SectionWidth::Six), 4.0, 0.0);
+        let ls2 = m.ipc(
+            &app,
+            CoreConfig::new(SectionWidth::Six, SectionWidth::Six, SectionWidth::Two),
+            4.0,
+            0.0,
+        );
+        let fe2 = m.ipc(
+            &app,
+            CoreConfig::new(SectionWidth::Two, SectionWidth::Six, SectionWidth::Six),
+            4.0,
+            0.0,
+        );
         assert!(full - ls2 > full - fe2);
     }
 

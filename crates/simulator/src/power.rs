@@ -81,7 +81,11 @@ pub struct PowerModel {
 impl PowerModel {
     /// Creates a model for the given core kind with default calibration.
     pub fn new(params: SystemParams, kind: CoreKind) -> PowerModel {
-        PowerModel { params, cal: PowerCalibration::default(), kind }
+        PowerModel {
+            params,
+            cal: PowerCalibration::default(),
+            kind,
+        }
     }
 
     /// Creates a model with explicit calibration constants.
@@ -130,7 +134,8 @@ impl PowerModel {
         let mut leakage = self.cal.uncore_leakage;
         for (i, _section) in Section::ALL.iter().enumerate() {
             let width = Self::section_widths(config)[i];
-            dynamic += self.cal.section_dynamic[i] * width.fraction().powf(self.cal.width_exponent) * af;
+            dynamic +=
+                self.cal.section_dynamic[i] * width.fraction().powf(self.cal.width_exponent) * af;
             leakage += self.cal.section_leakage[i]
                 * (self.cal.leakage_floor + (1.0 - self.cal.leakage_floor) * width.fraction());
         }
@@ -250,8 +255,11 @@ mod tests {
     fn per_core_power_is_in_a_plausible_envelope() {
         // Fig. 1 shows ~20-60 W for 16 cores, i.e. roughly 1.5-4 W per core.
         let (perf, power, _) = models();
-        for app in [AppProfile::balanced(), AppProfile::compute_bound(), AppProfile::memory_bound()]
-        {
+        for app in [
+            AppProfile::balanced(),
+            AppProfile::compute_bound(),
+            AppProfile::memory_bound(),
+        ] {
             let ipc = perf.ipc(&app, CoreConfig::widest(), 2.0, 0.0);
             let w = power.core_watts(&app, CoreConfig::widest(), ipc).get();
             assert!((1.0..8.0).contains(&w), "unexpected per-core power {w}");

@@ -87,37 +87,121 @@ pub fn catalog() -> Vec<SpecBenchmark> {
     let b = |name, profile| SpecBenchmark { name, profile };
     vec![
         // --- branchy / front-end sensitive integer codes ---
-        b("perlbench", p(2.8, 0.85, 0.45, 0.30, 0.32, 0.060, 0.10, 1.6, 2.2, 1.05)),
-        b("gcc", p(2.4, 0.80, 0.40, 0.35, 0.34, 0.090, 0.18, 2.6, 2.5, 0.95)),
-        b("sjeng", p(2.2, 0.75, 0.50, 0.25, 0.26, 0.050, 0.08, 1.2, 1.8, 1.00)),
-        b("gobmk", p(2.0, 0.78, 0.48, 0.22, 0.28, 0.055, 0.09, 1.4, 1.9, 0.98)),
-        b("xalancbmk", p(2.3, 0.72, 0.42, 0.40, 0.36, 0.110, 0.16, 3.0, 2.8, 0.92)),
-        b("astar", p(1.9, 0.60, 0.38, 0.45, 0.38, 0.120, 0.20, 2.8, 2.4, 0.88)),
+        b(
+            "perlbench",
+            p(2.8, 0.85, 0.45, 0.30, 0.32, 0.060, 0.10, 1.6, 2.2, 1.05),
+        ),
+        b(
+            "gcc",
+            p(2.4, 0.80, 0.40, 0.35, 0.34, 0.090, 0.18, 2.6, 2.5, 0.95),
+        ),
+        b(
+            "sjeng",
+            p(2.2, 0.75, 0.50, 0.25, 0.26, 0.050, 0.08, 1.2, 1.8, 1.00),
+        ),
+        b(
+            "gobmk",
+            p(2.0, 0.78, 0.48, 0.22, 0.28, 0.055, 0.09, 1.4, 1.9, 0.98),
+        ),
+        b(
+            "xalancbmk",
+            p(2.3, 0.72, 0.42, 0.40, 0.36, 0.110, 0.16, 3.0, 2.8, 0.92),
+        ),
+        b(
+            "astar",
+            p(1.9, 0.60, 0.38, 0.45, 0.38, 0.120, 0.20, 2.8, 2.4, 0.88),
+        ),
         // --- compute-bound floating point ---
-        b("povray", p(4.6, 0.70, 0.92, 0.15, 0.16, 0.015, 0.04, 0.6, 1.6, 1.25)),
-        b("gamess", p(4.3, 0.60, 0.88, 0.18, 0.20, 0.020, 0.05, 0.7, 1.8, 1.20)),
-        b("namd", p(4.0, 0.50, 0.85, 0.22, 0.24, 0.025, 0.06, 0.9, 2.0, 1.18)),
-        b("gromacs", p(3.7, 0.52, 0.80, 0.25, 0.26, 0.030, 0.07, 1.0, 2.1, 1.12)),
-        b("calculix", p(3.5, 0.48, 0.78, 0.28, 0.27, 0.035, 0.08, 1.2, 2.2, 1.10)),
-        b("h264ref", p(3.8, 0.65, 0.82, 0.24, 0.25, 0.030, 0.06, 0.9, 2.0, 1.15)),
-        b("hmmer", p(3.6, 0.45, 0.84, 0.20, 0.28, 0.028, 0.05, 0.8, 1.9, 1.14)),
+        b(
+            "povray",
+            p(4.6, 0.70, 0.92, 0.15, 0.16, 0.015, 0.04, 0.6, 1.6, 1.25),
+        ),
+        b(
+            "gamess",
+            p(4.3, 0.60, 0.88, 0.18, 0.20, 0.020, 0.05, 0.7, 1.8, 1.20),
+        ),
+        b(
+            "namd",
+            p(4.0, 0.50, 0.85, 0.22, 0.24, 0.025, 0.06, 0.9, 2.0, 1.18),
+        ),
+        b(
+            "gromacs",
+            p(3.7, 0.52, 0.80, 0.25, 0.26, 0.030, 0.07, 1.0, 2.1, 1.12),
+        ),
+        b(
+            "calculix",
+            p(3.5, 0.48, 0.78, 0.28, 0.27, 0.035, 0.08, 1.2, 2.2, 1.10),
+        ),
+        b(
+            "h264ref",
+            p(3.8, 0.65, 0.82, 0.24, 0.25, 0.030, 0.06, 0.9, 2.0, 1.15),
+        ),
+        b(
+            "hmmer",
+            p(3.6, 0.45, 0.84, 0.20, 0.28, 0.028, 0.05, 0.8, 1.9, 1.14),
+        ),
         // --- memory-bound ---
-        b("mcf", p(1.1, 0.18, 0.22, 0.92, 0.44, 0.300, 0.42, 6.5, 5.5, 0.62)),
-        b("lbm", p(1.4, 0.15, 0.30, 0.88, 0.46, 0.260, 0.55, 8.0, 7.0, 0.70)),
-        b("libquantum", p(1.3, 0.12, 0.25, 0.90, 0.40, 0.280, 0.70, 10.0, 7.5, 0.65)),
-        b("milc", p(1.5, 0.20, 0.35, 0.80, 0.42, 0.220, 0.45, 6.0, 5.0, 0.72)),
-        b("soplex", p(1.7, 0.30, 0.40, 0.70, 0.38, 0.180, 0.30, 4.5, 4.0, 0.78)),
-        b("omnetpp", p(1.6, 0.40, 0.35, 0.65, 0.40, 0.160, 0.28, 4.0, 3.2, 0.80)),
-        b("GemsFDTD", p(1.8, 0.22, 0.45, 0.75, 0.41, 0.200, 0.38, 5.5, 5.2, 0.76)),
-        b("leslie3d", p(2.0, 0.25, 0.50, 0.68, 0.39, 0.170, 0.32, 4.8, 4.6, 0.82)),
-        b("bwaves", p(1.9, 0.18, 0.48, 0.72, 0.43, 0.190, 0.40, 5.8, 5.8, 0.75)),
+        b(
+            "mcf",
+            p(1.1, 0.18, 0.22, 0.92, 0.44, 0.300, 0.42, 6.5, 5.5, 0.62),
+        ),
+        b(
+            "lbm",
+            p(1.4, 0.15, 0.30, 0.88, 0.46, 0.260, 0.55, 8.0, 7.0, 0.70),
+        ),
+        b(
+            "libquantum",
+            p(1.3, 0.12, 0.25, 0.90, 0.40, 0.280, 0.70, 10.0, 7.5, 0.65),
+        ),
+        b(
+            "milc",
+            p(1.5, 0.20, 0.35, 0.80, 0.42, 0.220, 0.45, 6.0, 5.0, 0.72),
+        ),
+        b(
+            "soplex",
+            p(1.7, 0.30, 0.40, 0.70, 0.38, 0.180, 0.30, 4.5, 4.0, 0.78),
+        ),
+        b(
+            "omnetpp",
+            p(1.6, 0.40, 0.35, 0.65, 0.40, 0.160, 0.28, 4.0, 3.2, 0.80),
+        ),
+        b(
+            "GemsFDTD",
+            p(1.8, 0.22, 0.45, 0.75, 0.41, 0.200, 0.38, 5.5, 5.2, 0.76),
+        ),
+        b(
+            "leslie3d",
+            p(2.0, 0.25, 0.50, 0.68, 0.39, 0.170, 0.32, 4.8, 4.6, 0.82),
+        ),
+        b(
+            "bwaves",
+            p(1.9, 0.18, 0.48, 0.72, 0.43, 0.190, 0.40, 5.8, 5.8, 0.75),
+        ),
         // --- mixed behaviour ---
-        b("bzip2", p(2.6, 0.55, 0.55, 0.45, 0.33, 0.080, 0.14, 2.2, 2.6, 0.96)),
-        b("cactusADM", p(2.5, 0.35, 0.65, 0.55, 0.35, 0.100, 0.22, 3.2, 3.4, 0.90)),
-        b("zeusmp", p(2.7, 0.38, 0.68, 0.50, 0.34, 0.090, 0.18, 2.8, 3.0, 0.94)),
-        b("sphinx3", p(2.3, 0.58, 0.52, 0.52, 0.36, 0.120, 0.24, 3.4, 3.0, 0.88)),
-        b("wrf", p(2.9, 0.42, 0.70, 0.42, 0.32, 0.075, 0.15, 2.4, 2.8, 1.00)),
-        b("specrand", p(3.1, 0.30, 0.60, 0.30, 0.22, 0.040, 0.10, 1.5, 2.0, 1.02)),
+        b(
+            "bzip2",
+            p(2.6, 0.55, 0.55, 0.45, 0.33, 0.080, 0.14, 2.2, 2.6, 0.96),
+        ),
+        b(
+            "cactusADM",
+            p(2.5, 0.35, 0.65, 0.55, 0.35, 0.100, 0.22, 3.2, 3.4, 0.90),
+        ),
+        b(
+            "zeusmp",
+            p(2.7, 0.38, 0.68, 0.50, 0.34, 0.090, 0.18, 2.8, 3.0, 0.94),
+        ),
+        b(
+            "sphinx3",
+            p(2.3, 0.58, 0.52, 0.52, 0.36, 0.120, 0.24, 3.4, 3.0, 0.88),
+        ),
+        b(
+            "wrf",
+            p(2.9, 0.42, 0.70, 0.42, 0.32, 0.075, 0.15, 2.4, 2.8, 1.00),
+        ),
+        b(
+            "specrand",
+            p(3.1, 0.30, 0.60, 0.30, 0.22, 0.040, 0.10, 1.5, 2.0, 1.02),
+        ),
     ]
 }
 
@@ -189,7 +273,9 @@ pub fn testing_set() -> Vec<SpecBenchmark> {
 pub fn mix(size: usize, seed: u64) -> SpecMix {
     let testing = testing_set();
     let mut rng = StdRng::seed_from_u64(seed);
-    let apps = (0..size).map(|_| testing[rng.random_range(0..testing.len())]).collect();
+    let apps = (0..size)
+        .map(|_| testing[rng.random_range(0..testing.len())])
+        .collect();
     SpecMix { seed, apps }
 }
 
@@ -211,7 +297,9 @@ mod tests {
         let names: HashSet<_> = cat.iter().map(|b| b.name).collect();
         assert_eq!(names.len(), 28);
         for b in &cat {
-            b.profile.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            b.profile
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }
 
@@ -255,9 +343,14 @@ mod tests {
         let cat = catalog();
         let max_ilp = cat.iter().map(|b| b.profile.ilp).fold(0.0, f64::max);
         let min_ilp = cat.iter().map(|b| b.profile.ilp).fold(f64::MAX, f64::min);
-        assert!(max_ilp / min_ilp > 3.0, "catalog must span a wide ILP range");
-        let mem_bound =
-            cat.iter().filter(|b| b.profile.llc_miss_floor > 0.3).count();
+        assert!(
+            max_ilp / min_ilp > 3.0,
+            "catalog must span a wide ILP range"
+        );
+        let mem_bound = cat
+            .iter()
+            .filter(|b| b.profile.llc_miss_floor > 0.3)
+            .count();
         let cpu_bound = cat.iter().filter(|b| b.profile.ilp > 3.4).count();
         assert!(mem_bound >= 4);
         assert!(cpu_bound >= 4);

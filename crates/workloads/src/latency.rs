@@ -48,7 +48,12 @@ impl LcService {
 
     /// Reference IPC anchoring the service-rate scaling.
     fn reference_ipc(&self, perf: &PerfModel) -> f64 {
-        perf.ipc(&self.profile, CoreConfig::widest(), CacheAlloc::Four.ways(), 0.0)
+        perf.ipc(
+            &self.profile,
+            CoreConfig::widest(),
+            CacheAlloc::Four.ways(),
+            0.0,
+        )
     }
 
     /// Per-core service rate (requests per millisecond) at a configuration:
@@ -104,7 +109,8 @@ impl LcService {
         load: f64,
         contention: f64,
     ) -> Millis {
-        self.queue(perf, cores, config, cache, load, contention).p99_ms()
+        self.queue(perf, cores, config, cache, load, contention)
+            .p99_ms()
     }
 
     /// Whether the placement meets QoS.
@@ -117,7 +123,9 @@ impl LcService {
         load: f64,
         contention: f64,
     ) -> bool {
-        self.tail_latency_ms(perf, cores, config, cache, load, contention).get() <= self.qos_ms
+        self.tail_latency_ms(perf, cores, config, cache, load, contention)
+            .get()
+            <= self.qos_ms
     }
 }
 
@@ -241,7 +249,9 @@ mod tests {
         let qps: Vec<f64> = svcs.iter().map(|s| s.max_qps).collect();
         assert_eq!(qps, vec![22_000.0, 17_000.0, 8_000.0, 8_000.0, 24_000.0]);
         for s in &svcs {
-            s.profile.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            s.profile
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(s.qos_ms > 0.0);
         }
     }
@@ -301,8 +311,7 @@ mod tests {
         let perf = perf();
         for s in services() {
             let mid = CoreConfig::new(SectionWidth::Four, SectionWidth::Four, SectionWidth::Four);
-            let p99 =
-                s.tail_latency_ms(&perf, CALIBRATION_CORES, mid, CacheAlloc::One, 0.2, 0.0);
+            let p99 = s.tail_latency_ms(&perf, CALIBRATION_CORES, mid, CacheAlloc::One, 0.2, 0.0);
             assert!(
                 p99.get() <= s.qos_ms,
                 "{} should meet QoS at 20% load on {mid}: {p99}",
@@ -325,10 +334,12 @@ mod tests {
             .tail_latency_ms(&perf, 16, fe_narrow, CacheAlloc::Four, 0.8, 0.0)
             .get();
         assert!(x_ls > x_fe, "xapian should suffer more from LS narrowing");
-        let m_ls =
-            moses.tail_latency_ms(&perf, 16, ls_narrow, CacheAlloc::Four, 0.8, 0.0).get();
-        let m_fe =
-            moses.tail_latency_ms(&perf, 16, fe_narrow, CacheAlloc::Four, 0.8, 0.0).get();
+        let m_ls = moses
+            .tail_latency_ms(&perf, 16, ls_narrow, CacheAlloc::Four, 0.8, 0.0)
+            .get();
+        let m_fe = moses
+            .tail_latency_ms(&perf, 16, fe_narrow, CacheAlloc::Four, 0.8, 0.0)
+            .get();
         assert!(m_fe > m_ls, "moses should suffer more from FE narrowing");
     }
 
@@ -336,10 +347,8 @@ mod tests {
     fn more_cores_reduce_tail_latency() {
         let perf = perf();
         let s = service_by_name("masstree").unwrap();
-        let with_12 =
-            s.tail_latency_ms(&perf, 12, CoreConfig::widest(), CacheAlloc::Two, 0.6, 0.0);
-        let with_16 =
-            s.tail_latency_ms(&perf, 16, CoreConfig::widest(), CacheAlloc::Two, 0.6, 0.0);
+        let with_12 = s.tail_latency_ms(&perf, 12, CoreConfig::widest(), CacheAlloc::Two, 0.6, 0.0);
+        let with_16 = s.tail_latency_ms(&perf, 16, CoreConfig::widest(), CacheAlloc::Two, 0.6, 0.0);
         assert!(with_16.get() < with_12.get());
     }
 

@@ -72,7 +72,10 @@ impl LoadPattern {
                 }
                 load
             }
-            LoadPattern::Trace { interval_s, samples } => {
+            LoadPattern::Trace {
+                interval_s,
+                samples,
+            } => {
                 assert!(!samples.is_empty(), "trace needs at least one sample");
                 assert!(*interval_s > 0.0, "trace interval must be positive");
                 let pos = (t_s / interval_s).max(0.0);
@@ -84,7 +87,12 @@ impl LoadPattern {
                     samples[idx] * (1.0 - frac) + samples[idx + 1] * frac
                 }
             }
-            LoadPattern::Spike { base, peak, start_s, end_s } => {
+            LoadPattern::Spike {
+                base,
+                peak,
+                start_s,
+                end_s,
+            } => {
                 if t_s >= *start_s && t_s < *end_s {
                     *peak
                 } else {
@@ -98,19 +106,31 @@ impl LoadPattern {
     /// The Fig. 8(a) diurnal pattern: 20 % to 100 % over one second of
     /// simulated time.
     pub fn paper_diurnal() -> LoadPattern {
-        LoadPattern::Diurnal { min: 0.2, max: 1.0, period_s: 1.0 }
+        LoadPattern::Diurnal {
+            min: 0.2,
+            max: 1.0,
+            period_s: 1.0,
+        }
     }
 
     /// Builds a trace pattern from recorded samples.
     pub fn from_trace(interval_s: f64, samples: Vec<f64>) -> LoadPattern {
-        LoadPattern::Trace { interval_s, samples }
+        LoadPattern::Trace {
+            interval_s,
+            samples,
+        }
     }
 
     /// The Fig. 8(c) relocation spike: 20 % base load with a burst *past*
     /// the calibrated maximum (130 %) in `[0.3 s, 0.7 s)`, which no
     /// 16-core configuration can serve — forcing core relocation.
     pub fn paper_spike() -> LoadPattern {
-        LoadPattern::Spike { base: 0.2, peak: 1.3, start_s: 0.3, end_s: 0.7 }
+        LoadPattern::Spike {
+            base: 0.2,
+            peak: 1.3,
+            start_s: 0.3,
+            end_s: 0.7,
+        }
     }
 }
 

@@ -41,7 +41,11 @@ impl Oracle {
     /// indexed by [`JobConfig::index`].
     pub fn bips_row(&self, app: &AppProfile) -> Vec<f64> {
         JobConfig::all()
-            .map(|jc| self.chip.core_bips(app, jc.core, jc.cache.ways(), 0.0).get())
+            .map(|jc| {
+                self.chip
+                    .core_bips(app, jc.core, jc.cache.ways(), 0.0)
+                    .get()
+            })
             .collect()
     }
 
@@ -52,7 +56,10 @@ impl Oracle {
             .map(|jc| {
                 let ipc = self.chip.perf().ipc(app, jc.core, jc.cache.ways(), 0.0);
                 let bips = self.chip.core_bips(app, jc.core, jc.cache.ways(), 0.0);
-                self.chip.power().job_core_watts(app, jc.core, jc.cache, ipc, bips).get()
+                self.chip
+                    .power()
+                    .job_core_watts(app, jc.core, jc.cache, ipc, bips)
+                    .get()
             })
             .collect()
     }
@@ -71,20 +78,37 @@ impl Oracle {
 
     /// Single-configuration lookups, convenient for spot checks.
     pub fn bips_at(&self, app: &AppProfile, config: JobConfig) -> f64 {
-        self.chip.core_bips(app, config.core, config.cache.ways(), 0.0).get()
+        self.chip
+            .core_bips(app, config.core, config.cache.ways(), 0.0)
+            .get()
     }
 
     /// Per-core power of `app` at one configuration.
     pub fn power_at(&self, app: &AppProfile, config: JobConfig) -> f64 {
-        let ipc = self.chip.perf().ipc(app, config.core, config.cache.ways(), 0.0);
-        let bips = self.chip.core_bips(app, config.core, config.cache.ways(), 0.0);
-        self.chip.power().job_core_watts(app, config.core, config.cache, ipc, bips).get()
+        let ipc = self
+            .chip
+            .perf()
+            .ipc(app, config.core, config.cache.ways(), 0.0);
+        let bips = self
+            .chip
+            .core_bips(app, config.core, config.cache.ways(), 0.0);
+        self.chip
+            .power()
+            .job_core_watts(app, config.core, config.cache, ipc, bips)
+            .get()
     }
 
     /// Tail latency of `service` at one configuration.
     pub fn tail_at(&self, service: &LcService, cores: usize, load: f64, config: JobConfig) -> f64 {
         service
-            .tail_latency_ms(self.chip.perf(), cores, config.core, config.cache, load, 0.0)
+            .tail_latency_ms(
+                self.chip.perf(),
+                cores,
+                config.core,
+                config.cache,
+                load,
+                0.0,
+            )
             .get()
     }
 
@@ -99,7 +123,7 @@ mod tests {
     use super::*;
     use crate::latency;
     use simulator::power::CoreKind;
-    use simulator::{SystemParams};
+    use simulator::SystemParams;
 
     fn oracle() -> Oracle {
         Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable))

@@ -41,7 +41,12 @@ impl PhasedProfile {
 
     /// A drift-free wrapper (useful to disable phases in ablations).
     pub fn steady(base: AppProfile) -> PhasedProfile {
-        PhasedProfile { base, amplitude: 0.0, period_s: 1.0, phase_offset: 0.0 }
+        PhasedProfile {
+            base,
+            amplitude: 0.0,
+            period_s: 1.0,
+            phase_offset: 0.0,
+        }
     }
 
     /// The instantaneous profile at time `t_s`.

@@ -43,7 +43,11 @@ impl MmcQueue {
             arrival_rate_per_ms >= 0.0 && arrival_rate_per_ms.is_finite(),
             "arrival rate must be non-negative"
         );
-        MmcQueue { servers, service_rate_per_ms, arrival_rate_per_ms }
+        MmcQueue {
+            servers,
+            service_rate_per_ms,
+            arrival_rate_per_ms,
+        }
     }
 
     /// Offered load per server, ρ = λ / (kμ).
@@ -106,8 +110,7 @@ impl MmcQueue {
             let conv_tail = s_tail * (1.0 + mu * t_ms);
             return ((1.0 - pw) * s_tail + pw * conv_tail).clamp(0.0, 1.0);
         }
-        let conv_tail =
-            (theta * s_tail - mu * (-theta * t_ms).exp()) / (theta - mu);
+        let conv_tail = (theta * s_tail - mu * (-theta * t_ms).exp()) / (theta - mu);
         ((1.0 - pw) * s_tail + pw * conv_tail).clamp(0.0, 1.0)
     }
 

@@ -10,7 +10,8 @@
 
 use baselines::gating::GatingOrder;
 use cuttlesys::managers::{AsymmetricManager, AsymmetricMode, CoreGatingManager, NoGatingManager};
-use cuttlesys::testbed::{run_scenario, RunRecord, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::{RunRecord, Scenario};
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::loadgen::LoadPattern;
@@ -30,7 +31,10 @@ fn main() {
         cap: LoadPattern::Constant(0.6),
         ..Scenario::paper_default()
     };
-    let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+    let fixed = Scenario {
+        kind: CoreKind::Fixed,
+        ..scenario.clone()
+    };
     let qos = scenario.service.qos_ms;
 
     // The no-gating reference ignores the cap: it sets the 1.0x baseline.

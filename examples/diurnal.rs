@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release --example diurnal`
 
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use workloads::latency;
 use workloads::loadgen::LoadPattern;

@@ -7,7 +7,8 @@
 //!
 //! Run with: `cargo run --release --example overload_recovery`
 
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use workloads::loadgen::LoadPattern;
 

@@ -9,7 +9,8 @@
 
 use baselines::gating::GatingOrder;
 use cuttlesys::managers::CoreGatingManager;
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::latency;
@@ -24,7 +25,10 @@ fn main() {
             cap: LoadPattern::Constant(cap),
             ..Scenario::paper_default()
         };
-        let fixed = Scenario { kind: CoreKind::Fixed, ..scenario.clone() };
+        let fixed = Scenario {
+            kind: CoreKind::Fixed,
+            ..scenario.clone()
+        };
         let gating = {
             let mut m = CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, true);
             run_scenario(&fixed, &mut m)

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 
 fn main() {

@@ -3,18 +3,27 @@
 //! the open-loop vs closed-loop comparison.
 
 use cuttlesys::managers::FeedbackManager;
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::loadgen::LoadPattern;
 
 fn base() -> Scenario {
-    Scenario { duration_slices: 10, noise: 0.0, phases: false, ..Scenario::paper_default() }
+    Scenario {
+        duration_slices: 10,
+        noise: 0.0,
+        phases: false,
+        ..Scenario::paper_default()
+    }
 }
 
 #[test]
 fn diurnal_load_following_widens_and_narrows_the_service() {
-    let s = Scenario { load: LoadPattern::paper_diurnal(), ..base() };
+    let s = Scenario {
+        load: LoadPattern::paper_diurnal(),
+        ..base()
+    };
     let mut m = CuttleSysManager::for_scenario(&s);
     let record = run_scenario(&s, &mut m);
     assert_eq!(record.qos_violations(), 0, "{record:#?}");
@@ -73,15 +82,25 @@ fn trace_driven_load_is_followed() {
 #[test]
 fn feedback_controller_lags_cap_steps_where_cuttlesys_does_not() {
     let cap = LoadPattern::Steps(vec![(0.0, 0.9), (0.3, 0.6), (0.7, 0.9)]);
-    let s = Scenario { cap: cap.clone(), ..base() };
-    let fixed = Scenario { kind: CoreKind::Fixed, cap, ..base() };
+    let s = Scenario {
+        cap: cap.clone(),
+        ..base()
+    };
+    let fixed = Scenario {
+        kind: CoreKind::Fixed,
+        cap,
+        ..base()
+    };
     let pid = run_scenario(&fixed, &mut FeedbackManager::new(&fixed));
     let cuttle = {
         let mut m = CuttleSysManager::for_scenario(&s);
         run_scenario(&s, &mut m)
     };
-    let overs = |r: &cuttlesys::testbed::RunRecord| {
-        r.slices.iter().filter(|sl| sl.chip_watts > sl.cap_watts * 1.02).count()
+    let overs = |r: &cuttlesys::types::RunRecord| {
+        r.slices
+            .iter()
+            .filter(|sl| sl.chip_watts > sl.cap_watts * 1.02)
+            .count()
     };
     assert!(
         overs(&pid) > overs(&cuttle),
@@ -106,7 +125,10 @@ fn transition_costs_are_negligible_at_the_paper_quantum() {
         run_scenario(&costly, &mut m)
     };
     let ratio = b.batch_instructions() / a.batch_instructions();
-    assert!(ratio > 0.98, "100 us transitions must cost <2% at 100 ms quanta: {ratio}");
+    assert!(
+        ratio > 0.98,
+        "100 us transitions must cost <2% at 100 ms quanta: {ratio}"
+    );
 }
 
 #[test]
@@ -119,8 +141,16 @@ fn dvfs_ladder_integrates_with_the_batch_catalog() {
     for app in workloads::batch::catalog() {
         let frontier = model.frontier(&app.profile, simulator::CacheAlloc::Two, &ladder);
         for pair in frontier.windows(2) {
-            assert!(pair[0].0 >= pair[1].0 - 1e-9, "{}: bips not monotone", app.name);
-            assert!(pair[0].1 >= pair[1].1 - 1e-9, "{}: watts not monotone", app.name);
+            assert!(
+                pair[0].0 >= pair[1].0 - 1e-9,
+                "{}: bips not monotone",
+                app.name
+            );
+            assert!(
+                pair[0].1 >= pair[1].1 - 1e-9,
+                "{}: watts not monotone",
+                app.name
+            );
         }
     }
 }

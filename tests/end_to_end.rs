@@ -7,7 +7,8 @@ use cuttlesys::managers::{
     AsymmetricManager, AsymmetricMode, CoreGatingManager, FlickerManager, FlickerVariant,
     NoGatingManager,
 };
-use cuttlesys::testbed::{run_scenario, Scenario};
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
 use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::batch;
@@ -25,7 +26,10 @@ fn scenario(cap: f64) -> Scenario {
 }
 
 fn fixed(s: &Scenario) -> Scenario {
-    Scenario { kind: CoreKind::Fixed, ..s.clone() }
+    Scenario {
+        kind: CoreKind::Fixed,
+        ..s.clone()
+    }
 }
 
 #[test]
@@ -105,16 +109,25 @@ fn qos_holds_for_every_service_with_noise_and_phases() {
 
 #[test]
 fn flicker_profiling_destroys_the_tail_cuttlesys_does_not() {
-    let s = Scenario { noise: 0.03, phases: true, ..scenario(0.7) };
-    let flicker =
-        run_scenario(&s, &mut FlickerManager::new(&s, FlickerVariant::LcProfiled));
+    let s = Scenario {
+        noise: 0.03,
+        phases: true,
+        ..scenario(0.7)
+    };
+    let flicker = run_scenario(&s, &mut FlickerManager::new(&s, FlickerVariant::LcProfiled));
     let cuttle = {
         let mut m = CuttleSysManager::for_scenario(&s);
         run_scenario(&s, &mut m)
     };
     let qos = s.service.qos_ms;
-    assert!(flicker.worst_tail_ratio(qos) > 3.0, "flicker-a must blow the tail");
-    assert!(cuttle.worst_tail_ratio(qos) <= 1.0, "cuttlesys must hold QoS");
+    assert!(
+        flicker.worst_tail_ratio(qos) > 3.0,
+        "flicker-a must blow the tail"
+    );
+    assert!(
+        cuttle.worst_tail_ratio(qos) <= 1.0,
+        "cuttlesys must hold QoS"
+    );
 }
 
 #[test]
@@ -137,6 +150,21 @@ fn overload_triggers_relocation_and_recovery() {
 
 #[test]
 fn runs_are_deterministic_for_a_fixed_seed() {
+    // Wall-clock stage timings are measured from the host and legitimately
+    // vary between runs; every decision (and every telemetry work counter)
+    // must not.
+    fn strip_wall_clock(mut r: cuttlesys::types::RunRecord) -> cuttlesys::types::RunRecord {
+        for slice in &mut r.slices {
+            if let Some(t) = &mut slice.telemetry {
+                t.profile_wall_ms = 0.0;
+                t.reconstruct_wall_ms = 0.0;
+                t.qos_wall_ms = 0.0;
+                t.search_wall_ms = 0.0;
+                t.repair_wall_ms = 0.0;
+            }
+        }
+        r
+    }
     let s = scenario(0.7);
     let a = {
         let mut m = CuttleSysManager::for_scenario(&s);
@@ -146,13 +174,16 @@ fn runs_are_deterministic_for_a_fixed_seed() {
         let mut m = CuttleSysManager::for_scenario(&s);
         run_scenario(&s, &mut m)
     };
-    assert_eq!(a, b);
+    assert_eq!(strip_wall_clock(a), strip_wall_clock(b));
 }
 
 #[test]
 fn different_mixes_give_different_but_valid_runs() {
     let base = scenario(0.7);
-    let other = Scenario { mix: batch::mix(16, 999), ..base.clone() };
+    let other = Scenario {
+        mix: batch::mix(16, 999),
+        ..base.clone()
+    };
     let a = {
         let mut m = CuttleSysManager::for_scenario(&base);
         run_scenario(&base, &mut m)
@@ -171,14 +202,24 @@ fn every_manager_respects_the_slice_protocol() {
     let f = fixed(&s);
     let records = vec![
         run_scenario(&f, &mut NoGatingManager),
-        run_scenario(&f, &mut CoreGatingManager::new(&f, GatingOrder::DescendingPower, false)),
-        run_scenario(&f, &mut AsymmetricManager::new(&f, AsymmetricMode::FixedBig(16))),
+        run_scenario(
+            &f,
+            &mut CoreGatingManager::new(&f, GatingOrder::DescendingPower, false),
+        ),
+        run_scenario(
+            &f,
+            &mut AsymmetricManager::new(&f, AsymmetricMode::FixedBig(16)),
+        ),
         run_scenario(&s, &mut FlickerManager::new(&s, FlickerVariant::LcPinned)),
     ];
     for r in records {
         assert_eq!(r.slices.len(), s.duration_slices, "{}", r.scheme);
         for sl in &r.slices {
-            assert!(sl.total_instructions > 0.0, "{}: no work executed", r.scheme);
+            assert!(
+                sl.total_instructions > 0.0,
+                "{}: no work executed",
+                r.scheme
+            );
             assert!(sl.chip_watts > 0.0);
             assert_eq!(sl.batch_configs.len(), 16);
         }

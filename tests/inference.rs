@@ -14,7 +14,10 @@ fn oracle() -> Oracle {
 }
 
 fn mean_abs_pct(pred: &[f64], truth: &[f64]) -> f64 {
-    pred.iter().zip(truth).map(|(p, t)| 100.0 * (p - t).abs() / t).sum::<f64>()
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| 100.0 * (p - t).abs() / t)
+        .sum::<f64>()
         / truth.len() as f64
 }
 
@@ -53,12 +56,12 @@ fn sgd_beats_rbf_at_comparable_sample_budgets() {
         let truth = o.bips_row(&app.profile);
         let truth_w = o.power_row(&app.profile);
 
-        let xs: Vec<Vec<f64>> =
-            [hi, lo, mid].iter().map(|c| job_features(*c)).collect();
+        let xs: Vec<Vec<f64>> = [hi, lo, mid].iter().map(|c| job_features(*c)).collect();
         let ys: Vec<f64> = [hi, lo, mid].iter().map(|c| truth[c.index()]).collect();
         let rbf = RbfModel::fit(&xs, &ys).expect("3 samples fit");
-        let rbf_pred: Vec<f64> =
-            JobConfig::all().map(|c| rbf.predict(&job_features(c))).collect();
+        let rbf_pred: Vec<f64> = JobConfig::all()
+            .map(|c| rbf.predict(&job_features(c)))
+            .collect();
         rbf_total += mean_abs_pct(&rbf_pred, &truth);
 
         let mut m = JobMatrices::new(o, &training, 1);
@@ -91,8 +94,17 @@ fn hogwild_quality_matches_serial_on_oracle_data() {
         m.set(training.len() + i, lo, truth[lo]);
     }
     let logm = m.map(|v| v.ln());
-    let config = SgdConfig { max_iters: 80, ..SgdConfig::default() };
-    let serial = sgd::fit(&logm, &SgdConfig { convergence_tol: 0.0, ..config });
+    let config = SgdConfig {
+        max_iters: 80,
+        ..SgdConfig::default()
+    };
+    let serial = sgd::fit(
+        &logm,
+        &SgdConfig {
+            convergence_tol: 0.0,
+            ..config
+        },
+    );
     let parallel = hogwild::fit_parallel(&logm, &config, 4);
     // The dense training rows make every worker hammer the same column
     // factors, so the race penalty is larger than on sparse data; the
@@ -127,9 +139,8 @@ fn log_transform_is_the_right_space_for_tails() {
     // linear-space completion.
     let rows = 12;
     let cols = 40;
-    let truth = |r: usize, c: usize| {
-        0.5 * (1.0 + 0.2 * (r as f64 * 0.7).sin()) * (0.12 * c as f64).exp()
-    };
+    let truth =
+        |r: usize, c: usize| 0.5 * (1.0 + 0.2 * (r as f64 * 0.7).sin()) * (0.12 * c as f64).exp();
     let mut m = RatingMatrix::new(rows, cols);
     for r in 0..10 {
         for c in 0..cols {
@@ -152,5 +163,8 @@ fn log_transform_is_the_right_space_for_tails() {
         }
         total
     };
-    assert!(err(&log_out) < err(&lin_out), "log space should win on exponentials");
+    assert!(
+        err(&log_out) < err(&lin_out),
+        "log space should win on exponentials"
+    );
 }

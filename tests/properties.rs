@@ -1,7 +1,13 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning the simulator, queueing, search, and inference crates.
+//!
+//! The harness is a deterministic seeded-input loop (crates.io — and hence
+//! `proptest` — is unavailable in the build container): each property runs
+//! against `CASES` pseudo-random inputs from a fixed seed, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use recsys::{RatingMatrix, Reconstructor, ValueTransform};
 use simulator::power::CoreKind;
 use simulator::{
@@ -10,119 +16,142 @@ use simulator::{
 };
 use workloads::queueing::MmcQueue;
 
-/// A generator of valid application profiles spanning the calibrated space.
-fn arb_profile() -> impl Strategy<Value = AppProfile> {
-    (
-        0.5..5.5f64,
-        0.0..1.0f64,
-        0.0..1.0f64,
-        0.0..1.0f64,
-        0.05..0.6f64,
-        0.005..0.5f64,
-        (0.0..0.9f64, 0.2..12.0f64, 1.0..9.0f64, 0.4..1.4f64),
-    )
-        .prop_map(|(ilp, fe, be, ls, mem, l1m, (floor, ws, mlp, act))| AppProfile {
-            ilp,
-            fe_sensitivity: fe,
-            be_sensitivity: be,
-            ls_sensitivity: ls,
-            mem_fraction: mem,
-            l1_miss_rate: l1m,
-            llc_miss_floor: floor,
-            llc_working_set_ways: ws,
-            mlp,
-            activity: act,
-        })
+/// Cases per property; inputs are drawn from a per-property fixed seed.
+const CASES: usize = 128;
+
+fn rng_for(property: &str) -> StdRng {
+    // Stable per-property stream: hash the name into the master seed.
+    let tag = property
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    StdRng::seed_from_u64(0xC0FFEE ^ tag)
 }
 
-proptest! {
-    #[test]
-    fn job_config_index_roundtrips(idx in 0..NUM_JOB_CONFIGS) {
-        let jc = JobConfig::from_index(idx);
-        prop_assert_eq!(jc.index(), idx);
+/// A valid application profile spanning the calibrated space.
+fn arb_profile(rng: &mut StdRng) -> AppProfile {
+    AppProfile {
+        ilp: rng.random_range(0.5..5.5),
+        fe_sensitivity: rng.random_range(0.0..1.0),
+        be_sensitivity: rng.random_range(0.0..1.0),
+        ls_sensitivity: rng.random_range(0.0..1.0),
+        mem_fraction: rng.random_range(0.05..0.6),
+        l1_miss_rate: rng.random_range(0.005..0.5),
+        llc_miss_floor: rng.random_range(0.0..0.9),
+        llc_working_set_ways: rng.random_range(0.2..12.0),
+        mlp: rng.random_range(1.0..9.0),
+        activity: rng.random_range(0.4..1.4),
     }
+}
 
-    #[test]
-    fn generated_profiles_validate(profile in arb_profile()) {
-        prop_assert!(profile.validate().is_ok());
-    }
-
-    #[test]
-    fn ipc_is_positive_and_within_structural_caps(
-        profile in arb_profile(),
-        idx in 0..NUM_JOB_CONFIGS,
-        contention in 0.0..6.0f64,
-    ) {
-        let perf = PerfModel::new(SystemParams::default());
+#[test]
+fn job_config_index_roundtrips() {
+    for idx in 0..NUM_JOB_CONFIGS {
         let jc = JobConfig::from_index(idx);
+        assert_eq!(jc.index(), idx);
+    }
+}
+
+#[test]
+fn generated_profiles_validate() {
+    let mut rng = rng_for("generated_profiles_validate");
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        assert!(
+            profile.validate().is_ok(),
+            "profile failed validation: {profile:?}"
+        );
+    }
+}
+
+#[test]
+fn ipc_is_positive_and_within_structural_caps() {
+    let mut rng = rng_for("ipc_is_positive_and_within_structural_caps");
+    let perf = PerfModel::new(SystemParams::default());
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let jc = JobConfig::from_index(rng.random_range(0..NUM_JOB_CONFIGS));
+        let contention = rng.random_range(0.0..6.0);
         let ipc = perf.ipc(&profile, jc.core, jc.cache.ways(), contention);
-        prop_assert!(ipc > 0.0);
-        prop_assert!(ipc <= f64::from(jc.core.fe.lanes()) + 1e-9);
-        prop_assert!(ipc <= f64::from(jc.core.be.lanes()) + 1e-9);
+        assert!(ipc > 0.0);
+        assert!(ipc <= f64::from(jc.core.fe.lanes()) + 1e-9);
+        assert!(ipc <= f64::from(jc.core.be.lanes()) + 1e-9);
     }
+}
 
-    #[test]
-    fn widest_config_dominates_every_other(
-        profile in arb_profile(),
-        idx in 0..NUM_JOB_CONFIGS,
-    ) {
-        let perf = PerfModel::new(SystemParams::default());
-        let jc = JobConfig::from_index(idx);
+#[test]
+fn widest_config_dominates_every_other() {
+    let mut rng = rng_for("widest_config_dominates_every_other");
+    let perf = PerfModel::new(SystemParams::default());
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let jc = JobConfig::from_index(rng.random_range(0..NUM_JOB_CONFIGS));
         let this = perf.ipc(&profile, jc.core, jc.cache.ways(), 0.0);
         let widest = perf.ipc(&profile, CoreConfig::widest(), CacheAlloc::Four.ways(), 0.0);
-        prop_assert!(widest >= this - 1e-9);
+        assert!(widest >= this - 1e-9, "widest {widest} < {this} at {jc:?}");
     }
+}
 
-    #[test]
-    fn power_is_positive_and_increases_with_width(
-        profile in arb_profile(),
-        ipc in 0.0..6.0f64,
-    ) {
-        let power = PowerModel::new(SystemParams::default(), CoreKind::Reconfigurable);
-        let narrow = power.core_watts(&profile, CoreConfig::narrowest(), ipc).get();
+#[test]
+fn power_is_positive_and_increases_with_width() {
+    let mut rng = rng_for("power_is_positive_and_increases_with_width");
+    let power = PowerModel::new(SystemParams::default(), CoreKind::Reconfigurable);
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let ipc = rng.random_range(0.0..6.0);
+        let narrow = power
+            .core_watts(&profile, CoreConfig::narrowest(), ipc)
+            .get();
         let wide = power.core_watts(&profile, CoreConfig::widest(), ipc).get();
-        prop_assert!(narrow > 0.0);
-        prop_assert!(wide > narrow);
+        assert!(narrow > 0.0);
+        assert!(wide > narrow);
     }
+}
 
-    #[test]
-    fn contention_never_helps(
-        profile in arb_profile(),
-        idx in 0..NUM_JOB_CONFIGS,
-        c1 in 0.0..3.0f64,
-        c2 in 0.0..3.0f64,
-    ) {
-        let perf = PerfModel::new(SystemParams::default());
-        let jc = JobConfig::from_index(idx);
+#[test]
+fn contention_never_helps() {
+    let mut rng = rng_for("contention_never_helps");
+    let perf = PerfModel::new(SystemParams::default());
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut rng);
+        let jc = JobConfig::from_index(rng.random_range(0..NUM_JOB_CONFIGS));
+        let (c1, c2) = (rng.random_range(0.0..3.0), rng.random_range(0.0..3.0));
         let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
         let ipc_lo = perf.ipc(&profile, jc.core, jc.cache.ways(), lo);
         let ipc_hi = perf.ipc(&profile, jc.core, jc.cache.ways(), hi);
-        prop_assert!(ipc_hi <= ipc_lo + 1e-12);
+        assert!(ipc_hi <= ipc_lo + 1e-12);
     }
+}
 
-    #[test]
-    fn queue_p99_exceeds_median_and_grows_with_load(
-        servers in 1usize..32,
-        mu in 0.1..5.0f64,
-        rho1 in 0.05..0.9f64,
-        rho2 in 0.05..0.9f64,
-    ) {
-        let (lo, hi) = if rho1 <= rho2 { (rho1, rho2) } else { (rho2, rho1) };
+#[test]
+fn queue_p99_exceeds_median_and_grows_with_load() {
+    let mut rng = rng_for("queue_p99_exceeds_median_and_grows_with_load");
+    for _ in 0..CASES {
+        let servers = rng.random_range(1..32);
+        let mu = rng.random_range(0.1..5.0);
+        let (rho1, rho2) = (rng.random_range(0.05..0.9), rng.random_range(0.05..0.9));
+        let (lo, hi) = if rho1 <= rho2 {
+            (rho1, rho2)
+        } else {
+            (rho2, rho1)
+        };
         let k = servers as f64;
         let q_lo = MmcQueue::new(servers, mu, lo * k * mu);
         let q_hi = MmcQueue::new(servers, mu, hi * k * mu);
-        prop_assert!(q_hi.p99_ms().get() >= q_lo.p99_ms().get() - 1e-9);
-        prop_assert!(q_lo.p99_ms().get() >= q_lo.response_quantile(0.5).get());
+        assert!(q_hi.p99_ms().get() >= q_lo.p99_ms().get() - 1e-9);
+        assert!(q_lo.p99_ms().get() >= q_lo.response_quantile(0.5).get());
     }
+}
 
-    #[test]
-    fn frame_power_and_instructions_are_consistent(
-        profile in arb_profile(),
-        idx in 0..NUM_JOB_CONFIGS,
-        ms in 0.5..100.0f64,
-    ) {
-        let chip = Chip::new(SystemParams::default(), CoreKind::Reconfigurable);
-        let jc = JobConfig::from_index(idx);
+#[test]
+fn frame_power_and_instructions_are_consistent() {
+    let mut rng = rng_for("frame_power_and_instructions_are_consistent");
+    let chip = Chip::new(SystemParams::default(), CoreKind::Reconfigurable);
+    // Frame simulation is the hot path; a reduced case count keeps the test
+    // under a second without losing input diversity.
+    for _ in 0..CASES / 4 {
+        let profile = arb_profile(&mut rng);
+        let jc = JobConfig::from_index(rng.random_range(0..NUM_JOB_CONFIGS));
+        let ms = rng.random_range(0.5..100.0);
         let cores = vec![simulator::CoreState::Active {
             job: simulator::JobId(0),
             config: jc.core,
@@ -130,18 +159,20 @@ proptest! {
         let partition: simulator::LlcPartition =
             [(simulator::JobId(0), jc.cache)].into_iter().collect();
         let r = chip.simulate_frame(&cores, &[profile], &partition, ms);
-        prop_assert!(r.chip_watts.get() > 0.0);
-        prop_assert!(r.total_instructions() > 0.0);
+        assert!(r.chip_watts.get() > 0.0);
+        assert!(r.total_instructions() > 0.0);
         // Instructions scale linearly with duration.
         let r2 = chip.simulate_frame(&cores, &[profile], &partition, ms * 2.0);
         let ratio = r2.total_instructions() / r.total_instructions();
-        prop_assert!((ratio - 2.0).abs() < 1e-6);
+        assert!((ratio - 2.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn completion_preserves_observations_and_stays_finite(
-        seed_vals in proptest::collection::vec(0.5..10.0f64, 24),
-    ) {
+#[test]
+fn completion_preserves_observations_and_stays_finite() {
+    let mut rng = rng_for("completion_preserves_observations_and_stays_finite");
+    for _ in 0..CASES / 8 {
+        let seed_vals: Vec<f64> = (0..19).map(|_| rng.random_range(0.5..10.0)).collect();
         // 4 dense rows, 2 sparse rows over 4 columns.
         let mut m = RatingMatrix::new(6, 4);
         for (i, v) in seed_vals.iter().take(16).enumerate() {
@@ -152,22 +183,24 @@ proptest! {
         m.set(5, 1, seed_vals[18]);
         let out = Reconstructor::default().complete(&m, ValueTransform::Log);
         for (r, c, v) in m.observed() {
-            prop_assert_eq!(out.get(r, c), v);
+            assert_eq!(out.get(r, c), v);
         }
         for r in 0..6 {
             for c in 0..4 {
-                prop_assert!(out.get(r, c).is_finite());
-                prop_assert!(out.get(r, c) > 0.0);
+                assert!(out.get(r, c).is_finite());
+                assert!(out.get(r, c) > 0.0);
             }
         }
     }
+}
 
-    #[test]
-    fn dds_results_are_always_in_bounds(
-        dims in 1usize..20,
-        choices in 1usize..200,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn dds_results_are_always_in_bounds() {
+    let mut rng = rng_for("dds_results_are_always_in_bounds");
+    for _ in 0..CASES / 4 {
+        let dims = rng.random_range(1..20);
+        let choices = rng.random_range(1..200);
+        let seed = rng.random_range(0..1000) as u64;
         let space = dds::SearchSpace::new(dims, choices);
         let objective = move |x: &[usize]| -(x.iter().sum::<usize>() as f64);
         let params = dds::serial::DdsParams {
@@ -177,15 +210,20 @@ proptest! {
             ..Default::default()
         };
         let result = dds::serial::search(&space, &objective, &params);
-        prop_assert!(space.contains(&result.best_point));
+        assert!(space.contains(&result.best_point));
     }
+}
 
-    #[test]
-    fn reflection_maps_any_value_into_range(
-        choices in 1usize..500,
-        value in -1e4..1e4f64,
-    ) {
+#[test]
+fn reflection_maps_any_value_into_range() {
+    let mut rng = rng_for("reflection_maps_any_value_into_range");
+    for _ in 0..CASES {
+        let choices = rng.random_range(1..500);
+        let value = rng.random_range(-1e4..1e4);
         let space = dds::SearchSpace::new(1, choices);
-        prop_assert!(space.reflect(value) < choices);
+        assert!(
+            space.reflect(value) < choices,
+            "reflect({value}) out of range"
+        );
     }
 }

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the workspace's benches use —
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples measurement loop. Statistical machinery (outlier
+//! classification, regression reports) is intentionally absent; the numbers
+//! printed are wall-clock medians, which is all the repo's Table II-style
+//! comparisons need.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs the timed closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_count` samples of batched runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration pass: size batches so one sample costs ~10 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Identifies a parameterized benchmark, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+fn run_one(label: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut b);
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let (lo, hi) = (
+        b.samples.first().copied().unwrap_or_default(),
+        b.samples.last().copied().unwrap_or_default(),
+    );
+    println!("{label:<40} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within the group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id), self.sample_count, f);
+    }
+
+    /// Benchmarks a closure with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.sample_count,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Criterion {
+    fn samples(&self) -> usize {
+        if self.sample_count == 0 {
+            20
+        } else {
+            self.sample_count
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(id, self.samples(), f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_count = self.samples();
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

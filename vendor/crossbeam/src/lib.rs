@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for structured fork-join
+//! parallelism (parallel DDS threads, Hogwild SGD workers, the three-matrix
+//! reconstruction driver). `std::thread::scope` has provided the same
+//! guarantee — borrowing non-`'static` data across spawned threads — since
+//! Rust 1.63, so this crate is a thin signature adapter over it.
+
+use std::any::Any;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`: spawn closures
+/// receive a scope reference (which this workspace ignores as `|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, mirroring `crossbeam`'s `ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (so nested
+    /// spawns remain possible) exactly as in `crossbeam`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads, mirroring
+/// `crossbeam::scope`. All spawned threads are joined before this returns.
+///
+/// Unlike `crossbeam`, an unjoined panicking child propagates its panic when
+/// the scope closes instead of surfacing through the `Err` variant; every
+/// call site in this workspace joins explicitly, so the difference is
+/// unobservable here.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! this vendored crate provides the (small) API surface the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random_range`] over half-open `usize`/`f64` ranges. The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic for a
+//! given seed, statistically solid for simulation workloads, and with no
+//! promise of cross-version stream stability beyond this repository.
+
+use std::ops::Range;
+
+/// Types that can be constructed from a small integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-sampling interface the workspace consumes.
+pub trait RngExt {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngExt + ?Sized> RngExt for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Value types [`RngExt::random_range`] can sample uniformly.
+pub trait SampleRange: Sized + PartialOrd {
+    /// Draws a uniform sample from `range` (half-open).
+    fn sample<R: RngExt + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for usize {
+    fn sample<R: RngExt + ?Sized>(rng: &mut R, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift bounded sampling (Lemire); the rejection loop keeps
+        // the distribution exactly uniform.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone || zone == 0 {
+                return range.start + (v % span) as usize;
+            }
+        }
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample<R: RngExt + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // Floating-point rounding can land exactly on `end`; fold back.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but keep the guard explicit.
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn usize_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must cover 7 buckets");
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds_and_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn tiny_positive_lower_bound_is_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5);
+    }
+}

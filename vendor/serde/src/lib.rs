@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its record and config
+//! types so downstream tooling *could* serialize them, but nothing in-tree
+//! performs serialization. With crates.io unreachable from the build
+//! container, this crate keeps those derives compiling: the traits are
+//! blanket-implemented markers and the derive macros (re-exported from the
+//! vendored `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the lifetime parameter mirrors the real trait's signature).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate's `Serialize`/`Deserialize` traits carry
+//! blanket implementations, so the derives here only need to accept the
+//! attribute syntax and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the vendored trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the vendored trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
