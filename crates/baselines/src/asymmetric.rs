@@ -29,10 +29,10 @@ pub struct CoreChoice {
 pub struct AsymmetricInput {
     /// Total cores on the chip.
     pub num_cores: usize,
-    /// Cores occupied by the latency-critical service (always big cores).
+    /// Cores occupied by latency-critical tenants (always big cores).
     pub lc_cores: usize,
-    /// Per-core power of the latency-critical service on a big core (W).
-    pub lc_watts_per_core: f64,
+    /// Total power of the latency-critical tenants' cores (W).
+    pub lc_watts: f64,
     /// Each batch job's behaviour on the two core types.
     pub batch: Vec<CoreChoice>,
     /// Chip power budget (W).
@@ -99,7 +99,7 @@ pub fn plan_with_big_count(input: &AsymmetricInput, big: usize) -> Option<Asymme
         on_big[i] = true;
     }
 
-    let lc_watts = input.lc_cores as f64 * input.lc_watts_per_core;
+    let lc_watts = input.lc_watts;
     let per_job: Vec<(f64, f64)> = input
         .batch
         .iter()
@@ -174,7 +174,7 @@ mod tests {
         AsymmetricInput {
             num_cores: 8,
             lc_cores: 4,
-            lc_watts_per_core: 4.0,
+            lc_watts: 16.0,
             batch: vec![
                 CoreChoice {
                     bips_big: 4.0,

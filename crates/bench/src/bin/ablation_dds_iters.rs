@@ -21,7 +21,7 @@ fn main() {
     let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
     let training: Vec<_> = batch::training_set().iter().map(|b| b.profile).collect();
     let mix = batch::mix(16, 0xC0FFEE);
-    let mut matrices = JobMatrices::new(oracle, &training, 16);
+    let mut matrices = JobMatrices::new(oracle, &training, 1, 16);
     let hi = JobConfig::profiling_high().index();
     let lo = JobConfig::profiling_low().index();
     for (j, app) in mix.apps.iter().enumerate() {
@@ -30,7 +30,7 @@ fn main() {
         matrices.record_sample(1 + j, hi, b[hi], w[hi]);
         matrices.record_sample(1 + j, lo, b[lo], w[lo]);
     }
-    let preds = matrices.reconstruct(&Reconstructor::default(), 0.8);
+    let preds = matrices.reconstruct(&Reconstructor::default(), &[0.8]);
     let budget = 70.0;
     let bips = preds.batch_bips;
     let watts = preds.batch_watts;

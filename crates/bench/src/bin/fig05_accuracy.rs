@@ -66,12 +66,12 @@ fn isolation() {
 
     // 12 testing SPEC applications: throughput + power rows.
     for app in batch::testing_set() {
-        let mut m = JobMatrices::new(oracle, &training, 1);
+        let mut m = JobMatrices::new(oracle, &training, 1, 1);
         let b = oracle.bips_row(&app.profile);
         let w = oracle.power_row(&app.profile);
         m.record_sample(1, hi, b[hi], w[hi]);
         m.record_sample(1, lo, b[lo], w[lo]);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         tput_errors.extend(pct_errors(&preds.batch_bips[0], &b, &skip, None));
         power_errors.extend(pct_errors(&preds.batch_watts[0], &w, &skip, None));
     }
@@ -81,7 +81,7 @@ fn isolation() {
     // runtime.
     let mut verdicts = Vec::new();
     for svc in latency::services() {
-        let mut m = JobMatrices::new(oracle, &training, 1);
+        let mut m = JobMatrices::new(oracle, &training, 1, 1);
         let truth: Vec<f64> = oracle
             .tail_row(&svc, 16, 0.8)
             .into_iter()
@@ -91,16 +91,16 @@ fn isolation() {
         m.record_sample(0, hi, 0.0, w[hi]);
         m.record_sample(0, lo, 0.0, w[lo]);
         let seed_cfg = hi;
-        m.record_tail(0.8, seed_cfg, truth[seed_cfg]);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        m.record_tail(0, 0.8, 16, seed_cfg, truth[seed_cfg]);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         tail_errors.extend(pct_errors(
-            &preds.lc_tail,
+            &preds.lc[0].tail,
             &truth,
             &[seed_cfg],
             Some(TAIL_CEILING_MS),
         ));
-        power_errors.extend(pct_errors(&preds.lc_watts, &w, &skip, None));
-        verdicts.push(verdict_accuracy(&preds.lc_tail, &truth, svc.qos_ms));
+        power_errors.extend(pct_errors(&preds.lc[0].watts, &w, &skip, None));
+        verdicts.push(verdict_accuracy(&preds.lc[0].tail, &truth, svc.qos_ms));
     }
 
     let mut table = Table::new(
@@ -141,14 +141,12 @@ fn runtime(mixes: u64) {
         // Ground truth from the *base* profiles; runtime predictions chase
         // the drifting, contended, noisy reality.
         let truth_b: Vec<Vec<f64>> = scenario
-            .mix
-            .profiles()
+            .batch_profiles()
             .iter()
             .map(|p| oracle.bips_row(p))
             .collect();
         let truth_w: Vec<Vec<f64>> = scenario
-            .mix
-            .profiles()
+            .batch_profiles()
             .iter()
             .map(|p| oracle.power_row(p))
             .collect();
@@ -167,7 +165,7 @@ fn runtime(mixes: u64) {
             power_errors.extend(pct_errors(&preds.batch_watts[j], &truth_w[j], &[], None));
         }
         tail_errors.extend(pct_errors(
-            &preds.lc_tail,
+            &preds.lc[0].tail,
             &truth_tail,
             &[],
             Some(TAIL_CEILING_MS),

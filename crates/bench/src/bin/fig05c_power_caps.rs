@@ -3,11 +3,12 @@
 //! partitioning), the oracle-like asymmetric multicore, the fixed 50-50
 //! asymmetric multicore, and CuttleSys.
 //!
-//! Usage: `fig05c_power_caps [mixes_per_service]` (default 2; the paper
-//! uses 10 → 50 co-locations).
+//! Usage: `fig05c_power_caps [mixes_per_service] [--json <path>]` (default
+//! 2 mixes; the paper uses 10 → 50 co-locations). `--json` additionally
+//! writes the table to the given path (e.g. `results/fig05c.json`).
 
 use baselines::gating::GatingOrder;
-use bench::report::ratio;
+use bench::report::{emit_json, ratio, take_json_flag};
 use bench::{colocations, standard_scenario, Table, POWER_CAPS};
 use cuttlesys::managers::{AsymmetricManager, AsymmetricMode, CoreGatingManager, NoGatingManager};
 use cuttlesys::testbed::run_scenario;
@@ -68,10 +69,8 @@ fn run(scenario: &Scenario, scheme: &str) -> RunRecord {
 }
 
 fn main() {
-    let mixes: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2);
+    let (json_path, args) = take_json_flag(std::env::args().skip(1).collect());
+    let mixes: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(2);
     let schemes = [
         "core-gating",
         "core-gating+wp",
@@ -114,7 +113,7 @@ fn main() {
                         .slices
                         .iter()
                         .skip(1)
-                        .filter(|s| s.qos_violation)
+                        .filter(|s| s.qos_violation())
                         .count();
                 }
             }
@@ -125,6 +124,10 @@ fn main() {
         table.row(cells);
     }
     table.print();
+    if let Some(path) = json_path {
+        emit_json(&path, &table.to_json()).expect("write JSON report");
+        println!("JSON report written to {}", path.display());
+    }
 
     println!("Paper shape targets: CuttleSys loses at the 90% cap, beats core-gating by");
     println!("up to ~2.5-2.65x and the oracle asymmetric multicore by up to ~1.55x at 50%.");

@@ -7,8 +7,10 @@
 //! latency relative to QoS, batch throughput (geo-mean BIPS), chip power vs
 //! budget, the LC core configuration, and (for c) the LC core count.
 //!
-//! Usage: `fig08_dynamics [--scenario load|power|relocation] [slices]`
+//! Usage: `fig08_dynamics [--scenario load|power|relocation] [--json <path>]
+//! [slices]` — `--json` writes every table produced to one JSON array.
 
+use bench::report::{emit_json, take_json_flag, JsonValue};
 use bench::Table;
 use cuttlesys::testbed::run_scenario;
 use cuttlesys::types::Scenario;
@@ -19,34 +21,34 @@ use workloads::loadgen::LoadPattern;
 fn scenario(kind: &str, slices: usize) -> Scenario {
     let svc = latency::service_by_name("xapian").expect("xapian exists");
     let base = Scenario {
-        service: svc,
         duration_slices: slices,
         ..Scenario::paper_default()
-    };
+    }
+    .with_service(svc);
     match kind {
         // (a) diurnal load, constant 70% cap.
         "load" => Scenario {
-            load: LoadPattern::paper_diurnal(),
             cap: LoadPattern::Constant(0.7),
             ..base
-        },
+        }
+        .with_load(LoadPattern::paper_diurnal()),
         // (b) constant 80% load, cap 90% -> 60% at t=0.3s -> 90% at t=0.7s.
         "power" => Scenario {
-            load: LoadPattern::Constant(0.8),
             cap: LoadPattern::Steps(vec![(0.0, 0.9), (0.3, 0.6), (0.7, 0.9)]),
             ..base
-        },
+        }
+        .with_load(LoadPattern::Constant(0.8)),
         // (c) load spike driving core relocation, constant 70% cap.
         "relocation" => Scenario {
-            load: LoadPattern::paper_spike(),
             cap: LoadPattern::Constant(0.7),
             ..base
-        },
+        }
+        .with_load(LoadPattern::paper_spike()),
         other => panic!("unknown scenario {other} (use load|power|relocation)"),
     }
 }
 
-fn run(kind: &str, slices: usize) {
+fn run(kind: &str, slices: usize) -> Table {
     let s = scenario(kind, slices);
     let mut manager = CuttleSysManager::for_scenario(&s);
     let record = run_scenario(&s, &mut manager);
@@ -68,15 +70,16 @@ fn run(kind: &str, slices: usize) {
         ],
     );
     for sl in &record.slices {
+        let lc = sl.primary_lc();
         table.row(vec![
             format!("{:.1}", sl.t_s),
-            format!("{:.0}%", sl.load * 100.0),
-            format!("{:.2}", sl.tail_ms / s.service.qos_ms),
+            format!("{:.0}%", lc.load * 100.0),
+            format!("{:.2}", lc.tail_ms / lc.qos_ms),
             format!("{:.2}", sl.batch_gmean_bips),
             format!("{:.1}", sl.chip_watts),
             format!("{:.1}", sl.cap_watts),
-            sl.lc_cores.to_string(),
-            sl.lc_config.to_string(),
+            sl.lc_cores().to_string(),
+            sl.lc_config().to_string(),
         ]);
     }
     table.print();
@@ -87,10 +90,11 @@ fn run(kind: &str, slices: usize) {
         record.power_violations(),
         record.slices.len()
     );
+    table
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (json_path, args) = take_json_flag(std::env::args().skip(1).collect());
     let kind = args
         .iter()
         .position(|a| a == "--scenario")
@@ -98,11 +102,14 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
     let slices: usize = args.last().and_then(|a| a.parse().ok()).unwrap_or(10);
-    if kind == "all" {
-        for k in ["load", "power", "relocation"] {
-            run(k, slices);
-        }
+    let kinds: Vec<&str> = if kind == "all" {
+        vec!["load", "power", "relocation"]
     } else {
-        run(kind, slices);
+        vec![kind]
+    };
+    let tables: Vec<JsonValue> = kinds.iter().map(|k| run(k, slices).to_json()).collect();
+    if let Some(path) = json_path {
+        emit_json(&path, &JsonValue::Arr(tables)).expect("write JSON report");
+        println!("JSON report written to {}", path.display());
     }
 }

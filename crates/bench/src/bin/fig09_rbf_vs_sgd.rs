@@ -74,10 +74,10 @@ fn main() {
         rbf_power.extend(pct_errors(&pred_w, &truth_w, &sample_idx));
 
         // SGD on two samples, as at runtime.
-        let mut m = JobMatrices::new(oracle, &training, 1);
+        let mut m = JobMatrices::new(oracle, &training, 1, 1);
         m.record_sample(1, hi, truth_b[hi], truth_w[hi]);
         m.record_sample(1, lo, truth_b[lo], truth_w[lo]);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         sgd_tput.extend(pct_errors(&preds.batch_bips[0], &truth_b, &[hi, lo]));
         sgd_power.extend(pct_errors(&preds.batch_watts[0], &truth_w, &[hi, lo]));
     }

@@ -46,7 +46,7 @@ fn scatter() {
     let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
     let training: Vec<_> = batch::training_set().iter().map(|b| b.profile).collect();
     let mix = batch::mix(16, 0xC0FFEE);
-    let mut matrices = JobMatrices::new(oracle, &training, 16);
+    let mut matrices = JobMatrices::new(oracle, &training, 1, 16);
     let hi = JobConfig::profiling_high().index();
     let lo = JobConfig::profiling_low().index();
     for (j, app) in mix.apps.iter().enumerate() {
@@ -55,7 +55,7 @@ fn scatter() {
         matrices.record_sample(1 + j, hi, b[hi], w[hi]);
         matrices.record_sample(1 + j, lo, b[lo], w[lo]);
     }
-    let preds = matrices.reconstruct(&Reconstructor::default(), 0.8);
+    let preds = matrices.reconstruct(&Reconstructor::default(), &[0.8]);
 
     let svc = latency::service_by_name("xapian").expect("xapian exists");
     let scenario = standard_scenario(&svc, 0, 0.7);

@@ -64,10 +64,10 @@ fn main() {
                 .slices
                 .iter()
                 .skip(1)
-                .filter(|s| s.qos_violation)
+                .filter(|s| s.qos_violation())
                 .count();
             slices += record.slices.len() - 1;
-            worst = worst.max(record.worst_tail_ratio(scenario.service.qos_ms));
+            worst = worst.max(record.worst_tail_ratio());
             instr += record.batch_instructions();
         }
         rows.push((

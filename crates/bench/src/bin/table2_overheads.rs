@@ -9,9 +9,13 @@
 //! measured about itself, aggregated over the run by
 //! [`RunRecord::stage_summary`].
 //!
+//! Usage: `table2_overheads [--json <path>]` — `--json` additionally writes
+//! the table to the given path (e.g. `results/table2.json`).
+//!
 //! [`StageTelemetry`]: cuttlesys::telemetry::StageTelemetry
 //! [`RunRecord::stage_summary`]: cuttlesys::types::RunRecord::stage_summary
 
+use bench::report::{emit_json, take_json_flag};
 use bench::Table;
 use cuttlesys::runtime::CuttleSysManager;
 use cuttlesys::telemetry::STAGE_NAMES;
@@ -20,12 +24,13 @@ use cuttlesys::types::Scenario;
 use workloads::loadgen::LoadPattern;
 
 fn main() {
+    let (json_path, _args) = take_json_flag(std::env::args().skip(1).collect());
     let scenario = Scenario {
         cap: LoadPattern::Constant(0.7),
-        load: LoadPattern::Constant(0.8),
         duration_slices: 30,
         ..Scenario::paper_default()
-    };
+    }
+    .with_load(LoadPattern::Constant(0.8));
     let mut manager = CuttleSysManager::for_scenario(&scenario);
     let record = run_scenario(&scenario, &mut manager);
     let summary = record
@@ -59,6 +64,10 @@ fn main() {
         ]);
     }
     table.print();
+    if let Some(path) = json_path {
+        emit_json(&path, &table.to_json()).expect("write JSON report");
+        println!("JSON report written to {}", path.display());
+    }
 
     println!(
         "Work per quantum: {:.0} profile samples, {:.0} SGD epochs, {:.0} search evaluations.",

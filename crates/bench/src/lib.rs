@@ -22,13 +22,13 @@ pub const POWER_CAPS: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
 /// `mix_index`-th standard SPEC mix, under a constant cap.
 pub fn standard_scenario(service: &LcService, mix_index: u64, cap: f64) -> Scenario {
     Scenario {
-        service: *service,
-        mix: batch::mix(BATCH_JOBS, 0xC0FFEE + mix_index),
-        load: LoadPattern::Constant(0.8),
         cap: LoadPattern::Constant(cap),
         seed: 1000 + mix_index,
         ..Scenario::paper_default()
     }
+    .with_service(*service)
+    .with_load(LoadPattern::Constant(0.8))
+    .with_mix(batch::mix(BATCH_JOBS, 0xC0FFEE + mix_index))
 }
 
 /// All (service, mix index) pairs of the 50-mix evaluation;
@@ -115,9 +115,9 @@ mod tests {
         let svc = latency::service_by_name("silo").unwrap();
         let a = standard_scenario(&svc, 0, 0.7);
         let b = standard_scenario(&svc, 1, 0.7);
-        assert_ne!(a.mix.names(), b.mix.names());
-        assert_eq!(a.service.name, "silo");
-        assert_eq!(a.mix.apps.len(), BATCH_JOBS);
+        assert_ne!(a.batch_names(), b.batch_names());
+        assert_eq!(a.primary_lc().service.name, "silo");
+        assert_eq!(a.num_batch(), BATCH_JOBS);
     }
 
     #[test]

@@ -12,10 +12,8 @@
 /// and any cores with no job to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerAccount {
-    /// Cores held by the latency-critical service.
-    pub lc_cores: usize,
-    /// Predicted (or measured) per-core power of the LC service (W).
-    pub lc_watts_per_core: f64,
+    /// Total predicted (or measured) power of every LC tenant's cores (W).
+    pub lc_watts: f64,
     /// Power of a gated core (W).
     pub gated_watts: f64,
     /// Cores with no job assigned — gated by construction.
@@ -24,26 +22,26 @@ pub struct PowerAccount {
 
 impl PowerAccount {
     /// Builds the account for a chip split: `num_cores` total, `lc_cores`
-    /// for the service, `num_batch` batch jobs on the remainder.
+    /// held across all LC tenants (drawing `lc_watts` in total), and
+    /// `num_batch` *present* batch jobs on the remainder.
     pub fn for_split(
         num_cores: usize,
         lc_cores: usize,
         num_batch: usize,
-        lc_watts_per_core: f64,
+        lc_watts: f64,
         gated_watts: f64,
     ) -> PowerAccount {
         let batch_cores = num_cores.saturating_sub(lc_cores);
         PowerAccount {
-            lc_cores,
-            lc_watts_per_core,
+            lc_watts,
             gated_watts,
             idle_cores: batch_cores.saturating_sub(num_batch),
         }
     }
 
-    /// Power of the LC service's cores (W).
+    /// Power of the LC tenants' cores (W).
     pub fn lc_watts(&self) -> f64 {
-        self.lc_cores as f64 * self.lc_watts_per_core
+        self.lc_watts
     }
 
     /// Power of the job-less (gated) cores (W).
@@ -111,11 +109,11 @@ mod tests {
 
     #[test]
     fn account_sums_components() {
-        let acct = PowerAccount::for_split(32, 18, 14, 3.0, 0.5);
+        let acct = PowerAccount::for_split(32, 18, 14, 54.0, 0.5);
         assert_eq!(acct.idle_cores, 0);
         assert!((acct.lc_watts() - 54.0).abs() < 1e-12);
         // Relocating beyond the batch-job count leaves idle cores gated.
-        let acct = PowerAccount::for_split(32, 12, 16, 3.0, 0.5);
+        let acct = PowerAccount::for_split(32, 12, 16, 36.0, 0.5);
         assert_eq!(acct.idle_cores, 4);
         assert!((acct.base_watts() - (36.0 + 2.0)).abs() < 1e-12);
     }

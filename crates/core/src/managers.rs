@@ -12,6 +12,11 @@
 //! * [`FlickerManager`] — Flicker's 3MM3 + RBF + GA pipeline on
 //!   reconfigurable cores, in the paper's two evaluation variants
 //!   (§VIII-E).
+//!
+//! Every baseline handles an arbitrary number of LC tenants: each tenant
+//! keeps its reserved cores at the widest configuration (the baselines never
+//! relocate cores), and per-tenant power is measured or characterized
+//! per service.
 
 use baselines::asymmetric::{oracle_plan, plan_with_big_count, AsymmetricInput, CoreChoice};
 use baselines::flicker::{three_level_design, FlickerModel};
@@ -24,14 +29,25 @@ use workloads::oracle::Oracle;
 
 use crate::accounting::{gate_descending_power, steady_state_budget};
 use crate::types::{
-    BatchAction, Plan, ProfilePlan, ProfileSample, ResourceManager, Scenario, SliceInfo,
-    TIMESLICE_MS,
+    BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, ResourceManager, Scenario,
+    SliceInfo, TIMESLICE_MS,
 };
 
-/// The LC service's fixed configuration in every baseline: widest core,
+/// The LC tenants' fixed configuration in every baseline: widest core,
 /// four LLC ways.
 fn lc_widest() -> JobConfig {
     JobConfig::new(CoreConfig::widest(), CacheAlloc::Four)
+}
+
+/// Per-tenant widest assignments at the previous core split.
+fn lc_assignments(info: &SliceInfo, config: JobConfig) -> Vec<LcAssignment> {
+    info.lc
+        .iter()
+        .map(|l| LcAssignment {
+            cores: l.last_cores,
+            config,
+        })
+        .collect()
 }
 
 /// Nearest allocation (in log-ways space) to a fractional share.
@@ -49,11 +65,15 @@ fn nearest_alloc(ways: f64) -> CacheAlloc {
 ///
 /// Baselines without way-partitioning hardware still share the 32-way LLC;
 /// each job occupies roughly its fair share. We approximate the share as
-/// `llc_ways / jobs` rounded to the allocation alphabet, weighting the
-/// 16-core latency-critical service double. Returns `(lc, batch)`
+/// `llc_ways / jobs` rounded to the allocation alphabet, weighting each
+/// multi-core latency-critical tenant double. Returns `(lc, batch)`
 /// allocations.
-fn unpartitioned_share(llc_ways: u32, active_batch: usize) -> (CacheAlloc, CacheAlloc) {
-    let share = f64::from(llc_ways) / (2.0 + active_batch as f64);
+fn unpartitioned_share(
+    llc_ways: u32,
+    num_lc: usize,
+    active_batch: usize,
+) -> (CacheAlloc, CacheAlloc) {
+    let share = f64::from(llc_ways) / (2.0 * num_lc as f64 + active_batch as f64);
     (nearest_alloc(2.0 * share), nearest_alloc(share))
 }
 
@@ -73,10 +93,9 @@ impl ResourceManager for NoGatingManager {
         info: &SliceInfo,
         _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
-        let (lc_share, batch_share) = unpartitioned_share(32, info.num_batch);
+        let (lc_share, batch_share) = unpartitioned_share(32, info.lc.len(), info.num_batch);
         Plan {
-            lc_cores: info.last_lc_cores,
-            lc_config: JobConfig::new(CoreConfig::widest(), lc_share),
+            lc: lc_assignments(info, JobConfig::new(CoreConfig::widest(), lc_share)),
             batch: vec![
                 BatchAction::Run(JobConfig::new(CoreConfig::widest(), batch_share));
                 info.num_batch
@@ -93,6 +112,7 @@ pub struct CoreGatingManager {
     order: GatingOrder,
     /// Way-partitioning of the LLC (UCP), or one way per job when absent.
     partition: Option<Vec<CacheAlloc>>,
+    num_lc: usize,
     gated_watts: f64,
 }
 
@@ -103,19 +123,20 @@ impl CoreGatingManager {
     /// partition from the mix's miss curves once, up front.
     pub fn new(scenario: &Scenario, order: GatingOrder, way_partitioning: bool) -> Self {
         let partition = way_partitioning.then(|| {
-            let profiles = scenario.mix.profiles();
+            let profiles = scenario.batch_profiles();
             let perf = simulator::PerfModel::new(scenario.params);
-            // The LC service holds four ways; UCP divides the rest.
+            // Each LC tenant holds four ways; UCP divides the rest.
             ipc_partition(
                 &perf,
                 &profiles,
                 CoreConfig::widest(),
-                scenario.params.llc_ways as f64 - 4.0,
+                scenario.params.llc_ways as f64 - 4.0 * scenario.num_lc() as f64,
             )
         });
         CoreGatingManager {
             order,
             partition,
+            num_lc: scenario.num_lc(),
             gated_watts: scenario.params.gated_core_watts,
         }
     }
@@ -125,7 +146,7 @@ impl CoreGatingManager {
     fn batch_config(&self, j: usize, active: usize) -> JobConfig {
         let cache = match &self.partition {
             Some(p) => p[j],
-            None => unpartitioned_share(32, active).1,
+            None => unpartitioned_share(32, self.num_lc, active).1,
         };
         JobConfig::new(CoreConfig::widest(), cache)
     }
@@ -133,7 +154,10 @@ impl CoreGatingManager {
     fn lc_config(&self, active: usize) -> JobConfig {
         match self.partition {
             Some(_) => lc_widest(),
-            None => JobConfig::new(CoreConfig::widest(), unpartitioned_share(32, active).0),
+            None => JobConfig::new(
+                CoreConfig::widest(),
+                unpartitioned_share(32, self.num_lc, active).0,
+            ),
         }
     }
 }
@@ -151,25 +175,28 @@ impl ResourceManager for CoreGatingManager {
         info: &SliceInfo,
         probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
-        let lc_cores = info.last_lc_cores;
+        let num_lc = info.lc.len();
         let batch: Vec<BatchAction> = (0..info.num_batch)
             .map(|j| BatchAction::Run(self.batch_config(j, info.num_batch)))
             .collect();
         let sample = probe(
             &ProfilePlan {
-                lc_cores,
-                lc_configs: vec![self.lc_config(info.num_batch); lc_cores],
+                lc_configs: info
+                    .lc
+                    .iter()
+                    .map(|l| vec![self.lc_config(info.num_batch); l.last_cores])
+                    .collect(),
                 batch: batch.clone(),
             },
             1.0,
         );
         let mut per_job = vec![(0.0, 0.0); info.num_batch];
-        let mut lc_watts = 0.0;
+        let mut lc_watts = vec![0.0; num_lc];
         for s in &sample.samples {
-            if s.job == 0 {
-                lc_watts = s.watts;
+            if s.job < num_lc {
+                lc_watts[s.job] = s.watts;
             } else {
-                per_job[s.job - 1] = (s.bips, s.watts);
+                per_job[s.job - num_lc] = (s.bips, s.watts);
             }
         }
         // The cap constrains the slice average, and the all-widest probe
@@ -180,7 +207,12 @@ impl ResourceManager for CoreGatingManager {
         // which shrinks each job's LLC slice relative to the post-gating
         // steady state.
         const SHARE_GROWTH_GUARD: f64 = 0.99;
-        let lc_power = lc_cores as f64 * lc_watts;
+        let lc_power: f64 = info
+            .lc
+            .iter()
+            .zip(&lc_watts)
+            .map(|(l, w)| l.last_cores as f64 * w)
+            .sum();
         let probe_watts = lc_power + per_job.iter().map(|(_, w)| w).sum::<f64>();
         let budget = SHARE_GROWTH_GUARD
             * steady_state_budget(
@@ -203,8 +235,7 @@ impl ResourceManager for CoreGatingManager {
             })
             .collect();
         Plan {
-            lc_cores,
-            lc_config: self.lc_config(active),
+            lc: lc_assignments(info, self.lc_config(active)),
             batch,
         }
     }
@@ -225,7 +256,8 @@ pub enum AsymmetricMode {
 pub struct AsymmetricManager {
     mode: AsymmetricMode,
     choices: Vec<CoreChoice>,
-    lc_watts_per_core: f64,
+    /// Per-tenant characterized per-core power on a big core (W).
+    lc_watts_per_core: Vec<f64>,
     gated_watts: f64,
 }
 
@@ -239,8 +271,7 @@ impl AsymmetricManager {
         let big = JobConfig::new(CoreConfig::widest(), CacheAlloc::Two);
         let small = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::Two);
         let choices = scenario
-            .mix
-            .profiles()
+            .batch_profiles()
             .iter()
             .map(|p| CoreChoice {
                 bips_big: oracle.bips_at(p, big),
@@ -249,7 +280,11 @@ impl AsymmetricManager {
                 watts_small: oracle.power_at(p, small),
             })
             .collect();
-        let lc_watts_per_core = oracle.power_at(&scenario.service.profile, lc_widest());
+        let lc_watts_per_core = scenario
+            .lc_jobs()
+            .iter()
+            .map(|lc| oracle.power_at(&lc.service.profile, lc_widest()))
+            .collect();
         AsymmetricManager {
             mode,
             choices,
@@ -272,11 +307,17 @@ impl ResourceManager for AsymmetricManager {
         info: &SliceInfo,
         _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
-        let lc_cores = info.last_lc_cores;
+        let lc_cores: usize = info.lc.iter().map(|l| l.last_cores).sum();
+        let lc_watts: f64 = info
+            .lc
+            .iter()
+            .zip(&self.lc_watts_per_core)
+            .map(|(l, w)| l.last_cores as f64 * w)
+            .sum();
         let input = AsymmetricInput {
             num_cores: info.num_cores,
             lc_cores,
-            lc_watts_per_core: self.lc_watts_per_core,
+            lc_watts,
             batch: self.choices.clone(),
             budget: info.cap_watts,
             gated_watts: self.gated_watts,
@@ -288,7 +329,7 @@ impl ResourceManager for AsymmetricManager {
             }
         };
         let active = plan.gated.iter().filter(|&&g| !g).count();
-        let (lc_share, batch_share) = unpartitioned_share(32, active);
+        let (lc_share, batch_share) = unpartitioned_share(32, info.lc.len(), active);
         let batch = plan
             .on_big
             .iter()
@@ -307,8 +348,7 @@ impl ResourceManager for AsymmetricManager {
             })
             .collect();
         Plan {
-            lc_cores,
-            lc_config: JobConfig::new(CoreConfig::widest(), lc_share),
+            lc: lc_assignments(info, JobConfig::new(CoreConfig::widest(), lc_share)),
             batch,
         }
     }
@@ -317,22 +357,24 @@ impl ResourceManager for AsymmetricManager {
 /// Flicker evaluation variant (§VIII-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlickerVariant {
-    /// (a) Everything — including the LC service — is profiled for 10 ms on
+    /// (a) Everything — including the LC tenants — is profiled for 10 ms on
     /// each of the nine 3MM3 configurations (90 ms total), then GA picks the
     /// configuration for the remaining ~8 ms.
     LcProfiled,
-    /// (b) The LC service is pinned to {6,6,6} and only batch jobs are
+    /// (b) The LC tenants are pinned to {6,6,6} and only batch jobs are
     /// profiled, 1 ms per configuration (9 ms total).
     LcPinned,
 }
 
 /// Flicker (§VIII-E): 3MM3 sampling + RBF surrogates + GA over core
-/// configurations. No cache partitioning — every job gets one LLC way,
-/// which is precisely the memory-hierarchy interference the paper calls
-/// out.
+/// configurations. No cache partitioning — every job gets its unpartitioned
+/// fair share, which is precisely the memory-hierarchy interference the
+/// paper calls out.
 pub struct FlickerManager {
     variant: FlickerVariant,
-    qos_ms: f64,
+    /// Per-tenant QoS targets (ms), in priority order.
+    qos_ms: Vec<f64>,
+    num_lc: usize,
     ga: GaParams,
     gated_watts: f64,
 }
@@ -342,7 +384,8 @@ impl FlickerManager {
     pub fn new(scenario: &Scenario, variant: FlickerVariant) -> Self {
         FlickerManager {
             variant,
-            qos_ms: scenario.service.qos_ms,
+            qos_ms: scenario.lc_jobs().iter().map(|lc| lc.qos_ms).collect(),
+            num_lc: scenario.num_lc(),
             ga: GaParams {
                 seed: scenario.seed,
                 ..GaParams::default()
@@ -352,14 +395,15 @@ impl FlickerManager {
     }
 
     /// Flicker does not partition the LLC: every batch job occupies its
-    /// unpartitioned fair share.
-    fn cache() -> CacheAlloc {
-        unpartitioned_share(32, 16).1
+    /// unpartitioned fair share of the paper's fully loaded chip.
+    fn cache(&self) -> CacheAlloc {
+        unpartitioned_share(32, self.num_lc, 16).1
     }
 
-    /// The LC service's unpartitioned share (double weight for 16 cores).
-    fn lc_cache() -> CacheAlloc {
-        unpartitioned_share(32, 16).0
+    /// An LC tenant's unpartitioned share (double weight for multi-core
+    /// tenants).
+    fn lc_cache(&self) -> CacheAlloc {
+        unpartitioned_share(32, self.num_lc, 16).0
     }
 }
 
@@ -376,7 +420,7 @@ impl ResourceManager for FlickerManager {
         info: &SliceInfo,
         probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
-        let lc_cores = info.last_lc_cores;
+        let num_lc = info.lc.len();
         let design = three_level_design();
         let per_config_ms = match self.variant {
             FlickerVariant::LcProfiled => 10.0,
@@ -384,48 +428,68 @@ impl ResourceManager for FlickerManager {
         };
         let mut samples: Vec<Vec<(CoreConfig, f64, f64)>> =
             vec![Vec::with_capacity(design.len()); info.num_batch];
-        let mut lc_tails: Vec<(CoreConfig, f64, f64)> = Vec::new();
-        let mut lc_watts = 0.0;
+        // Per tenant: (config, measured tail, per-core watts) per design
+        // point.
+        let mut lc_tails: Vec<Vec<(CoreConfig, f64, f64)>> = vec![Vec::new(); num_lc];
+        let mut lc_watts = vec![0.0; num_lc];
         for config in &design {
             let lc_config = match self.variant {
-                FlickerVariant::LcProfiled => JobConfig::new(*config, Self::cache()),
-                FlickerVariant::LcPinned => JobConfig::new(CoreConfig::widest(), Self::lc_cache()),
+                FlickerVariant::LcProfiled => JobConfig::new(*config, self.cache()),
+                FlickerVariant::LcPinned => JobConfig::new(CoreConfig::widest(), self.lc_cache()),
             };
             let batch: Vec<BatchAction> = (0..info.num_batch)
-                .map(|_| BatchAction::Run(JobConfig::new(*config, Self::cache())))
+                .map(|_| BatchAction::Run(JobConfig::new(*config, self.cache())))
                 .collect();
             let sample = probe(
                 &ProfilePlan {
-                    lc_cores,
-                    lc_configs: vec![lc_config; lc_cores],
+                    lc_configs: info
+                        .lc
+                        .iter()
+                        .map(|l| vec![lc_config; l.last_cores])
+                        .collect(),
                     batch,
                 },
                 per_config_ms,
             );
             for s in &sample.samples {
-                if s.job == 0 {
-                    lc_watts = s.watts;
+                if s.job < num_lc {
+                    lc_watts[s.job] = s.watts;
                 } else {
-                    samples[s.job - 1].push((*config, s.bips, s.watts));
+                    samples[s.job - num_lc].push((*config, s.bips, s.watts));
                 }
             }
-            lc_tails.push((*config, sample.lc_tail_ms, lc_watts));
+            for (i, tails) in lc_tails.iter_mut().enumerate() {
+                let tail = sample.lc_tails_ms.get(i).copied().unwrap_or(0.0);
+                tails.push((*config, tail, lc_watts[i]));
+            }
         }
 
-        // Variant (a): pick the profiled LC configuration that met QoS with
-        // the least power; fall back to the widest when none did.
-        let lc_config = match self.variant {
-            FlickerVariant::LcProfiled => {
-                let best = lc_tails
-                    .iter()
-                    .filter(|(_, tail, _)| *tail <= self.qos_ms)
-                    .min_by(|a, b| a.2.total_cmp(&b.2));
-                match best {
-                    Some((config, _, _)) => JobConfig::new(*config, Self::cache()),
-                    None => JobConfig::new(CoreConfig::widest(), Self::cache()),
-                }
+        // Variant (a): each tenant picks the profiled configuration that met
+        // its QoS with the least power; fall back to the widest when none
+        // did.
+        let lc: Vec<LcAssignment> = match self.variant {
+            FlickerVariant::LcProfiled => info
+                .lc
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let best = lc_tails[i]
+                        .iter()
+                        .filter(|(_, tail, _)| *tail <= self.qos_ms[i])
+                        .min_by(|a, b| a.2.total_cmp(&b.2));
+                    let config = match best {
+                        Some((config, _, _)) => JobConfig::new(*config, self.cache()),
+                        None => JobConfig::new(CoreConfig::widest(), self.cache()),
+                    };
+                    LcAssignment {
+                        cores: l.last_cores,
+                        config,
+                    }
+                })
+                .collect(),
+            FlickerVariant::LcPinned => {
+                lc_assignments(info, JobConfig::new(CoreConfig::widest(), self.lc_cache()))
             }
-            FlickerVariant::LcPinned => JobConfig::new(CoreConfig::widest(), Self::lc_cache()),
         };
 
         // RBF surrogates per batch job; a failed fit (degenerate samples,
@@ -434,18 +498,19 @@ impl ResourceManager for FlickerManager {
         let model = match FlickerModel::fit(&samples) {
             Ok(m) => m,
             Err(_) => {
-                let narrow = JobConfig::new(CoreConfig::narrowest(), Self::cache());
+                let narrow = JobConfig::new(CoreConfig::narrowest(), self.cache());
                 let batch = vec![BatchAction::Run(narrow); info.num_batch];
-                return Plan {
-                    lc_cores,
-                    lc_config,
-                    batch,
-                };
+                return Plan { lc, batch };
             }
         };
         let bips: Vec<Vec<f64>> = (0..info.num_batch).map(|j| model.bips_row(j)).collect();
         let watts: Vec<Vec<f64>> = (0..info.num_batch).map(|j| model.power_row(j)).collect();
-        let lc_power = lc_cores as f64 * lc_watts;
+        let lc_power: f64 = info
+            .lc
+            .iter()
+            .zip(&lc_watts)
+            .map(|(l, w)| l.last_cores as f64 * w)
+            .sum();
         let num_batch = info.num_batch;
         let watts_for_power = watts.clone();
         let objective = SoftPenalty {
@@ -481,7 +546,7 @@ impl ResourceManager for FlickerManager {
             .collect();
         let lowest_power: f64 = lc_power + narrowest_watts.iter().sum::<f64>();
         let batch: Vec<BatchAction> = if lowest_power > info.cap_watts {
-            let narrow = JobConfig::new(CoreConfig::narrowest(), Self::cache());
+            let narrow = JobConfig::new(CoreConfig::narrowest(), self.cache());
             gate_descending_power(&narrowest_watts, lc_power, info.cap_watts, self.gated_watts)
                 .into_iter()
                 .map(|g| {
@@ -496,16 +561,10 @@ impl ResourceManager for FlickerManager {
             result
                 .best_point
                 .iter()
-                .map(|&c| {
-                    BatchAction::Run(JobConfig::new(CoreConfig::from_index(c), Self::cache()))
-                })
+                .map(|&c| BatchAction::Run(JobConfig::new(CoreConfig::from_index(c), self.cache())))
                 .collect()
         };
-        Plan {
-            lc_cores,
-            lc_config,
-            batch,
-        }
+        Plan { lc, batch }
     }
 }
 
@@ -550,10 +609,9 @@ impl ResourceManager for FeedbackManager {
             let actuation = self.pid.update(info.cap_watts * 0.97 - power);
             self.level.adjust(actuation);
         }
-        let (lc_share, batch_share) = unpartitioned_share(32, info.num_batch);
+        let (lc_share, batch_share) = unpartitioned_share(32, info.lc.len(), info.num_batch);
         Plan {
-            lc_cores: info.last_lc_cores,
-            lc_config: JobConfig::new(CoreConfig::widest(), lc_share),
+            lc: lc_assignments(info, JobConfig::new(CoreConfig::widest(), lc_share)),
             batch: vec![
                 BatchAction::Run(JobConfig::new(self.level.config(), batch_share));
                 info.num_batch
@@ -563,8 +621,15 @@ impl ResourceManager for FeedbackManager {
 
     fn observe(&mut self, outcome: &crate::types::SliceOutcome) {
         // Total chip power estimate from the per-job measurements.
-        let lc = outcome.measured_watts[0] * outcome.plan.lc_cores as f64;
-        let batch: f64 = outcome.measured_watts[1..].iter().sum();
+        let num_lc = outcome.plan.lc.len();
+        let lc: f64 = outcome
+            .plan
+            .lc
+            .iter()
+            .enumerate()
+            .map(|(i, a)| outcome.measured_watts[i] * a.cores as f64)
+            .sum();
+        let batch: f64 = outcome.measured_watts[num_lc..].iter().sum();
         self.last_power = Some(lc + batch);
     }
 }
@@ -698,8 +763,38 @@ mod tests {
         let b = run_scenario(&s, &mut FlickerManager::new(&s, FlickerVariant::LcPinned));
         assert!(b.batch_instructions() > 0.0);
         assert!(
-            a.worst_tail_ratio(s.service.qos_ms) > b.worst_tail_ratio(s.service.qos_ms),
+            a.worst_tail_ratio() > b.worst_tail_ratio(),
             "variant (a) must violate QoS harder than (b)"
         );
+    }
+
+    #[test]
+    fn baselines_handle_two_tenants() {
+        let s = Scenario {
+            duration_slices: 2,
+            noise: 0.0,
+            phases: false,
+            ..Scenario::two_service()
+        };
+        let fixed = Scenario {
+            kind: CoreKind::Fixed,
+            ..s.clone()
+        };
+        for record in [
+            run_scenario(&fixed, &mut NoGatingManager),
+            run_scenario(
+                &fixed,
+                &mut CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, false),
+            ),
+            run_scenario(
+                &fixed,
+                &mut AsymmetricManager::new(&fixed, AsymmetricMode::Oracle),
+            ),
+            run_scenario(&fixed, &mut FeedbackManager::new(&fixed)),
+            run_scenario(&s, &mut FlickerManager::new(&s, FlickerVariant::LcPinned)),
+        ] {
+            assert_eq!(record.slices[0].lc.len(), 2, "{}", record.scheme);
+            assert!(record.batch_instructions() > 0.0, "{}", record.scheme);
+        }
     }
 }

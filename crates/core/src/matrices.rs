@@ -1,13 +1,13 @@
 //! The Resource Controller's rating-matrix bookkeeping (§V).
 //!
-//! Three matrices are maintained, one per metric:
+//! Matrices are maintained per metric:
 //!
 //! * **throughput** — rows are the 16 offline-characterized training
 //!   applications plus the live batch jobs;
-//! * **power** — the same rows plus one row for the latency-critical
-//!   service;
-//! * **tail latency** — rows are a library of offline-characterized
-//!   *latency-critical* behaviours plus the live service's row.
+//! * **power** — the same rows plus one row per latency-critical tenant;
+//! * **tail latency** — one matrix per LC tenant: a library of
+//!   offline-characterized *latency-critical* behaviours plus that tenant's
+//!   live row, at the tenant's own load bucket.
 //!
 //! Tail latency depends on the offered load, so tail bookkeeping is bucketed
 //! by load decile: training rows are characterized per bucket (lazily) and
@@ -15,6 +15,8 @@
 //! under. Observations are overwritten per configuration — the newest
 //! measurement wins, which is how the paper's runtime "updates the
 //! reconstruction matrix with the measured metrics" to track phase changes.
+//! When a batch job departs (churn), [`JobMatrices::retire_batch`] drops its
+//! live observations so a later arrival in the same slot starts cold.
 
 use std::collections::HashMap;
 
@@ -52,6 +54,57 @@ pub fn bucket_load(bucket: usize) -> f64 {
     bucket as f64 / 100.0
 }
 
+/// The load a [`TAIL_REFERENCE_CORES`]-core deployment would need to match
+/// the per-core utilization of a `cores`-core tenant at `load`.
+///
+/// The tail library is characterized on the reference core count across the
+/// whole load axis, and queueing tails are a function of utilization — so a
+/// tenant holding fewer (or relocated, more) cores is looked up and recorded
+/// at this equivalent load instead of linearly rescaling tail magnitudes,
+/// which badly underestimates the nonlinearity across large core gaps. At
+/// the reference count the factor is exactly 1.0, leaving the paper's
+/// single-tenant path bit-identical.
+pub fn effective_load(load: f64, cores: usize) -> f64 {
+    assert!(cores > 0, "effective load needs at least one core");
+    load * (TAIL_REFERENCE_CORES as f64 / cores as f64)
+}
+
+/// Completed predictions for one LC tenant.
+#[derive(Debug, Clone)]
+pub struct LcPrediction {
+    /// Predicted per-core power of the tenant per configuration.
+    pub watts: Vec<f64>,
+    /// Predicted 99th-percentile latency per configuration, at the
+    /// tenant's requested load bucket.
+    pub tail: Vec<f64>,
+    /// Tail prediction tightened by the monotone closure of direct
+    /// observations: an observed violation at X rules out everything X
+    /// dominates, an observed-safe X certifies everything dominating X.
+    /// The QoS scan uses this column.
+    pub tail_guarded: Vec<f64>,
+}
+
+impl LcPrediction {
+    /// Rescales the tail predictions for a relocation step from
+    /// `from_cores` to `to_cores`.
+    ///
+    /// Predictions are reconstructed at the [`effective_load`] of the cores
+    /// a tenant held when the quantum began; a relocation shifts the
+    /// per-core load by `from_cores / to_cores`, and for the single-core
+    /// steps relocation takes, the fluid approximation — tail scales with
+    /// the per-core load ratio — is adequate. Power rows are per-core and
+    /// unaffected.
+    pub fn rescaled_step(&self, from_cores: usize, to_cores: usize) -> LcPrediction {
+        assert!(to_cores > 0, "cannot rescale tails to zero cores");
+        let mut scaled = self.clone();
+        let ratio = from_cores as f64 / to_cores as f64;
+        for t in scaled.tail.iter_mut().chain(scaled.tail_guarded.iter_mut()) {
+            *t *= ratio;
+        }
+        scaled
+    }
+}
+
 /// Completed predictions for one decision interval.
 #[derive(Debug, Clone)]
 pub struct Predictions {
@@ -60,44 +113,21 @@ pub struct Predictions {
     pub batch_bips: Vec<Vec<f64>>,
     /// `batch_watts[j][c]`: predicted per-core power of batch job `j`.
     pub batch_watts: Vec<Vec<f64>>,
-    /// Predicted per-core power of the LC service per configuration.
-    pub lc_watts: Vec<f64>,
-    /// Predicted 99th-percentile latency of the LC service per
-    /// configuration, at the requested load bucket.
-    pub lc_tail: Vec<f64>,
-    /// Tail prediction tightened by the monotone closure of direct
-    /// observations: an observed violation at X rules out everything X
-    /// dominates, an observed-safe X certifies everything dominating X.
-    /// The QoS scan uses this column.
-    pub lc_tail_guarded: Vec<f64>,
+    /// Per-LC-tenant predictions, in priority order.
+    pub lc: Vec<LcPrediction>,
 }
 
 impl Predictions {
-    /// Rescales the tail predictions from the library's
-    /// [`TAIL_REFERENCE_CORES`]-core characterization to `cores` LC cores.
-    ///
-    /// Service capacity scales with the core count, so the per-core load
-    /// ratio — and with it the predicted tail — scales by
-    /// `TAIL_REFERENCE_CORES / cores` (an M/M/k approximation adequate for
-    /// the few cores relocation moves). Throughput and power rows are
-    /// per-core and unaffected.
-    pub fn rescaled_for_cores(&self, cores: usize) -> Predictions {
-        assert!(cores > 0, "cannot rescale tails to zero cores");
-        let mut scaled = self.clone();
-        let ratio = TAIL_REFERENCE_CORES as f64 / cores as f64;
-        for t in scaled
-            .lc_tail
-            .iter_mut()
-            .chain(scaled.lc_tail_guarded.iter_mut())
-        {
-            *t *= ratio;
-        }
-        scaled
+    /// The primary LC tenant's predictions.
+    pub fn primary_lc(&self) -> &LcPrediction {
+        self.lc.first().expect("predictions cover an LC tenant")
     }
 }
 
-/// The three-matrix bookkeeping.
+/// The rating-matrix bookkeeping for `num_lc` LC tenants and `num_batch`
+/// batch jobs.
 pub struct JobMatrices {
+    num_lc: usize,
     num_batch: usize,
     training_bips: Vec<Vec<f64>>,
     training_watts: Vec<Vec<f64>>,
@@ -106,8 +136,8 @@ pub struct JobMatrices {
     oracle: Oracle,
     batch_bips_obs: Vec<HashMap<usize, f64>>,
     batch_watts_obs: Vec<HashMap<usize, f64>>,
-    lc_watts_obs: HashMap<usize, f64>,
-    tail_obs: HashMap<usize, HashMap<usize, f64>>,
+    lc_watts_obs: Vec<HashMap<usize, f64>>,
+    tail_obs: Vec<HashMap<usize, HashMap<usize, f64>>>,
 }
 
 /// Builds the tail training library: perturbed variants of every TailBench
@@ -141,13 +171,21 @@ fn tail_library() -> Vec<LcService> {
 }
 
 impl JobMatrices {
-    /// Creates the bookkeeping for `num_batch` live batch jobs, with
-    /// training rows characterized offline through `oracle` (the paper's
-    /// one-time offline profiling of 16 known applications).
-    pub fn new(oracle: Oracle, training_apps: &[AppProfile], num_batch: usize) -> JobMatrices {
+    /// Creates the bookkeeping for `num_lc` LC tenants and `num_batch` live
+    /// batch jobs, with training rows characterized offline through
+    /// `oracle` (the paper's one-time offline profiling of 16 known
+    /// applications).
+    pub fn new(
+        oracle: Oracle,
+        training_apps: &[AppProfile],
+        num_lc: usize,
+        num_batch: usize,
+    ) -> JobMatrices {
+        assert!(num_lc > 0, "at least one LC tenant");
         let training_bips = training_apps.iter().map(|a| oracle.bips_row(a)).collect();
         let training_watts = training_apps.iter().map(|a| oracle.power_row(a)).collect();
         JobMatrices {
+            num_lc,
             num_batch,
             training_bips,
             training_watts,
@@ -156,22 +194,27 @@ impl JobMatrices {
             oracle,
             batch_bips_obs: vec![HashMap::new(); num_batch],
             batch_watts_obs: vec![HashMap::new(); num_batch],
-            lc_watts_obs: HashMap::new(),
-            tail_obs: HashMap::new(),
+            lc_watts_obs: vec![HashMap::new(); num_lc],
+            tail_obs: vec![HashMap::new(); num_lc],
         }
     }
 
+    /// Number of LC tenants tracked.
+    pub fn num_lc(&self) -> usize {
+        self.num_lc
+    }
+
     /// Records a measured `(bips, watts)` sample for a job at a
-    /// configuration. Job 0 is the LC service (only its power is matrixed —
-    /// its "performance" metric is tail latency); jobs `1..=num_batch` are
-    /// batch jobs.
+    /// configuration. Global job indices: `0..num_lc` are the LC tenants
+    /// (only their power is matrixed — their "performance" metric is tail
+    /// latency); `num_lc..num_lc + num_batch` are batch jobs.
     pub fn record_sample(&mut self, job: usize, config_idx: usize, bips: f64, watts: f64) {
         assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
-        if job == 0 {
-            self.record_lc_power(config_idx, watts);
+        if job < self.num_lc {
+            self.record_lc_power(job, config_idx, watts);
             return;
         }
-        let j = job - 1;
+        let j = job - self.num_lc;
         assert!(j < self.num_batch, "unknown batch job {job}");
         if bips > 0.0 {
             self.batch_bips_obs[j].insert(config_idx, bips);
@@ -181,26 +224,42 @@ impl JobMatrices {
         }
     }
 
-    /// Records the LC service's measured per-core power at a configuration.
+    /// Records LC tenant `lc`'s measured per-core power at a configuration.
     ///
-    /// The service has no throughput row — its performance metric is tail
+    /// A tenant has no throughput row — its performance metric is tail
     /// latency ([`record_tail`]) — so this is the only steady-state sample
-    /// the LC service contributes to the rating matrices.
+    /// an LC tenant contributes to the rating matrices.
     ///
     /// [`record_tail`]: JobMatrices::record_tail
-    pub fn record_lc_power(&mut self, config_idx: usize, watts: f64) {
+    pub fn record_lc_power(&mut self, lc: usize, config_idx: usize, watts: f64) {
         assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
         if watts > 0.0 {
-            self.lc_watts_obs.insert(config_idx, watts);
+            self.lc_watts_obs[lc].insert(config_idx, watts);
         }
     }
 
-    /// Records a measured tail latency at a configuration under `load`.
-    pub fn record_tail(&mut self, load: f64, config_idx: usize, tail_ms: f64) {
+    /// Records LC tenant `lc`'s measured tail latency at a configuration
+    /// under `load`, observed while the tenant held `cores` cores.
+    ///
+    /// Observations land at the [`effective_load`] bucket: a `cores`-core
+    /// tenant at load `ρ` runs at the same utilization as the
+    /// [`TAIL_REFERENCE_CORES`]-core characterization at `ρ × 16 / cores`,
+    /// so its measured tail is directly comparable to — and stored
+    /// alongside — the reference rows of that bucket. Magnitudes are kept
+    /// raw; queueing tails are far too nonlinear in utilization for a
+    /// linear core-ratio rescale to be safe across large core gaps.
+    pub fn record_tail(
+        &mut self,
+        lc: usize,
+        load: f64,
+        cores: usize,
+        config_idx: usize,
+        tail_ms: f64,
+    ) {
         assert!(config_idx < NUM_JOB_CONFIGS, "config index out of range");
         if tail_ms > 0.0 {
-            self.tail_obs
-                .entry(bucket_for(load))
+            self.tail_obs[lc]
+                .entry(bucket_for(effective_load(load, cores)))
                 .or_default()
                 .insert(config_idx, tail_ms.min(TAIL_CAP_MS));
         }
@@ -211,19 +270,26 @@ impl JobMatrices {
         self.batch_bips_obs[j].len()
     }
 
-    /// Observations usable at `bucket`: direct observations merged with
-    /// neighbours within ±2 % load (nearer buckets win). Queueing tails move
-    /// smoothly over a couple of load percent, and input load drifts
-    /// gradually in practice, so neighbouring evidence prevents a cold
-    /// start at every bucket boundary.
-    pub fn tail_observations_near(&self, bucket: usize) -> HashMap<usize, f64> {
+    /// Drops every live observation of batch job `j` — called when the job
+    /// departs, so the slot starts cold if a new job arrives in it.
+    pub fn retire_batch(&mut self, j: usize) {
+        self.batch_bips_obs[j].clear();
+        self.batch_watts_obs[j].clear();
+    }
+
+    /// Observations usable at `bucket` for tenant `lc`: direct observations
+    /// merged with neighbours within ±2 % load (nearer buckets win).
+    /// Queueing tails move smoothly over a couple of load percent, and
+    /// input load drifts gradually in practice, so neighbouring evidence
+    /// prevents a cold start at every bucket boundary.
+    pub fn tail_observations_near(&self, lc: usize, bucket: usize) -> HashMap<usize, f64> {
         let mut merged = HashMap::new();
         for distance in (0..=2).rev() {
             for b in [
                 bucket.saturating_sub(distance),
                 (bucket + distance).min(200),
             ] {
-                if let Some(obs) = self.tail_obs.get(&b) {
+                if let Some(obs) = self.tail_obs[lc].get(&b) {
                     merged.extend(obs.iter().map(|(&c, &t)| (c, t)));
                 }
             }
@@ -249,12 +315,14 @@ impl JobMatrices {
         })
     }
 
-    /// Runs the three reconstructions (§V runs them in parallel; we use the
+    /// Runs the reconstructions (§V runs them in parallel; we use the
     /// reconstructor's `complete_all`) and returns dense predictions for
-    /// the live jobs at the given load bucket.
-    pub fn reconstruct(&mut self, reconstructor: &Reconstructor, load: f64) -> Predictions {
-        let bucket = bucket_for(load);
+    /// the live jobs: one throughput and one power completion, plus a tail
+    /// completion per LC tenant at that tenant's load (`loads[lc]`).
+    pub fn reconstruct(&mut self, reconstructor: &Reconstructor, loads: &[f64]) -> Predictions {
+        assert_eq!(loads.len(), self.num_lc, "one load per LC tenant");
         let cols = NUM_JOB_CONFIGS;
+        let buckets: Vec<usize> = loads.iter().map(|&l| bucket_for(l)).collect();
 
         // Throughput matrix: training rows then live batch rows.
         let t_rows = self.training_bips.len();
@@ -268,8 +336,9 @@ impl JobMatrices {
             }
         }
 
-        // Power matrix: training rows, live batch rows, then the LC row.
-        let mut watts_m = RatingMatrix::new(t_rows + self.num_batch + 1, cols);
+        // Power matrix: training rows, live batch rows, then one row per
+        // LC tenant in priority order.
+        let mut watts_m = RatingMatrix::new(t_rows + self.num_batch + self.num_lc, cols);
         for (r, row) in self.training_watts.iter().enumerate() {
             watts_m.fill_row(r, row);
         }
@@ -278,28 +347,45 @@ impl JobMatrices {
                 watts_m.set(t_rows + j, c, v);
             }
         }
-        for (&c, &v) in &self.lc_watts_obs {
-            watts_m.set(t_rows + self.num_batch, c, v);
-        }
-
-        // Tail matrix for this bucket: library rows then the live row.
-        let lib_rows = self.tail_training_rows(bucket).clone();
-        let mut tail_m = RatingMatrix::new(lib_rows.len() + 1, cols);
-        for (r, row) in lib_rows.iter().enumerate() {
-            tail_m.fill_row(r, row);
-        }
-        if let Some(obs) = self.tail_obs.get(&bucket) {
+        for (lc, obs) in self.lc_watts_obs.iter().enumerate() {
             for (&c, &v) in obs {
-                tail_m.set(lib_rows.len(), c, v);
+                watts_m.set(t_rows + self.num_batch + lc, c, v);
             }
         }
 
-        let completed = reconstructor.complete_all(&[
+        // One tail matrix per tenant at that tenant's bucket: library rows
+        // then the tenant's live row.
+        let lib_row_sets: Vec<Vec<Vec<f64>>> = buckets
+            .iter()
+            .map(|&b| self.tail_training_rows(b).clone())
+            .collect();
+        let tail_ms: Vec<RatingMatrix> = lib_row_sets
+            .iter()
+            .zip(&buckets)
+            .enumerate()
+            .map(|(lc, (lib_rows, &bucket))| {
+                let mut tail_m = RatingMatrix::new(lib_rows.len() + 1, cols);
+                for (r, row) in lib_rows.iter().enumerate() {
+                    tail_m.fill_row(r, row);
+                }
+                if let Some(obs) = self.tail_obs[lc].get(&bucket) {
+                    for (&c, &v) in obs {
+                        tail_m.set(lib_rows.len(), c, v);
+                    }
+                }
+                tail_m
+            })
+            .collect();
+
+        let mut inputs: Vec<(&RatingMatrix, ValueTransform)> = vec![
             (&bips_m, ValueTransform::Log),
             (&watts_m, ValueTransform::Log),
-            (&tail_m, ValueTransform::Log),
-        ]);
-        let (bips_d, watts_d, tail_d) = (&completed[0], &completed[1], &completed[2]);
+        ];
+        for tail_m in &tail_ms {
+            inputs.push((tail_m, ValueTransform::Log));
+        }
+        let completed = reconstructor.complete_all(&inputs);
+        let (bips_d, watts_d) = (&completed[0], &completed[1]);
 
         let batch_bips = (0..self.num_batch)
             .map(|j| (0..cols).map(|c| bips_d.get(t_rows + j, c)).collect())
@@ -307,48 +393,60 @@ impl JobMatrices {
         let batch_watts = (0..self.num_batch)
             .map(|j| (0..cols).map(|c| watts_d.get(t_rows + j, c)).collect())
             .collect();
-        let lc_watts = (0..cols)
-            .map(|c| watts_d.get(t_rows + self.num_batch, c))
-            .collect();
-        let lc_tail: Vec<f64> = (0..cols).map(|c| tail_d.get(lib_rows.len(), c)).collect();
 
-        // Monotone closure over (neighbour-merged) direct observations:
-        // tail latency is monotone in every resource dimension, so an
-        // observation at X lower-bounds every configuration X dominates and
-        // upper-bounds every configuration dominating X. Upper bounds are
-        // applied last — direct evidence of safety trumps interpolation.
-        let obs = self.tail_observations_near(bucket);
-        let mut lc_tail_guarded = lc_tail.clone();
         let dominates = |a: simulator::JobConfig, b: simulator::JobConfig| {
             a.core.fe >= b.core.fe
                 && a.core.be >= b.core.be
                 && a.core.ls >= b.core.ls
                 && a.cache >= b.cache
         };
-        for (&x, &t) in &obs {
-            let xc = simulator::JobConfig::from_index(x);
-            for (c, g) in lc_tail_guarded.iter_mut().enumerate() {
-                let cc = simulator::JobConfig::from_index(c);
-                if c != x && dominates(xc, cc) {
-                    *g = g.max(t);
+        let lc_preds = (0..self.num_lc)
+            .map(|lc| {
+                let tail_d = &completed[2 + lc];
+                let live_row = lib_row_sets[lc].len();
+                let watts = (0..cols)
+                    .map(|c| watts_d.get(t_rows + self.num_batch + lc, c))
+                    .collect();
+                let tail: Vec<f64> = (0..cols).map(|c| tail_d.get(live_row, c)).collect();
+
+                // Monotone closure over (neighbour-merged) direct
+                // observations: tail latency is monotone in every resource
+                // dimension, so an observation at X lower-bounds every
+                // configuration X dominates and upper-bounds every
+                // configuration dominating X. Upper bounds are applied last
+                // — direct evidence of safety trumps interpolation.
+                let obs = self.tail_observations_near(lc, buckets[lc]);
+                let mut tail_guarded = tail.clone();
+                for (&x, &t) in &obs {
+                    let xc = simulator::JobConfig::from_index(x);
+                    for (c, g) in tail_guarded.iter_mut().enumerate() {
+                        let cc = simulator::JobConfig::from_index(c);
+                        if c != x && dominates(xc, cc) {
+                            *g = g.max(t);
+                        }
+                    }
                 }
-            }
-        }
-        for (&x, &t) in &obs {
-            let xc = simulator::JobConfig::from_index(x);
-            for (c, g) in lc_tail_guarded.iter_mut().enumerate() {
-                let cc = simulator::JobConfig::from_index(c);
-                if c != x && dominates(cc, xc) {
-                    *g = g.min(t);
+                for (&x, &t) in &obs {
+                    let xc = simulator::JobConfig::from_index(x);
+                    for (c, g) in tail_guarded.iter_mut().enumerate() {
+                        let cc = simulator::JobConfig::from_index(c);
+                        if c != x && dominates(cc, xc) {
+                            *g = g.min(t);
+                        }
+                    }
                 }
-            }
-        }
+                LcPrediction {
+                    watts,
+                    tail,
+                    tail_guarded,
+                }
+            })
+            .collect();
+
         Predictions {
             batch_bips,
             batch_watts,
-            lc_watts,
-            lc_tail,
-            lc_tail_guarded,
+            lc: lc_preds,
         }
     }
 }
@@ -363,7 +461,13 @@ mod tests {
     fn matrices() -> JobMatrices {
         let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
         let training: Vec<AppProfile> = batch::training_set().iter().map(|b| b.profile).collect();
-        JobMatrices::new(oracle, &training, 4)
+        JobMatrices::new(oracle, &training, 1, 4)
+    }
+
+    fn matrices_two_lc() -> JobMatrices {
+        let oracle = Oracle::new(Chip::new(SystemParams::default(), CoreKind::Reconfigurable));
+        let training: Vec<AppProfile> = batch::training_set().iter().map(|b| b.profile).collect();
+        JobMatrices::new(oracle, &training, 2, 4)
     }
 
     #[test]
@@ -405,7 +509,7 @@ mod tests {
         ] {
             m.record_sample(1, cfg, truth[cfg], truth_w[cfg]);
         }
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         let rel_sum: f64 = preds.batch_bips[0]
             .iter()
             .zip(&truth)
@@ -418,11 +522,11 @@ mod tests {
     #[test]
     fn tail_predictions_use_the_right_bucket() {
         let mut m = matrices();
-        let p_low = m.reconstruct(&Reconstructor::default(), 0.2);
-        let p_high = m.reconstruct(&Reconstructor::default(), 0.85);
+        let p_low = m.reconstruct(&Reconstructor::default(), &[0.2]);
+        let p_high = m.reconstruct(&Reconstructor::default(), &[0.85]);
         let idx = JobConfig::profiling_low().index();
         assert!(
-            p_high.lc_tail[idx] > p_low.lc_tail[idx],
+            p_high.lc[0].tail[idx] > p_low.lc[0].tail[idx],
             "high-load bucket must predict worse tails at the narrow config"
         );
     }
@@ -431,11 +535,11 @@ mod tests {
     fn observed_entries_pass_through() {
         let mut m = matrices();
         m.record_sample(1, 5, 2.5, 3.5);
-        m.record_tail(0.8, 7, 4.2);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        m.record_tail(0, 0.8, TAIL_REFERENCE_CORES, 7, 4.2);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         assert!((preds.batch_bips[0][5] - 2.5).abs() < 1e-12);
         assert!((preds.batch_watts[0][5] - 3.5).abs() < 1e-12);
-        assert!((preds.lc_tail[7] - 4.2).abs() < 1e-12);
+        assert!((preds.lc[0].tail[7] - 4.2).abs() < 1e-12);
     }
 
     #[test]
@@ -444,7 +548,7 @@ mod tests {
         m.record_sample(2, 9, 1.0, 1.0);
         m.record_sample(2, 9, 2.0, 2.0);
         assert_eq!(m.batch_observations(1), 1);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.5);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.5]);
         assert!((preds.batch_bips[1][9] - 2.0).abs() < 1e-12);
     }
 
@@ -460,9 +564,9 @@ mod tests {
         ] {
             m.record_sample(0, cfg, 0.0, truth[cfg]);
         }
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
-        let rel_sum: f64 = preds
-            .lc_watts
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
+        let rel_sum: f64 = preds.lc[0]
+            .watts
             .iter()
             .zip(&truth)
             .map(|(p, t)| (p - t).abs() / t)
@@ -483,25 +587,83 @@ mod tests {
         let mut m = matrices();
         // A gated or unmeasured sample must not poison any matrix row.
         m.record_sample(1, 5, 0.0, 0.0);
-        m.record_lc_power(5, 0.0);
+        m.record_lc_power(0, 5, 0.0);
         assert_eq!(m.batch_observations(0), 0);
-        assert!(m.lc_watts_obs.is_empty());
+        assert!(m.lc_watts_obs[0].is_empty());
     }
 
     #[test]
-    fn rescaling_applies_the_mmk_core_ratio() {
+    fn rescaling_applies_the_fluid_core_ratio() {
         let mut m = matrices();
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         let idx = JobConfig::profiling_high().index();
         // Halving the cores doubles the per-core load ratio and hence the
-        // predicted tail; power and throughput rows are per-core and fixed.
-        let halved = preds.rescaled_for_cores(TAIL_REFERENCE_CORES / 2);
-        assert!((halved.lc_tail[idx] - 2.0 * preds.lc_tail[idx]).abs() < 1e-12);
-        assert!((halved.lc_tail_guarded[idx] - 2.0 * preds.lc_tail_guarded[idx]).abs() < 1e-12);
-        assert_eq!(halved.lc_watts, preds.lc_watts);
-        assert_eq!(halved.batch_bips, preds.batch_bips);
-        // The reference core count is the identity.
-        let same = preds.rescaled_for_cores(TAIL_REFERENCE_CORES);
-        assert!((same.lc_tail[idx] - preds.lc_tail[idx]).abs() < 1e-12);
+        // predicted tail; power rows are per-core and fixed.
+        let halved = preds.lc[0].rescaled_step(TAIL_REFERENCE_CORES, TAIL_REFERENCE_CORES / 2);
+        assert!((halved.tail[idx] - 2.0 * preds.lc[0].tail[idx]).abs() < 1e-12);
+        assert!((halved.tail_guarded[idx] - 2.0 * preds.lc[0].tail_guarded[idx]).abs() < 1e-12);
+        assert_eq!(halved.watts, preds.lc[0].watts);
+        // A step that goes nowhere is the exact identity.
+        let same = preds.lc[0].rescaled_step(TAIL_REFERENCE_CORES, TAIL_REFERENCE_CORES);
+        assert_eq!(same.tail[idx].to_bits(), preds.lc[0].tail[idx].to_bits());
+    }
+
+    #[test]
+    fn effective_load_maps_core_deficit_to_the_reference_axis() {
+        // 8 cores at 40% load queue like the 16-core reference at 80%.
+        assert!((effective_load(0.4, 8) - 0.8).abs() < 1e-15);
+        // At the reference count the mapping is the exact identity.
+        assert_eq!(effective_load(0.8, 16).to_bits(), 0.8_f64.to_bits());
+    }
+
+    #[test]
+    fn observations_land_at_the_effective_load_bucket() {
+        let mut m = matrices();
+        // An 8-core tenant at 40% load runs at the utilization of the
+        // reference characterization at 80% — its observation must guard
+        // predictions made for that bucket, with the raw magnitude.
+        m.record_tail(0, 0.4, 8, 7, 4.2);
+        let obs = m.tail_observations_near(0, bucket_for(0.8));
+        assert!((obs[&7] - 4.2).abs() < 1e-12);
+        assert!(m.tail_observations_near(0, bucket_for(0.4)).is_empty());
+    }
+
+    #[test]
+    fn two_tenants_keep_separate_tail_and_power_rows() {
+        let mut m = matrices_two_lc();
+        m.record_tail(0, 0.8, TAIL_REFERENCE_CORES, 7, 4.2);
+        m.record_tail(1, 0.8, TAIL_REFERENCE_CORES, 7, 9.9);
+        m.record_lc_power(0, 5, 3.0);
+        m.record_lc_power(1, 5, 6.0);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8, 0.8]);
+        assert_eq!(preds.lc.len(), 2);
+        assert!((preds.lc[0].tail[7] - 4.2).abs() < 1e-12);
+        assert!((preds.lc[1].tail[7] - 9.9).abs() < 1e-12);
+        assert!((preds.lc[0].watts[5] - 3.0).abs() < 1e-12);
+        assert!((preds.lc[1].watts[5] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenants_reconstruct_at_their_own_loads() {
+        let mut m = matrices_two_lc();
+        let idx = JobConfig::profiling_low().index();
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.2, 0.9]);
+        assert!(
+            preds.lc[1].tail[idx] > preds.lc[0].tail[idx],
+            "the loaded tenant must see worse narrow-config tails"
+        );
+    }
+
+    #[test]
+    fn retired_batch_rows_start_cold() {
+        let mut m = matrices();
+        m.record_sample(1, 5, 2.5, 3.5);
+        assert_eq!(m.batch_observations(0), 1);
+        m.retire_batch(0);
+        assert_eq!(m.batch_observations(0), 0);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
+        // Without live observations the row interpolates from training data
+        // only — the exact observed value must no longer pass through.
+        assert!((preds.batch_bips[0][5] - 2.5).abs() > 1e-9);
     }
 }

@@ -9,6 +9,13 @@
 //! numbers come from the actual runtime rather than a separate
 //! micro-benchmark.
 //!
+//! With multiple LC tenants the QoS stage walks them in priority order
+//! (their order in the scenario): relocation arbitrates cores tenant by
+//! tenant, and pinning fixes each tenant's configuration before the search
+//! explores the remaining batch dimensions. Batch jobs absent this slice
+//! (churn) are excluded from the search space and forced to
+//! [`BatchAction::Gated`].
+//!
 //! [`crate::runtime::CuttleSysManager`] is a composition of the default
 //! stage set; ablations swap a single stage (a different search algorithm,
 //! a different reconstruction configuration) without touching the rest.
@@ -21,16 +28,16 @@ use recsys::Reconstructor;
 use simulator::{CacheAlloc, CoreConfig, JobConfig, NUM_JOB_CONFIGS};
 
 use crate::accounting::{gate_descending_power, PowerAccount};
-use crate::matrices::{bucket_for, JobMatrices, Predictions};
+use crate::matrices::{bucket_for, effective_load, JobMatrices, LcPrediction, Predictions};
 use crate::telemetry::StageTelemetry;
-use crate::types::{BatchAction, Plan, ProfilePlan, ProfileSample, SliceInfo};
+use crate::types::{BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, SliceInfo};
 
-/// The LC service's core allocation, mutated by the QoS stage's relocation
+/// One LC tenant's core allocation, mutated by the QoS stage's relocation
 /// policy (§VI-A: reclaim on measured violations at the widest
 /// configuration; relinquish once predictions show slack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LcAllocation {
-    /// Cores currently held by the service.
+    /// Cores currently held by the tenant.
     pub cores: usize,
     /// The scenario's initial allocation — relinquishing never goes below.
     pub min_cores: usize,
@@ -43,14 +50,36 @@ pub struct DecisionCtx<'a> {
     pub info: &'a SliceInfo,
     /// The rating-matrix bookkeeping samples land in.
     pub matrices: &'a mut JobMatrices,
-    /// The LC core allocation.
-    pub lc: &'a mut LcAllocation,
+    /// Per-LC-tenant core allocations, in priority order.
+    pub lc: &'a mut Vec<LcAllocation>,
     /// The plan of the previous quantum, if any (trust region, reclaim).
     pub last_plan: &'a Option<Plan>,
     /// Number of batch jobs.
     pub num_batch: usize,
     /// Power of a gated core (W).
     pub gated_watts: f64,
+}
+
+impl DecisionCtx<'_> {
+    /// Total cores currently held by LC tenants.
+    pub fn total_lc_cores(&self) -> usize {
+        self.lc.iter().map(|a| a.cores).sum()
+    }
+
+    /// Indices of the batch jobs present this slice.
+    pub fn active_batch(&self) -> Vec<usize> {
+        (0..self.num_batch)
+            .filter(|&j| self.info.batch_active.get(j).copied().unwrap_or(true))
+            .collect()
+    }
+
+    /// The configuration LC tenant `i` ran in the previous quantum, if any.
+    fn last_lc_config(&self, i: usize) -> Option<JobConfig> {
+        self.last_plan
+            .as_ref()
+            .and_then(|p| p.lc.get(i))
+            .map(|a| a.config)
+    }
 }
 
 /// A probe callback: runs a profiling frame, consuming its duration from
@@ -71,31 +100,33 @@ pub trait ReconstructStage {
 
 /// Stage 3: core relocation and LC configuration pinning (§VI-A).
 pub trait QosStage {
-    /// Pre-profiling half: reclaim a core after a measured violation that
+    /// Pre-profiling half: reclaim cores after measured violations that
     /// reconfiguration alone cannot fix. Runs before stage 1 so the frames
     /// profile the post-relocation layout.
     fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry);
 
     /// Post-reconstruction half: relinquish reclaimed cores when
-    /// predictions show slack, rescale the tail rows to the final core
-    /// count, and pin the LC configuration. Returns the pinned
-    /// configuration and the rescaled predictions the later stages use.
+    /// predictions show slack, rescale each tenant's tail row to its final
+    /// core count, and pin every tenant's configuration in priority order.
+    /// Returns the pinned configurations and the rescaled predictions the
+    /// later stages use.
     fn pin(
         &mut self,
         ctx: &mut DecisionCtx,
         preds: &Predictions,
         tel: &mut StageTelemetry,
-    ) -> (JobConfig, Predictions);
+    ) -> (Vec<JobConfig>, Predictions);
 }
 
 /// Stage 4: search the batch jobs' configuration space.
 pub trait SearchStage {
-    /// Returns the best configuration index per batch job.
+    /// Returns the best configuration index per batch job (entries for
+    /// absent jobs are placeholders — stage 5 gates them).
     fn search(
         &mut self,
         ctx: &DecisionCtx,
         preds: &Predictions,
-        lc_config: JobConfig,
+        lc_configs: &[JobConfig],
         tel: &mut StageTelemetry,
     ) -> Vec<usize>;
 }
@@ -107,7 +138,7 @@ pub trait RepairStage {
         &mut self,
         ctx: &DecisionCtx,
         preds: &Predictions,
-        lc_config: JobConfig,
+        lc_configs: &[JobConfig],
         point: &[usize],
         tel: &mut StageTelemetry,
     ) -> Vec<BatchAction>;
@@ -150,34 +181,53 @@ impl DecisionPipeline {
         tel.reconstruct_wall_ms += t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let (lc_config, preds) = self.qos.pin(ctx, &raw, &mut tel);
+        let (lc_configs, preds) = self.qos.pin(ctx, &raw, &mut tel);
         tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let point = self.search.search(ctx, &preds, lc_config, &mut tel);
+        let point = self.search.search(ctx, &preds, &lc_configs, &mut tel);
         tel.search_wall_ms += t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let batch = self.repair.repair(ctx, &preds, lc_config, &point, &mut tel);
+        let batch = self
+            .repair
+            .repair(ctx, &preds, &lc_configs, &point, &mut tel);
         tel.repair_wall_ms += t.elapsed().as_secs_f64() * 1e3;
 
         let plan = Plan {
-            lc_cores: ctx.lc.cores,
-            lc_config,
+            lc: ctx
+                .lc
+                .iter()
+                .zip(&lc_configs)
+                .map(|(a, &config)| LcAssignment {
+                    cores: a.cores,
+                    config,
+                })
+                .collect(),
             batch,
         };
         (plan, preds, tel)
     }
 }
 
-/// The fixed per-core power components of the current split, from the LC
-/// service's predicted Watts at `lc_config`.
-fn account_for(ctx: &DecisionCtx, preds: &Predictions, lc_config: JobConfig) -> PowerAccount {
+/// Total predicted LC power of the pinned configurations (W).
+fn lc_watts_total(ctx: &DecisionCtx, preds: &Predictions, lc_configs: &[JobConfig]) -> f64 {
+    ctx.lc
+        .iter()
+        .zip(lc_configs)
+        .zip(&preds.lc)
+        .map(|((a, config), lc)| a.cores as f64 * lc.watts[config.index()])
+        .sum()
+}
+
+/// The fixed per-core power components of the current split, from every LC
+/// tenant's predicted Watts at its pinned configuration.
+fn account_for(ctx: &DecisionCtx, preds: &Predictions, lc_configs: &[JobConfig]) -> PowerAccount {
     PowerAccount::for_split(
         ctx.info.num_cores,
-        ctx.lc.cores,
-        ctx.num_batch,
-        preds.lc_watts[lc_config.index()],
+        ctx.total_lc_cores(),
+        ctx.active_batch().len(),
+        lc_watts_total(ctx, preds, lc_configs),
         ctx.gated_watts,
     )
 }
@@ -192,13 +242,21 @@ impl ProfileStage for SplitHalvesProfile {
     fn profile(&mut self, ctx: &mut DecisionCtx, probe: &mut Probe, tel: &mut StageTelemetry) {
         let high = JobConfig::profiling_high();
         let low = JobConfig::profiling_low();
-        let lc_cores = ctx.lc.cores;
         for swap in [false, true] {
-            let lc_configs: Vec<JobConfig> = (0..lc_cores)
-                .map(|i| if (i < lc_cores / 2) ^ swap { high } else { low })
+            let lc_configs: Vec<Vec<JobConfig>> = ctx
+                .lc
+                .iter()
+                .map(|a| {
+                    (0..a.cores)
+                        .map(|i| if (i < a.cores / 2) ^ swap { high } else { low })
+                        .collect()
+                })
                 .collect();
             let batch: Vec<BatchAction> = (0..ctx.num_batch)
                 .map(|j| {
+                    if !ctx.info.batch_active.get(j).copied().unwrap_or(true) {
+                        return BatchAction::Gated;
+                    }
                     BatchAction::Run(if (j < ctx.num_batch / 2) ^ swap {
                         high
                     } else {
@@ -206,14 +264,7 @@ impl ProfileStage for SplitHalvesProfile {
                     })
                 })
                 .collect();
-            let sample = probe(
-                &ProfilePlan {
-                    lc_cores,
-                    lc_configs,
-                    batch,
-                },
-                1.0,
-            );
+            let sample = probe(&ProfilePlan { lc_configs, batch }, 1.0);
             tel.profile_sim_ms += sample.duration_ms;
             tel.samples_recorded += sample.samples.len();
             for s in &sample.samples {
@@ -224,7 +275,7 @@ impl ProfileStage for SplitHalvesProfile {
     }
 }
 
-/// §V: collaborative-filtering completion of the three rating matrices via
+/// §V: collaborative-filtering completion of the rating matrices via
 /// parallel SGD.
 pub struct CfReconstruct {
     reconstructor: Reconstructor,
@@ -239,15 +290,24 @@ impl CfReconstruct {
 
 impl ReconstructStage for CfReconstruct {
     fn reconstruct(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) -> Predictions {
-        // Hogwild SGD runs a fixed epoch count per matrix; three matrices
-        // complete per quantum (throughput, power, tail).
-        tel.sgd_epochs += 3 * self.reconstructor.config.max_iters;
-        ctx.matrices.reconstruct(&self.reconstructor, ctx.info.load)
+        // Hogwild SGD runs a fixed epoch count per matrix; throughput and
+        // power complete once per quantum, tails once per LC tenant. Each
+        // tenant's tail row is completed at the effective load of the cores
+        // it holds after relocation, the axis its observations live on.
+        let loads: Vec<f64> = ctx
+            .info
+            .lc
+            .iter()
+            .zip(ctx.lc.iter())
+            .map(|(l, a)| effective_load(l.load, a.cores))
+            .collect();
+        tel.sgd_epochs += (2 + loads.len()) * self.reconstructor.config.max_iters;
+        ctx.matrices.reconstruct(&self.reconstructor, &loads)
     }
 }
 
 /// §VI-A: trust-region pinning with the reclaim/relinquish relocation
-/// policy.
+/// policy, applied per tenant in priority order.
 #[derive(Debug, Clone, Copy)]
 pub struct TrustRegionQos {
     /// Relinquish threshold: yield a reclaimed core when the predicted tail
@@ -268,19 +328,19 @@ impl Default for TrustRegionQos {
 }
 
 impl TrustRegionQos {
-    /// Pins the LC configuration from the reconstructed tail row. Returns
-    /// `(config, met_qos)`.
+    /// Pins one tenant's configuration from its reconstructed tail row.
+    /// Returns `(config, met_qos)`.
     ///
     /// Among configurations predicted to meet QoS (with headroom), the scan
     /// minimizes predicted power, breaking ties toward smaller cache
-    /// allocations — at tight caps the LC service's Watts are the binding
+    /// allocations — at tight caps the tenant's Watts are the binding
     /// resource; its ways only matter as a tiebreak against the batch jobs'
     /// cache demand.
     pub fn pin_lc_config(
         &self,
-        preds: &Predictions,
+        lc: &LcPrediction,
         qos_ms: f64,
-        last_plan: &Option<Plan>,
+        last_config: Option<JobConfig>,
     ) -> (JobConfig, bool) {
         let mut best: Option<(JobConfig, f64)> = None;
         // Trust region: downsizing proceeds at most one step per dimension
@@ -288,10 +348,8 @@ impl TrustRegionQos {
         // unlimited). Gradual descent means a mispredicted step lands just
         // past the previous — observed-safe — configuration, bounding the
         // magnitude of any transient violation.
-        let floor = last_plan
-            .as_ref()
-            .map(|p| p.lc_config)
-            .unwrap_or_else(|| JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
+        let floor =
+            last_config.unwrap_or_else(|| JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
         let within_trust = |jc: JobConfig| {
             jc.core.fe.index() + 1 >= floor.core.fe.index()
                 && jc.core.be.index() + 1 >= floor.core.be.index()
@@ -299,14 +357,14 @@ impl TrustRegionQos {
                 && jc.cache.index() + 1 >= floor.cache.index()
         };
         for c in 0..NUM_JOB_CONFIGS {
-            if preds.lc_tail_guarded[c] > qos_ms * self.headroom {
+            if lc.tail_guarded[c] > qos_ms * self.headroom {
                 continue;
             }
             let jc = JobConfig::from_index(c);
             if !within_trust(jc) {
                 continue;
             }
-            let watts = preds.lc_watts[c];
+            let watts = lc.watts[c];
             let better = match &best {
                 None => true,
                 Some((b, w)) => (watts, jc.cache) < (*w, b.cache),
@@ -333,17 +391,22 @@ impl QosStage for TrustRegionQos {
     fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) {
         // Reclaim half (§VI-A): a measured QoS violation while already at
         // the widest configuration means reconfiguration alone cannot
-        // help — take one core from the batch jobs.
-        if let Some(tail) = ctx.info.last_tail_ms {
-            if tail > ctx.info.qos_ms
-                && ctx.lc.cores + 1 < ctx.info.num_cores
-                && ctx
-                    .last_plan
-                    .as_ref()
-                    .is_some_and(|p| p.lc_config.core == CoreConfig::widest())
-            {
-                ctx.lc.cores += 1;
-                tel.reclaimed_core = true;
+        // help — take one core from the batch jobs. Tenants are walked in
+        // priority order, each checked against the shared core budget.
+        for i in 0..ctx.lc.len() {
+            let Some(lc_info) = ctx.info.lc.get(i) else {
+                continue;
+            };
+            if let Some(tail) = lc_info.last_tail_ms {
+                if tail > lc_info.qos_ms
+                    && ctx.total_lc_cores() + 1 < ctx.info.num_cores
+                    && ctx
+                        .last_lc_config(i)
+                        .is_some_and(|c| c.core == CoreConfig::widest())
+                {
+                    ctx.lc[i].cores += 1;
+                    tel.reclaimed_core = true;
+                }
             }
         }
     }
@@ -353,40 +416,59 @@ impl QosStage for TrustRegionQos {
         ctx: &mut DecisionCtx,
         preds: &Predictions,
         tel: &mut StageTelemetry,
-    ) -> (JobConfig, Predictions) {
-        let info = ctx.info;
-        // Relinquish half: a reclaimed core is yielded back as soon as the
-        // predictions say one fewer core still meets QoS with slack
-        // (measured slack at the chosen configuration is not meaningful —
-        // the scan deliberately sits near the headroom boundary).
-        if ctx.lc.cores > ctx.lc.min_cores {
-            let fewer = preds.rescaled_for_cores(ctx.lc.cores - 1);
-            let (_, met) = self.pin_lc_config(
-                &fewer,
-                info.qos_ms * (1.0 - self.slack / 2.0),
-                ctx.last_plan,
-            );
-            if met && info.last_tail_ms.is_some_and(|t| t <= info.qos_ms) {
-                ctx.lc.cores -= 1;
-                tel.relinquished_core = true;
+    ) -> (Vec<JobConfig>, Predictions) {
+        let mut lc_configs = Vec::with_capacity(ctx.lc.len());
+        let mut rescaled_lc = Vec::with_capacity(ctx.lc.len());
+        for i in 0..ctx.lc.len() {
+            let lc_info = &ctx.info.lc[i];
+            let last_config = ctx.last_lc_config(i);
+            // The tenant's predictions were reconstructed at the effective
+            // load of this core count; relocation below steps away from it.
+            let reconstructed_cores = ctx.lc[i].cores;
+            // Relinquish half: a reclaimed core is yielded back as soon as
+            // the predictions say one fewer core still meets QoS with slack
+            // (measured slack at the chosen configuration is not
+            // meaningful — the scan deliberately sits near the headroom
+            // boundary).
+            if ctx.lc[i].cores > ctx.lc[i].min_cores {
+                let fewer = preds.lc[i].rescaled_step(reconstructed_cores, ctx.lc[i].cores - 1);
+                let (_, met) = self.pin_lc_config(
+                    &fewer,
+                    lc_info.qos_ms * (1.0 - self.slack / 2.0),
+                    last_config,
+                );
+                if met && lc_info.last_tail_ms.is_some_and(|t| t <= lc_info.qos_ms) {
+                    ctx.lc[i].cores -= 1;
+                    tel.relinquished_core = true;
+                }
             }
-        }
 
-        let preds = preds.rescaled_for_cores(ctx.lc.cores);
-        // First touch of a load region: no observation within ±2 % load
-        // means the saturation wall's position is unknown — run the widest
-        // configuration for one slice and learn from it (this is also the
-        // system's t = 0 state).
-        let first_touch = ctx
-            .matrices
-            .tail_observations_near(bucket_for(info.load))
-            .is_empty();
-        let (lc_config, _met) = if first_touch {
-            (JobConfig::new(CoreConfig::widest(), CacheAlloc::Four), true)
-        } else {
-            self.pin_lc_config(&preds, info.qos_ms, ctx.last_plan)
+            let rescaled = preds.lc[i].rescaled_step(reconstructed_cores, ctx.lc[i].cores);
+            // First touch of a load region: no observation within ±2 % load
+            // means the saturation wall's position is unknown — run the
+            // widest configuration for one slice and learn from it (this is
+            // also the system's t = 0 state).
+            let first_touch = ctx
+                .matrices
+                .tail_observations_near(
+                    i,
+                    bucket_for(effective_load(lc_info.load, ctx.lc[i].cores)),
+                )
+                .is_empty();
+            let (config, _met) = if first_touch {
+                (JobConfig::new(CoreConfig::widest(), CacheAlloc::Four), true)
+            } else {
+                self.pin_lc_config(&rescaled, lc_info.qos_ms, last_config)
+            };
+            lc_configs.push(config);
+            rescaled_lc.push(rescaled);
+        }
+        let preds = Predictions {
+            batch_bips: preds.batch_bips.clone(),
+            batch_watts: preds.batch_watts.clone(),
+            lc: rescaled_lc,
         };
-        (lc_config, preds)
+        (lc_configs, preds)
     }
 }
 
@@ -418,28 +500,41 @@ impl SearchStage for PenaltySearch {
         &mut self,
         ctx: &DecisionCtx,
         preds: &Predictions,
-        lc_config: JobConfig,
+        lc_configs: &[JobConfig],
         tel: &mut StageTelemetry,
     ) -> Vec<usize> {
-        let acct = account_for(ctx, preds, lc_config);
+        let lowest = JobConfig::profiling_low().index();
+        let active = ctx.active_batch();
+        if active.is_empty() {
+            return vec![lowest; ctx.num_batch];
+        }
+        let acct = account_for(ctx, preds, lc_configs);
         let base_watts = acct.base_watts();
         let bips = &preds.batch_bips;
         let watts = &preds.batch_watts;
-        let num_batch = ctx.num_batch;
+        let lc_ways: f64 = lc_configs.iter().map(|c| c.cache.ways()).sum();
+        let num_active = active.len();
+        let jobs = active.clone();
+        let jobs_b = active.clone();
+        let jobs_c = active.clone();
         let objective = SoftPenalty {
             benefit: move |x: &[usize]| {
                 let log_sum: f64 = x
                     .iter()
-                    .enumerate()
-                    .map(|(j, &c)| bips[j][c].max(1e-9).ln())
+                    .zip(&jobs)
+                    .map(|(&c, &j)| bips[j][c].max(1e-9).ln())
                     .sum();
-                (log_sum / num_batch as f64).exp()
+                (log_sum / num_active as f64).exp()
             },
             power: move |x: &[usize]| {
-                base_watts + x.iter().enumerate().map(|(j, &c)| watts[j][c]).sum::<f64>()
+                base_watts
+                    + x.iter()
+                        .zip(&jobs_b)
+                        .map(|(&c, &j)| watts[j][c])
+                        .sum::<f64>()
             },
             cache_ways: move |x: &[usize]| {
-                lc_config.cache.ways()
+                lc_ways
                     + x.iter()
                         .map(|&c| JobConfig::from_index(c).cache.ways())
                         .sum::<f64>()
@@ -449,13 +544,19 @@ impl SearchStage for PenaltySearch {
             penalty_power: 2.0,
             penalty_cache: 2.0,
         };
-        let space = SearchSpace::new(ctx.num_batch, NUM_JOB_CONFIGS);
+        let space = SearchSpace::new(num_active, NUM_JOB_CONFIGS);
         let result = match &self.algo {
             SearchAlgo::Dds(params) => parallel_search(&space, &objective, params),
             SearchAlgo::Ga(params) => ga_search(&space, &objective, params),
         };
         tel.search_evaluations += result.evaluations;
-        result.best_point
+        // Scatter the active-job point back to global batch indices;
+        // departed slots carry a placeholder that stage 5 gates.
+        let mut point = vec![lowest; ctx.num_batch];
+        for (slot, &j) in jobs_c.iter().enumerate() {
+            point[j] = result.best_point[slot];
+        }
+        point
     }
 }
 
@@ -469,20 +570,31 @@ impl RepairStage for PowerCapRepair {
         &mut self,
         ctx: &DecisionCtx,
         preds: &Predictions,
-        lc_config: JobConfig,
+        lc_configs: &[JobConfig],
         point: &[usize],
         tel: &mut StageTelemetry,
     ) -> Vec<BatchAction> {
         let lowest = JobConfig::profiling_low().index();
-        let lc_watts = ctx.lc.cores as f64 * preds.lc_watts[lc_config.index()];
-        let narrowest_watts: Vec<f64> = (0..ctx.num_batch)
-            .map(|j| preds.batch_watts[j][lowest])
+        let active = ctx.active_batch();
+        let lc_watts = lc_watts_total(ctx, preds, lc_configs);
+        let narrowest_watts: Vec<f64> = active
+            .iter()
+            .map(|&j| preds.batch_watts[j][lowest])
             .collect();
         let lowest_power: f64 = lc_watts + narrowest_watts.iter().sum::<f64>();
+        let is_active =
+            |j: usize| -> bool { ctx.info.batch_active.get(j).copied().unwrap_or(true) };
         if lowest_power <= ctx.info.cap_watts {
             return point
                 .iter()
-                .map(|&c| BatchAction::Run(JobConfig::from_index(c)))
+                .enumerate()
+                .map(|(j, &c)| {
+                    if is_active(j) {
+                        BatchAction::Run(JobConfig::from_index(c))
+                    } else {
+                        BatchAction::Gated
+                    }
+                })
                 .collect();
         }
         // Not even the narrowest plan fits: start from all-narrowest and
@@ -494,45 +606,61 @@ impl RepairStage for PowerCapRepair {
             ctx.gated_watts,
         );
         tel.gated_jobs += gated.iter().filter(|&&g| g).count();
-        gated
-            .iter()
-            .map(|&g| {
-                if g {
-                    BatchAction::Gated
-                } else {
-                    BatchAction::Run(JobConfig::from_index(lowest))
-                }
-            })
-            .collect()
+        let mut actions = vec![BatchAction::Gated; ctx.num_batch];
+        for (slot, &j) in active.iter().enumerate() {
+            if !gated[slot] {
+                actions[j] = BatchAction::Run(JobConfig::from_index(lowest));
+            }
+        }
+        actions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::SliceInfo;
+    use crate::types::{LcSliceInfo, SliceInfo};
 
     fn flat_predictions(tail_ms: f64) -> Predictions {
         Predictions {
             batch_bips: vec![vec![1.0; NUM_JOB_CONFIGS]; 4],
             batch_watts: vec![vec![2.0; NUM_JOB_CONFIGS]; 4],
-            lc_watts: vec![3.0; NUM_JOB_CONFIGS],
-            lc_tail: vec![tail_ms; NUM_JOB_CONFIGS],
-            lc_tail_guarded: vec![tail_ms; NUM_JOB_CONFIGS],
+            lc: vec![LcPrediction {
+                watts: vec![3.0; NUM_JOB_CONFIGS],
+                tail: vec![tail_ms; NUM_JOB_CONFIGS],
+                tail_guarded: vec![tail_ms; NUM_JOB_CONFIGS],
+            }],
         }
     }
 
     fn info(cap_watts: f64) -> SliceInfo {
+        let service = workloads::latency::service_by_name("xapian").unwrap();
         SliceInfo {
             slice: 5,
-            load: 0.8,
             cap_watts,
             num_cores: 32,
             num_batch: 4,
-            qos_ms: 10.0,
-            last_tail_ms: Some(5.0),
-            last_lc_cores: 16,
+            lc: vec![LcSliceInfo {
+                service,
+                qos_ms: 10.0,
+                load: 0.8,
+                last_tail_ms: Some(5.0),
+                last_cores: 16,
+            }],
+            batch_active: vec![true; 4],
         }
+    }
+
+    fn test_matrices() -> JobMatrices {
+        JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            1,
+            4,
+        )
     }
 
     #[test]
@@ -541,17 +669,11 @@ mod tests {
         let mut preds = flat_predictions(1.0);
         // Make one configuration clearly cheapest.
         let cheap = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One).index();
-        preds.lc_watts[cheap] = 0.5;
-        // No previous plan: the trust floor is the widest configuration,
-        // so only one-step-down configurations are eligible; make the
-        // eligible set contain a known minimum instead.
+        preds.lc[0].watts[cheap] = 0.5;
+        // With the widest as the previous config, only one-step-down
+        // configurations are eligible.
         let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
-        let last = Some(Plan {
-            lc_cores: 16,
-            lc_config: widest,
-            batch: vec![],
-        });
-        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        let (jc, met) = qos.pin_lc_config(&preds.lc[0], 10.0, Some(widest));
         assert!(met);
         // The chosen config must be within one step of widest per dimension.
         assert!(jc.core.fe.index() + 1 >= widest.core.fe.index());
@@ -567,9 +689,9 @@ mod tests {
                     && x.core.ls.index() + 1 >= widest.core.ls.index()
                     && x.cache.index() + 1 >= widest.cache.index()
             })
-            .map(|c| preds.lc_watts[c])
+            .map(|c| preds.lc[0].watts[c])
             .fold(f64::INFINITY, f64::min);
-        assert!((preds.lc_watts[jc.index()] - best_watts).abs() < 1e-12);
+        assert!((preds.lc[0].watts[jc.index()] - best_watts).abs() < 1e-12);
     }
 
     #[test]
@@ -579,14 +701,9 @@ mod tests {
         // the narrowest, which is strictly cheapest — the scan wants it.
         let mut preds = flat_predictions(1.0);
         let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
-        preds.lc_watts[narrow.index()] = 0.1;
+        preds.lc[0].watts[narrow.index()] = 0.1;
         let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
-        let last = Some(Plan {
-            lc_cores: 16,
-            lc_config: widest,
-            batch: vec![],
-        });
-        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        let (jc, met) = qos.pin_lc_config(&preds.lc[0], 10.0, Some(widest));
         assert!(met);
         assert_ne!(
             jc, narrow,
@@ -605,14 +722,9 @@ mod tests {
         // the widest in one quantum.
         let mut preds = flat_predictions(50.0);
         let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
-        preds.lc_tail_guarded[widest.index()] = 1.0;
+        preds.lc[0].tail_guarded[widest.index()] = 1.0;
         let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
-        let last = Some(Plan {
-            lc_cores: 16,
-            lc_config: narrow,
-            batch: vec![],
-        });
-        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &last);
+        let (jc, met) = qos.pin_lc_config(&preds.lc[0], 10.0, Some(narrow));
         assert!(met);
         assert_eq!(jc, widest);
     }
@@ -621,7 +733,7 @@ mod tests {
     fn pin_falls_back_to_widest_when_nothing_meets_qos() {
         let qos = TrustRegionQos::default();
         let preds = flat_predictions(1000.0);
-        let (jc, met) = qos.pin_lc_config(&preds, 10.0, &None);
+        let (jc, met) = qos.pin_lc_config(&preds.lc[0], 10.0, None);
         assert!(!met);
         assert_eq!(jc, JobConfig::new(CoreConfig::widest(), CacheAlloc::Four));
     }
@@ -632,18 +744,11 @@ mod tests {
         let preds = flat_predictions(1.0);
         // lc 16 × 3 W + 4 × 2 W = 56 W, well under a 200 W cap.
         let inf = info(200.0);
-        let mut matrices = crate::matrices::JobMatrices::new(
-            workloads::oracle::Oracle::new(simulator::Chip::new(
-                simulator::SystemParams::default(),
-                simulator::power::CoreKind::Reconfigurable,
-            )),
-            &[],
-            4,
-        );
-        let mut lc = LcAllocation {
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
             cores: 16,
             min_cores: 16,
-        };
+        }];
         let last = None;
         let ctx = DecisionCtx {
             info: &inf,
@@ -655,7 +760,7 @@ mod tests {
         };
         let point = vec![3, 17, 42, 99];
         let mut tel = StageTelemetry::default();
-        let actions = repair.repair(&ctx, &preds, JobConfig::from_index(0), &point, &mut tel);
+        let actions = repair.repair(&ctx, &preds, &[JobConfig::from_index(0)], &point, &mut tel);
         let expect: Vec<BatchAction> = point
             .iter()
             .map(|&c| BatchAction::Run(JobConfig::from_index(c)))
@@ -677,18 +782,11 @@ mod tests {
         // 0.5 W gated cores: gating job 0 leaves 60.5, gating job 1 leaves
         // 55 — under the cap, so exactly jobs 0 and 1 gate.
         let inf = info(60.0);
-        let mut matrices = crate::matrices::JobMatrices::new(
-            workloads::oracle::Oracle::new(simulator::Chip::new(
-                simulator::SystemParams::default(),
-                simulator::power::CoreKind::Reconfigurable,
-            )),
-            &[],
-            4,
-        );
-        let mut lc = LcAllocation {
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
             cores: 16,
             min_cores: 16,
-        };
+        }];
         let last = None;
         let ctx = DecisionCtx {
             info: &inf,
@@ -702,7 +800,7 @@ mod tests {
         let actions = repair.repair(
             &ctx,
             &preds,
-            JobConfig::from_index(0),
+            &[JobConfig::from_index(0)],
             &[0, 0, 0, 0],
             &mut tel,
         );
@@ -719,18 +817,11 @@ mod tests {
         let preds = flat_predictions(1.0);
         // A 1 W cap cannot be met even fully gated: every job gates.
         let inf = info(1.0);
-        let mut matrices = crate::matrices::JobMatrices::new(
-            workloads::oracle::Oracle::new(simulator::Chip::new(
-                simulator::SystemParams::default(),
-                simulator::power::CoreKind::Reconfigurable,
-            )),
-            &[],
-            4,
-        );
-        let mut lc = LcAllocation {
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
             cores: 16,
             min_cores: 16,
-        };
+        }];
         let last = None;
         let ctx = DecisionCtx {
             info: &inf,
@@ -744,7 +835,7 @@ mod tests {
         let actions = repair.repair(
             &ctx,
             &preds,
-            JobConfig::from_index(0),
+            &[JobConfig::from_index(0)],
             &[0, 0, 0, 0],
             &mut tel,
         );
@@ -753,32 +844,52 @@ mod tests {
     }
 
     #[test]
+    fn repair_gates_departed_jobs_without_counting_them() {
+        let mut repair = PowerCapRepair;
+        let preds = flat_predictions(1.0);
+        let mut inf = info(200.0);
+        inf.batch_active[2] = false;
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        }];
+        let last = None;
+        let ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+        };
+        let mut tel = StageTelemetry::default();
+        let actions = repair.repair(
+            &ctx,
+            &preds,
+            &[JobConfig::from_index(0)],
+            &[3, 17, 42, 99],
+            &mut tel,
+        );
+        assert_eq!(actions[2], BatchAction::Gated, "departed slot is gated");
+        assert_eq!(actions[0], BatchAction::Run(JobConfig::from_index(3)));
+        assert_eq!(tel.gated_jobs, 0, "departure is not a repair gating");
+    }
+
+    #[test]
     fn relocate_reclaims_only_at_widest_config() {
         let mut qos = TrustRegionQos::default();
-        let inf = SliceInfo {
-            last_tail_ms: Some(50.0),
-            ..info(100.0)
-        };
-        let mut matrices = crate::matrices::JobMatrices::new(
-            workloads::oracle::Oracle::new(simulator::Chip::new(
-                simulator::SystemParams::default(),
-                simulator::power::CoreKind::Reconfigurable,
-            )),
-            &[],
-            4,
-        );
+        let mut inf = info(100.0);
+        inf.lc[0].last_tail_ms = Some(50.0);
+        let mut matrices = test_matrices();
         let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
         let narrow = JobConfig::new(CoreConfig::narrowest(), CacheAlloc::One);
         for (config, expect_reclaim) in [(widest, true), (narrow, false)] {
-            let mut lc = LcAllocation {
+            let mut lc = vec![LcAllocation {
                 cores: 16,
                 min_cores: 16,
-            };
-            let last = Some(Plan {
-                lc_cores: 16,
-                lc_config: config,
-                batch: vec![],
-            });
+            }];
+            let last = Some(Plan::with_single_lc(16, config, vec![]));
             let mut ctx = DecisionCtx {
                 info: &inf,
                 matrices: &mut matrices,
@@ -790,7 +901,88 @@ mod tests {
             let mut tel = StageTelemetry::default();
             qos.relocate(&mut ctx, &mut tel);
             assert_eq!(tel.reclaimed_core, expect_reclaim, "config {config:?}");
-            assert_eq!(lc.cores, if expect_reclaim { 17 } else { 16 });
+            assert_eq!(lc[0].cores, if expect_reclaim { 17 } else { 16 });
         }
+    }
+
+    #[test]
+    fn relocate_arbitrates_cores_between_two_tenants() {
+        let mut qos = TrustRegionQos::default();
+        let service = workloads::latency::service_by_name("xapian").unwrap();
+        let masstree = workloads::latency::service_by_name("masstree").unwrap();
+        // Both tenants violated at the widest config: both reclaim while
+        // the shared budget lasts.
+        let inf = SliceInfo {
+            slice: 5,
+            cap_watts: 100.0,
+            num_cores: 32,
+            num_batch: 4,
+            lc: vec![
+                LcSliceInfo {
+                    service,
+                    qos_ms: 6.0,
+                    load: 0.8,
+                    last_tail_ms: Some(50.0),
+                    last_cores: 14,
+                },
+                LcSliceInfo {
+                    service: masstree,
+                    qos_ms: 8.0,
+                    load: 0.8,
+                    last_tail_ms: Some(50.0),
+                    last_cores: 14,
+                },
+            ],
+            batch_active: vec![true; 4],
+        };
+        let mut matrices = JobMatrices::new(
+            workloads::oracle::Oracle::new(simulator::Chip::new(
+                simulator::SystemParams::default(),
+                simulator::power::CoreKind::Reconfigurable,
+            )),
+            &[],
+            2,
+            4,
+        );
+        let widest = JobConfig::new(CoreConfig::widest(), CacheAlloc::Four);
+        let mut lc = vec![
+            LcAllocation {
+                cores: 14,
+                min_cores: 14,
+            },
+            LcAllocation {
+                cores: 14,
+                min_cores: 14,
+            },
+        ];
+        let last = Some(Plan {
+            lc: vec![
+                LcAssignment {
+                    cores: 14,
+                    config: widest,
+                },
+                LcAssignment {
+                    cores: 14,
+                    config: widest,
+                },
+            ],
+            batch: vec![],
+        });
+        let mut ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.5,
+        };
+        let mut tel = StageTelemetry::default();
+        qos.relocate(&mut ctx, &mut tel);
+        // Tenant 0 (higher priority) reclaims to 15; the total is then
+        // 29 + 1 < 32, so tenant 1 also reclaims; a second pass would stop
+        // at the budget.
+        assert_eq!(lc[0].cores, 15);
+        assert_eq!(lc[1].cores, 15);
+        assert!(tel.reclaimed_core);
     }
 }

@@ -3,34 +3,37 @@
 //! Every 100 ms decision quantum runs the five-stage
 //! [`DecisionPipeline`]:
 //!
-//! 1. **Profile** for 2 ms: two 1 ms frames in which half the cores run the
-//!    widest-issue configuration and half the narrowest (swapped in the
-//!    second frame, to avoid a chip-wide power overshoot), each job holding
-//!    one LLC way ([`SplitHalvesProfile`]).
+//! 1. **Profile** for 2 ms: two 1 ms frames in which half of each LC
+//!    tenant's cores run the widest-issue configuration and half the
+//!    narrowest (swapped in the second frame, to avoid a chip-wide power
+//!    overshoot), each job holding one LLC way ([`SplitHalvesProfile`]).
 //! 2. **Reconstruct** the throughput, tail-latency, and power matrices with
 //!    parallel SGD, seeded by the offline-characterized training
 //!    applications and all observations accumulated from previous steady
-//!    states ([`CfReconstruct`]).
-//! 3. **Pin the LC configuration**: scan the reconstructed tail row for
-//!    configurations meeting QoS; take the smallest cache allocation and,
-//!    among those, the lowest predicted power (§VI-A). If nothing meets
-//!    QoS, reclaim one core from the batch jobs (§VI-A); once the measured
-//!    tail shows ≥ 20 % slack, yield reclaimed cores back
-//!    ([`TrustRegionQos`]).
-//! 4. **Search** the batch jobs' configuration space with parallel DDS
-//!    (Alg. 2) under the soft power/cache penalty objective; optionally a
-//!    GA can be substituted (the paper's Fig. 10 comparison)
+//!    states ([`CfReconstruct`]). One tail matrix is completed per LC
+//!    tenant, at that tenant's current load.
+//! 3. **Pin each LC configuration** in priority order: scan the tenant's
+//!    reconstructed tail row for configurations meeting its QoS; take the
+//!    smallest cache allocation and, among those, the lowest predicted
+//!    power (§VI-A). If nothing meets QoS, reclaim one core from the batch
+//!    jobs (§VI-A); once the measured tail shows ≥ 20 % slack, yield
+//!    reclaimed cores back ([`TrustRegionQos`]).
+//! 4. **Search** the *present* batch jobs' configuration space with
+//!    parallel DDS (Alg. 2) under the soft power/cache penalty objective;
+//!    optionally a GA can be substituted (the paper's Fig. 10 comparison)
 //!    ([`PenaltySearch`]).
 //! 5. **Repair**: if even the all-narrowest plan exceeds the cap, gate
 //!    batch cores in descending predicted power (§VI-B)
 //!    ([`PowerCapRepair`]).
 //!
 //! The manager itself only owns the pipeline state — the rating matrices,
-//! the LC core allocation, and the previous plan — and wires the stages
-//! together; each stage's logic lives in [`crate::pipeline`]. The pipeline
-//! driver times every stage and the manager surfaces the resulting
+//! the per-tenant LC core allocations, and the previous plan — and wires the
+//! stages together; each stage's logic lives in [`crate::pipeline`]. The
+//! pipeline driver times every stage and the manager surfaces the resulting
 //! [`StageTelemetry`] through [`ResourceManager::take_telemetry`], which is
-//! how the Table II overhead report gets runtime-measured numbers.
+//! how the Table II overhead report gets runtime-measured numbers. On batch
+//! job departure (churn) the manager retires the job's observation rows so a
+//! later arrival under the same index starts cold.
 
 use dds::ParallelDdsParams;
 use recsys::{Reconstructor, SgdConfig};
@@ -55,12 +58,13 @@ use crate::types::{
 pub struct CuttleSysManager {
     matrices: JobMatrices,
     pipeline: DecisionPipeline,
-    lc: LcAllocation,
+    lc: Vec<LcAllocation>,
     gated_watts: f64,
     num_batch: usize,
     name: String,
     last_plan: Option<Plan>,
-    last_load: f64,
+    last_loads: Vec<f64>,
+    prev_active: Vec<bool>,
     last_predictions: Option<Predictions>,
     last_telemetry: Option<StageTelemetry>,
 }
@@ -73,7 +77,7 @@ impl CuttleSysManager {
         let oracle = Oracle::new(Chip::new(scenario.params, CoreKind::Reconfigurable));
         let training: Vec<simulator::AppProfile> =
             batch::training_set().iter().map(|b| b.profile).collect();
-        let matrices = JobMatrices::new(oracle, &training, scenario.num_batch());
+        let matrices = JobMatrices::new(oracle, &training, scenario.num_lc(), scenario.num_batch());
         let search = SearchAlgo::Dds(ParallelDdsParams {
             seed: scenario.seed,
             ..Default::default()
@@ -90,15 +94,20 @@ impl CuttleSysManager {
                 search: Box::new(PenaltySearch::new(search.clone())),
                 repair: Box::new(PowerCapRepair),
             },
-            lc: LcAllocation {
-                cores: scenario.lc_cores,
-                min_cores: scenario.lc_cores,
-            },
+            lc: scenario
+                .lc_jobs()
+                .iter()
+                .map(|lc| LcAllocation {
+                    cores: lc.cores,
+                    min_cores: lc.cores,
+                })
+                .collect(),
             gated_watts: scenario.params.gated_core_watts,
             num_batch: scenario.num_batch(),
             name: Self::name_for(&search),
             last_plan: None,
-            last_load: 0.0,
+            last_loads: vec![0.0; scenario.num_lc()],
+            prev_active: vec![true; scenario.num_batch()],
             last_predictions: None,
             last_telemetry: None,
         }
@@ -124,9 +133,9 @@ impl CuttleSysManager {
         self
     }
 
-    /// Cores currently held by the latency-critical service.
+    /// Cores currently held across all latency-critical tenants.
     pub fn lc_cores(&self) -> usize {
-        self.lc.cores
+        self.lc.iter().map(|a| a.cores).sum()
     }
 
     /// The predictions produced by the most recent decision interval
@@ -146,7 +155,16 @@ impl ResourceManager for CuttleSysManager {
         info: &SliceInfo,
         probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
     ) -> Plan {
-        self.last_load = info.load;
+        self.last_loads = info.lc.iter().map(|l| l.load).collect();
+        // Churn: retire the observation rows of batch jobs that departed
+        // since the previous quantum, so a later arrival under the same
+        // index starts cold instead of inheriting stale ratings.
+        for (j, active) in info.batch_active.iter().enumerate() {
+            if self.prev_active[j] && !active {
+                self.matrices.retire_batch(j);
+            }
+        }
+        self.prev_active = info.batch_active.clone();
         let mut ctx = DecisionCtx {
             info,
             matrices: &mut self.matrices,
@@ -164,19 +182,28 @@ impl ResourceManager for CuttleSysManager {
 
     fn observe(&mut self, outcome: &SliceOutcome) {
         // Fold steady-state measurements back into the matrices (§IV-B:
-        // "measured and updated in the SGD matrix"). The LC service has no
-        // throughput row — only its power and tail are recorded.
-        let lc_idx = outcome.plan.lc_config.index();
-        self.matrices
-            .record_lc_power(lc_idx, outcome.measured_watts[0]);
-        self.matrices
-            .record_tail(self.last_load, lc_idx, outcome.tail_ms);
+        // "measured and updated in the SGD matrix"). LC tenants have no
+        // throughput rows — only their power and tails are recorded.
+        let num_lc = outcome.plan.lc.len();
+        for (i, assignment) in outcome.plan.lc.iter().enumerate() {
+            let cfg = assignment.config.index();
+            self.matrices
+                .record_lc_power(i, cfg, outcome.measured_watts[i]);
+            self.matrices.record_tail(
+                i,
+                self.last_loads[i],
+                assignment.cores,
+                cfg,
+                outcome.tails_ms[i],
+            );
+        }
         for (j, action) in outcome.plan.batch.iter().enumerate() {
             if let BatchAction::Run(cfg) = action {
-                let bips = outcome.measured_bips[1 + j];
-                let watts = outcome.measured_watts[1 + j];
+                let bips = outcome.measured_bips[num_lc + j];
+                let watts = outcome.measured_watts[num_lc + j];
                 if bips > 0.0 {
-                    self.matrices.record_sample(1 + j, cfg.index(), bips, watts);
+                    self.matrices
+                        .record_sample(num_lc + j, cfg.index(), bips, watts);
                 }
             }
         }
@@ -191,18 +218,19 @@ impl ResourceManager for CuttleSysManager {
 mod tests {
     use super::*;
     use crate::testbed::run_scenario;
+    use crate::types::{BatchJobSpec, JobSpec};
     use baselines::ga::GaParams;
     use workloads::loadgen::LoadPattern;
 
     fn quick(cap: f64, load: f64) -> Scenario {
         Scenario {
             cap: LoadPattern::Constant(cap),
-            load: LoadPattern::Constant(load),
             duration_slices: 4,
             noise: 0.0,
             phases: false,
             ..Scenario::paper_default()
         }
+        .with_load(LoadPattern::Constant(load))
     }
 
     #[test]
@@ -215,7 +243,7 @@ mod tests {
             .slices
             .iter()
             .skip(1)
-            .filter(|s| s.qos_violation)
+            .filter(|s| s.qos_violation())
             .count();
         assert_eq!(
             late_violations, 0,
@@ -299,5 +327,31 @@ mod tests {
         assert!((summary.mean_sgd_epochs - 180.0).abs() < 1e-9);
         assert!(summary.mean_search_evaluations > 0.0);
         assert!(summary.mean_total_wall_ms() > 0.0);
+    }
+
+    #[test]
+    fn departing_batch_job_rows_are_retired() {
+        let mut scenario = quick(0.7, 0.8);
+        // First batch job departs after slice 1.
+        for job in scenario.jobs.iter_mut() {
+            if let JobSpec::Batch(b) = job {
+                *b = BatchJobSpec {
+                    depart_slice: Some(2),
+                    ..b.clone()
+                };
+                break;
+            }
+        }
+        let mut manager = CuttleSysManager::for_scenario(&scenario);
+        run_scenario(&scenario, &mut manager);
+        assert_eq!(
+            manager.matrices.batch_observations(0),
+            0,
+            "departed job's observation rows must be retired"
+        );
+        assert!(
+            manager.matrices.batch_observations(1) > 0,
+            "resident jobs keep their observations"
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! The simulated server every resource manager runs on.
 //!
-//! A [`Scenario`] fixes the co-location (one TailBench-like service plus a
-//! 16-app SPEC mix), the input-load pattern, the power-cap schedule, and the
-//! chip. [`run_scenario`] advances it in 100 ms timeslices; each slice the
+//! A [`Scenario`] fixes the co-location (one or more TailBench-like services
+//! plus a SPEC batch mix, with optional arrival/departure churn), the
+//! per-tenant input-load patterns, the power-cap schedule, and the chip.
+//! [`run_scenario`] advances it in 100 ms timeslices; each slice the
 //! [`ResourceManager`] under test may run short profiling frames (consuming
 //! real slice time, as in the paper — "results include all overheads") and
 //! must return a [`Plan`]; the remainder of the slice runs in steady state.
@@ -10,13 +11,13 @@
 //! [`crate::types`]; this module is only the simulation loop.
 //!
 //! Managers only see *measurements*: noisy per-job throughput and power
-//! samples from the frames they request, and the tail latency of the
-//! previous timeslice. Ground truth (exact instructions, chip power, QoS
+//! samples from the frames they request, and each tenant's tail latency from
+//! the previous timeslice. Ground truth (exact instructions, chip power, QoS
 //! verdicts) goes into the per-slice records that the experiment harness
 //! reports.
 //!
-//! Tail latency over a slice is computed from the *mixture* of queueing
-//! regimes the slice contained: a 1 ms profiling frame in a narrow
+//! Tail latency over a slice is computed per tenant from the *mixture* of
+//! queueing regimes the slice contained: a 1 ms profiling frame in a narrow
 //! configuration contributes ~1 % of the window's requests, which is exactly
 //! the paper's argument for why Flicker's long profiling phases blow the
 //! 99th percentile while CuttleSys' 2 ms split-halves profiling does not.
@@ -33,7 +34,7 @@ use crate::types::{
     SliceInfo, SliceOutcome, SliceRecord, TIMESLICE_MS,
 };
 
-/// A queueing regime segment within a slice.
+/// A queueing regime segment within a slice, for one LC tenant.
 struct TailSegment {
     duration_ms: f64,
     servers: usize,
@@ -67,12 +68,18 @@ pub struct Testbed {
     rng: StdRng,
     now_ms: f64,
     slice_end_ms: f64,
-    current_load: f64,
+    num_lc: usize,
+    /// Per-tenant input load during the current slice.
+    current_load: Vec<f64>,
+    /// Which batch jobs are present during the current slice (churn).
+    active: Vec<bool>,
     // Per-slice accumulators.
     energy_mj: f64,
     instructions: Vec<f64>,
-    tail_segments: Vec<TailSegment>,
-    carry_backlog: f64,
+    /// Per-tenant queueing regime segments of the current slice.
+    tail_segments: Vec<Vec<TailSegment>>,
+    /// Per-tenant fluid backlog carried across slices.
+    carry_backlog: Vec<f64>,
     rotation: usize,
     /// Configuration each job ran in during the previous frame, for
     /// charging reconfiguration transition stalls.
@@ -84,25 +91,34 @@ impl Testbed {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario's LC core count is zero or exceeds the chip.
+    /// Panics if the scenario has no LC tenant, or the tenants' combined
+    /// core reservation is zero or exceeds the chip.
     pub fn new(scenario: &Scenario) -> Testbed {
+        let num_lc = scenario.num_lc();
+        assert!(num_lc > 0, "scenario needs at least one LC tenant");
+        let total_lc = scenario.total_lc_cores();
         assert!(
-            scenario.lc_cores > 0 && scenario.lc_cores < scenario.params.num_cores,
+            total_lc > 0 && total_lc < scenario.params.num_cores,
             "LC cores must leave room for batch jobs"
         );
         let chip = Chip::new(scenario.params, scenario.kind);
-        let mut profiles = Vec::with_capacity(1 + scenario.num_batch());
-        let svc_profile = scenario.service.profile;
-        profiles.push(if scenario.phases {
-            PhasedProfile::with_seed(svc_profile, scenario.seed ^ 0xABCD)
-        } else {
-            PhasedProfile::steady(svc_profile)
-        });
-        for (i, app) in scenario.mix.apps.iter().enumerate() {
+        let num_jobs = num_lc + scenario.num_batch();
+        let mut profiles = Vec::with_capacity(num_jobs);
+        for (i, lc) in scenario.lc_jobs().iter().enumerate() {
             profiles.push(if scenario.phases {
-                PhasedProfile::with_seed(app.profile, scenario.seed ^ (0x1000 + i as u64))
+                PhasedProfile::with_seed(
+                    lc.service.profile,
+                    scenario.seed ^ (0xABCD + (i as u64) * 0x10000),
+                )
             } else {
-                PhasedProfile::steady(app.profile)
+                PhasedProfile::steady(lc.service.profile)
+            });
+        }
+        for (i, b) in scenario.batch_jobs().iter().enumerate() {
+            profiles.push(if scenario.phases {
+                PhasedProfile::with_seed(b.app.profile, scenario.seed ^ (0x1000 + i as u64))
+            } else {
+                PhasedProfile::steady(b.app.profile)
             });
         }
         Testbed {
@@ -111,13 +127,15 @@ impl Testbed {
             rng: StdRng::seed_from_u64(scenario.seed),
             now_ms: 0.0,
             slice_end_ms: 0.0,
-            current_load: 0.0,
+            num_lc,
+            current_load: vec![0.0; num_lc],
+            active: vec![true; scenario.num_batch()],
             energy_mj: 0.0,
-            instructions: vec![0.0; 1 + scenario.num_batch()],
-            tail_segments: Vec::new(),
-            carry_backlog: 0.0,
+            instructions: vec![0.0; num_jobs],
+            tail_segments: (0..num_lc).map(|_| Vec::new()).collect(),
+            carry_backlog: vec![0.0; num_lc],
             rotation: 0,
-            last_config: vec![None; 1 + scenario.num_batch()],
+            last_config: vec![None; num_jobs],
             scenario: scenario.clone(),
         }
     }
@@ -136,45 +154,46 @@ impl Testbed {
         self.profiles.iter().map(|p| p.at(t_s)).collect()
     }
 
-    /// Builds core states and partition for a frame; returns also the list
-    /// of running batch jobs (after core-count multiplexing).
+    /// Builds core states and partition for a frame (LC tenants' cores in
+    /// priority order, then batch); returns also the list of running batch
+    /// jobs (after churn filtering and core-count multiplexing).
     fn frame_layout(
         &mut self,
-        lc_cores: usize,
-        lc_configs: &[JobConfig],
+        lc_configs: &[Vec<JobConfig>],
         batch: &[BatchAction],
     ) -> (Vec<CoreState>, LlcPartition, Vec<usize>) {
-        assert_eq!(lc_configs.len(), lc_cores, "need one LC config per LC core");
+        assert_eq!(lc_configs.len(), self.num_lc, "one config list per tenant");
         assert_eq!(
             batch.len(),
             self.scenario.num_batch(),
             "one action per batch job"
         );
         let num_cores = self.scenario.params.num_cores;
+        let lc_cores: usize = lc_configs.iter().map(Vec::len).sum();
         assert!(lc_cores < num_cores, "LC cannot occupy the whole chip");
         let batch_cores = num_cores - lc_cores;
 
         let mut cores = Vec::with_capacity(num_cores);
         let mut partition = LlcPartition::new();
-        for cfg in lc_configs {
-            cores.push(CoreState::Active {
-                job: JobId(0),
-                config: cfg.core,
-            });
+        for (i, configs) in lc_configs.iter().enumerate() {
+            for cfg in configs {
+                cores.push(CoreState::Active {
+                    job: JobId(i),
+                    config: cfg.core,
+                });
+            }
+            // Each tenant's cache allocation follows its (first)
+            // configuration.
+            partition.set(
+                JobId(i),
+                configs.first().map(|c| c.cache).unwrap_or(CacheAlloc::One),
+            );
         }
-        // The LC job's cache allocation follows its (first) configuration.
-        partition.set(
-            JobId(0),
-            lc_configs
-                .first()
-                .map(|c| c.cache)
-                .unwrap_or(CacheAlloc::One),
-        );
 
         let runnable: Vec<usize> = (0..batch.len())
-            .filter(|&j| matches!(batch[j], BatchAction::Run(_)))
+            .filter(|&j| self.active[j] && matches!(batch[j], BatchAction::Run(_)))
             .collect();
-        // Time-multiplex when the LC service reclaimed cores: rotate which
+        // Time-multiplex when the LC tenants reclaimed cores: rotate which
         // jobs run each frame.
         let running: Vec<usize> = if runnable.len() > batch_cores {
             let start = self.rotation % runnable.len();
@@ -187,10 +206,10 @@ impl Testbed {
         for &j in &running {
             let config = batch[j].config().expect("running job has a config");
             cores.push(CoreState::Active {
-                job: JobId(1 + j),
+                job: JobId(self.num_lc + j),
                 config: config.core,
             });
-            partition.set(JobId(1 + j), config.cache);
+            partition.set(JobId(self.num_lc + j), config.cache);
         }
         // Remaining cores (gated jobs' cores and any surplus) are gated.
         while cores.len() < num_cores {
@@ -199,16 +218,15 @@ impl Testbed {
         (cores, partition, running)
     }
 
-    /// Runs one frame, accumulating energy, instructions, and the LC tail
-    /// segment; returns the frame result and contention.
+    /// Runs one frame, accumulating energy, instructions, and each tenant's
+    /// tail segment; returns the frame result and contention.
     fn run_frame(
         &mut self,
-        lc_cores: usize,
-        lc_configs: &[JobConfig],
+        lc_configs: &[Vec<JobConfig>],
         batch: &[BatchAction],
         ms: f64,
     ) -> simulator::FrameResult {
-        let (cores, partition, _running) = self.frame_layout(lc_cores, lc_configs, batch);
+        let (cores, partition, _running) = self.frame_layout(lc_configs, batch);
         let profiles = self.profiles_now();
         let result = self.chip.simulate_frame(&cores, &profiles, &partition, ms);
         self.energy_mj += result.chip_watts.get() * ms;
@@ -216,45 +234,52 @@ impl Testbed {
         // changed since the previous frame loses the drain/gating time at
         // the head of this frame.
         let transition_ms = self.scenario.params.reconfig_transition_us / 1000.0;
-        let mut stall = vec![0.0f64; 1 + self.scenario.num_batch()];
-        let lc_now = lc_configs.first().copied();
-        if lc_now.is_some() && self.last_config[0].is_some() && self.last_config[0] != lc_now {
-            stall[0] = (transition_ms / ms).min(1.0);
+        let mut stall = vec![0.0f64; self.instructions.len()];
+        for (i, configs) in lc_configs.iter().enumerate() {
+            let lc_now = configs.first().copied();
+            if lc_now.is_some() && self.last_config[i].is_some() && self.last_config[i] != lc_now {
+                stall[i] = (transition_ms / ms).min(1.0);
+            }
+            self.last_config[i] = lc_now.or(self.last_config[i]);
         }
-        self.last_config[0] = lc_now.or(self.last_config[0]);
         for (j, action) in batch.iter().enumerate() {
             if let BatchAction::Run(cfg) = action {
-                if self.last_config[1 + j].is_some_and(|prev| prev != *cfg) {
-                    stall[1 + j] = (transition_ms / ms).min(1.0);
+                let g = self.num_lc + j;
+                if self.last_config[g].is_some_and(|prev| prev != *cfg) {
+                    stall[g] = (transition_ms / ms).min(1.0);
                 }
-                self.last_config[1 + j] = Some(*cfg);
+                self.last_config[g] = Some(*cfg);
             }
         }
         for (j, instr) in self.instructions.iter_mut().enumerate() {
             *instr += result.job_instructions(JobId(j)) * (1.0 - stall[j]);
         }
-        // Tail segment: heterogeneous LC cores are approximated by the mean
-        // per-core service rate.
-        let svc = &self.scenario.service;
-        let mean_rate = lc_configs
-            .iter()
-            .map(|c| {
-                svc.service_rate_per_core(self.chip.perf(), c.core, c.cache, result.contention)
-            })
-            .sum::<f64>()
-            / lc_cores.max(1) as f64;
-        self.tail_segments.push(TailSegment {
-            duration_ms: ms,
-            servers: lc_cores.max(1),
-            service_rate: mean_rate.max(1e-9),
-            arrival_rate: svc.arrival_rate_per_ms(self.current_load),
-        });
+        // One tail segment per tenant: heterogeneous cores within a tenant
+        // are approximated by the mean per-core service rate.
+        let lc_specs = self.scenario.lc_jobs();
+        for (i, configs) in lc_configs.iter().enumerate() {
+            let svc = &lc_specs[i].service;
+            let mean_rate = configs
+                .iter()
+                .map(|c| {
+                    svc.service_rate_per_core(self.chip.perf(), c.core, c.cache, result.contention)
+                })
+                .sum::<f64>()
+                / configs.len().max(1) as f64;
+            self.tail_segments[i].push(TailSegment {
+                duration_ms: ms,
+                servers: configs.len().max(1),
+                service_rate: mean_rate.max(1e-9),
+                arrival_rate: svc.arrival_rate_per_ms(self.current_load[i]),
+            });
+        }
         self.now_ms += ms;
         result
     }
 
-    /// 99th percentile latency over the slice, from a fluid-backlog model
-    /// over the slice's segments plus a capped stochastic component.
+    /// Tenant `lc`'s 99th percentile latency over the slice, from a
+    /// fluid-backlog model over the slice's segments plus a capped
+    /// stochastic component.
     ///
     /// The fluid pass integrates the queue length `Q' = λ − kμ(t)` across
     /// segments (carrying backlog across slices, so sustained overload
@@ -266,25 +291,24 @@ impl Testbed {
     /// configuration that follows it, which is why CuttleSys' 2 ms
     /// profiling barely moves the window p99 while Flicker's 90 ms
     /// profiling destroys it (§VIII-E).
-    fn window_p99(&mut self) -> f64 {
-        if self.tail_segments.is_empty() {
+    fn window_p99(&mut self, lc: usize) -> f64 {
+        let segments = &self.tail_segments[lc];
+        if segments.is_empty() {
             return 0.0;
         }
-        let recovery_capacity = self
-            .tail_segments
+        let recovery_capacity = segments
             .iter()
             .map(TailSegment::capacity)
             .fold(f64::MIN_POSITIVE, f64::max);
-        let recovery_p99 = self
-            .tail_segments
+        let recovery_p99 = segments
             .iter()
             .max_by(|a, b| a.capacity().total_cmp(&b.capacity()))
             .expect("segments are non-empty")
             .stochastic_p99();
 
-        let mut q = self.carry_backlog;
+        let mut q = self.carry_backlog[lc];
         let mut samples: Vec<(f64, f64)> = Vec::new();
-        for seg in &self.tail_segments {
+        for seg in segments {
             let steps = (seg.duration_ms / 0.25).ceil().max(1.0) as usize;
             let dt = seg.duration_ms / steps as f64;
             let jitter = seg.stochastic_p99().min(seg.duration_ms + recovery_p99);
@@ -293,7 +317,7 @@ impl Testbed {
                 samples.push((q / recovery_capacity + jitter, dt));
             }
         }
-        self.carry_backlog = q;
+        self.carry_backlog[lc] = q;
 
         // Weighted 99th percentile over arrival time (arrival rate is
         // constant within a slice, so time weights are arrival weights).
@@ -313,28 +337,42 @@ impl Testbed {
 /// Runs a scenario under a manager, returning ground-truth records.
 pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> RunRecord {
     let mut tb = Testbed::new(scenario);
+    let num_lc = scenario.num_lc();
+    let num_jobs = num_lc + scenario.num_batch();
     let mut slices = Vec::with_capacity(scenario.duration_slices);
-    let mut last_tail: Option<f64> = None;
-    let mut last_lc_cores = scenario.lc_cores;
+    let mut last_tails: Vec<Option<f64>> = vec![None; num_lc];
+    let mut last_cores: Vec<usize> = scenario.lc_jobs().iter().map(|lc| lc.cores).collect();
+    let lc_specs: Vec<_> = scenario.lc_jobs().into_iter().cloned().collect();
 
     for slice in 0..scenario.duration_slices {
         let t_s = slice as f64 * TIMESLICE_MS / 1000.0;
-        tb.current_load = scenario.load.load_at(t_s);
+        for (i, lc) in lc_specs.iter().enumerate() {
+            tb.current_load[i] = lc.load.load_at(t_s);
+        }
+        tb.active = scenario.batch_active(slice);
         let cap_watts = scenario.cap.load_at(t_s) * scenario.nominal_budget_watts();
         tb.slice_end_ms = (slice + 1) as f64 * TIMESLICE_MS;
         tb.energy_mj = 0.0;
         tb.instructions.iter_mut().for_each(|i| *i = 0.0);
-        tb.tail_segments.clear();
+        tb.tail_segments.iter_mut().for_each(Vec::clear);
 
         let info = SliceInfo {
             slice,
-            load: tb.current_load,
             cap_watts,
             num_cores: scenario.params.num_cores,
             num_batch: scenario.num_batch(),
-            qos_ms: scenario.service.qos_ms,
-            last_tail_ms: last_tail,
-            last_lc_cores,
+            lc: lc_specs
+                .iter()
+                .enumerate()
+                .map(|(i, lc)| crate::types::LcSliceInfo {
+                    service: lc.service,
+                    qos_ms: lc.qos_ms,
+                    load: tb.current_load[i],
+                    last_tail_ms: last_tails[i],
+                    last_cores: last_cores[i],
+                })
+                .collect(),
+            batch_active: tb.active.clone(),
         };
 
         // Let the manager probe; each probe consumes slice time.
@@ -347,50 +385,54 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                     return ProfileSample {
                         duration_ms: 0.0,
                         samples: Vec::new(),
-                        lc_tail_ms: 0.0,
+                        lc_tails_ms: vec![0.0; num_lc],
                     };
                 }
-                let result = tb_ref.run_frame(pp.lc_cores, &pp.lc_configs, &pp.batch, ms);
+                let result = tb_ref.run_frame(&pp.lc_configs, &pp.batch, ms);
                 let mut samples = Vec::new();
-                // LC: one sample per distinct configuration among its cores.
-                let mut seen: Vec<JobConfig> = Vec::new();
-                for cfg in &pp.lc_configs {
-                    if seen.contains(cfg) {
-                        continue;
+                // LC tenants: one sample per distinct configuration among
+                // each tenant's cores.
+                let mut offset = 0;
+                for (i, configs) in pp.lc_configs.iter().enumerate() {
+                    let mut seen: Vec<JobConfig> = Vec::new();
+                    for cfg in configs {
+                        if seen.contains(cfg) {
+                            continue;
+                        }
+                        seen.push(*cfg);
+                        let cores: Vec<usize> = configs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| *c == cfg)
+                            .map(|(k, _)| offset + k)
+                            .collect();
+                        let bips = cores
+                            .iter()
+                            .map(|&c| result.per_core_bips[c].get())
+                            .sum::<f64>()
+                            / cores.len() as f64;
+                        let watts = cores
+                            .iter()
+                            .map(|&c| result.per_core_watts[c].get())
+                            .sum::<f64>()
+                            / cores.len() as f64;
+                        samples.push(SamplePoint {
+                            job: i,
+                            config: *cfg,
+                            bips: tb_ref.noisy(bips),
+                            watts: tb_ref.noisy(watts),
+                        });
                     }
-                    seen.push(*cfg);
-                    let cores: Vec<usize> = pp
-                        .lc_configs
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, c)| *c == cfg)
-                        .map(|(i, _)| i)
-                        .collect();
-                    let bips = cores
-                        .iter()
-                        .map(|&i| result.per_core_bips[i].get())
-                        .sum::<f64>()
-                        / cores.len() as f64;
-                    let watts = cores
-                        .iter()
-                        .map(|&i| result.per_core_watts[i].get())
-                        .sum::<f64>()
-                        / cores.len() as f64;
-                    samples.push(SamplePoint {
-                        job: 0,
-                        config: *cfg,
-                        bips: tb_ref.noisy(bips),
-                        watts: tb_ref.noisy(watts),
-                    });
+                    offset += configs.len();
                 }
                 // Batch: per-core bips of each running job.
                 for (j, action) in pp.batch.iter().enumerate() {
                     if let BatchAction::Run(config) = action {
-                        let bips = result.per_job_bips[1 + j].get();
+                        let bips = result.per_job_bips[num_lc + j].get();
                         if bips > 0.0 {
-                            let watts = result.per_job_watts[1 + j].get();
+                            let watts = result.per_job_watts[num_lc + j].get();
                             samples.push(SamplePoint {
-                                job: 1 + j,
+                                job: num_lc + j,
                                 config: *config,
                                 bips: tb_ref.noisy(bips),
                                 watts: tb_ref.noisy(watts),
@@ -398,35 +440,41 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                         }
                     }
                 }
-                let lc_tail_ms = {
-                    let seg = tb_ref.tail_segments.last().expect("frame pushed a segment");
-                    let p99 = MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
-                        .p99_ms()
-                        .get();
-                    tb_ref.noisy(p99)
-                };
+                let lc_tails_ms: Vec<f64> = (0..num_lc)
+                    .map(|i| {
+                        let seg = tb_ref.tail_segments[i]
+                            .last()
+                            .expect("frame pushed a segment");
+                        let p99 = MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
+                            .p99_ms()
+                            .get();
+                        tb_ref.noisy(p99)
+                    })
+                    .collect();
                 ProfileSample {
                     duration_ms: ms,
                     samples,
-                    lc_tail_ms,
+                    lc_tails_ms,
                 }
             };
             manager.plan(&info, &mut probe)
         };
+        assert_eq!(plan.lc.len(), num_lc, "plan must cover every LC tenant");
         let telemetry = manager.take_telemetry();
 
         // Steady phase for the remainder of the slice.
         let steady_ms = (tb.slice_end_ms - tb.now_ms).max(0.0);
-        let lc_configs = vec![plan.lc_config; plan.lc_cores];
+        let lc_configs: Vec<Vec<JobConfig>> =
+            plan.lc.iter().map(|a| vec![a.config; a.cores]).collect();
         let steady = if steady_ms > 0.0 {
-            Some(tb.run_frame(plan.lc_cores, &lc_configs, &plan.batch, steady_ms))
+            Some(tb.run_frame(&lc_configs, &plan.batch, steady_ms))
         } else {
             None
         };
 
-        let tail_ms = tb.window_p99();
+        let tails_ms: Vec<f64> = (0..num_lc).map(|i| tb.window_p99(i)).collect();
         let chip_watts = tb.energy_mj / TIMESLICE_MS;
-        let batch_instr: f64 = tb.instructions[1..].iter().sum();
+        let batch_instr: f64 = tb.instructions[num_lc..].iter().sum();
         let gmean = steady
             .as_ref()
             .map(|r| {
@@ -437,7 +485,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                     .iter()
                     .enumerate()
                     .filter(|(_, a)| matches!(a, BatchAction::Run(_)))
-                    .map(|(j, _)| r.per_job_bips[1 + j])
+                    .map(|(j, _)| r.per_job_bips[num_lc + j])
                     .filter(|b| b.get() > 0.0)
                     .collect();
                 simulator::metrics::geometric_mean(&running).get()
@@ -446,17 +494,25 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
 
         let record = SliceRecord {
             t_s,
-            load: tb.current_load,
             cap_watts,
             chip_watts,
             power_violation: chip_watts > cap_watts * 1.001,
-            tail_ms,
-            qos_violation: tail_ms > scenario.service.qos_ms,
+            lc: lc_specs
+                .iter()
+                .enumerate()
+                .map(|(i, lc)| crate::types::LcSliceRecord {
+                    service: lc.service.name,
+                    qos_ms: lc.qos_ms,
+                    load: tb.current_load[i],
+                    tail_ms: tails_ms[i],
+                    qos_violation: tails_ms[i] > lc.qos_ms,
+                    cores: plan.lc[i].cores,
+                    config: plan.lc[i].config,
+                })
+                .collect(),
             batch_instructions: batch_instr,
             total_instructions: tb.instructions.iter().sum(),
             per_job_instructions: tb.instructions.clone(),
-            lc_cores: plan.lc_cores,
-            lc_config: plan.lc_config,
             batch_configs: plan.batch.iter().map(|a| a.config()).collect(),
             batch_gmean_bips: gmean,
             telemetry,
@@ -464,30 +520,33 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
 
         // Tell the manager what happened (noisy measurements).
         let (m_bips, m_watts) = if let Some(r) = &steady {
-            let mut bips = Vec::with_capacity(1 + scenario.num_batch());
-            let mut watts = Vec::with_capacity(1 + scenario.num_batch());
-            for j in 0..=scenario.num_batch() {
-                let per_core = if j == 0 { plan.lc_cores as f64 } else { 1.0 };
+            let mut bips = Vec::with_capacity(num_jobs);
+            let mut watts = Vec::with_capacity(num_jobs);
+            for j in 0..num_jobs {
+                let per_core = if j < num_lc {
+                    plan.lc[j].cores as f64
+                } else {
+                    1.0
+                };
                 bips.push(tb.noisy(r.per_job_bips[j].get() / per_core));
                 watts.push(tb.noisy(r.per_job_watts[j].get() / per_core));
             }
             (bips, watts)
         } else {
-            (
-                vec![0.0; 1 + scenario.num_batch()],
-                vec![0.0; 1 + scenario.num_batch()],
-            )
+            (vec![0.0; num_jobs], vec![0.0; num_jobs])
         };
-        let measured_tail = tb.noisy(tail_ms);
+        let measured_tails: Vec<f64> = tails_ms.iter().map(|&t| tb.noisy(t)).collect();
         manager.observe(&SliceOutcome {
             plan: plan.clone(),
             measured_bips: m_bips,
             measured_watts: m_watts,
-            tail_ms: measured_tail,
+            tails_ms: measured_tails.clone(),
         });
 
-        last_tail = Some(measured_tail);
-        last_lc_cores = plan.lc_cores;
+        for i in 0..num_lc {
+            last_tails[i] = Some(measured_tails[i]);
+            last_cores[i] = plan.lc[i].cores;
+        }
         tb.rotation += 1;
         tb.now_ms = tb.slice_end_ms;
         slices.push(record);
@@ -502,7 +561,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Plan;
+    use crate::types::{LcAssignment, Plan};
     use simulator::CoreConfig;
 
     /// A trivial manager: everything at the widest configuration.
@@ -518,7 +577,8 @@ mod tests {
             info: &SliceInfo,
             _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
         ) -> Plan {
-            Plan::all_widest(info.last_lc_cores, info.num_batch)
+            let cores: Vec<usize> = info.lc.iter().map(|l| l.last_cores).collect();
+            Plan::all_widest(&cores, info.num_batch)
         }
     }
 
@@ -536,8 +596,14 @@ mod tests {
             _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
         ) -> Plan {
             Plan {
-                lc_cores: info.last_lc_cores,
-                lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+                lc: info
+                    .lc
+                    .iter()
+                    .map(|l| LcAssignment {
+                        cores: l.last_cores,
+                        config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+                    })
+                    .collect(),
                 batch: vec![BatchAction::Gated; info.num_batch],
             }
         }
@@ -594,14 +660,18 @@ mod tests {
                 probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
             ) -> Plan {
                 let pp = ProfilePlan {
-                    lc_cores: info.last_lc_cores,
-                    lc_configs: vec![JobConfig::profiling_high(); info.last_lc_cores],
+                    lc_configs: info
+                        .lc
+                        .iter()
+                        .map(|l| vec![JobConfig::profiling_high(); l.last_cores])
+                        .collect(),
                     batch: vec![BatchAction::Run(JobConfig::profiling_low()); info.num_batch],
                 };
                 let s = probe(&pp, 1.0);
                 self.probed_ms += s.duration_ms;
                 assert!(!s.samples.is_empty());
-                Plan::all_widest(info.last_lc_cores, info.num_batch)
+                let cores: Vec<usize> = info.lc.iter().map(|l| l.last_cores).collect();
+                Plan::all_widest(&cores, info.num_batch)
             }
         }
         let scenario = Scenario {
@@ -627,21 +697,20 @@ mod tests {
                 info: &SliceInfo,
                 probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
             ) -> Plan {
-                let k = info.last_lc_cores;
+                let k = info.primary_lc().last_cores;
                 let mut lc_configs = vec![JobConfig::profiling_high(); k];
                 for cfg in lc_configs.iter_mut().skip(k / 2) {
                     *cfg = JobConfig::profiling_low();
                 }
-                let pp = ProfilePlan {
-                    lc_cores: k,
+                let pp = ProfilePlan::single_lc(
                     lc_configs,
-                    batch: vec![BatchAction::Run(JobConfig::profiling_high()); info.num_batch],
-                };
+                    vec![BatchAction::Run(JobConfig::profiling_high()); info.num_batch],
+                );
                 let s = probe(&pp, 1.0);
                 let lc_samples: Vec<_> = s.samples.iter().filter(|sp| sp.job == 0).collect();
                 assert_eq!(lc_samples.len(), 2, "expected high+low LC samples");
                 assert!(lc_samples[0].bips > lc_samples[1].bips);
-                Plan::all_widest(k, info.num_batch)
+                Plan::all_widest(&[k], info.num_batch)
             }
         }
         let scenario = Scenario {
@@ -664,8 +733,9 @@ mod tests {
                 info: &SliceInfo,
                 _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
             ) -> Plan {
-                let mut plan = Plan::all_widest(info.last_lc_cores, info.num_batch);
-                plan.lc_config = JobConfig::profiling_low();
+                let cores: Vec<usize> = info.lc.iter().map(|l| l.last_cores).collect();
+                let mut plan = Plan::all_widest(&cores, info.num_batch);
+                plan.lc[0].config = JobConfig::profiling_low();
                 plan
             }
         }
@@ -676,7 +746,7 @@ mod tests {
         };
         let record = run_scenario(&scenario, &mut NarrowLc);
         assert_eq!(record.qos_violations(), record.slices.len());
-        assert!(record.worst_tail_ratio(scenario.service.qos_ms) > 2.0);
+        assert!(record.worst_tail_ratio() > 2.0);
     }
 
     #[test]
@@ -691,10 +761,7 @@ mod tests {
                 info: &SliceInfo,
                 _probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
             ) -> Plan {
-                Plan {
-                    lc_cores: 18,
-                    ..Plan::all_widest(18, info.num_batch)
-                }
+                Plan::all_widest(&[18], info.num_batch)
             }
         }
         let scenario = Scenario {
@@ -723,6 +790,62 @@ mod tests {
             per_job.iter().all(|&i| i > 0.0),
             "rotation must serve every job: {per_job:?}"
         );
+    }
+
+    #[test]
+    fn two_tenants_get_independent_tail_records() {
+        let scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            duration_slices: 3,
+            ..Scenario::two_service()
+        };
+        let record = run_scenario(&scenario, &mut Widest);
+        assert_eq!(record.slices[0].lc.len(), 2);
+        assert_eq!(record.slices[0].lc[0].service, "xapian");
+        assert_eq!(record.slices[0].lc[1].service, "masstree");
+        // Both tenants serve requests on their own cores; at 40 % load on
+        // widest cores neither should violate.
+        assert_eq!(record.qos_violations(), 0, "{record:?}");
+        for s in &record.slices {
+            assert!(s.lc[0].tail_ms > 0.0 && s.lc[1].tail_ms > 0.0);
+            assert_eq!(s.lc[0].cores, 8);
+            assert_eq!(s.lc[1].cores, 8);
+        }
+    }
+
+    #[test]
+    fn departed_batch_jobs_execute_nothing() {
+        let mut scenario = Scenario {
+            noise: 0.0,
+            phases: false,
+            duration_slices: 4,
+            ..Scenario::quick_demo()
+        };
+        // Make batch job 0 depart after slice 1 and batch job 1 arrive at
+        // slice 2.
+        let mut batch_seen = 0;
+        for job in scenario.jobs.iter_mut() {
+            if let crate::types::JobSpec::Batch(b) = job {
+                match batch_seen {
+                    0 => b.depart_slice = Some(2),
+                    1 => b.arrive_slice = 2,
+                    _ => {}
+                }
+                batch_seen += 1;
+            }
+        }
+        let record = run_scenario(&scenario, &mut Widest);
+        // Batch job 0 (global index 1) runs in slices 0-1, nothing after.
+        assert!(record.slices[0].per_job_instructions[1] > 0.0);
+        assert!(record.slices[1].per_job_instructions[1] > 0.0);
+        assert_eq!(record.slices[2].per_job_instructions[1], 0.0);
+        assert_eq!(record.slices[3].per_job_instructions[1], 0.0);
+        // Batch job 1 (global index 2) is absent before slice 2.
+        assert_eq!(record.slices[0].per_job_instructions[2], 0.0);
+        assert_eq!(record.slices[1].per_job_instructions[2], 0.0);
+        assert!(record.slices[2].per_job_instructions[2] > 0.0);
+        assert!(record.slices[3].per_job_instructions[2] > 0.0);
     }
 
     #[test]

@@ -5,11 +5,22 @@
 //! in [`crate::testbed`], the decision pipeline in [`crate::pipeline`], and
 //! the experiment harness in the `bench` crate — so they live in their own
 //! module with no dependency on any of them.
+//!
+//! # The job model
+//!
+//! A [`Scenario`] carries a list of [`JobSpec`]s. Each job is either
+//! latency-critical — an interactive service with its own QoS target, input
+//! load, and core reservation — or batch — a throughput application that may
+//! arrive or depart mid-run (churn). Job indices are global and stable:
+//! LC jobs occupy indices `0..num_lc` in specification order (which is also
+//! their QoS priority order), batch jobs follow at `num_lc..num_lc +
+//! num_batch`. The paper's setup is the exact `N = 1` special case, and
+//! [`Scenario::paper_default`] reproduces it bit-identically.
 
 use serde::Serialize;
 use simulator::power::CoreKind;
-use simulator::{CacheAlloc, Chip, CoreConfig, JobConfig, SystemParams};
-use workloads::batch::{self, SpecMix};
+use simulator::{AppProfile, CacheAlloc, Chip, CoreConfig, JobConfig, SystemParams};
+use workloads::batch::{self, SpecBenchmark, SpecMix};
 use workloads::latency::LcService;
 use workloads::loadgen::LoadPattern;
 
@@ -21,6 +32,71 @@ pub const BATCH_JOBS: usize = 16;
 /// The default decision quantum in milliseconds (§IV-B).
 pub const TIMESLICE_MS: f64 = 100.0;
 
+/// A latency-critical tenant: an interactive service with its own QoS
+/// target, input load, and initial core reservation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LcJobSpec {
+    /// The interactive service.
+    pub service: LcService,
+    /// QoS target on 99th-percentile latency (ms). Defaults to the
+    /// service's calibrated target but may be overridden per tenant.
+    pub qos_ms: f64,
+    /// Input load over time, as a fraction of the service's calibrated
+    /// maximum QPS.
+    pub load: LoadPattern,
+    /// Cores initially reserved for this tenant.
+    pub cores: usize,
+}
+
+impl LcJobSpec {
+    /// A tenant running `service` at its calibrated QoS target.
+    pub fn new(service: LcService, load: LoadPattern, cores: usize) -> LcJobSpec {
+        LcJobSpec {
+            service,
+            qos_ms: service.qos_ms,
+            load,
+            cores,
+        }
+    }
+}
+
+/// A batch tenant: a throughput application, optionally arriving or
+/// departing mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BatchJobSpec {
+    /// The application.
+    pub app: SpecBenchmark,
+    /// First slice in which the job is present.
+    pub arrive_slice: usize,
+    /// Slice at which the job departs (exclusive); `None` = stays forever.
+    pub depart_slice: Option<usize>,
+}
+
+impl BatchJobSpec {
+    /// A batch job present for the whole run.
+    pub fn resident(app: SpecBenchmark) -> BatchJobSpec {
+        BatchJobSpec {
+            app,
+            arrive_slice: 0,
+            depart_slice: None,
+        }
+    }
+
+    /// Whether the job is present during `slice`.
+    pub fn active_at(&self, slice: usize) -> bool {
+        slice >= self.arrive_slice && self.depart_slice.is_none_or(|d| slice < d)
+    }
+}
+
+/// One job in a scenario: a latency-critical tenant or a batch application.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum JobSpec {
+    /// An interactive service with a QoS target.
+    LatencyCritical(LcJobSpec),
+    /// A throughput application.
+    Batch(BatchJobSpec),
+}
+
 /// A complete experiment configuration.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -29,12 +105,9 @@ pub struct Scenario {
     /// Core kind: reconfigurable for CuttleSys/Flicker, fixed for the
     /// gating/asymmetric/no-gating baselines.
     pub kind: CoreKind,
-    /// The latency-critical service (JobId 0).
-    pub service: LcService,
-    /// The batch mix (JobIds 1..=16).
-    pub mix: SpecMix,
-    /// Input load of the service over time, as a fraction of its max QPS.
-    pub load: LoadPattern,
+    /// The co-located jobs. LC jobs take global indices `0..num_lc` in
+    /// order (their QoS priority order); batch jobs follow.
+    pub jobs: Vec<JobSpec>,
     /// Power cap over time, as a fraction of the nominal budget.
     pub cap: LoadPattern,
     /// Number of 100 ms timeslices to simulate.
@@ -43,9 +116,6 @@ pub struct Scenario {
     pub noise: f64,
     /// Whether applications drift through execution phases.
     pub phases: bool,
-    /// Cores initially assigned to the latency-critical service (§VII-A:
-    /// 50 % of the chip).
-    pub lc_cores: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -54,17 +124,23 @@ impl Scenario {
     /// The paper's standard setup: 32 cores, 50/50 split, Xapian at 80 %
     /// load with mix 0, a 70 % power cap, one second of simulated time.
     pub fn paper_default() -> Scenario {
+        let service = workloads::latency::service_by_name("xapian").expect("xapian exists");
+        let mut jobs = vec![JobSpec::LatencyCritical(LcJobSpec::new(
+            service,
+            LoadPattern::Constant(0.8),
+            16,
+        ))];
+        for app in batch::mix(BATCH_JOBS, 0xC0FFEE).apps {
+            jobs.push(JobSpec::Batch(BatchJobSpec::resident(app)));
+        }
         Scenario {
             params: SystemParams::default(),
             kind: CoreKind::Reconfigurable,
-            service: workloads::latency::service_by_name("xapian").expect("xapian exists"),
-            mix: batch::mix(BATCH_JOBS, 0xC0FFEE),
-            load: LoadPattern::Constant(0.8),
+            jobs,
             cap: LoadPattern::Constant(0.7),
             duration_slices: 10,
             noise: 0.03,
             phases: true,
-            lc_cores: 16,
             seed: 7,
         }
     }
@@ -77,20 +153,160 @@ impl Scenario {
         }
     }
 
+    /// A first-class multi-tenant setup: Xapian and Masstree with their own
+    /// QoS targets on 8 cores each, co-located with 12 batch jobs under a
+    /// 70 % power cap.
+    ///
+    /// Per-tenant loads are fractions of each service's 16-core calibrated
+    /// maximum, so 0.4 keeps an 8-core reservation below its knee.
+    pub fn two_service() -> Scenario {
+        let xapian = workloads::latency::service_by_name("xapian").expect("xapian exists");
+        let masstree = workloads::latency::service_by_name("masstree").expect("masstree exists");
+        let mut jobs = vec![
+            JobSpec::LatencyCritical(LcJobSpec::new(xapian, LoadPattern::Constant(0.4), 8)),
+            JobSpec::LatencyCritical(LcJobSpec::new(masstree, LoadPattern::Constant(0.4), 8)),
+        ];
+        for app in batch::mix(12, 0xC0FFEE).apps {
+            jobs.push(JobSpec::Batch(BatchJobSpec::resident(app)));
+        }
+        Scenario {
+            jobs,
+            ..Scenario::paper_default()
+        }
+    }
+
+    /// Replaces the primary (first) LC tenant's service, resetting its QoS
+    /// target to the service's calibrated value.
+    pub fn with_service(mut self, service: LcService) -> Scenario {
+        let lc = self
+            .jobs
+            .iter_mut()
+            .find_map(|j| match j {
+                JobSpec::LatencyCritical(lc) => Some(lc),
+                JobSpec::Batch(_) => None,
+            })
+            .expect("scenario has an LC job");
+        lc.service = service;
+        lc.qos_ms = service.qos_ms;
+        self
+    }
+
+    /// Replaces the batch jobs with the given mix (all resident).
+    pub fn with_mix(mut self, mix: SpecMix) -> Scenario {
+        self.jobs
+            .retain(|j| matches!(j, JobSpec::LatencyCritical(_)));
+        for app in mix.apps {
+            self.jobs.push(JobSpec::Batch(BatchJobSpec::resident(app)));
+        }
+        self
+    }
+
+    /// Replaces the primary LC tenant's load pattern.
+    pub fn with_load(mut self, load: LoadPattern) -> Scenario {
+        let lc = self
+            .jobs
+            .iter_mut()
+            .find_map(|j| match j {
+                JobSpec::LatencyCritical(lc) => Some(lc),
+                JobSpec::Batch(_) => None,
+            })
+            .expect("scenario has an LC job");
+        lc.load = load;
+        self
+    }
+
+    /// Replaces the primary LC tenant's initial core reservation.
+    pub fn with_lc_cores(mut self, cores: usize) -> Scenario {
+        let lc = self
+            .jobs
+            .iter_mut()
+            .find_map(|j| match j {
+                JobSpec::LatencyCritical(lc) => Some(lc),
+                JobSpec::Batch(_) => None,
+            })
+            .expect("scenario has an LC job");
+        lc.cores = cores;
+        self
+    }
+
+    /// The LC tenants in priority order.
+    pub fn lc_jobs(&self) -> Vec<&LcJobSpec> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match j {
+                JobSpec::LatencyCritical(lc) => Some(lc),
+                JobSpec::Batch(_) => None,
+            })
+            .collect()
+    }
+
+    /// The batch jobs in order.
+    pub fn batch_jobs(&self) -> Vec<&BatchJobSpec> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match j {
+                JobSpec::Batch(b) => Some(b),
+                JobSpec::LatencyCritical(_) => None,
+            })
+            .collect()
+    }
+
+    /// The primary (first, highest-priority) LC tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no LC job.
+    pub fn primary_lc(&self) -> &LcJobSpec {
+        self.lc_jobs()
+            .first()
+            .copied()
+            .expect("scenario has an LC job")
+    }
+
+    /// Number of LC tenants.
+    pub fn num_lc(&self) -> usize {
+        self.lc_jobs().len()
+    }
+
+    /// Number of batch jobs (resident or churning).
+    pub fn num_batch(&self) -> usize {
+        self.batch_jobs().len()
+    }
+
+    /// Total cores initially reserved across all LC tenants.
+    pub fn total_lc_cores(&self) -> usize {
+        self.lc_jobs().iter().map(|lc| lc.cores).sum()
+    }
+
+    /// Microarchitectural profiles of the batch jobs, in order.
+    pub fn batch_profiles(&self) -> Vec<AppProfile> {
+        self.batch_jobs().iter().map(|b| b.app.profile).collect()
+    }
+
+    /// Names of the batch jobs, in order.
+    pub fn batch_names(&self) -> Vec<&'static str> {
+        self.batch_jobs().iter().map(|b| b.app.name).collect()
+    }
+
+    /// Which batch jobs are present during `slice`.
+    pub fn batch_active(&self, slice: usize) -> Vec<bool> {
+        self.batch_jobs()
+            .iter()
+            .map(|b| b.active_at(slice))
+            .collect()
+    }
+
     /// Nominal (100 %) power budget in Watts: the §VII-A definition —
     /// average per-core power across all jobs on reconfigurable cores,
     /// scaled to the full chip. Identical across core kinds so every design
     /// is compared at the same Wattage.
     pub fn nominal_budget_watts(&self) -> f64 {
         let reconf = Chip::new(self.params, CoreKind::Reconfigurable);
-        let mut profiles = self.mix.profiles();
-        profiles.push(self.service.profile);
+        let mut profiles = self.batch_profiles();
+        for lc in self.lc_jobs() {
+            profiles.push(lc.service.profile);
+        }
         reconf.nominal_power_budget(&profiles).get()
-    }
-
-    /// Number of batch jobs in the mix.
-    pub fn num_batch(&self) -> usize {
-        self.mix.apps.len()
     }
 }
 
@@ -113,31 +329,64 @@ impl BatchAction {
     }
 }
 
+/// Cores and configuration granted to one LC tenant for a timeslice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LcAssignment {
+    /// Cores assigned to the tenant.
+    pub cores: usize,
+    /// Configuration of every one of those cores.
+    pub config: JobConfig,
+}
+
 /// A steady-state plan for one timeslice.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Plan {
-    /// Cores assigned to the latency-critical service.
-    pub lc_cores: usize,
-    /// Configuration of every LC core.
-    pub lc_config: JobConfig,
+    /// Per-LC-tenant assignment, in priority order.
+    pub lc: Vec<LcAssignment>,
     /// Action for each batch job.
     pub batch: Vec<BatchAction>,
 }
 
 impl Plan {
-    /// All cores at the widest configuration with one LLC way — the
-    /// no-gating reference.
-    pub fn all_widest(lc_cores: usize, num_batch: usize) -> Plan {
+    /// A single-LC plan — the paper's shape.
+    pub fn with_single_lc(lc_cores: usize, lc_config: JobConfig, batch: Vec<BatchAction>) -> Plan {
         Plan {
-            lc_cores,
-            lc_config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+            lc: vec![LcAssignment {
+                cores: lc_cores,
+                config: lc_config,
+            }],
+            batch,
+        }
+    }
+
+    /// All cores at the widest configuration with four LLC ways each — the
+    /// no-gating reference for the given per-tenant core split.
+    pub fn all_widest(lc_cores: &[usize], num_batch: usize) -> Plan {
+        Plan {
+            lc: lc_cores
+                .iter()
+                .map(|&cores| LcAssignment {
+                    cores,
+                    config: JobConfig::new(CoreConfig::widest(), CacheAlloc::Four),
+                })
+                .collect(),
             batch: vec![BatchAction::Run(JobConfig::profiling_high()); num_batch],
         }
     }
 
+    /// Total cores held by LC tenants.
+    pub fn lc_cores(&self) -> usize {
+        self.lc.iter().map(|a| a.cores).sum()
+    }
+
+    /// The primary LC tenant's configuration.
+    pub fn lc_config(&self) -> JobConfig {
+        self.lc.first().expect("plan has an LC assignment").config
+    }
+
     /// Total LLC ways this plan allocates.
     pub fn total_ways(&self) -> f64 {
-        self.lc_config.cache.ways()
+        self.lc.iter().map(|a| a.config.cache.ways()).sum::<f64>()
             + self
                 .batch
                 .iter()
@@ -147,22 +396,33 @@ impl Plan {
     }
 }
 
-/// A profiling frame request: per-core LC configurations (so halves can be
-/// split across the widest/narrowest extremes) plus per-job batch actions.
+/// A profiling frame request: per-core configurations for each LC tenant
+/// (so halves can be split across the widest/narrowest extremes) plus
+/// per-job batch actions.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ProfilePlan {
-    /// Cores assigned to the LC service.
-    pub lc_cores: usize,
-    /// Configuration of each LC core (length `lc_cores`).
-    pub lc_configs: Vec<JobConfig>,
+    /// Configuration of each core of each LC tenant, in priority order
+    /// (`lc_configs[i].len()` is tenant `i`'s core count).
+    pub lc_configs: Vec<Vec<JobConfig>>,
     /// Action for each batch job.
     pub batch: Vec<BatchAction>,
+}
+
+impl ProfilePlan {
+    /// A single-LC profiling frame — the paper's shape.
+    pub fn single_lc(lc_configs: Vec<JobConfig>, batch: Vec<BatchAction>) -> ProfilePlan {
+        ProfilePlan {
+            lc_configs: vec![lc_configs],
+            batch,
+        }
+    }
 }
 
 /// One measured sample: a job observed at a configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SamplePoint {
-    /// Job index: 0 is the LC service, `1..=num_batch` are batch jobs.
+    /// Global job index: `0..num_lc` are the LC tenants,
+    /// `num_lc..num_lc + num_batch` are batch jobs.
     pub job: usize,
     /// The configuration the job (or a subset of its cores) ran in.
     pub config: JobConfig,
@@ -179,32 +439,55 @@ pub struct ProfileSample {
     pub duration_ms: f64,
     /// Per-(job, config) samples.
     pub samples: Vec<SamplePoint>,
-    /// Noisy estimate of the LC tail latency under this frame's regime —
+    /// Noisy per-tenant estimate of tail latency under this frame's regime —
     /// what a 10 ms Flicker profiling period would measure (ms).
-    pub lc_tail_ms: f64,
+    pub lc_tails_ms: Vec<f64>,
 }
 
-/// Static facts a manager sees at the start of a timeslice.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct SliceInfo {
-    /// Timeslice index.
-    pub slice: usize,
+/// Per-tenant facts a manager sees at the start of a timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LcSliceInfo {
+    /// The tenant's service.
+    pub service: LcService,
+    /// The tenant's QoS target (ms).
+    pub qos_ms: f64,
     /// Measured arrival rate as a fraction of the service's calibrated
     /// maximum QPS — directly observable from request counters in a real
     /// deployment.
     pub load: f64,
+    /// Measured 99th-percentile latency of the previous slice, if any.
+    pub last_tail_ms: Option<f64>,
+    /// Cores the tenant held in the previous slice.
+    pub last_cores: usize,
+}
+
+/// Static facts a manager sees at the start of a timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SliceInfo {
+    /// Timeslice index.
+    pub slice: usize,
     /// Power cap for this slice, in Watts.
     pub cap_watts: f64,
     /// Total cores on the chip.
     pub num_cores: usize,
     /// Number of batch jobs.
     pub num_batch: usize,
-    /// The LC service's QoS target (ms).
-    pub qos_ms: f64,
-    /// Measured 99th-percentile latency of the previous slice, if any.
-    pub last_tail_ms: Option<f64>,
-    /// Cores the LC service held in the previous slice.
-    pub last_lc_cores: usize,
+    /// Per-LC-tenant facts, in priority order.
+    pub lc: Vec<LcSliceInfo>,
+    /// Which batch jobs are present this slice (churn).
+    pub batch_active: Vec<bool>,
+}
+
+impl SliceInfo {
+    /// The primary LC tenant's facts.
+    pub fn primary_lc(&self) -> &LcSliceInfo {
+        self.lc.first().expect("slice has an LC tenant")
+    }
+
+    /// Number of batch jobs present this slice.
+    pub fn active_batch(&self) -> usize {
+        self.batch_active.iter().filter(|a| **a).count()
+    }
 }
 
 /// Steady-state measurements a manager receives after its plan ran.
@@ -212,12 +495,14 @@ pub struct SliceInfo {
 pub struct SliceOutcome {
     /// The plan that ran.
     pub plan: Plan,
-    /// Noisy per-core throughput of each job (index 0 = LC).
+    /// Noisy per-core throughput of each job (global indices: LC tenants
+    /// first, then batch).
     pub measured_bips: Vec<f64>,
     /// Noisy per-core power of each job.
     pub measured_watts: Vec<f64>,
-    /// Measured 99th-percentile latency over the whole slice (ms).
-    pub tail_ms: f64,
+    /// Measured per-tenant 99th-percentile latency over the whole slice
+    /// (ms), in priority order.
+    pub tails_ms: Vec<f64>,
 }
 
 /// A resource manager under test.
@@ -247,34 +532,46 @@ pub trait ResourceManager {
     }
 }
 
+/// Ground-truth per-tenant record of one timeslice.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LcSliceRecord {
+    /// The tenant's service name.
+    pub service: &'static str,
+    /// The tenant's QoS target (ms) — stored so summaries never need a
+    /// caller-supplied target.
+    pub qos_ms: f64,
+    /// Input load fraction during the slice.
+    pub load: f64,
+    /// True 99th-percentile latency over the slice (ms), before noise.
+    pub tail_ms: f64,
+    /// Whether the tail violated the tenant's QoS.
+    pub qos_violation: bool,
+    /// Cores held by the tenant.
+    pub cores: usize,
+    /// The tenant's steady-phase configuration.
+    pub config: JobConfig,
+}
+
 /// Ground-truth record of one timeslice.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SliceRecord {
     /// Slice start time in seconds.
     pub t_s: f64,
-    /// Input load fraction during the slice.
-    pub load: f64,
     /// Power cap (W).
     pub cap_watts: f64,
     /// Time-weighted average chip power over the slice (W).
     pub chip_watts: f64,
     /// Whether average power exceeded the cap.
     pub power_violation: bool,
-    /// True 99th-percentile latency over the slice (ms), before noise.
-    pub tail_ms: f64,
-    /// Whether the tail violated the service's QoS.
-    pub qos_violation: bool,
+    /// Per-LC-tenant ground truth, in priority order.
+    pub lc: Vec<LcSliceRecord>,
     /// Instructions executed by batch jobs during the slice.
     pub batch_instructions: f64,
     /// Instructions executed by all jobs during the slice.
     pub total_instructions: f64,
-    /// Per-job instructions (index 0 = LC).
+    /// Per-job instructions (global indices: LC tenants first).
     pub per_job_instructions: Vec<f64>,
-    /// Cores held by the LC service.
-    pub lc_cores: usize,
-    /// The LC configuration of the steady phase.
-    pub lc_config: JobConfig,
-    /// Steady-phase batch configurations (`None` = gated).
+    /// Steady-phase batch configurations (`None` = gated or departed).
     pub batch_configs: Vec<Option<JobConfig>>,
     /// Geometric mean of running batch jobs' throughput (BIPS).
     pub batch_gmean_bips: f64,
@@ -282,6 +579,38 @@ pub struct SliceRecord {
     /// plan, when the manager collects it (CuttleSys does; see
     /// [`StageTelemetry`]).
     pub telemetry: Option<StageTelemetry>,
+}
+
+impl SliceRecord {
+    /// The primary LC tenant's record.
+    pub fn primary_lc(&self) -> &LcSliceRecord {
+        self.lc.first().expect("slice has an LC tenant")
+    }
+
+    /// The primary LC tenant's input load.
+    pub fn load(&self) -> f64 {
+        self.primary_lc().load
+    }
+
+    /// The primary LC tenant's true tail latency (ms).
+    pub fn tail_ms(&self) -> f64 {
+        self.primary_lc().tail_ms
+    }
+
+    /// Whether any LC tenant violated its QoS this slice.
+    pub fn qos_violation(&self) -> bool {
+        self.lc.iter().any(|l| l.qos_violation)
+    }
+
+    /// Total cores held by LC tenants.
+    pub fn lc_cores(&self) -> usize {
+        self.lc.iter().map(|l| l.cores).sum()
+    }
+
+    /// The primary LC tenant's steady-phase configuration.
+    pub fn lc_config(&self) -> JobConfig {
+        self.primary_lc().config
+    }
 }
 
 /// A completed scenario run.
@@ -300,9 +629,17 @@ impl RunRecord {
         self.slices.iter().map(|s| s.batch_instructions).sum()
     }
 
-    /// Number of slices whose tail latency violated QoS.
+    /// Number of slices in which any LC tenant violated its QoS.
     pub fn qos_violations(&self) -> usize {
-        self.slices.iter().filter(|s| s.qos_violation).count()
+        self.slices.iter().filter(|s| s.qos_violation()).count()
+    }
+
+    /// Number of slices in which LC tenant `lc` violated its QoS.
+    pub fn qos_violations_for(&self, lc: usize) -> usize {
+        self.slices
+            .iter()
+            .filter(|s| s.lc.get(lc).is_some_and(|l| l.qos_violation))
+            .count()
     }
 
     /// Number of slices whose average power exceeded the cap.
@@ -310,11 +647,14 @@ impl RunRecord {
         self.slices.iter().filter(|s| s.power_violation).count()
     }
 
-    /// Worst tail-latency-to-QoS ratio across the run.
-    pub fn worst_tail_ratio(&self, qos_ms: f64) -> f64 {
+    /// Worst tail-latency-to-QoS ratio across the run, over every LC
+    /// tenant. Targets come from the records themselves, so summaries can
+    /// never mismatch the scenario.
+    pub fn worst_tail_ratio(&self) -> f64 {
         self.slices
             .iter()
-            .map(|s| s.tail_ms / qos_ms)
+            .flat_map(|s| s.lc.iter())
+            .map(|l| l.tail_ms / l.qos_ms)
             .fold(0.0, f64::max)
     }
 

@@ -16,13 +16,13 @@ use cuttlesys::CuttleSysManager;
 use simulator::power::CoreKind;
 use workloads::loadgen::LoadPattern;
 
-fn summarize(record: &RunRecord, baseline: f64, qos_ms: f64) {
+fn summarize(record: &RunRecord, baseline: f64) {
     println!(
         " {:<18}  {:>6.2}x batch   {:>2} QoS violations   worst tail {:.1}x QoS",
         record.scheme,
         record.batch_instructions() / baseline,
         record.qos_violations(),
-        record.worst_tail_ratio(qos_ms),
+        record.worst_tail_ratio(),
     );
 }
 
@@ -35,8 +35,6 @@ fn main() {
         kind: CoreKind::Fixed,
         ..scenario.clone()
     };
-    let qos = scenario.service.qos_ms;
-
     // The no-gating reference ignores the cap: it sets the 1.0x baseline.
     let reference = run_scenario(&fixed, &mut NoGatingManager);
     let baseline = reference.batch_instructions();
@@ -44,14 +42,14 @@ fn main() {
         "xapian @ 80% load + 16 SPEC jobs, 60% power cap ({:.1} W):\n",
         0.6 * scenario.nominal_budget_watts()
     );
-    summarize(&reference, baseline, qos);
+    summarize(&reference, baseline);
 
     let mut gating = CoreGatingManager::new(&fixed, GatingOrder::DescendingPower, true);
-    summarize(&run_scenario(&fixed, &mut gating), baseline, qos);
+    summarize(&run_scenario(&fixed, &mut gating), baseline);
 
     let mut asym = AsymmetricManager::new(&fixed, AsymmetricMode::Oracle);
-    summarize(&run_scenario(&fixed, &mut asym), baseline, qos);
+    summarize(&run_scenario(&fixed, &mut asym), baseline);
 
     let mut cuttle = CuttleSysManager::for_scenario(&scenario);
-    summarize(&run_scenario(&scenario, &mut cuttle), baseline, qos);
+    summarize(&run_scenario(&scenario, &mut cuttle), baseline);
 }

@@ -13,25 +13,26 @@ use workloads::loadgen::LoadPattern;
 
 fn main() {
     let scenario = Scenario {
-        service: latency::service_by_name("masstree").expect("masstree exists"),
-        load: LoadPattern::paper_diurnal(),
         cap: LoadPattern::Constant(0.7),
         duration_slices: 10,
         ..Scenario::paper_default()
-    };
+    }
+    .with_service(latency::service_by_name("masstree").expect("masstree exists"))
+    .with_load(LoadPattern::paper_diurnal());
+    let qos_ms = scenario.primary_lc().qos_ms;
     let mut manager = CuttleSysManager::for_scenario(&scenario);
     let record = run_scenario(&scenario, &mut manager);
 
     println!("masstree under a diurnal load wave, 70% power cap:\n");
     println!(" t(s)  load   LC config      tail/QoS  batch gmean");
     for slice in &record.slices {
-        let bar = "#".repeat((slice.load * 20.0) as usize);
+        let bar = "#".repeat((slice.load() * 20.0) as usize);
         println!(
             " {:>4.1}  {:<20} {:<12}  {:>5.2}     {:.2} BIPS",
             slice.t_s,
-            format!("{:>3.0}% {bar}", slice.load * 100.0),
-            slice.lc_config.to_string(),
-            slice.tail_ms / scenario.service.qos_ms,
+            format!("{:>3.0}% {bar}", slice.load() * 100.0),
+            slice.lc_config().to_string(),
+            slice.tail_ms() / qos_ms,
             slice.batch_gmean_bips,
         );
     }
@@ -40,6 +41,6 @@ fn main() {
          while its cores shrink at low load.",
         record.qos_violations(),
         record.slices.len(),
-        scenario.service.qos_ms,
+        qos_ms,
     );
 }

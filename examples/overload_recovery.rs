@@ -14,30 +14,35 @@ use workloads::loadgen::LoadPattern;
 
 fn main() {
     let scenario = Scenario {
-        load: LoadPattern::paper_spike(),
         duration_slices: 10,
         ..Scenario::paper_default()
-    };
+    }
+    .with_load(LoadPattern::paper_spike());
+    let qos_ms = scenario.primary_lc().qos_ms;
     let mut manager = CuttleSysManager::for_scenario(&scenario);
     let record = run_scenario(&scenario, &mut manager);
 
     println!("xapian hit by a 130% burst in t = [0.3 s, 0.7 s):\n");
     println!(" t(s)  load   LC cores  tail/QoS   LC config     batch gmean");
     for slice in &record.slices {
-        let cores_bar = "C".repeat(slice.lc_cores - 13);
+        let cores_bar = "C".repeat(slice.lc_cores() - 13);
         println!(
             " {:>4.1}  {:>4.0}%  {:>2} {:<6}  {:>5.2} {}  {:<12} {:.2} BIPS",
             slice.t_s,
-            slice.load * 100.0,
-            slice.lc_cores,
+            slice.load() * 100.0,
+            slice.lc_cores(),
             cores_bar,
-            slice.tail_ms / scenario.service.qos_ms,
-            if slice.qos_violation { "VIOL" } else { " ok " },
-            slice.lc_config.to_string(),
+            slice.tail_ms() / qos_ms,
+            if slice.qos_violation() {
+                "VIOL"
+            } else {
+                " ok "
+            },
+            slice.lc_config().to_string(),
             slice.batch_gmean_bips,
         );
     }
-    let peak_cores = record.slices.iter().map(|s| s.lc_cores).max().unwrap();
+    let peak_cores = record.slices.iter().map(|s| s.lc_cores()).max().unwrap();
     println!(
         "\nThe service grew from 16 to {peak_cores} cores during the burst and \
          returned to 16 after it;\nbatch jobs time-multiplexed the remaining \

@@ -21,10 +21,10 @@ fn main() {
     println!("  cap   core-gating   cuttlesys   advantage");
     for cap in [0.9, 0.8, 0.7, 0.6, 0.5] {
         let scenario = Scenario {
-            service: latency::service_by_name("imgdnn").expect("imgdnn exists"),
             cap: LoadPattern::Constant(cap),
             ..Scenario::paper_default()
-        };
+        }
+        .with_service(latency::service_by_name("imgdnn").expect("imgdnn exists"));
         let fixed = Scenario {
             kind: CoreKind::Fixed,
             ..scenario.clone()

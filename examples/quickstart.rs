@@ -20,9 +20,9 @@ fn main() {
     );
     println!(
         "service: {} (QoS {} ms) + batch mix: {:?} ...",
-        scenario.service.name,
-        scenario.service.qos_ms,
-        &scenario.mix.names()[..4],
+        scenario.primary_lc().service.name,
+        scenario.primary_lc().qos_ms,
+        &scenario.batch_names()[..4],
     );
 
     let mut manager = CuttleSysManager::for_scenario(&scenario);
@@ -33,10 +33,14 @@ fn main() {
         println!(
             " {:>4.1}  {:>8.2}   {}   {:>7.1}  {:<12}  {:.2} BIPS",
             slice.t_s,
-            slice.tail_ms,
-            if slice.qos_violation { "VIOL" } else { " ok " },
+            slice.tail_ms(),
+            if slice.qos_violation() {
+                "VIOL"
+            } else {
+                " ok "
+            },
             slice.chip_watts,
-            slice.lc_config.to_string(),
+            slice.lc_config().to_string(),
             slice.batch_gmean_bips,
         );
     }

@@ -20,10 +20,7 @@ fn base() -> Scenario {
 
 #[test]
 fn diurnal_load_following_widens_and_narrows_the_service() {
-    let s = Scenario {
-        load: LoadPattern::paper_diurnal(),
-        ..base()
-    };
+    let s = base().with_load(LoadPattern::paper_diurnal());
     let mut m = CuttleSysManager::for_scenario(&s);
     let record = run_scenario(&s, &mut m);
     assert_eq!(record.qos_violations(), 0, "{record:#?}");
@@ -32,10 +29,10 @@ fn diurnal_load_following_widens_and_narrows_the_service() {
     let peak = &record.slices[5];
     let quiet = record.slices.last().unwrap();
     assert!(
-        peak.lc_config.core.total_lanes() > quiet.lc_config.core.total_lanes(),
+        peak.lc_config().core.total_lanes() > quiet.lc_config().core.total_lanes(),
         "peak {} vs quiet {}",
-        peak.lc_config,
-        quiet.lc_config
+        peak.lc_config(),
+        quiet.lc_config()
     );
     // Freed power flows to the batch jobs when the service is quiet.
     assert!(quiet.batch_gmean_bips > peak.batch_gmean_bips);
@@ -67,16 +64,16 @@ fn cap_steps_shift_power_between_phases() {
 
 #[test]
 fn trace_driven_load_is_followed() {
-    let s = Scenario {
-        load: LoadPattern::from_trace(0.1, vec![0.3, 0.3, 0.5, 0.7, 0.9, 0.9, 0.6, 0.4, 0.3, 0.3]),
-        ..base()
-    };
+    let s = base().with_load(LoadPattern::from_trace(
+        0.1,
+        vec![0.3, 0.3, 0.5, 0.7, 0.9, 0.9, 0.6, 0.4, 0.3, 0.3],
+    ));
     let mut m = CuttleSysManager::for_scenario(&s);
     let record = run_scenario(&s, &mut m);
     assert_eq!(record.qos_violations(), 0);
     // Load values recorded per slice must match the trace.
-    assert!((record.slices[0].load - 0.3).abs() < 1e-9);
-    assert!((record.slices[4].load - 0.9).abs() < 1e-9);
+    assert!((record.slices[0].load() - 0.3).abs() < 1e-9);
+    assert!((record.slices[4].load() - 0.9).abs() < 1e-9);
 }
 
 #[test]

@@ -91,11 +91,11 @@ fn cuttlesys_beats_the_asymmetric_oracle_at_the_tightest_cap() {
 fn qos_holds_for_every_service_with_noise_and_phases() {
     for svc in latency::services() {
         let s = Scenario {
-            service: svc,
             cap: LoadPattern::Constant(0.7),
             duration_slices: 6,
             ..Scenario::paper_default()
-        };
+        }
+        .with_service(svc);
         let mut m = CuttleSysManager::for_scenario(&s);
         let record = run_scenario(&s, &mut m);
         assert_eq!(
@@ -119,33 +119,29 @@ fn flicker_profiling_destroys_the_tail_cuttlesys_does_not() {
         let mut m = CuttleSysManager::for_scenario(&s);
         run_scenario(&s, &mut m)
     };
-    let qos = s.service.qos_ms;
     assert!(
-        flicker.worst_tail_ratio(qos) > 3.0,
+        flicker.worst_tail_ratio() > 3.0,
         "flicker-a must blow the tail"
     );
-    assert!(
-        cuttle.worst_tail_ratio(qos) <= 1.0,
-        "cuttlesys must hold QoS"
-    );
+    assert!(cuttle.worst_tail_ratio() <= 1.0, "cuttlesys must hold QoS");
 }
 
 #[test]
 fn overload_triggers_relocation_and_recovery() {
     let s = Scenario {
-        load: LoadPattern::paper_spike(),
         duration_slices: 10,
         noise: 0.0,
         phases: false,
         ..Scenario::paper_default()
-    };
+    }
+    .with_load(LoadPattern::paper_spike());
     let mut m = CuttleSysManager::for_scenario(&s);
     let record = run_scenario(&s, &mut m);
-    let max_cores = record.slices.iter().map(|sl| sl.lc_cores).max().unwrap();
+    let max_cores = record.slices.iter().map(|sl| sl.lc_cores()).max().unwrap();
     assert!(max_cores > 16, "the spike must force core reclamation");
     let last = record.slices.last().unwrap();
-    assert_eq!(last.lc_cores, 16, "reclaimed cores must be yielded back");
-    assert!(!last.qos_violation, "QoS must recover after the spike");
+    assert_eq!(last.lc_cores(), 16, "reclaimed cores must be yielded back");
+    assert!(!last.qos_violation(), "QoS must recover after the spike");
 }
 
 #[test]
@@ -180,10 +176,7 @@ fn runs_are_deterministic_for_a_fixed_seed() {
 #[test]
 fn different_mixes_give_different_but_valid_runs() {
     let base = scenario(0.7);
-    let other = Scenario {
-        mix: batch::mix(16, 999),
-        ..base.clone()
-    };
+    let other = base.clone().with_mix(batch::mix(16, 999));
     let a = {
         let mut m = CuttleSysManager::for_scenario(&base);
         run_scenario(&base, &mut m)

@@ -30,10 +30,10 @@ fn two_samples_reconstruct_every_test_app_within_budget() {
     for app in batch::testing_set() {
         let truth_b = o.bips_row(&app.profile);
         let truth_w = o.power_row(&app.profile);
-        let mut m = JobMatrices::new(o, &training, 1);
+        let mut m = JobMatrices::new(o, &training, 1, 1);
         m.record_sample(1, hi, truth_b[hi], truth_w[hi]);
         m.record_sample(1, lo, truth_b[lo], truth_w[lo]);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         let err_b = mean_abs_pct(&preds.batch_bips[0], &truth_b);
         let err_w = mean_abs_pct(&preds.batch_watts[0], &truth_w);
         assert!(err_b < 20.0, "{}: throughput error {err_b:.1}%", app.name);
@@ -64,10 +64,10 @@ fn sgd_beats_rbf_at_comparable_sample_budgets() {
             .collect();
         rbf_total += mean_abs_pct(&rbf_pred, &truth);
 
-        let mut m = JobMatrices::new(o, &training, 1);
+        let mut m = JobMatrices::new(o, &training, 1, 1);
         m.record_sample(1, hi.index(), truth[hi.index()], truth_w[hi.index()]);
         m.record_sample(1, lo.index(), truth[lo.index()], truth_w[lo.index()]);
-        let preds = m.reconstruct(&Reconstructor::default(), 0.8);
+        let preds = m.reconstruct(&Reconstructor::default(), &[0.8]);
         sgd_total += mean_abs_pct(&preds.batch_bips[0], &truth);
     }
     assert!(
@@ -121,15 +121,15 @@ fn hogwild_quality_matches_serial_on_oracle_data() {
 fn tail_bucket_predictions_track_load() {
     let o = oracle();
     let training: Vec<_> = batch::training_set().iter().map(|b| b.profile).collect();
-    let mut m = JobMatrices::new(o, &training, 1);
+    let mut m = JobMatrices::new(o, &training, 1, 1);
     let narrow = JobConfig::profiling_low().index();
-    let p_20 = m.reconstruct(&Reconstructor::default(), 0.2);
-    let p_90 = m.reconstruct(&Reconstructor::default(), 0.9);
+    let p_20 = m.reconstruct(&Reconstructor::default(), &[0.2]);
+    let p_90 = m.reconstruct(&Reconstructor::default(), &[0.9]);
     assert!(
-        p_90.lc_tail[narrow] > p_20.lc_tail[narrow] * 2.0,
+        p_90.lc[0].tail[narrow] > p_20.lc[0].tail[narrow] * 2.0,
         "the narrow config must look far worse at high load: {} vs {}",
-        p_90.lc_tail[narrow],
-        p_20.lc_tail[narrow]
+        p_90.lc[0].tail[narrow],
+        p_20.lc[0].tail[narrow]
     );
 }
 

@@ -1,0 +1,173 @@
+//! Integration tests for the multi-tenant job model: several
+//! latency-critical services with independent QoS targets, batch-job churn,
+//! and the guarantee that the paper's single-service setup is reproduced
+//! *exactly* as the N=1 special case.
+
+use baselines::gating::GatingOrder;
+use cuttlesys::managers::CoreGatingManager;
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::{BatchJobSpec, JobSpec, Scenario};
+use cuttlesys::CuttleSysManager;
+use simulator::power::CoreKind;
+use workloads::batch;
+
+#[test]
+fn two_services_hold_their_own_qos_targets_under_a_tight_cap() {
+    let s = Scenario::two_service();
+    let mut m = CuttleSysManager::for_scenario(&s);
+    let record = run_scenario(&s, &mut m);
+
+    // Every slice reports ground truth for both tenants, against each
+    // tenant's own QoS target.
+    for sl in &record.slices {
+        assert_eq!(sl.lc.len(), 2);
+        assert_eq!(sl.lc[0].service, "xapian");
+        assert_eq!(sl.lc[1].service, "masstree");
+        assert_ne!(sl.lc[0].qos_ms, sl.lc[1].qos_ms);
+    }
+    assert_eq!(record.qos_violations_for(0), 0, "xapian violated QoS");
+    assert_eq!(record.qos_violations_for(1), 0, "masstree violated QoS");
+    assert!(record.batch_instructions() > 0.0);
+}
+
+#[test]
+fn cuttlesys_beats_core_gating_with_two_tenants() {
+    // A full chip — two 8-core tenants plus 16 batch jobs — makes the 70%
+    // cap bind, so core gating has to switch whole jobs off while
+    // CuttleSys shaves partial cores from both tenants instead.
+    let s = Scenario::two_service().with_mix(batch::mix(16, 0xC0FFEE));
+    let f = Scenario {
+        kind: CoreKind::Fixed,
+        ..s.clone()
+    };
+    let gating = run_scenario(
+        &f,
+        &mut CoreGatingManager::new(&f, GatingOrder::DescendingPower, true),
+    );
+    let cuttle = {
+        let mut m = CuttleSysManager::for_scenario(&s);
+        run_scenario(&s, &mut m)
+    };
+    assert!(
+        cuttle.batch_instructions() > gating.batch_instructions(),
+        "cuttlesys {:.2e} must beat core gating {:.2e} with two tenants",
+        cuttle.batch_instructions(),
+        gating.batch_instructions()
+    );
+    assert_eq!(cuttle.qos_violations(), 0);
+}
+
+#[test]
+fn batch_churn_frees_and_reuses_resources() {
+    // Job 0 departs after slice 3; a fresh job arrives at slice 3.
+    let mut s = Scenario {
+        duration_slices: 6,
+        ..Scenario::paper_default()
+    };
+    let mut batch_seen = 0;
+    for job in &mut s.jobs {
+        if let JobSpec::Batch(b) = job {
+            if batch_seen == 0 {
+                b.depart_slice = Some(3);
+            }
+            batch_seen += 1;
+        }
+    }
+    let newcomer = batch::mix(1, 0xBEEF).apps[0];
+    s.jobs.push(JobSpec::Batch(BatchJobSpec {
+        arrive_slice: 3,
+        ..BatchJobSpec::resident(newcomer)
+    }));
+
+    let mut m = CuttleSysManager::for_scenario(&s);
+    let record = run_scenario(&s, &mut m);
+    let last_new = s.num_batch() - 1;
+
+    for (i, sl) in record.slices.iter().enumerate() {
+        // Global job indexing: 1 LC tenant, then the batch jobs.
+        let departed_instr = sl.per_job_instructions[1];
+        let newcomer_instr = sl.per_job_instructions[1 + last_new];
+        if i < 3 {
+            assert!(departed_instr > 0.0, "slice {i}: job 0 should run");
+            assert_eq!(newcomer_instr, 0.0, "slice {i}: newcomer not yet here");
+            assert!(sl.batch_configs[0].is_some());
+        } else {
+            assert_eq!(departed_instr, 0.0, "slice {i}: departed job must stop");
+            assert!(
+                sl.batch_configs[0].is_none(),
+                "slice {i}: departed job's core and cache ways must be reclaimed"
+            );
+            assert!(newcomer_instr > 0.0, "slice {i}: newcomer should run");
+        }
+    }
+    assert_eq!(record.qos_violations(), 0);
+}
+
+/// The paper's setup as the exact N=1 special case: the decisions, the
+/// measured tail, the chip power, and the executed instructions of
+/// `Scenario::paper_default()` are pinned bit-for-bit. Any change to the
+/// multi-tenant generalization that perturbs the single-service path —
+/// an RNG draw reordered, a seed derived differently, a loop refactored —
+/// trips this immediately.
+#[test]
+fn paper_default_run_is_bit_identical_to_the_pinned_golden_record() {
+    // (lc_cores, lc_config, batch configs (-1 = gated), tail bits,
+    //  chip-watts bits, total-instruction bits) per slice.
+    #[rustfmt::skip]
+    let golden: [(usize, usize, [i64; 16], u64, u64, u64); 10] = [
+        (16, 107, [5, 4, 17, 55, 20, 6, 21, 17, 54, 55, 8, 19, 4, 54, 10, 42],
+         0x400e5a12c118ceb2, 0x40550a6471b35980, 0x41f9471811e5f3a2),
+        (16, 55, [70, 59, 68, 57, 106, 106, 107, 34, 58, 104, 69, 33, 105, 69, 94, 70],
+         0x401316614f1a461b, 0x4055b67e39c9ab68, 0x41fdc0a65b191fd6),
+        (16, 55, [91, 106, 69, 54, 70, 70, 106, 93, 105, 105, 105, 105, 105, 55, 70, 57],
+         0x401316614f1a461b, 0x40562f18fc6d279a, 0x41ffe2a09490016f),
+        (16, 55, [103, 70, 105, 54, 54, 105, 106, 66, 105, 105, 105, 105, 106, 54, 106, 70],
+         0x401316614f1a461b, 0x40570a5cbc495b5c, 0x420090a4a58e950f),
+        (16, 55, [102, 58, 107, 66, 94, 69, 70, 67, 105, 104, 66, 105, 93, 94, 104, 105],
+         0x401316614f1a461b, 0x4056a7b9b10290dc, 0x41ff6e43f72241ce),
+        (16, 55, [103, 93, 54, 66, 95, 106, 93, 33, 105, 104, 14, 105, 105, 68, 107, 57],
+         0x401316614f1a461b, 0x4055f9e305ef7092, 0x41fe516d685c052a),
+        (16, 55, [66, 58, 107, 106, 94, 93, 70, 67, 105, 94, 104, 105, 93, 94, 104, 93],
+         0x401316614f1a461b, 0x4056510ea2e94763, 0x41fe96844c0e4e42),
+        (16, 55, [103, 93, 54, 66, 71, 106, 105, 104, 94, 104, 67, 105, 106, 92, 104, 57],
+         0x401316614f1a461b, 0x4056702a82b0fd1a, 0x4200b6ccd02d7e6c),
+        (16, 55, [106, 22, 33, 70, 95, 107, 104, 59, 94, 104, 65, 105, 92, 105, 106, 56],
+         0x401316614f1a461b, 0x4055f7c940c7bc4a, 0x41fd7c424c29c7fd),
+        (16, 55, [102, 93, 92, 66, 95, 107, 105, 94, 94, 93, 105, 106, 93, 104, 10, 70],
+         0x401316614f1a461b, 0x40568ddcd8374936, 0x4200410dd77cbb87),
+    ];
+
+    let s = Scenario::paper_default();
+    let mut m = CuttleSysManager::for_scenario(&s);
+    let record = run_scenario(&s, &mut m);
+    assert_eq!(record.slices.len(), golden.len());
+    for (i, (sl, g)) in record.slices.iter().zip(&golden).enumerate() {
+        assert_eq!(sl.lc_cores(), g.0, "slice {i}: LC core count drifted");
+        assert_eq!(
+            sl.lc_config().index(),
+            g.1,
+            "slice {i}: LC configuration drifted"
+        );
+        let batch: Vec<i64> = sl
+            .batch_configs
+            .iter()
+            .map(|c| c.map_or(-1, |c| c.index() as i64))
+            .collect();
+        assert_eq!(batch, g.2.to_vec(), "slice {i}: batch decisions drifted");
+        assert_eq!(
+            sl.tail_ms().to_bits(),
+            g.3,
+            "slice {i}: measured tail drifted"
+        );
+        assert_eq!(
+            sl.chip_watts.to_bits(),
+            g.4,
+            "slice {i}: chip power drifted"
+        );
+        assert_eq!(
+            sl.total_instructions.to_bits(),
+            g.5,
+            "slice {i}: executed instructions drifted"
+        );
+    }
+}
