@@ -104,6 +104,7 @@ pub fn steady_state_budget(cap_watts: f64, slice_ms: f64, spent_ms: f64, spent_w
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -25,8 +25,12 @@
 //!   overhead report).
 //! * [`accounting`] — plan-level power arithmetic shared by the pipeline
 //!   stages and the baseline managers.
+//! * [`faults`] — seeded deterministic fault injection ([`FaultPlan`],
+//!   [`faults::FaultInjector`]) and the graceful-degradation policy: typed
+//!   stage errors, the last-good fallback bounds, and the safe-mode circuit
+//!   breaker.
 //! * [`runtime`] — the CuttleSys manager itself (§IV–§VI), a composition
-//!   of the default pipeline stages.
+//!   of the default pipeline stages wrapped in the degradation ladder.
 //! * [`managers`] — baseline managers: no-gating, core-level gating (± way
 //!   partitioning), oracle-like and fixed 50-50 asymmetric multicores,
 //!   Flicker, and a PID feedback controller.
@@ -46,7 +50,10 @@
 //! assert!(record.stage_summary().is_some());
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod accounting;
+pub mod faults;
 pub mod managers;
 pub mod matrices;
 pub mod pipeline;
@@ -55,6 +62,7 @@ pub mod telemetry;
 pub mod testbed;
 pub mod types;
 
+pub use faults::{DecisionError, FaultInjector, FaultPlan, ResilienceConfig, StageError};
 pub use runtime::CuttleSysManager;
 pub use testbed::run_scenario;
 pub use types::{Plan, ResourceManager, RunRecord, Scenario};

@@ -52,13 +52,11 @@ fn lc_assignments(info: &SliceInfo, config: JobConfig) -> Vec<LcAssignment> {
 
 /// Nearest allocation (in log-ways space) to a fractional share.
 fn nearest_alloc(ways: f64) -> CacheAlloc {
+    let d = |x: &CacheAlloc| (x.ways().log2() - ways.max(0.25).log2()).abs();
     CacheAlloc::ALL
         .into_iter()
-        .min_by(|a, b| {
-            let d = |x: &CacheAlloc| (x.ways().log2() - ways.max(0.25).log2()).abs();
-            d(a).total_cmp(&d(b))
-        })
-        .expect("alphabet is non-empty")
+        .min_by(|a, b| d(a).total_cmp(&d(b)))
+        .unwrap_or(CacheAlloc::One)
 }
 
 /// Effective per-job occupancy of an *unpartitioned* LLC.
@@ -193,6 +191,11 @@ impl ResourceManager for CoreGatingManager {
         let mut per_job = vec![(0.0, 0.0); info.num_batch];
         let mut lc_watts = vec![0.0; num_lc];
         for s in &sample.samples {
+            // A blacked-out or corrupted reading (NaN) must not poison the
+            // power budget; the job keeps its 0 W default, which gates last.
+            if !s.bips.is_finite() || !s.watts.is_finite() {
+                continue;
+            }
             if s.job < num_lc {
                 lc_watts[s.job] = s.watts;
             } else {
@@ -452,6 +455,11 @@ impl ResourceManager for FlickerManager {
                 per_config_ms,
             );
             for s in &sample.samples {
+                // Skip non-finite readings so a sensor fault never reaches
+                // the RBF fit or the power accounting.
+                if !s.bips.is_finite() || !s.watts.is_finite() {
+                    continue;
+                }
                 if s.job < num_lc {
                     lc_watts[s.job] = s.watts;
                 } else {
@@ -630,11 +638,17 @@ impl ResourceManager for FeedbackManager {
             .map(|(i, a)| outcome.measured_watts[i] * a.cores as f64)
             .sum();
         let batch: f64 = outcome.measured_watts[num_lc..].iter().sum();
-        self.last_power = Some(lc + batch);
+        let total = lc + batch;
+        // Hold the previous estimate through a telemetry blackout: a NaN
+        // error term would otherwise poison the PID integrator forever.
+        if total.is_finite() {
+            self.last_power = Some(total);
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::testbed::run_scenario;

@@ -119,6 +119,8 @@ pub struct Predictions {
 
 impl Predictions {
     /// The primary LC tenant's predictions.
+    // Documented panic: predictions always cover at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn primary_lc(&self) -> &LcPrediction {
         self.lc.first().expect("predictions cover an LC tenant")
     }
@@ -452,6 +454,7 @@ impl JobMatrices {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use simulator::power::CoreKind;

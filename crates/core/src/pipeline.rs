@@ -19,6 +19,14 @@
 //! [`crate::runtime::CuttleSysManager`] is a composition of the default
 //! stage set; ablations swap a single stage (a different search algorithm,
 //! a different reconstruction configuration) without touching the rest.
+//!
+//! Every stage returns `Result<_, StageError>` instead of unwrapping: the
+//! profiling stage validates samples (finite, in physical range) with one
+//! bounded retry, the reconstruction output passes a sanity gate (NaN /
+//! row-divergence check) with a staleness-bounded fall back to the
+//! last-good predictions, and an optional per-quantum deadline budget
+//! aborts the remaining stages — the manager then replays its last-good
+//! decision (see [`crate::faults`] for the degradation ladder).
 
 use std::time::Instant;
 
@@ -28,9 +36,15 @@ use recsys::Reconstructor;
 use simulator::{CacheAlloc, CoreConfig, JobConfig, NUM_JOB_CONFIGS};
 
 use crate::accounting::{gate_descending_power, PowerAccount};
+use crate::faults::{
+    poison_predictions, prediction_defects, DecisionError, QuantumFaults, ResilienceConfig,
+    StageError,
+};
 use crate::matrices::{bucket_for, effective_load, JobMatrices, LcPrediction, Predictions};
 use crate::telemetry::StageTelemetry;
-use crate::types::{BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, SliceInfo};
+use crate::types::{
+    BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, SamplePoint, SliceInfo,
+};
 
 /// One LC tenant's core allocation, mutated by the QoS stage's relocation
 /// policy (§VI-A: reclaim on measured violations at the widest
@@ -58,6 +72,14 @@ pub struct DecisionCtx<'a> {
     pub num_batch: usize,
     /// Power of a gated core (W).
     pub gated_watts: f64,
+    /// Compute-side faults injected into this quantum (NONE by default).
+    pub faults: QuantumFaults,
+    /// Bounds on the degradation ladder: sample sanity ranges, prediction
+    /// staleness, and the per-quantum deadline.
+    pub resilience: &'a ResilienceConfig,
+    /// The most recent predictions that passed the sanity gate, with their
+    /// age in quanta — the reconstruction fallback.
+    pub last_good_preds: Option<(&'a Predictions, usize)>,
 }
 
 impl DecisionCtx<'_> {
@@ -88,14 +110,34 @@ pub type Probe<'a> = dyn FnMut(&ProfilePlan, f64) -> ProfileSample + 'a;
 
 /// Stage 1: run profiling frames and record their samples.
 pub trait ProfileStage {
-    /// Issues frames through `probe` and folds samples into `ctx.matrices`.
-    fn profile(&mut self, ctx: &mut DecisionCtx, probe: &mut Probe, tel: &mut StageTelemetry);
+    /// Issues frames through `probe` and folds validated samples into
+    /// `ctx.matrices`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no sample of the quantum survives validation, even after
+    /// the bounded retry.
+    fn profile(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        probe: &mut Probe,
+        tel: &mut StageTelemetry,
+    ) -> Result<(), StageError>;
 }
 
 /// Stage 2: complete the rating matrices into dense predictions.
 pub trait ReconstructStage {
     /// Returns predictions at the tail library's reference core count.
-    fn reconstruct(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) -> Predictions;
+    ///
+    /// # Errors
+    ///
+    /// Fails when the solve cannot run at all; a solve that *diverges* is
+    /// returned as-is and caught by the pipeline's sanity gate.
+    fn reconstruct(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        tel: &mut StageTelemetry,
+    ) -> Result<Predictions, StageError>;
 }
 
 /// Stage 3: core relocation and LC configuration pinning (§VI-A).
@@ -103,37 +145,57 @@ pub trait QosStage {
     /// Pre-profiling half: reclaim cores after measured violations that
     /// reconfiguration alone cannot fix. Runs before stage 1 so the frames
     /// profile the post-relocation layout.
-    fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry);
+    ///
+    /// # Errors
+    ///
+    /// Fails when the slice info does not describe a tenant it needs.
+    fn relocate(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        tel: &mut StageTelemetry,
+    ) -> Result<(), StageError>;
 
     /// Post-reconstruction half: relinquish reclaimed cores when
     /// predictions show slack, rescale each tenant's tail row to its final
     /// core count, and pin every tenant's configuration in priority order.
     /// Returns the pinned configurations and the rescaled predictions the
     /// later stages use.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the slice info or predictions are missing a tenant.
     fn pin(
         &mut self,
         ctx: &mut DecisionCtx,
         preds: &Predictions,
         tel: &mut StageTelemetry,
-    ) -> (Vec<JobConfig>, Predictions);
+    ) -> Result<(Vec<JobConfig>, Predictions), StageError>;
 }
 
 /// Stage 4: search the batch jobs' configuration space.
 pub trait SearchStage {
     /// Returns the best configuration index per batch job (entries for
     /// absent jobs are placeholders — stage 5 gates them).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the search cannot evaluate its objective.
     fn search(
         &mut self,
         ctx: &DecisionCtx,
         preds: &Predictions,
         lc_configs: &[JobConfig],
         tel: &mut StageTelemetry,
-    ) -> Vec<usize>;
+    ) -> Result<Vec<usize>, StageError>;
 }
 
 /// Stage 5: enforce the cap when even the narrowest plan misses it (§VI-B).
 pub trait RepairStage {
     /// Turns the searched point into batch actions, gating if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the searched point does not match the slice's jobs.
     fn repair(
         &mut self,
         ctx: &DecisionCtx,
@@ -141,7 +203,7 @@ pub trait RepairStage {
         lc_configs: &[JobConfig],
         point: &[usize],
         tel: &mut StageTelemetry,
-    ) -> Vec<BatchAction>;
+    ) -> Result<Vec<BatchAction>, StageError>;
 }
 
 /// The instrumented five-stage driver.
@@ -158,40 +220,104 @@ pub struct DecisionPipeline {
     pub repair: Box<dyn RepairStage + Send>,
 }
 
+/// Checks the per-quantum deadline budget after a stage: wall-clock since
+/// the quantum began plus any injected stall. Marks the telemetry and
+/// fails so the driver skips the remaining stages.
+fn check_deadline(
+    start: Instant,
+    tel: &mut StageTelemetry,
+    budget_ms: f64,
+    stage: &'static str,
+) -> Result<(), StageError> {
+    let consumed_ms = start.elapsed().as_secs_f64() * 1e3 + tel.degradation.injected_stall_ms;
+    if consumed_ms > budget_ms {
+        tel.degradation.deadline_exceeded = true;
+        return Err(StageError::DeadlineExceeded {
+            stage,
+            consumed_ms,
+            budget_ms,
+        });
+    }
+    Ok(())
+}
+
 impl DecisionPipeline {
-    /// Runs the five stages in order, timing each, and returns the plan,
-    /// the predictions it was built from, and the quantum's telemetry.
+    /// Runs the five stages in order, timing each into `tel`, and returns
+    /// the plan and the predictions it was built from.
+    ///
+    /// Telemetry is accumulated through the borrowed `tel` so the stages
+    /// that *did* run stay visible even when a later stage fails. Between
+    /// stages the driver checks the quantum's deadline budget, and the
+    /// reconstruction output passes a sanity gate with a staleness-bounded
+    /// fallback to the last-good predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StageError`] encountered (wrapped in
+    /// [`DecisionError::Stage`]); the caller is expected to degrade to its
+    /// last-good decision or the safe-mode allocation.
     pub fn decide(
         &mut self,
         ctx: &mut DecisionCtx,
         probe: &mut Probe,
-    ) -> (Plan, Predictions, StageTelemetry) {
-        let mut tel = StageTelemetry::default();
+        tel: &mut StageTelemetry,
+    ) -> Result<(Plan, Predictions), DecisionError> {
+        let start = Instant::now();
+        let budget = ctx.resilience.deadline_ms;
 
         let t = Instant::now();
-        self.qos.relocate(ctx, &mut tel);
+        self.qos.relocate(ctx, tel)?;
         tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+        check_deadline(start, tel, budget, "qos")?;
 
         let t = Instant::now();
-        self.profile.profile(ctx, probe, &mut tel);
+        self.profile.profile(ctx, probe, tel)?;
         tel.profile_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+        check_deadline(start, tel, budget, "profile")?;
 
         let t = Instant::now();
-        let raw = self.reconstruct.reconstruct(ctx, &mut tel);
+        let mut raw = self.reconstruct.reconstruct(ctx, tel)?;
         tel.reconstruct_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+        // Sanity gate: a diverged solve (NaN, out-of-physical-range rows)
+        // must not reach the QoS scan. Last-good predictions substitute
+        // while they are fresh enough.
+        let defects = prediction_defects(&raw, ctx.resilience);
+        if defects > 0 {
+            match ctx.last_good_preds {
+                Some((lg, age)) if age <= ctx.resilience.staleness_bound => {
+                    tel.degradation.reconstruct_fallback = true;
+                    tel.degradation.stale_age = tel.degradation.stale_age.max(age);
+                    raw = lg.clone();
+                }
+                Some((_, age)) => {
+                    return Err(StageError::PredictionsStale {
+                        age,
+                        bound: ctx.resilience.staleness_bound,
+                    }
+                    .into())
+                }
+                None => {
+                    return Err(StageError::ReconstructionDiverged {
+                        bad_values: defects,
+                    }
+                    .into())
+                }
+            }
+        }
+        check_deadline(start, tel, budget, "reconstruct")?;
 
         let t = Instant::now();
-        let (lc_configs, preds) = self.qos.pin(ctx, &raw, &mut tel);
+        let (lc_configs, preds) = self.qos.pin(ctx, &raw, tel)?;
         tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+        check_deadline(start, tel, budget, "qos")?;
 
         let t = Instant::now();
-        let point = self.search.search(ctx, &preds, &lc_configs, &mut tel);
+        let point = self.search.search(ctx, &preds, &lc_configs, tel)?;
         tel.search_wall_ms += t.elapsed().as_secs_f64() * 1e3;
+        check_deadline(start, tel, budget, "search")?;
 
         let t = Instant::now();
-        let batch = self
-            .repair
-            .repair(ctx, &preds, &lc_configs, &point, &mut tel);
+        let batch = self.repair.repair(ctx, &preds, &lc_configs, &point, tel)?;
         tel.repair_wall_ms += t.elapsed().as_secs_f64() * 1e3;
 
         let plan = Plan {
@@ -206,8 +332,30 @@ impl DecisionPipeline {
                 .collect(),
             batch,
         };
-        (plan, preds, tel)
+        Ok((plan, preds))
     }
+}
+
+/// Validates one profiling sample against the physical sanity ranges.
+/// Returns the sample with any invalid field zeroed (so the matrices skip
+/// it) and the count of rejected fields, or `None` when nothing in the
+/// sample is usable.
+fn sanitize_sample(s: &SamplePoint, cfg: &ResilienceConfig) -> (Option<SamplePoint>, usize) {
+    let ok = |v: f64, max: f64| v.is_finite() && (0.0..=max).contains(&v);
+    let bips_ok = ok(s.bips, cfg.max_bips);
+    let watts_ok = ok(s.watts, cfg.max_watts);
+    let rejected = usize::from(!bips_ok) + usize::from(!watts_ok);
+    if !bips_ok && !watts_ok {
+        return (None, rejected);
+    }
+    let mut clean = *s;
+    if !bips_ok {
+        clean.bips = 0.0;
+    }
+    if !watts_ok {
+        clean.watts = 0.0;
+    }
+    (Some(clean), rejected)
 }
 
 /// Total predicted LC power of the pinned configurations (W).
@@ -239,9 +387,16 @@ fn account_for(ctx: &DecisionCtx, preds: &Predictions, lc_configs: &[JobConfig])
 pub struct SplitHalvesProfile;
 
 impl ProfileStage for SplitHalvesProfile {
-    fn profile(&mut self, ctx: &mut DecisionCtx, probe: &mut Probe, tel: &mut StageTelemetry) {
+    fn profile(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        probe: &mut Probe,
+        tel: &mut StageTelemetry,
+    ) -> Result<(), StageError> {
         let high = JobConfig::profiling_high();
         let low = JobConfig::profiling_low();
+        let mut valid_total = 0usize;
+        let mut rejected_total = 0usize;
         for swap in [false, true] {
             let lc_configs: Vec<Vec<JobConfig>> = ctx
                 .lc
@@ -264,14 +419,45 @@ impl ProfileStage for SplitHalvesProfile {
                     })
                 })
                 .collect();
-            let sample = probe(&ProfilePlan { lc_configs, batch }, 1.0);
-            tel.profile_sim_ms += sample.duration_ms;
-            tel.samples_recorded += sample.samples.len();
-            for s in &sample.samples {
-                ctx.matrices
-                    .record_sample(s.job, s.config.index(), s.bips, s.watts);
+            // One bounded retry: if every sample of a frame is rejected
+            // (a sensor blackout rather than ordinary loss), the frame is
+            // reissued once before the stage gives up.
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                let sample = probe(
+                    &ProfilePlan {
+                        lc_configs: lc_configs.clone(),
+                        batch: batch.clone(),
+                    },
+                    1.0,
+                );
+                tel.profile_sim_ms += sample.duration_ms;
+                let mut valid = 0usize;
+                for s in &sample.samples {
+                    let (clean, rejected) = sanitize_sample(s, ctx.resilience);
+                    rejected_total += rejected;
+                    if let Some(c) = clean {
+                        ctx.matrices
+                            .record_sample(c.job, c.config.index(), c.bips, c.watts);
+                        valid += 1;
+                        tel.samples_recorded += 1;
+                    }
+                }
+                valid_total += valid;
+                if valid > 0 || attempts > 1 {
+                    break;
+                }
+                tel.degradation.sample_retries += 1;
             }
         }
+        tel.degradation.samples_rejected += rejected_total;
+        if valid_total == 0 {
+            return Err(StageError::NoValidSamples {
+                rejected: rejected_total,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -289,7 +475,16 @@ impl CfReconstruct {
 }
 
 impl ReconstructStage for CfReconstruct {
-    fn reconstruct(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) -> Predictions {
+    fn reconstruct(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        tel: &mut StageTelemetry,
+    ) -> Result<Predictions, StageError> {
+        // An injected stall burns wall-clock budget without changing the
+        // result; the deadline check after this stage accounts for it.
+        if ctx.faults.reconstruct_stall_ms > 0.0 {
+            tel.degradation.injected_stall_ms += ctx.faults.reconstruct_stall_ms;
+        }
         // Hogwild SGD runs a fixed epoch count per matrix; throughput and
         // power complete once per quantum, tails once per LC tenant. Each
         // tenant's tail row is completed at the effective load of the cores
@@ -302,7 +497,13 @@ impl ReconstructStage for CfReconstruct {
             .map(|(l, a)| effective_load(l.load, a.cores))
             .collect();
         tel.sgd_epochs += (2 + loads.len()) * self.reconstructor.config.max_iters;
-        ctx.matrices.reconstruct(&self.reconstructor, &loads)
+        let mut preds = ctx.matrices.reconstruct(&self.reconstructor, &loads);
+        // An injected divergence poisons the output with NaN — the
+        // pipeline's sanity gate is expected to catch exactly this.
+        if ctx.faults.reconstruct_diverge {
+            poison_predictions(&mut preds);
+        }
+        Ok(preds)
     }
 }
 
@@ -388,14 +589,18 @@ impl TrustRegionQos {
 }
 
 impl QosStage for TrustRegionQos {
-    fn relocate(&mut self, ctx: &mut DecisionCtx, tel: &mut StageTelemetry) {
+    fn relocate(
+        &mut self,
+        ctx: &mut DecisionCtx,
+        tel: &mut StageTelemetry,
+    ) -> Result<(), StageError> {
         // Reclaim half (§VI-A): a measured QoS violation while already at
         // the widest configuration means reconfiguration alone cannot
         // help — take one core from the batch jobs. Tenants are walked in
         // priority order, each checked against the shared core budget.
         for i in 0..ctx.lc.len() {
             let Some(lc_info) = ctx.info.lc.get(i) else {
-                continue;
+                return Err(StageError::MissingTenant { tenant: i });
             };
             if let Some(tail) = lc_info.last_tail_ms {
                 if tail > lc_info.qos_ms
@@ -409,6 +614,7 @@ impl QosStage for TrustRegionQos {
                 }
             }
         }
+        Ok(())
     }
 
     fn pin(
@@ -416,11 +622,19 @@ impl QosStage for TrustRegionQos {
         ctx: &mut DecisionCtx,
         preds: &Predictions,
         tel: &mut StageTelemetry,
-    ) -> (Vec<JobConfig>, Predictions) {
+    ) -> Result<(Vec<JobConfig>, Predictions), StageError> {
         let mut lc_configs = Vec::with_capacity(ctx.lc.len());
         let mut rescaled_lc = Vec::with_capacity(ctx.lc.len());
         for i in 0..ctx.lc.len() {
-            let lc_info = &ctx.info.lc[i];
+            let lc_info = ctx
+                .info
+                .lc
+                .get(i)
+                .ok_or(StageError::MissingTenant { tenant: i })?;
+            let tenant_preds = preds
+                .lc
+                .get(i)
+                .ok_or(StageError::MissingTenant { tenant: i })?;
             let last_config = ctx.last_lc_config(i);
             // The tenant's predictions were reconstructed at the effective
             // load of this core count; relocation below steps away from it.
@@ -431,7 +645,7 @@ impl QosStage for TrustRegionQos {
             // meaningful — the scan deliberately sits near the headroom
             // boundary).
             if ctx.lc[i].cores > ctx.lc[i].min_cores {
-                let fewer = preds.lc[i].rescaled_step(reconstructed_cores, ctx.lc[i].cores - 1);
+                let fewer = tenant_preds.rescaled_step(reconstructed_cores, ctx.lc[i].cores - 1);
                 let (_, met) = self.pin_lc_config(
                     &fewer,
                     lc_info.qos_ms * (1.0 - self.slack / 2.0),
@@ -443,7 +657,7 @@ impl QosStage for TrustRegionQos {
                 }
             }
 
-            let rescaled = preds.lc[i].rescaled_step(reconstructed_cores, ctx.lc[i].cores);
+            let rescaled = tenant_preds.rescaled_step(reconstructed_cores, ctx.lc[i].cores);
             // First touch of a load region: no observation within ±2 % load
             // means the saturation wall's position is unknown — run the
             // widest configuration for one slice and learn from it (this is
@@ -468,7 +682,7 @@ impl QosStage for TrustRegionQos {
             batch_watts: preds.batch_watts.clone(),
             lc: rescaled_lc,
         };
-        (lc_configs, preds)
+        Ok((lc_configs, preds))
     }
 }
 
@@ -502,11 +716,11 @@ impl SearchStage for PenaltySearch {
         preds: &Predictions,
         lc_configs: &[JobConfig],
         tel: &mut StageTelemetry,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, StageError> {
         let lowest = JobConfig::profiling_low().index();
         let active = ctx.active_batch();
         if active.is_empty() {
-            return vec![lowest; ctx.num_batch];
+            return Ok(vec![lowest; ctx.num_batch]);
         }
         let acct = account_for(ctx, preds, lc_configs);
         let base_watts = acct.base_watts();
@@ -556,7 +770,7 @@ impl SearchStage for PenaltySearch {
         for (slot, &j) in jobs_c.iter().enumerate() {
             point[j] = result.best_point[slot];
         }
-        point
+        Ok(point)
     }
 }
 
@@ -573,7 +787,7 @@ impl RepairStage for PowerCapRepair {
         lc_configs: &[JobConfig],
         point: &[usize],
         tel: &mut StageTelemetry,
-    ) -> Vec<BatchAction> {
+    ) -> Result<Vec<BatchAction>, StageError> {
         let lowest = JobConfig::profiling_low().index();
         let active = ctx.active_batch();
         let lc_watts = lc_watts_total(ctx, preds, lc_configs);
@@ -585,7 +799,7 @@ impl RepairStage for PowerCapRepair {
         let is_active =
             |j: usize| -> bool { ctx.info.batch_active.get(j).copied().unwrap_or(true) };
         if lowest_power <= ctx.info.cap_watts {
-            return point
+            return Ok(point
                 .iter()
                 .enumerate()
                 .map(|(j, &c)| {
@@ -595,7 +809,7 @@ impl RepairStage for PowerCapRepair {
                         BatchAction::Gated
                     }
                 })
-                .collect();
+                .collect());
         }
         // Not even the narrowest plan fits: start from all-narrowest and
         // gate the hungriest jobs until the predicted power fits.
@@ -612,14 +826,26 @@ impl RepairStage for PowerCapRepair {
                 actions[j] = BatchAction::Run(JobConfig::from_index(lowest));
             }
         }
-        actions
+        Ok(actions)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::types::{LcSliceInfo, SliceInfo};
+
+    const RES: ResilienceConfig = ResilienceConfig {
+        deadline_ms: f64::INFINITY,
+        staleness_bound: 5,
+        breaker_open_after: 3,
+        breaker_probe_interval: 4,
+        breaker_close_after: 2,
+        max_bips: 1e3,
+        max_watts: 1e3,
+        max_tail_ms: 1e4,
+    };
 
     fn flat_predictions(tail_ms: f64) -> Predictions {
         Predictions {
@@ -757,10 +983,15 @@ mod tests {
             last_plan: &last,
             num_batch: 4,
             gated_watts: 0.1,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
         };
         let point = vec![3, 17, 42, 99];
         let mut tel = StageTelemetry::default();
-        let actions = repair.repair(&ctx, &preds, &[JobConfig::from_index(0)], &point, &mut tel);
+        let actions = repair
+            .repair(&ctx, &preds, &[JobConfig::from_index(0)], &point, &mut tel)
+            .unwrap();
         let expect: Vec<BatchAction> = point
             .iter()
             .map(|&c| BatchAction::Run(JobConfig::from_index(c)))
@@ -795,15 +1026,20 @@ mod tests {
             last_plan: &last,
             num_batch: 4,
             gated_watts: 0.5,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
         };
         let mut tel = StageTelemetry::default();
-        let actions = repair.repair(
-            &ctx,
-            &preds,
-            &[JobConfig::from_index(0)],
-            &[0, 0, 0, 0],
-            &mut tel,
-        );
+        let actions = repair
+            .repair(
+                &ctx,
+                &preds,
+                &[JobConfig::from_index(0)],
+                &[0, 0, 0, 0],
+                &mut tel,
+            )
+            .unwrap();
         assert_eq!(actions[0], BatchAction::Gated);
         assert_eq!(actions[1], BatchAction::Gated);
         assert_eq!(actions[2], BatchAction::Run(JobConfig::from_index(lowest)));
@@ -830,15 +1066,20 @@ mod tests {
             last_plan: &last,
             num_batch: 4,
             gated_watts: 0.5,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
         };
         let mut tel = StageTelemetry::default();
-        let actions = repair.repair(
-            &ctx,
-            &preds,
-            &[JobConfig::from_index(0)],
-            &[0, 0, 0, 0],
-            &mut tel,
-        );
+        let actions = repair
+            .repair(
+                &ctx,
+                &preds,
+                &[JobConfig::from_index(0)],
+                &[0, 0, 0, 0],
+                &mut tel,
+            )
+            .unwrap();
         assert!(actions.iter().all(|a| *a == BatchAction::Gated));
         assert_eq!(tel.gated_jobs, 4);
     }
@@ -862,15 +1103,20 @@ mod tests {
             last_plan: &last,
             num_batch: 4,
             gated_watts: 0.1,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
         };
         let mut tel = StageTelemetry::default();
-        let actions = repair.repair(
-            &ctx,
-            &preds,
-            &[JobConfig::from_index(0)],
-            &[3, 17, 42, 99],
-            &mut tel,
-        );
+        let actions = repair
+            .repair(
+                &ctx,
+                &preds,
+                &[JobConfig::from_index(0)],
+                &[3, 17, 42, 99],
+                &mut tel,
+            )
+            .unwrap();
         assert_eq!(actions[2], BatchAction::Gated, "departed slot is gated");
         assert_eq!(actions[0], BatchAction::Run(JobConfig::from_index(3)));
         assert_eq!(tel.gated_jobs, 0, "departure is not a repair gating");
@@ -897,9 +1143,12 @@ mod tests {
                 last_plan: &last,
                 num_batch: 4,
                 gated_watts: 0.5,
+                faults: QuantumFaults::NONE,
+                resilience: &RES,
+                last_good_preds: None,
             };
             let mut tel = StageTelemetry::default();
-            qos.relocate(&mut ctx, &mut tel);
+            qos.relocate(&mut ctx, &mut tel).unwrap();
             assert_eq!(tel.reclaimed_core, expect_reclaim, "config {config:?}");
             assert_eq!(lc[0].cores, if expect_reclaim { 17 } else { 16 });
         }
@@ -975,14 +1224,292 @@ mod tests {
             last_plan: &last,
             num_batch: 4,
             gated_watts: 0.5,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
         };
         let mut tel = StageTelemetry::default();
-        qos.relocate(&mut ctx, &mut tel);
+        qos.relocate(&mut ctx, &mut tel).unwrap();
         // Tenant 0 (higher priority) reclaims to 15; the total is then
         // 29 + 1 < 32, so tenant 1 also reclaims; a second pass would stop
         // at the budget.
         assert_eq!(lc[0].cores, 15);
         assert_eq!(lc[1].cores, 15);
         assert!(tel.reclaimed_core);
+    }
+
+    // --- stub stages for driving the hardened driver directly ---
+
+    struct NoopProfile;
+    impl ProfileStage for NoopProfile {
+        fn profile(
+            &mut self,
+            _ctx: &mut DecisionCtx,
+            _probe: &mut Probe,
+            _tel: &mut StageTelemetry,
+        ) -> Result<(), StageError> {
+            Ok(())
+        }
+    }
+
+    struct StaticReconstruct(Predictions);
+    impl ReconstructStage for StaticReconstruct {
+        fn reconstruct(
+            &mut self,
+            ctx: &mut DecisionCtx,
+            tel: &mut StageTelemetry,
+        ) -> Result<Predictions, StageError> {
+            if ctx.faults.reconstruct_stall_ms > 0.0 {
+                tel.degradation.injected_stall_ms += ctx.faults.reconstruct_stall_ms;
+            }
+            let mut preds = self.0.clone();
+            if ctx.faults.reconstruct_diverge {
+                poison_predictions(&mut preds);
+            }
+            Ok(preds)
+        }
+    }
+
+    struct NarrowestSearch;
+    impl SearchStage for NarrowestSearch {
+        fn search(
+            &mut self,
+            ctx: &DecisionCtx,
+            _preds: &Predictions,
+            _lc_configs: &[JobConfig],
+            _tel: &mut StageTelemetry,
+        ) -> Result<Vec<usize>, StageError> {
+            Ok(vec![JobConfig::profiling_low().index(); ctx.num_batch])
+        }
+    }
+
+    fn stub_pipeline(preds: Predictions) -> DecisionPipeline {
+        DecisionPipeline {
+            profile: Box::new(NoopProfile),
+            reconstruct: Box::new(StaticReconstruct(preds)),
+            qos: Box::new(TrustRegionQos::default()),
+            search: Box::new(NarrowestSearch),
+            repair: Box::new(PowerCapRepair),
+        }
+    }
+
+    fn null_probe() -> impl FnMut(&ProfilePlan, f64) -> ProfileSample {
+        |_, _| ProfileSample {
+            duration_ms: 0.0,
+            samples: vec![],
+            lc_tails_ms: vec![],
+        }
+    }
+
+    #[test]
+    fn sanity_gate_falls_back_to_fresh_last_good_predictions() {
+        let good = flat_predictions(1.0);
+        let mut pipeline = stub_pipeline(flat_predictions(1.0));
+        let inf = info(200.0);
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        }];
+        let last = None;
+        let mut ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+            faults: QuantumFaults {
+                reconstruct_diverge: true,
+                ..QuantumFaults::NONE
+            },
+            resilience: &RES,
+            last_good_preds: Some((&good, 2)),
+        };
+        let mut probe = null_probe();
+        let mut tel = StageTelemetry::default();
+        let (plan, _) = pipeline.decide(&mut ctx, &mut probe, &mut tel).unwrap();
+        assert!(tel.degradation.reconstruct_fallback);
+        assert_eq!(tel.degradation.stale_age, 2);
+        assert!(tel.degradation.degraded());
+        assert_eq!(plan.lc.len(), 1);
+    }
+
+    #[test]
+    fn sanity_gate_fails_without_or_beyond_last_good() {
+        let inf = info(200.0);
+        for (last_good_age, expected_stale) in [(None, false), (Some(9), true)] {
+            let good = flat_predictions(1.0);
+            let mut pipeline = stub_pipeline(flat_predictions(1.0));
+            let mut matrices = test_matrices();
+            let mut lc = vec![LcAllocation {
+                cores: 16,
+                min_cores: 16,
+            }];
+            let last = None;
+            let mut ctx = DecisionCtx {
+                info: &inf,
+                matrices: &mut matrices,
+                lc: &mut lc,
+                last_plan: &last,
+                num_batch: 4,
+                gated_watts: 0.1,
+                faults: QuantumFaults {
+                    reconstruct_diverge: true,
+                    ..QuantumFaults::NONE
+                },
+                resilience: &RES,
+                last_good_preds: last_good_age.map(|age| (&good, age)),
+            };
+            let mut probe = null_probe();
+            let mut tel = StageTelemetry::default();
+            let err = pipeline
+                .decide(&mut ctx, &mut probe, &mut tel)
+                .expect_err("diverged reconstruction with no usable fallback");
+            match err {
+                DecisionError::Stage(StageError::PredictionsStale { age, bound }) => {
+                    assert!(expected_stale);
+                    assert_eq!(age, 9);
+                    assert_eq!(bound, RES.staleness_bound);
+                }
+                DecisionError::Stage(StageError::ReconstructionDiverged { bad_values }) => {
+                    assert!(!expected_stale);
+                    assert!(bad_values > 0);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert_eq!(err.stage(), "reconstruct");
+        }
+    }
+
+    #[test]
+    fn injected_stall_trips_a_finite_deadline() {
+        let tight = ResilienceConfig {
+            deadline_ms: 100.0,
+            ..ResilienceConfig::default()
+        };
+        let mut pipeline = stub_pipeline(flat_predictions(1.0));
+        let inf = info(200.0);
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        }];
+        let last = None;
+        let mut ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+            faults: QuantumFaults {
+                reconstruct_stall_ms: 10_000.0,
+                ..QuantumFaults::NONE
+            },
+            resilience: &tight,
+            last_good_preds: None,
+        };
+        let mut probe = null_probe();
+        let mut tel = StageTelemetry::default();
+        let err = pipeline
+            .decide(&mut ctx, &mut probe, &mut tel)
+            .expect_err("a 10 s stall must blow a 100 ms budget");
+        assert!(matches!(
+            err,
+            DecisionError::Stage(StageError::DeadlineExceeded {
+                stage: "reconstruct",
+                ..
+            })
+        ));
+        assert!(tel.degradation.deadline_exceeded);
+        assert!(tel.degradation.injected_stall_ms >= 10_000.0);
+    }
+
+    #[test]
+    fn profile_rejects_invalid_samples_and_errors_when_nothing_survives() {
+        let mut stage = SplitHalvesProfile;
+        let inf = info(200.0);
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        }];
+        let last = None;
+        let mut ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
+        };
+        let mut frames = 0usize;
+        let mut probe = |_: &ProfilePlan, _: f64| {
+            frames += 1;
+            ProfileSample {
+                duration_ms: 1.0,
+                samples: vec![SamplePoint {
+                    job: 0,
+                    config: JobConfig::profiling_high(),
+                    bips: f64::NAN,
+                    watts: f64::NAN,
+                }],
+                lc_tails_ms: vec![],
+            }
+        };
+        let mut tel = StageTelemetry::default();
+        let err = stage
+            .profile(&mut ctx, &mut probe, &mut tel)
+            .expect_err("all-NaN samples must fail the stage");
+        assert!(matches!(err, StageError::NoValidSamples { rejected: 8 }));
+        // Two frames, each retried exactly once.
+        assert_eq!(frames, 4);
+        assert_eq!(tel.degradation.sample_retries, 2);
+        assert_eq!(tel.degradation.samples_rejected, 8);
+        assert_eq!(tel.samples_recorded, 0);
+    }
+
+    #[test]
+    fn profile_salvages_the_finite_field_of_a_half_valid_sample() {
+        let mut stage = SplitHalvesProfile;
+        let inf = info(200.0);
+        let mut matrices = test_matrices();
+        let mut lc = vec![LcAllocation {
+            cores: 16,
+            min_cores: 16,
+        }];
+        let last = None;
+        let mut ctx = DecisionCtx {
+            info: &inf,
+            matrices: &mut matrices,
+            lc: &mut lc,
+            last_plan: &last,
+            num_batch: 4,
+            gated_watts: 0.1,
+            faults: QuantumFaults::NONE,
+            resilience: &RES,
+            last_good_preds: None,
+        };
+        // Valid bips, blacked-out watts: the sample still counts, only the
+        // watts field is rejected.
+        let mut probe = |_: &ProfilePlan, _: f64| ProfileSample {
+            duration_ms: 1.0,
+            samples: vec![SamplePoint {
+                job: 1,
+                config: JobConfig::profiling_high(),
+                bips: 2.0,
+                watts: f64::NAN,
+            }],
+            lc_tails_ms: vec![],
+        };
+        let mut tel = StageTelemetry::default();
+        stage.profile(&mut ctx, &mut probe, &mut tel).unwrap();
+        assert_eq!(tel.samples_recorded, 2);
+        assert_eq!(tel.degradation.samples_rejected, 2);
+        assert_eq!(tel.degradation.sample_retries, 0);
     }
 }

@@ -34,6 +34,30 @@
 //! how the Table II overhead report gets runtime-measured numbers. On batch
 //! job departure (churn) the manager retires the job's observation rows so a
 //! later arrival under the same index starts cold.
+//!
+//! # The degradation ladder
+//!
+//! A decision quantum can fail: every profiling sample rejected, the
+//! reconstruction diverged past the sanity gate with nothing fresh to fall
+//! back to, or the compute deadline blown. [`CuttleSysManager::decide`]
+//! surfaces those failures as typed [`DecisionError`]s, and
+//! [`ResourceManager::plan`] walks the ladder instead of panicking:
+//!
+//! 1. **Replay last-good** — while the most recent successful decision is
+//!    within [`ResilienceConfig::staleness_bound`] quanta old, its plan is
+//!    replayed (departed batch jobs gated).
+//! 2. **Safe mode** — otherwise the manager emits the maximally conservative
+//!    [`safe_mode_plan`]: LC tenants keep their cores at the widest
+//!    configuration, batch jobs gate (or run narrowest under the cap when
+//!    last-good predictions still permit power accounting).
+//! 3. **Circuit breaker** — after [`ResilienceConfig::breaker_open_after`]
+//!    consecutive failures the [`CircuitBreaker`] opens and the manager stops
+//!    attempting full decisions, emitting safe mode directly; every
+//!    [`ResilienceConfig::breaker_probe_interval`] quanta it probes one full
+//!    decision, and enough successful probes close the breaker again.
+//!
+//! Every rung is recorded in the quantum's
+//! [`crate::telemetry::DegradationEvents`].
 
 use dds::ParallelDdsParams;
 use recsys::{Reconstructor, SgdConfig};
@@ -42,6 +66,9 @@ use simulator::Chip;
 use workloads::batch;
 use workloads::oracle::Oracle;
 
+use crate::faults::{
+    safe_mode_plan, CircuitBreaker, DecisionError, FaultInjector, FaultPlan, ResilienceConfig,
+};
 use crate::matrices::{JobMatrices, Predictions};
 pub use crate::pipeline::SearchAlgo;
 use crate::pipeline::{
@@ -53,6 +80,15 @@ use crate::types::{
     BatchAction, Plan, ProfilePlan, ProfileSample, ResourceManager, Scenario, SliceInfo,
     SliceOutcome,
 };
+
+/// The most recent decision that fully succeeded, kept as the fallback for
+/// failed quanta while it stays within the staleness bound.
+struct LastGood {
+    plan: Plan,
+    preds: Predictions,
+    /// Quanta since the decision was made (0 = this quantum).
+    age: usize,
+}
 
 /// The CuttleSys runtime: pipeline state plus the five default stages.
 pub struct CuttleSysManager {
@@ -67,6 +103,10 @@ pub struct CuttleSysManager {
     prev_active: Vec<bool>,
     last_predictions: Option<Predictions>,
     last_telemetry: Option<StageTelemetry>,
+    resilience: ResilienceConfig,
+    injector: FaultInjector,
+    breaker: CircuitBreaker,
+    last_good: Option<LastGood>,
 }
 
 impl CuttleSysManager {
@@ -110,6 +150,10 @@ impl CuttleSysManager {
             prev_active: vec![true; scenario.num_batch()],
             last_predictions: None,
             last_telemetry: None,
+            resilience: ResilienceConfig::default(),
+            injector: FaultInjector::new(scenario.faults.clone()),
+            breaker: CircuitBreaker::new(),
+            last_good: None,
         }
     }
 
@@ -133,6 +177,18 @@ impl CuttleSysManager {
         self
     }
 
+    /// Substitutes the degradation-ladder bounds.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> CuttleSysManager {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Substitutes the compute-side fault plan (overriding the scenario's).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> CuttleSysManager {
+        self.injector = FaultInjector::new(plan);
+        self
+    }
+
     /// Cores currently held across all latency-critical tenants.
     pub fn lc_cores(&self) -> usize {
         self.lc.iter().map(|a| a.cores).sum()
@@ -142,6 +198,85 @@ impl CuttleSysManager {
     /// (instrumentation for the Fig. 5(b) runtime-accuracy experiment).
     pub fn last_predictions(&self) -> Option<&Predictions> {
         self.last_predictions.as_ref()
+    }
+
+    /// Whether the circuit breaker is currently open (safe mode).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Times the breaker has (opened, closed) over the run so far.
+    pub fn breaker_cycles(&self) -> (usize, usize) {
+        (self.breaker.opens, self.breaker.closes)
+    }
+
+    /// Runs one full decision quantum, surfacing every stage failure as a
+    /// typed error instead of a panic. This is the fallible core that
+    /// [`ResourceManager::plan`] wraps with the degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecisionError`] when the scenario describes no LC tenant
+    /// or any pipeline stage fails ([`crate::faults::StageError`]): no valid
+    /// profiling samples after the bounded retry, a diverged reconstruction
+    /// with no fresh last-good predictions, a blown compute deadline, or a
+    /// malformed slice shape.
+    pub fn decide(
+        &mut self,
+        info: &SliceInfo,
+        probe: &mut dyn FnMut(&ProfilePlan, f64) -> ProfileSample,
+        tel: &mut StageTelemetry,
+    ) -> Result<(Plan, Predictions), DecisionError> {
+        if info.lc.is_empty() {
+            return Err(DecisionError::NoTenants);
+        }
+        if info.lc.len() != self.lc.len() {
+            return Err(DecisionError::PlanShape {
+                expected: self.lc.len(),
+                got: info.lc.len(),
+            });
+        }
+        let faults = self.injector.quantum(info.slice);
+        let mut ctx = DecisionCtx {
+            info,
+            matrices: &mut self.matrices,
+            lc: &mut self.lc,
+            last_plan: &self.last_plan,
+            num_batch: self.num_batch,
+            gated_watts: self.gated_watts,
+            faults,
+            resilience: &self.resilience,
+            last_good_preds: self.last_good.as_ref().map(|lg| (&lg.preds, lg.age)),
+        };
+        self.pipeline.decide(&mut ctx, probe, tel)
+    }
+
+    /// The fallback for a failed quantum: replay the last-good plan while it
+    /// is fresh enough (gating batch jobs that have since departed),
+    /// otherwise drop into the safe-mode allocation.
+    fn fallback_plan(&mut self, info: &SliceInfo, tel: &mut StageTelemetry) -> Plan {
+        if !self.breaker.is_open() {
+            if let Some(lg) = &self.last_good {
+                if lg.age <= self.resilience.staleness_bound {
+                    tel.degradation.replayed_last_good = true;
+                    tel.degradation.stale_age = tel.degradation.stale_age.max(lg.age);
+                    let mut plan = lg.plan.clone();
+                    for (j, action) in plan.batch.iter_mut().enumerate() {
+                        if !info.batch_active.get(j).copied().unwrap_or(false) {
+                            *action = BatchAction::Gated;
+                        }
+                    }
+                    return plan;
+                }
+            }
+        }
+        tel.degradation.safe_mode = true;
+        safe_mode_plan(
+            info,
+            &self.lc,
+            self.last_good.as_ref().map(|lg| &lg.preds),
+            self.gated_watts,
+        )
     }
 }
 
@@ -165,18 +300,64 @@ impl ResourceManager for CuttleSysManager {
             }
         }
         self.prev_active = info.batch_active.clone();
-        let mut ctx = DecisionCtx {
-            info,
-            matrices: &mut self.matrices,
-            lc: &mut self.lc,
-            last_plan: &self.last_plan,
-            num_batch: self.num_batch,
-            gated_watts: self.gated_watts,
+        let mut tel = StageTelemetry::default();
+        if let Some(lg) = self.last_good.as_mut() {
+            lg.age += 1;
+        }
+        self.breaker.begin_quantum();
+        let resilience = self.resilience;
+        let plan = if self.breaker.is_open() && !self.breaker.should_probe(&resilience) {
+            // Breaker open, no probe due: emit safe mode without even
+            // attempting a decision (the failure is assumed to persist until
+            // a probe proves otherwise).
+            tel.degradation.breaker_open = true;
+            tel.degradation.safe_mode = true;
+            safe_mode_plan(
+                info,
+                &self.lc,
+                self.last_good.as_ref().map(|lg| &lg.preds),
+                self.gated_watts,
+            )
+        } else {
+            if self.breaker.is_open() {
+                tel.degradation.breaker_open = true;
+                tel.degradation.breaker_probe = true;
+            }
+            match self.decide(info, probe, &mut tel) {
+                Ok((plan, preds)) => {
+                    self.breaker.on_success(&resilience);
+                    // A quantum that only succeeded by replaying last-good
+                    // predictions must not reset their age, or persistent
+                    // reconstruction failures would never hit the staleness
+                    // bound.
+                    let age = if tel.degradation.reconstruct_fallback {
+                        self.last_good.as_ref().map_or(0, |lg| lg.age)
+                    } else {
+                        0
+                    };
+                    self.last_good = Some(LastGood {
+                        plan: plan.clone(),
+                        preds: preds.clone(),
+                        age,
+                    });
+                    self.last_predictions = Some(preds);
+                    plan
+                }
+                Err(e) => {
+                    self.breaker.on_failure(&resilience);
+                    tel.degradation.failed_stage = Some(e.stage());
+                    self.fallback_plan(info, &mut tel)
+                }
+            }
         };
-        let (plan, preds, telemetry) = self.pipeline.decide(&mut ctx, probe);
+        // Keep the core ledger consistent with the plan actually emitted —
+        // a replayed or safe-mode plan may differ from what the (failed)
+        // pipeline left in the allocations.
+        for (a, assignment) in self.lc.iter_mut().zip(&plan.lc) {
+            a.cores = assignment.cores;
+        }
         self.last_plan = Some(plan.clone());
-        self.last_predictions = Some(preds);
-        self.last_telemetry = Some(telemetry);
+        self.last_telemetry = Some(tel);
         plan
     }
 
@@ -184,26 +365,32 @@ impl ResourceManager for CuttleSysManager {
         // Fold steady-state measurements back into the matrices (§IV-B:
         // "measured and updated in the SGD matrix"). LC tenants have no
         // throughput rows — only their power and tails are recorded.
+        // Non-finite measurements (a power-telemetry blackout) are skipped:
+        // a NaN must never poison a rating matrix.
         let num_lc = outcome.plan.lc.len();
         for (i, assignment) in outcome.plan.lc.iter().enumerate() {
             let cfg = assignment.config.index();
-            self.matrices
-                .record_lc_power(i, cfg, outcome.measured_watts[i]);
-            self.matrices.record_tail(
-                i,
-                self.last_loads[i],
-                assignment.cores,
-                cfg,
-                outcome.tails_ms[i],
-            );
+            let watts = outcome.measured_watts[i];
+            if watts.is_finite() {
+                self.matrices.record_lc_power(i, cfg, watts);
+            }
+            let tail = outcome.tails_ms[i];
+            if tail.is_finite() {
+                self.matrices
+                    .record_tail(i, self.last_loads[i], assignment.cores, cfg, tail);
+            }
         }
         for (j, action) in outcome.plan.batch.iter().enumerate() {
             if let BatchAction::Run(cfg) = action {
                 let bips = outcome.measured_bips[num_lc + j];
                 let watts = outcome.measured_watts[num_lc + j];
-                if bips > 0.0 {
-                    self.matrices
-                        .record_sample(num_lc + j, cfg.index(), bips, watts);
+                if bips.is_finite() && bips > 0.0 {
+                    self.matrices.record_sample(
+                        num_lc + j,
+                        cfg.index(),
+                        bips,
+                        if watts.is_finite() { watts } else { 0.0 },
+                    );
                 }
             }
         }
@@ -215,6 +402,7 @@ impl ResourceManager for CuttleSysManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::testbed::run_scenario;

@@ -9,6 +9,53 @@
 
 use serde::Serialize;
 
+/// Degradation-ladder events of one decision quantum: which fallbacks the
+/// manager used and why. All-default means the quantum ran cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct DegradationEvents {
+    /// Profiling sample fields rejected by validation (non-finite or out of
+    /// physical range).
+    pub samples_rejected: usize,
+    /// Bounded profiling retries issued after a frame yielded no valid
+    /// sample.
+    pub sample_retries: usize,
+    /// Whether reconstruction output failed the sanity gate and last-good
+    /// predictions substituted for it.
+    pub reconstruct_fallback: bool,
+    /// Age (in quanta) of the last-good state substituted this quantum,
+    /// zero when none was needed.
+    pub stale_age: usize,
+    /// Whether the per-quantum deadline budget was exceeded (remaining
+    /// stages skipped).
+    pub deadline_exceeded: bool,
+    /// Wall-clock milliseconds of injected reconstruction stall.
+    pub injected_stall_ms: f64,
+    /// Whether the quantum replayed the last-good decision instead of
+    /// computing a fresh one.
+    pub replayed_last_good: bool,
+    /// Whether the quantum ran the safe-mode allocation.
+    pub safe_mode: bool,
+    /// Whether the circuit breaker was open during this quantum.
+    pub breaker_open: bool,
+    /// Whether an open breaker probed a full decision this quantum.
+    pub breaker_probe: bool,
+    /// The stage a failed quantum was attributed to, if any.
+    pub failed_stage: Option<&'static str>,
+}
+
+impl DegradationEvents {
+    /// Whether the quantum's decision was degraded in any way (a fallback
+    /// was used, a stage was skipped, or the breaker was open).
+    pub fn degraded(&self) -> bool {
+        self.reconstruct_fallback
+            || self.deadline_exceeded
+            || self.replayed_last_good
+            || self.safe_mode
+            || self.breaker_open
+            || self.failed_stage.is_some()
+    }
+}
+
 /// Instrumentation of one decision quantum.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct StageTelemetry {
@@ -39,6 +86,8 @@ pub struct StageTelemetry {
     pub relinquished_core: bool,
     /// Batch jobs gated by the repair stage.
     pub gated_jobs: usize,
+    /// Degradation-ladder events of the quantum (all-default when clean).
+    pub degradation: DegradationEvents,
 }
 
 impl StageTelemetry {
@@ -77,6 +126,24 @@ pub struct TelemetrySummary {
     pub relinquishes: usize,
     /// Quanta in which the repair stage gated at least one job.
     pub repairs: usize,
+    /// Total profiling sample fields rejected by validation.
+    pub samples_rejected: usize,
+    /// Total bounded profiling retries issued.
+    pub sample_retries: usize,
+    /// Quanta in which reconstruction fell back to last-good predictions.
+    pub reconstruct_fallbacks: usize,
+    /// Quanta in which the compute deadline was exceeded.
+    pub deadline_exceeded: usize,
+    /// Quanta that replayed the last-good decision.
+    pub last_good_replays: usize,
+    /// Quanta spent in the safe-mode allocation.
+    pub safe_mode_quanta: usize,
+    /// Quanta during which the circuit breaker was open.
+    pub breaker_open_quanta: usize,
+    /// Maximum age of a substituted last-good state (quanta).
+    pub max_stale_age: usize,
+    /// Quanta whose decision was degraded in any way.
+    pub degraded_quanta: usize,
 }
 
 impl TelemetrySummary {
@@ -90,6 +157,15 @@ impl TelemetrySummary {
         let mut epochs = 0usize;
         let mut evals = 0usize;
         let (mut reclaims, mut relinquishes, mut repairs) = (0usize, 0usize, 0usize);
+        let mut samples_rejected = 0usize;
+        let mut sample_retries = 0usize;
+        let mut reconstruct_fallbacks = 0usize;
+        let mut deadline_exceeded = 0usize;
+        let mut last_good_replays = 0usize;
+        let mut safe_mode_quanta = 0usize;
+        let mut breaker_open_quanta = 0usize;
+        let mut max_stale_age = 0usize;
+        let mut degraded_quanta = 0usize;
         for t in records {
             n += 1;
             let walls = [
@@ -110,6 +186,16 @@ impl TelemetrySummary {
             reclaims += usize::from(t.reclaimed_core);
             relinquishes += usize::from(t.relinquished_core);
             repairs += usize::from(t.gated_jobs > 0);
+            let d = &t.degradation;
+            samples_rejected += d.samples_rejected;
+            sample_retries += d.sample_retries;
+            reconstruct_fallbacks += usize::from(d.reconstruct_fallback);
+            deadline_exceeded += usize::from(d.deadline_exceeded);
+            last_good_replays += usize::from(d.replayed_last_good);
+            safe_mode_quanta += usize::from(d.safe_mode);
+            breaker_open_quanta += usize::from(d.breaker_open);
+            max_stale_age = max_stale_age.max(d.stale_age);
+            degraded_quanta += usize::from(d.degraded());
         }
         if n == 0 {
             return None;
@@ -126,6 +212,15 @@ impl TelemetrySummary {
             reclaims,
             relinquishes,
             repairs,
+            samples_rejected,
+            sample_retries,
+            reconstruct_fallbacks,
+            deadline_exceeded,
+            last_good_replays,
+            safe_mode_quanta,
+            breaker_open_quanta,
+            max_stale_age,
+            degraded_quanta,
         })
     }
 
@@ -139,6 +234,7 @@ impl TelemetrySummary {
 pub const STAGE_NAMES: [&str; 5] = ["profile", "reconstruct", "qos", "search", "repair"];
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -156,6 +252,7 @@ mod tests {
             reclaimed_core: scale > 1.0,
             relinquished_core: false,
             gated_jobs: if scale > 1.0 { 3 } else { 0 },
+            degradation: DegradationEvents::default(),
         }
     }
 
@@ -183,5 +280,41 @@ mod tests {
     fn total_wall_sums_all_stages() {
         let t = record(1.0);
         assert!((t.total_wall_ms() - (0.1 + 4.0 + 0.05 + 1.3 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_quantum_reports_no_degradation() {
+        let t = record(1.0);
+        assert!(!t.degradation.degraded());
+        let s = TelemetrySummary::over([&t]).expect("non-empty");
+        assert_eq!(s.degraded_quanta, 0);
+        assert_eq!(s.safe_mode_quanta, 0);
+    }
+
+    #[test]
+    fn summary_aggregates_degradation_events() {
+        let mut degraded = record(1.0);
+        degraded.degradation = DegradationEvents {
+            samples_rejected: 4,
+            sample_retries: 1,
+            replayed_last_good: true,
+            stale_age: 3,
+            failed_stage: Some("reconstruct"),
+            ..DegradationEvents::default()
+        };
+        assert!(degraded.degradation.degraded());
+        let mut safe = record(1.0);
+        safe.degradation.safe_mode = true;
+        safe.degradation.breaker_open = true;
+        let records = [record(1.0), degraded, safe];
+        let s = TelemetrySummary::over(records.iter()).expect("non-empty");
+        assert_eq!(s.decisions, 3);
+        assert_eq!(s.samples_rejected, 4);
+        assert_eq!(s.sample_retries, 1);
+        assert_eq!(s.last_good_replays, 1);
+        assert_eq!(s.safe_mode_quanta, 1);
+        assert_eq!(s.breaker_open_quanta, 1);
+        assert_eq!(s.max_stale_age, 3);
+        assert_eq!(s.degraded_quanta, 2);
     }
 }

@@ -28,10 +28,11 @@ use simulator::{CacheAlloc, Chip, CoreState, JobConfig, JobId, LlcPartition};
 use workloads::phase::PhasedProfile;
 use workloads::queueing::MmcQueue;
 
+use crate::faults::{FaultInjector, InjectedFaults};
 use crate::rng_normal;
 use crate::types::{
-    BatchAction, ProfilePlan, ProfileSample, ResourceManager, RunRecord, SamplePoint, Scenario,
-    SliceInfo, SliceOutcome, SliceRecord, TIMESLICE_MS,
+    BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, ResourceManager, RunRecord,
+    SamplePoint, Scenario, SliceInfo, SliceOutcome, SliceRecord, TIMESLICE_MS,
 };
 
 /// A queueing regime segment within a slice, for one LC tenant.
@@ -204,7 +205,10 @@ impl Testbed {
             runnable
         };
         for &j in &running {
-            let config = batch[j].config().expect("running job has a config");
+            // `running` only holds `Run` actions by construction.
+            let Some(config) = batch[j].config() else {
+                continue;
+            };
             cores.push(CoreState::Active {
                 job: JobId(self.num_lc + j),
                 config: config.core,
@@ -303,8 +307,8 @@ impl Testbed {
         let recovery_p99 = segments
             .iter()
             .max_by(|a, b| a.capacity().total_cmp(&b.capacity()))
-            .expect("segments are non-empty")
-            .stochastic_p99();
+            .map(TailSegment::stochastic_p99)
+            .unwrap_or(0.0);
 
         let mut q = self.carry_backlog[lc];
         let mut samples: Vec<(f64, f64)> = Vec::new();
@@ -330,13 +334,25 @@ impl Testbed {
                 return *latency;
             }
         }
-        samples.last().expect("samples are non-empty").0
+        samples.last().map(|s| s.0).unwrap_or(0.0)
     }
 }
 
 /// Runs a scenario under a manager, returning ground-truth records.
+///
+/// When the scenario carries a non-trivial [`crate::faults::FaultPlan`], the
+/// testbed realizes its *environment* side: profiling samples are dropped or
+/// corrupted before the manager sees them, power telemetry (probe watts and
+/// steady-state measurements) blacks out to NaN, and a failed
+/// reconfiguration command leaves every job in its previous configuration
+/// for the steady phase. All injection is counter-based and never draws from
+/// the testbed's measurement-noise RNG, so a clean plan is bit-identical to
+/// a build without fault hooks. Ground-truth records always report what
+/// physically ran (the *applied* plan) plus the per-slice
+/// [`InjectedFaults`] counts.
 pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> RunRecord {
     let mut tb = Testbed::new(scenario);
+    let injector = FaultInjector::new(scenario.faults.clone());
     let num_lc = scenario.num_lc();
     let num_jobs = num_lc + scenario.num_batch();
     let mut slices = Vec::with_capacity(scenario.duration_slices);
@@ -345,6 +361,12 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
     let lc_specs: Vec<_> = scenario.lc_jobs().into_iter().cloned().collect();
 
     for slice in 0..scenario.duration_slices {
+        let qf = injector.quantum(slice);
+        let mut slice_faults = InjectedFaults {
+            power_blackout: qf.power_blackout,
+            reconfig_failed: qf.reconfig_fail,
+            ..InjectedFaults::default()
+        };
         let t_s = slice as f64 * TIMESLICE_MS / 1000.0;
         for (i, lc) in lc_specs.iter().enumerate() {
             tb.current_load[i] = lc.load.load_at(t_s);
@@ -378,6 +400,8 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
         // Let the manager probe; each probe consumes slice time.
         let plan = {
             let tb_ref = &mut tb;
+            let sf = &mut slice_faults;
+            let mut frame_idx = 0u64;
             let mut probe = |pp: &ProfilePlan, ms: f64| -> ProfileSample {
                 let remaining = tb_ref.slice_end_ms - tb_ref.now_ms;
                 let ms = ms.min(remaining.max(0.0));
@@ -442,32 +466,78 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                 }
                 let lc_tails_ms: Vec<f64> = (0..num_lc)
                     .map(|i| {
-                        let seg = tb_ref.tail_segments[i]
+                        let p99 = tb_ref.tail_segments[i]
                             .last()
-                            .expect("frame pushed a segment");
-                        let p99 = MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
-                            .p99_ms()
-                            .get();
+                            .map(|seg| {
+                                MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
+                                    .p99_ms()
+                                    .get()
+                            })
+                            .unwrap_or(0.0);
                         tb_ref.noisy(p99)
                     })
                     .collect();
-                ProfileSample {
+                let mut sample = ProfileSample {
                     duration_ms: ms,
                     samples,
                     lc_tails_ms,
+                };
+                // Environment faults, applied strictly *after* every noise
+                // draw so the RNG stream matches a clean run exactly.
+                if qf.power_blackout {
+                    for s in sample.samples.iter_mut() {
+                        s.watts = f64::NAN;
+                    }
                 }
+                let (dropped, corrupted) = injector.corrupt_profile(slice, frame_idx, &mut sample);
+                frame_idx += 1;
+                sf.samples_dropped += dropped;
+                sf.samples_corrupted += corrupted;
+                sample
             };
             manager.plan(&info, &mut probe)
         };
         assert_eq!(plan.lc.len(), num_lc, "plan must cover every LC tenant");
         let telemetry = manager.take_telemetry();
 
-        // Steady phase for the remainder of the slice.
+        // Steady phase for the remainder of the slice. A failed
+        // reconfiguration command leaves every job in the configuration it
+        // last ran (gating still works — only reshaping fails), so the
+        // *applied* plan can differ from what the manager requested.
+        let applied_plan = if qf.reconfig_fail {
+            Plan {
+                lc: plan
+                    .lc
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| LcAssignment {
+                        cores: a.cores,
+                        config: tb.last_config[i].unwrap_or(a.config),
+                    })
+                    .collect(),
+                batch: plan
+                    .batch
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| match a {
+                        BatchAction::Run(cfg) => {
+                            BatchAction::Run(tb.last_config[num_lc + j].unwrap_or(*cfg))
+                        }
+                        BatchAction::Gated => BatchAction::Gated,
+                    })
+                    .collect(),
+            }
+        } else {
+            plan.clone()
+        };
         let steady_ms = (tb.slice_end_ms - tb.now_ms).max(0.0);
-        let lc_configs: Vec<Vec<JobConfig>> =
-            plan.lc.iter().map(|a| vec![a.config; a.cores]).collect();
+        let lc_configs: Vec<Vec<JobConfig>> = applied_plan
+            .lc
+            .iter()
+            .map(|a| vec![a.config; a.cores])
+            .collect();
         let steady = if steady_ms > 0.0 {
-            Some(tb.run_frame(&lc_configs, &plan.batch, steady_ms))
+            Some(tb.run_frame(&lc_configs, &applied_plan.batch, steady_ms))
         } else {
             None
         };
@@ -480,7 +550,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
             .map(|r| {
                 // Jobs idled by time-multiplex rotation executed nothing
                 // this slice; the geo-mean covers the jobs that ran.
-                let running: Vec<simulator::Bips> = plan
+                let running: Vec<simulator::Bips> = applied_plan
                     .batch
                     .iter()
                     .enumerate()
@@ -506,25 +576,32 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
                     load: tb.current_load[i],
                     tail_ms: tails_ms[i],
                     qos_violation: tails_ms[i] > lc.qos_ms,
-                    cores: plan.lc[i].cores,
-                    config: plan.lc[i].config,
+                    cores: applied_plan.lc[i].cores,
+                    config: applied_plan.lc[i].config,
                 })
                 .collect(),
             batch_instructions: batch_instr,
             total_instructions: tb.instructions.iter().sum(),
             per_job_instructions: tb.instructions.clone(),
-            batch_configs: plan.batch.iter().map(|a| a.config()).collect(),
+            batch_configs: applied_plan.batch.iter().map(|a| a.config()).collect(),
             batch_gmean_bips: gmean,
             telemetry,
+            fault: if injector.is_clean() {
+                None
+            } else {
+                Some(slice_faults)
+            },
         };
 
-        // Tell the manager what happened (noisy measurements).
-        let (m_bips, m_watts) = if let Some(r) = &steady {
+        // Tell the manager what happened (noisy measurements). The outcome
+        // carries the *applied* plan so observations land on the
+        // configurations that physically ran.
+        let (m_bips, mut m_watts) = if let Some(r) = &steady {
             let mut bips = Vec::with_capacity(num_jobs);
             let mut watts = Vec::with_capacity(num_jobs);
             for j in 0..num_jobs {
                 let per_core = if j < num_lc {
-                    plan.lc[j].cores as f64
+                    applied_plan.lc[j].cores as f64
                 } else {
                     1.0
                 };
@@ -535,9 +612,16 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
         } else {
             (vec![0.0; num_jobs], vec![0.0; num_jobs])
         };
+        // A power-telemetry blackout NaNs the watt readings after the noise
+        // draws, keeping the RNG stream identical to a clean run.
+        if qf.power_blackout {
+            for w in m_watts.iter_mut() {
+                *w = f64::NAN;
+            }
+        }
         let measured_tails: Vec<f64> = tails_ms.iter().map(|&t| tb.noisy(t)).collect();
         manager.observe(&SliceOutcome {
-            plan: plan.clone(),
+            plan: applied_plan.clone(),
             measured_bips: m_bips,
             measured_watts: m_watts,
             tails_ms: measured_tails.clone(),
@@ -545,7 +629,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
 
         for i in 0..num_lc {
             last_tails[i] = Some(measured_tails[i]);
-            last_cores[i] = plan.lc[i].cores;
+            last_cores[i] = applied_plan.lc[i].cores;
         }
         tb.rotation += 1;
         tb.now_ms = tb.slice_end_ms;
@@ -559,6 +643,7 @@ pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> R
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::types::{LcAssignment, Plan};

@@ -24,6 +24,7 @@ use workloads::batch::{self, SpecBenchmark, SpecMix};
 use workloads::latency::LcService;
 use workloads::loadgen::LoadPattern;
 
+use crate::faults::{FaultPlan, InjectedFaults};
 use crate::telemetry::StageTelemetry;
 
 /// Number of batch applications in the standard co-location.
@@ -118,11 +119,18 @@ pub struct Scenario {
     pub phases: bool,
     /// Master seed.
     pub seed: u64,
+    /// Fault-injection plan (dropped/corrupted samples, stalled or diverged
+    /// reconstructions, failed reconfigurations, power blackouts). Defaults
+    /// to [`FaultPlan::none`], under which every fault hook is a guaranteed
+    /// no-op and runs are bit-identical to a build without them.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
     /// The paper's standard setup: 32 cores, 50/50 split, Xapian at 80 %
     /// load with mix 0, a 70 % power cap, one second of simulated time.
+    // Looks up services baked into the static workload catalog.
+    #[allow(clippy::expect_used)]
     pub fn paper_default() -> Scenario {
         let service = workloads::latency::service_by_name("xapian").expect("xapian exists");
         let mut jobs = vec![JobSpec::LatencyCritical(LcJobSpec::new(
@@ -142,6 +150,7 @@ impl Scenario {
             noise: 0.03,
             phases: true,
             seed: 7,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -159,6 +168,8 @@ impl Scenario {
     ///
     /// Per-tenant loads are fractions of each service's 16-core calibrated
     /// maximum, so 0.4 keeps an 8-core reservation below its knee.
+    // Looks up services baked into the static workload catalog.
+    #[allow(clippy::expect_used)]
     pub fn two_service() -> Scenario {
         let xapian = workloads::latency::service_by_name("xapian").expect("xapian exists");
         let masstree = workloads::latency::service_by_name("masstree").expect("masstree exists");
@@ -177,6 +188,8 @@ impl Scenario {
 
     /// Replaces the primary (first) LC tenant's service, resetting its QoS
     /// target to the service's calibrated value.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn with_service(mut self, service: LcService) -> Scenario {
         let lc = self
             .jobs
@@ -201,7 +214,16 @@ impl Scenario {
         self
     }
 
+    /// Replaces the fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
     /// Replaces the primary LC tenant's load pattern.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn with_load(mut self, load: LoadPattern) -> Scenario {
         let lc = self
             .jobs
@@ -216,6 +238,8 @@ impl Scenario {
     }
 
     /// Replaces the primary LC tenant's initial core reservation.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn with_lc_cores(mut self, cores: usize) -> Scenario {
         let lc = self
             .jobs
@@ -256,6 +280,8 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if the scenario has no LC job.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn primary_lc(&self) -> &LcJobSpec {
         self.lc_jobs()
             .first()
@@ -380,6 +406,8 @@ impl Plan {
     }
 
     /// The primary LC tenant's configuration.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn lc_config(&self) -> JobConfig {
         self.lc.first().expect("plan has an LC assignment").config
     }
@@ -480,6 +508,8 @@ pub struct SliceInfo {
 
 impl SliceInfo {
     /// The primary LC tenant's facts.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn primary_lc(&self) -> &LcSliceInfo {
         self.lc.first().expect("slice has an LC tenant")
     }
@@ -579,10 +609,15 @@ pub struct SliceRecord {
     /// plan, when the manager collects it (CuttleSys does; see
     /// [`StageTelemetry`]).
     pub telemetry: Option<StageTelemetry>,
+    /// Environment faults injected into this slice, when a fault plan is
+    /// active (`None` on clean runs).
+    pub fault: Option<InjectedFaults>,
 }
 
 impl SliceRecord {
     /// The primary LC tenant's record.
+    // Documented panic: every scenario/plan carries at least one LC tenant.
+    #[allow(clippy::expect_used)]
     pub fn primary_lc(&self) -> &LcSliceRecord {
         self.lc.first().expect("slice has an LC tenant")
     }
@@ -664,5 +699,33 @@ impl RunRecord {
         crate::telemetry::TelemetrySummary::over(
             self.slices.iter().filter_map(|s| s.telemetry.as_ref()),
         )
+    }
+
+    /// Number of slices whose decision degraded in any way (sample
+    /// rejection fallback, last-good replay, safe mode, open breaker).
+    pub fn degraded_quanta(&self) -> usize {
+        self.slices
+            .iter()
+            .filter_map(|s| s.telemetry.as_ref())
+            .filter(|t| t.degradation.degraded())
+            .count()
+    }
+
+    /// Number of slices in which at least one environment fault actually
+    /// fired (dropped/corrupted samples, blackout, failed reconfiguration).
+    pub fn injected_fault_slices(&self) -> usize {
+        self.slices
+            .iter()
+            .filter(|s| s.fault.is_some_and(|f| f.any()))
+            .count()
+    }
+
+    /// Number of slices served by the safe-mode allocation.
+    pub fn safe_mode_quanta(&self) -> usize {
+        self.slices
+            .iter()
+            .filter_map(|s| s.telemetry.as_ref())
+            .filter(|t| t.degradation.safe_mode)
+            .count()
     }
 }

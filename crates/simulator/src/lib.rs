@@ -31,6 +31,7 @@ pub mod cache;
 pub mod chip;
 pub mod config;
 pub mod dvfs;
+pub mod fault;
 pub mod metrics;
 pub mod params;
 pub mod perf;
@@ -44,6 +45,7 @@ pub use config::{
     NUM_JOB_CONFIGS,
 };
 pub use dvfs::{DvfsLadder, DvfsModel, DvfsState};
+pub use fault::{Corruption, FaultStream};
 pub use metrics::{Bips, Millis, Watts};
 pub use params::SystemParams;
 pub use perf::PerfModel;

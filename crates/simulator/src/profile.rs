@@ -9,6 +9,19 @@
 //! invariants.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of profile fields rejected by
+/// [`AppProfile::rejecting_out_of_range`]. Mirrors the `metrics.rs` policy of
+/// refusing out-of-range values rather than coercing them, but keeps the
+/// event observable instead of panicking.
+static OUT_OF_RANGE_REJECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of out-of-range profile fields rejected (and resampled from a
+/// known-good fallback) since process start.
+pub fn out_of_range_rejections() -> u64 {
+    OUT_OF_RANGE_REJECTIONS.load(Ordering::Relaxed)
+}
 
 /// Parameters describing one application's microarchitectural behaviour.
 ///
@@ -122,6 +135,47 @@ impl AppProfile {
         Ok(())
     }
 
+    /// Replaces any field outside its calibrated range (or non-finite) with
+    /// the corresponding field of `fallback`, counting each rejection in the
+    /// process-wide [`out_of_range_rejections`] counter.
+    ///
+    /// This is the same reject-don't-coerce stance `metrics.rs` takes for
+    /// NaN, adapted for a path where panicking is not acceptable: a derived
+    /// profile (phase drift, perturbation) that escapes the calibrated space
+    /// is resampled from the known-good base rather than silently clamped to
+    /// a boundary the models were never validated at.
+    #[must_use]
+    pub fn rejecting_out_of_range(mut self, fallback: &AppProfile) -> AppProfile {
+        fn guard(v: &mut f64, fb: f64, lo: f64, hi: f64) -> u64 {
+            if !v.is_finite() || *v < lo || *v > hi {
+                *v = fb;
+                1
+            } else {
+                0
+            }
+        }
+        let f = fallback;
+        let rejected = guard(&mut self.ilp, f.ilp, 0.2, 6.0)
+            + guard(&mut self.fe_sensitivity, f.fe_sensitivity, 0.0, 1.0)
+            + guard(&mut self.be_sensitivity, f.be_sensitivity, 0.0, 1.0)
+            + guard(&mut self.ls_sensitivity, f.ls_sensitivity, 0.0, 1.0)
+            + guard(&mut self.mem_fraction, f.mem_fraction, 0.05, 0.6)
+            + guard(&mut self.l1_miss_rate, f.l1_miss_rate, 0.005, 0.6)
+            + guard(&mut self.llc_miss_floor, f.llc_miss_floor, 0.0, 0.95)
+            + guard(
+                &mut self.llc_working_set_ways,
+                f.llc_working_set_ways,
+                0.1,
+                16.0,
+            )
+            + guard(&mut self.mlp, f.mlp, 1.0, 10.0)
+            + guard(&mut self.activity, f.activity, 0.4, 1.4);
+        if rejected > 0 {
+            OUT_OF_RANGE_REJECTIONS.fetch_add(rejected, Ordering::Relaxed);
+        }
+        self
+    }
+
     /// LLC miss ratio when the job holds `ways` ways.
     ///
     /// The curve is the classic exponential working-set model:
@@ -159,6 +213,28 @@ mod tests {
         let mut p = AppProfile::balanced();
         p.mem_fraction = f64::NAN;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_fields_fall_back_and_are_counted() {
+        let base = AppProfile::balanced();
+        let mut drifted = base;
+        drifted.ilp = 9.0; // above calibrated range
+        drifted.l1_miss_rate = f64::NAN;
+        drifted.activity = 1.1; // fine — must survive untouched
+
+        let before = out_of_range_rejections();
+        let fixed = drifted.rejecting_out_of_range(&base);
+        assert_eq!(fixed.ilp, base.ilp, "out-of-range field resampled");
+        assert_eq!(fixed.l1_miss_rate, base.l1_miss_rate, "NaN field resampled");
+        assert_eq!(fixed.activity, 1.1, "in-range field untouched");
+        assert!(fixed.validate().is_ok());
+        assert_eq!(out_of_range_rejections() - before, 2);
+
+        // An already-valid profile passes through unchanged and uncounted.
+        let mid = out_of_range_rejections();
+        assert_eq!(base.rejecting_out_of_range(&base), base);
+        assert_eq!(out_of_range_rejections(), mid);
     }
 
     #[test]

@@ -54,16 +54,22 @@ impl PhasedProfile {
     /// Modulates ILP (inversely) and memory intensity: a "memory phase" has
     /// lower ILP and more LLC traffic, which is how phases move both the
     /// performance and power rows the reconstruction learned from profiling.
+    ///
+    /// A modulated field that escapes its calibrated range (possible only
+    /// for a base profile already near a boundary) is rejected and resampled
+    /// from the base via [`AppProfile::rejecting_out_of_range`] — the models
+    /// were never validated at clamped boundary values, and the rejection is
+    /// counted rather than silent.
     pub fn at(&self, t_s: f64) -> AppProfile {
         if self.amplitude == 0.0 {
             return self.base;
         }
         let s = (std::f64::consts::TAU * t_s / self.period_s + self.phase_offset).sin();
         let mut p = self.base;
-        p.ilp = (p.ilp * (1.0 - self.amplitude * s)).clamp(0.2, 6.0);
-        p.l1_miss_rate = (p.l1_miss_rate * (1.0 + self.amplitude * s)).clamp(0.005, 0.6);
-        p.activity = (p.activity * (1.0 + 0.5 * self.amplitude * s)).clamp(0.4, 1.4);
-        p
+        p.ilp *= 1.0 - self.amplitude * s;
+        p.l1_miss_rate *= 1.0 + self.amplitude * s;
+        p.activity *= 1.0 + 0.5 * self.amplitude * s;
+        p.rejecting_out_of_range(&self.base)
     }
 }
 
@@ -100,6 +106,23 @@ mod tests {
             let rel = (pi.ilp - p.base.ilp).abs() / p.base.ilp;
             assert!(rel <= p.amplitude + 1e-9);
         }
+    }
+
+    #[test]
+    fn drift_past_a_calibrated_boundary_rejects_to_base() {
+        let mut base = AppProfile::balanced();
+        base.ilp = 5.8; // only 3% headroom under the calibrated 6.0 ceiling
+        let p = PhasedProfile {
+            base,
+            amplitude: 0.12,
+            period_s: 0.4,
+            phase_offset: 0.0,
+        };
+        // At t = 3/4 period the sine is -1, so ILP would modulate to
+        // 5.8 · 1.12 = 6.5: out of range, so the field falls back to base.
+        let pi = p.at(0.3);
+        assert_eq!(pi.ilp, base.ilp, "escaped field must resample from base");
+        pi.validate().expect("rejected profile is valid again");
     }
 
     #[test]
