@@ -63,7 +63,7 @@ pub mod testbed;
 pub mod types;
 
 pub use faults::{DecisionError, FaultInjector, FaultPlan, ResilienceConfig, StageError};
-pub use runtime::CuttleSysManager;
+pub use runtime::{CuttleSysManager, PerfConfig};
 pub use testbed::run_scenario;
 pub use types::{Plan, ResourceManager, RunRecord, Scenario};
 

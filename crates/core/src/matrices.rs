@@ -20,8 +20,11 @@
 
 use std::collections::HashMap;
 
-use recsys::{RatingMatrix, Reconstructor, ValueTransform};
+use recsys::{
+    RatingMatrix, Reconstructor, SessionInput, SgdModel, ValueTransform, WarmStartConfig,
+};
 use simulator::{AppProfile, NUM_JOB_CONFIGS};
+use util::WorkerPool;
 use workloads::latency::{self, LcService};
 use workloads::oracle::Oracle;
 
@@ -140,6 +143,7 @@ pub struct JobMatrices {
     batch_watts_obs: Vec<HashMap<usize, f64>>,
     lc_watts_obs: Vec<HashMap<usize, f64>>,
     tail_obs: Vec<HashMap<usize, HashMap<usize, f64>>>,
+    generation: u64,
 }
 
 /// Builds the tail training library: perturbed variants of every TailBench
@@ -198,7 +202,14 @@ impl JobMatrices {
             batch_watts_obs: vec![HashMap::new(); num_batch],
             lc_watts_obs: vec![HashMap::new(); num_lc],
             tail_obs: vec![HashMap::new(); num_lc],
+            generation: 0,
         }
+    }
+
+    /// The churn generation: bumped whenever a batch row is retired, so
+    /// warm solver state trained on the old row set cannot be reused.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of LC tenants tracked.
@@ -277,6 +288,7 @@ impl JobMatrices {
     pub fn retire_batch(&mut self, j: usize) {
         self.batch_bips_obs[j].clear();
         self.batch_watts_obs[j].clear();
+        self.generation += 1;
     }
 
     /// Observations usable at `bucket` for tenant `lc`: direct observations
@@ -322,6 +334,27 @@ impl JobMatrices {
     /// the live jobs: one throughput and one power completion, plus a tail
     /// completion per LC tenant at that tenant's load (`loads[lc]`).
     pub fn reconstruct(&mut self, reconstructor: &Reconstructor, loads: &[f64]) -> Predictions {
+        self.reconstruct_session(reconstructor, loads, None, None)
+            .predictions
+    }
+
+    /// [`JobMatrices::reconstruct`] with session state: the per-matrix
+    /// fan-out (and any parallel SGD) runs on `pool` when one is given, and
+    /// `warm` carries fitted models between quanta so each completion can
+    /// refine the previous factors instead of cold-starting.
+    ///
+    /// Warm state self-invalidates when the matrices' churn
+    /// [`generation`](JobMatrices::generation) has moved (a batch row was
+    /// retired), and each completion independently falls back to a cold fit
+    /// on any shape mismatch. With `pool = None` and `warm = None` this is
+    /// bit-identical to [`JobMatrices::reconstruct`].
+    pub fn reconstruct_session(
+        &mut self,
+        reconstructor: &Reconstructor,
+        loads: &[f64],
+        pool: Option<&WorkerPool>,
+        warm: Option<(&WarmStartConfig, &mut WarmState)>,
+    ) -> ReconstructOutcome {
         assert_eq!(loads.len(), self.num_lc, "one load per LC tenant");
         let cols = NUM_JOB_CONFIGS;
         let buckets: Vec<usize> = loads.iter().map(|&l| bucket_for(l)).collect();
@@ -379,15 +412,67 @@ impl JobMatrices {
             })
             .collect();
 
-        let mut inputs: Vec<(&RatingMatrix, ValueTransform)> = vec![
-            (&bips_m, ValueTransform::Log),
-            (&watts_m, ValueTransform::Log),
-        ];
-        for tail_m in &tail_ms {
-            inputs.push((tail_m, ValueTransform::Log));
+        // Take the priors *out* of the warm state: the completions borrow
+        // them immutably while the state waits to receive the new models.
+        let (warm_cfg, mut state) = match warm {
+            Some((cfg, s)) => {
+                if s.generation != self.generation {
+                    s.clear();
+                    s.generation = self.generation;
+                }
+                (Some(cfg), Some(s))
+            }
+            None => (None, None),
+        };
+        let prior_bips = state.as_mut().and_then(|s| s.bips.take());
+        let prior_watts = state.as_mut().and_then(|s| s.watts.take());
+        let prior_tails: Vec<Option<SgdModel>> = buckets
+            .iter()
+            .enumerate()
+            .map(|(lc, &b)| state.as_mut().and_then(|s| s.tails.remove(&(lc, b))))
+            .collect();
+
+        fn pair<'a>(
+            warm_cfg: Option<&'a WarmStartConfig>,
+            prior: &'a Option<SgdModel>,
+        ) -> Option<(&'a WarmStartConfig, &'a SgdModel)> {
+            warm_cfg.and_then(|cfg| prior.as_ref().map(|m| (cfg, m)))
         }
-        let completed = reconstructor.complete_all(&inputs);
-        let (bips_d, watts_d) = (&completed[0], &completed[1]);
+        let mut inputs: Vec<SessionInput<'_>> = vec![
+            SessionInput {
+                matrix: &bips_m,
+                transform: ValueTransform::Log,
+                warm: pair(warm_cfg, &prior_bips),
+            },
+            SessionInput {
+                matrix: &watts_m,
+                transform: ValueTransform::Log,
+                warm: pair(warm_cfg, &prior_watts),
+            },
+        ];
+        for (tail_m, prior) in tail_ms.iter().zip(&prior_tails) {
+            inputs.push(SessionInput {
+                matrix: tail_m,
+                transform: ValueTransform::Log,
+                warm: pair(warm_cfg, prior),
+            });
+        }
+        let completed = reconstructor.complete_all_session(pool, &inputs);
+        drop(inputs);
+        let warm_solves = completed.iter().filter(|c| c.warm_started).count();
+        let warm_epochs = completed
+            .iter()
+            .filter(|c| c.warm_started)
+            .map(|c| c.model.epochs)
+            .sum();
+        if let Some(s) = state {
+            s.bips = Some(completed[0].model.clone());
+            s.watts = Some(completed[1].model.clone());
+            for (lc, &b) in buckets.iter().enumerate() {
+                s.tails.insert((lc, b), completed[2 + lc].model.clone());
+            }
+        }
+        let (bips_d, watts_d) = (&completed[0].dense, &completed[1].dense);
 
         let batch_bips = (0..self.num_batch)
             .map(|j| (0..cols).map(|c| bips_d.get(t_rows + j, c)).collect())
@@ -404,7 +489,7 @@ impl JobMatrices {
         };
         let lc_preds = (0..self.num_lc)
             .map(|lc| {
-                let tail_d = &completed[2 + lc];
+                let tail_d = &completed[2 + lc].dense;
                 let live_row = lib_row_sets[lc].len();
                 let watts = (0..cols)
                     .map(|c| watts_d.get(t_rows + self.num_batch + lc, c))
@@ -445,12 +530,59 @@ impl JobMatrices {
             })
             .collect();
 
-        Predictions {
-            batch_bips,
-            batch_watts,
-            lc: lc_preds,
+        ReconstructOutcome {
+            predictions: Predictions {
+                batch_bips,
+                batch_watts,
+                lc: lc_preds,
+            },
+            warm_solves,
+            warm_epochs,
         }
     }
+}
+
+/// Warm solver state carried between quanta by the reconstruct stage.
+///
+/// One slot each for the throughput and power completions; tail completions
+/// are keyed `(tenant, load bucket)` because a bucket change swaps the
+/// training rows under the model (the handful of per-bucket models this
+/// accumulates is tiny — rank-2 factors over ~21 rows). The state remembers
+/// the churn [`JobMatrices::generation`] it was trained at and
+/// self-invalidates wholesale when any batch row has been retired since — a
+/// deliberate simplification: churn is rare and a spurious cold start only
+/// costs one quantum of solver budget.
+#[derive(Debug, Default)]
+pub struct WarmState {
+    generation: u64,
+    bips: Option<SgdModel>,
+    watts: Option<SgdModel>,
+    tails: HashMap<(usize, usize), SgdModel>,
+}
+
+impl WarmState {
+    /// Discards every stored model; the next quantum cold-starts.
+    pub fn clear(&mut self) {
+        self.bips = None;
+        self.watts = None;
+        self.tails.clear();
+    }
+
+    /// Whether no model is currently stored.
+    pub fn is_empty(&self) -> bool {
+        self.bips.is_none() && self.watts.is_none() && self.tails.is_empty()
+    }
+}
+
+/// What a session reconstruction did, beyond the predictions themselves.
+pub struct ReconstructOutcome {
+    /// The completed predictions (identical role to what
+    /// [`JobMatrices::reconstruct`] returns).
+    pub predictions: Predictions,
+    /// Completions this quantum that warm-started from a prior model.
+    pub warm_solves: usize,
+    /// SGD epochs actually run by the warm-started completions.
+    pub warm_epochs: usize,
 }
 
 #[cfg(test)]
@@ -668,5 +800,91 @@ mod tests {
         // Without live observations the row interpolates from training data
         // only — the exact observed value must no longer pass through.
         assert!((preds.batch_bips[0][5] - 2.5).abs() > 1e-9);
+    }
+
+    #[test]
+    fn session_reconstruct_without_state_matches_plain_reconstruct() {
+        let mut a = matrices();
+        let mut b = matrices();
+        a.record_sample(1, 5, 2.5, 3.5);
+        b.record_sample(1, 5, 2.5, 3.5);
+        let plain = a.reconstruct(&Reconstructor::default(), &[0.8]);
+        let pool = WorkerPool::new(2);
+        let session = b.reconstruct_session(&Reconstructor::default(), &[0.8], Some(&pool), None);
+        assert_eq!(session.warm_solves, 0);
+        assert_eq!(plain.batch_bips, session.predictions.batch_bips);
+        assert_eq!(plain.lc[0].tail, session.predictions.lc[0].tail);
+    }
+
+    #[test]
+    fn warm_state_is_used_and_survives_between_quanta() {
+        let mut m = matrices();
+        m.record_sample(1, 5, 2.5, 3.5);
+        let warm_cfg = WarmStartConfig::default();
+        let mut state = WarmState::default();
+        let first = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.8],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        // Nothing to start from in quantum one; models are now stored.
+        assert_eq!(first.warm_solves, 0);
+        assert!(!state.is_empty());
+        let second = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.8],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        // Same shapes, same buckets: all three completions warm-start.
+        assert_eq!(second.warm_solves, 3);
+        assert!(second.warm_epochs <= 3 * warm_cfg.max_epochs);
+    }
+
+    #[test]
+    fn churn_generation_invalidates_warm_state() {
+        let mut m = matrices();
+        m.record_sample(1, 5, 2.5, 3.5);
+        let warm_cfg = WarmStartConfig::default();
+        let mut state = WarmState::default();
+        let _ = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.8],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        assert!(!state.is_empty());
+        m.retire_batch(0);
+        let after = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.8],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        // The generation moved: every completion must have cold-started.
+        assert_eq!(after.warm_solves, 0);
+    }
+
+    #[test]
+    fn a_bucket_change_cold_starts_only_the_tail_completion() {
+        let mut m = matrices();
+        m.record_sample(1, 5, 2.5, 3.5);
+        let warm_cfg = WarmStartConfig::default();
+        let mut state = WarmState::default();
+        let _ = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.8],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        let moved = m.reconstruct_session(
+            &Reconstructor::default(),
+            &[0.5],
+            None,
+            Some((&warm_cfg, &mut state)),
+        );
+        // Throughput and power warm-start; the 0.5-load tail bucket is new.
+        assert_eq!(moved.warm_solves, 2);
     }
 }

@@ -28,19 +28,23 @@
 //! aborts the remaining stages — the manager then replays its last-good
 //! decision (see [`crate::faults`] for the degradation ladder).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use baselines::ga::{ga_search, GaParams};
-use dds::{parallel_search, ParallelDdsParams, SearchSpace, SoftPenalty};
-use recsys::Reconstructor;
+use dds::{parallel_search_in, CachedObjective, ParallelDdsParams, SearchSpace, SoftPenalty};
+use recsys::{Reconstructor, WarmStartConfig};
 use simulator::{CacheAlloc, CoreConfig, JobConfig, NUM_JOB_CONFIGS};
+use util::WorkerPool;
 
 use crate::accounting::{gate_descending_power, PowerAccount};
 use crate::faults::{
     poison_predictions, prediction_defects, DecisionError, QuantumFaults, ResilienceConfig,
     StageError,
 };
-use crate::matrices::{bucket_for, effective_load, JobMatrices, LcPrediction, Predictions};
+use crate::matrices::{
+    bucket_for, effective_load, JobMatrices, LcPrediction, Predictions, WarmState,
+};
 use crate::telemetry::StageTelemetry;
 use crate::types::{
     BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, SamplePoint, SliceInfo,
@@ -138,6 +142,12 @@ pub trait ReconstructStage {
         ctx: &mut DecisionCtx,
         tel: &mut StageTelemetry,
     ) -> Result<Predictions, StageError>;
+
+    /// Drops any warm-start state carried between quanta. The pipeline
+    /// calls this when the sanity gate rejects a reconstruction, so a
+    /// diverged model is never refined into the next quantum. The default
+    /// is a no-op for stages that keep no such state.
+    fn discard_warm_state(&mut self) {}
 }
 
 /// Stage 3: core relocation and LC configuration pinning (§VI-A).
@@ -283,6 +293,8 @@ impl DecisionPipeline {
         // while they are fresh enough.
         let defects = prediction_defects(&raw, ctx.resilience);
         if defects > 0 {
+            // A diverged solve must not seed the next quantum's warm start.
+            self.reconstruct.discard_warm_state();
             match ctx.last_good_preds {
                 Some((lg, age)) if age <= ctx.resilience.staleness_bound => {
                     tel.degradation.reconstruct_fallback = true;
@@ -465,12 +477,39 @@ impl ProfileStage for SplitHalvesProfile {
 /// parallel SGD.
 pub struct CfReconstruct {
     reconstructor: Reconstructor,
+    pool: Option<Arc<WorkerPool>>,
+    warm: Option<(WarmStartConfig, WarmState)>,
 }
 
 impl CfReconstruct {
-    /// Wraps a configured reconstructor.
+    /// Wraps a configured reconstructor. Solves spawn their own threads and
+    /// cold-start every quantum; see [`CfReconstruct::with_pool`] and
+    /// [`CfReconstruct::with_warm_start`].
     pub fn new(reconstructor: Reconstructor) -> CfReconstruct {
-        CfReconstruct { reconstructor }
+        CfReconstruct {
+            reconstructor,
+            pool: None,
+            warm: None,
+        }
+    }
+
+    /// Runs the parallel solves on a shared long-lived worker pool instead
+    /// of spawning threads per quantum. Numerically invisible: HOGWILD is
+    /// racy either way, and the serial path does not change.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Option<Arc<WorkerPool>>) -> CfReconstruct {
+        self.pool = pool;
+        self
+    }
+
+    /// Keeps each quantum's factor models and refines them with a short
+    /// decayed-learning-rate schedule next quantum instead of cold-starting.
+    /// State self-invalidates on job churn (matrix generation) and is
+    /// discarded whenever the pipeline's sanity gate trips.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: Option<WarmStartConfig>) -> CfReconstruct {
+        self.warm = warm.map(|cfg| (cfg, WarmState::default()));
+        self
     }
 }
 
@@ -496,14 +535,32 @@ impl ReconstructStage for CfReconstruct {
             .zip(ctx.lc.iter())
             .map(|(l, a)| effective_load(l.load, a.cores))
             .collect();
-        tel.sgd_epochs += (2 + loads.len()) * self.reconstructor.config.max_iters;
-        let mut preds = ctx.matrices.reconstruct(&self.reconstructor, &loads);
+        let outcome = ctx.matrices.reconstruct_session(
+            &self.reconstructor,
+            &loads,
+            self.pool.as_deref(),
+            self.warm.as_mut().map(|(cfg, state)| (&*cfg, state)),
+        );
+        // Warm solves run a short refinement schedule; cold solves run the
+        // full epoch budget. With warm start off this reduces to the old
+        // `(2 + tenants) * max_iters` accounting exactly.
+        tel.sgd_epochs += (2 + loads.len() - outcome.warm_solves)
+            * self.reconstructor.config.max_iters
+            + outcome.warm_epochs;
+        tel.warm_solves += outcome.warm_solves;
+        let mut preds = outcome.predictions;
         // An injected divergence poisons the output with NaN — the
         // pipeline's sanity gate is expected to catch exactly this.
         if ctx.faults.reconstruct_diverge {
             poison_predictions(&mut preds);
         }
         Ok(preds)
+    }
+
+    fn discard_warm_state(&mut self) {
+        if let Some((_, state)) = &mut self.warm {
+            state.clear();
+        }
     }
 }
 
@@ -700,12 +757,38 @@ pub enum SearchAlgo {
 pub struct PenaltySearch {
     /// The exploration algorithm.
     pub algo: SearchAlgo,
+    pool: Option<Arc<WorkerPool>>,
+    cache_evaluations: bool,
 }
 
 impl PenaltySearch {
-    /// Wraps a search algorithm choice.
+    /// Wraps a search algorithm choice. DDS spawns its own threads and
+    /// evaluates uncached; see [`PenaltySearch::with_pool`] and
+    /// [`PenaltySearch::with_evaluation_cache`].
     pub fn new(algo: SearchAlgo) -> PenaltySearch {
-        PenaltySearch { algo }
+        PenaltySearch {
+            algo,
+            pool: None,
+            cache_evaluations: false,
+        }
+    }
+
+    /// Runs DDS worker iterations on a shared long-lived pool. Bit-identical
+    /// to the spawning backend at any pool width (the per-logical-worker RNG
+    /// streams are independent of physical thread count).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Option<Arc<WorkerPool>>) -> PenaltySearch {
+        self.pool = pool;
+        self
+    }
+
+    /// Memoizes objective evaluations per quantum, keyed by candidate point.
+    /// The objective is pure within a quantum, so cached scores are
+    /// bit-identical; hit/miss counts land in [`StageTelemetry`].
+    #[must_use]
+    pub fn with_evaluation_cache(mut self, on: bool) -> PenaltySearch {
+        self.cache_evaluations = on;
+        self
     }
 }
 
@@ -760,7 +843,17 @@ impl SearchStage for PenaltySearch {
         };
         let space = SearchSpace::new(num_active, NUM_JOB_CONFIGS);
         let result = match &self.algo {
-            SearchAlgo::Dds(params) => parallel_search(&space, &objective, params),
+            SearchAlgo::Dds(params) => {
+                if self.cache_evaluations {
+                    let cached = CachedObjective::new(&objective);
+                    let result = parallel_search_in(self.pool.as_deref(), &space, &cached, params);
+                    tel.cache_hits += cached.hits();
+                    tel.cache_misses += cached.misses();
+                    result
+                } else {
+                    parallel_search_in(self.pool.as_deref(), &space, &objective, params)
+                }
+            }
             SearchAlgo::Ga(params) => ga_search(&space, &objective, params),
         };
         tel.search_evaluations += result.evaluations;

@@ -59,10 +59,13 @@
 //! Every rung is recorded in the quantum's
 //! [`crate::telemetry::DegradationEvents`].
 
+use std::sync::Arc;
+
 use dds::ParallelDdsParams;
-use recsys::{Reconstructor, SgdConfig};
+use recsys::{Reconstructor, SgdConfig, WarmStartConfig};
 use simulator::power::CoreKind;
 use simulator::Chip;
+use util::WorkerPool;
 use workloads::batch;
 use workloads::oracle::Oracle;
 
@@ -81,6 +84,73 @@ use crate::types::{
     SliceOutcome,
 };
 
+/// Performance knobs for the decision quantum's compute path.
+///
+/// All three knobs change only *how fast* a quantum computes, never *what*
+/// it decides — with the one deliberate exception of warm-started
+/// reconstruction, whose refined factors differ numerically from a cold
+/// solve (bounded by the property tests) and which therefore defaults to
+/// off.
+///
+/// * **Worker pool** — long-lived threads reused across quanta instead of
+///   spawn-per-call. The pooled DDS backend is bit-identical to the
+///   spawning one at any pool width.
+/// * **Warm start** — reconstruction keeps each quantum's factor models
+///   and refines them with a short decayed-learning-rate schedule. State
+///   invalidates on job churn and whenever the sanity gate trips.
+/// * **Evaluation cache** — DDS objective scores memoized per quantum,
+///   keyed by candidate point; bit-identical because the objective is pure
+///   within a quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfConfig {
+    /// Threads in the shared worker pool. `0` disables the pool and
+    /// reverts to the legacy spawn-per-quantum path.
+    pub pool_threads: usize,
+    /// Warm-started reconstruction schedule; `None` cold-starts every
+    /// quantum.
+    pub warm_start: Option<WarmStartConfig>,
+    /// Memoize DDS objective evaluations within each quantum.
+    pub evaluation_cache: bool,
+}
+
+impl Default for PerfConfig {
+    fn default() -> PerfConfig {
+        PerfConfig {
+            pool_threads: WorkerPool::default_threads(),
+            warm_start: None,
+            evaluation_cache: true,
+        }
+    }
+}
+
+impl PerfConfig {
+    /// The legacy compute path: spawn-per-quantum threads, cold-started
+    /// reconstruction, uncached evaluations. The baseline the
+    /// `decision_loop` bench compares against.
+    #[must_use]
+    pub fn cold() -> PerfConfig {
+        PerfConfig {
+            pool_threads: 0,
+            warm_start: None,
+            evaluation_cache: false,
+        }
+    }
+
+    /// Everything on, including warm-started reconstruction.
+    #[must_use]
+    pub fn fast() -> PerfConfig {
+        PerfConfig {
+            warm_start: Some(WarmStartConfig::default()),
+            ..PerfConfig::default()
+        }
+    }
+
+    /// Builds the shared worker pool this configuration calls for, if any.
+    fn pool(&self) -> Option<Arc<WorkerPool>> {
+        (self.pool_threads > 0).then(|| Arc::new(WorkerPool::new(self.pool_threads)))
+    }
+}
+
 /// The most recent decision that fully succeeded, kept as the fallback for
 /// failed quanta while it stays within the staleness bound.
 struct LastGood {
@@ -94,6 +164,10 @@ struct LastGood {
 pub struct CuttleSysManager {
     matrices: JobMatrices,
     pipeline: DecisionPipeline,
+    reconstructor: Reconstructor,
+    search_algo: SearchAlgo,
+    perf: PerfConfig,
+    pool: Option<Arc<WorkerPool>>,
     lc: Vec<LcAllocation>,
     gated_watts: f64,
     num_batch: usize,
@@ -122,18 +196,24 @@ impl CuttleSysManager {
             seed: scenario.seed,
             ..Default::default()
         });
-        CuttleSysManager {
+        let reconstructor = Reconstructor::new(SgdConfig {
+            max_iters: 60,
+            ..SgdConfig::default()
+        });
+        let perf = PerfConfig::default();
+        let mut manager = CuttleSysManager {
             matrices,
             pipeline: DecisionPipeline {
                 profile: Box::new(SplitHalvesProfile),
-                reconstruct: Box::new(CfReconstruct::new(Reconstructor::new(SgdConfig {
-                    max_iters: 60,
-                    ..SgdConfig::default()
-                }))),
+                reconstruct: Box::new(CfReconstruct::new(reconstructor)),
                 qos: Box::new(TrustRegionQos::default()),
                 search: Box::new(PenaltySearch::new(search.clone())),
                 repair: Box::new(PowerCapRepair),
             },
+            reconstructor,
+            search_algo: search.clone(),
+            perf,
+            pool: None,
             lc: scenario
                 .lc_jobs()
                 .iter()
@@ -154,7 +234,10 @@ impl CuttleSysManager {
             injector: FaultInjector::new(scenario.faults.clone()),
             breaker: CircuitBreaker::new(),
             last_good: None,
-        }
+        };
+        manager.pool = manager.perf.pool();
+        manager.rebuild_stages();
+        manager
     }
 
     fn name_for(search: &SearchAlgo) -> String {
@@ -164,17 +247,48 @@ impl CuttleSysManager {
         }
     }
 
+    /// Rebuilds the reconstruct and search stages from the stored
+    /// configuration, so every `with_*` builder keeps the perf wiring
+    /// (pool, warm start, cache) intact.
+    fn rebuild_stages(&mut self) {
+        self.pipeline.reconstruct = Box::new(
+            CfReconstruct::new(self.reconstructor)
+                .with_pool(self.pool.clone())
+                .with_warm_start(self.perf.warm_start),
+        );
+        self.pipeline.search = Box::new(
+            PenaltySearch::new(self.search_algo.clone())
+                .with_pool(self.pool.clone())
+                .with_evaluation_cache(self.perf.evaluation_cache),
+        );
+    }
+
     /// Substitutes the search algorithm (used by the Fig. 10 GA ablation).
     pub fn with_search(mut self, search: SearchAlgo) -> CuttleSysManager {
         self.name = Self::name_for(&search);
-        self.pipeline.search = Box::new(PenaltySearch::new(search));
+        self.search_algo = search;
+        self.rebuild_stages();
         self
     }
 
     /// Substitutes the reconstruction configuration.
     pub fn with_reconstructor(mut self, reconstructor: Reconstructor) -> CuttleSysManager {
-        self.pipeline.reconstruct = Box::new(CfReconstruct::new(reconstructor));
+        self.reconstructor = reconstructor;
+        self.rebuild_stages();
         self
+    }
+
+    /// Substitutes the compute-path performance knobs (see [`PerfConfig`]).
+    pub fn with_perf(mut self, perf: PerfConfig) -> CuttleSysManager {
+        self.perf = perf;
+        self.pool = perf.pool();
+        self.rebuild_stages();
+        self
+    }
+
+    /// The performance knobs currently in effect.
+    pub fn perf(&self) -> PerfConfig {
+        self.perf
     }
 
     /// Substitutes the degradation-ladder bounds.
@@ -515,6 +629,54 @@ mod tests {
         assert!((summary.mean_sgd_epochs - 180.0).abs() < 1e-9);
         assert!(summary.mean_search_evaluations > 0.0);
         assert!(summary.mean_total_wall_ms() > 0.0);
+    }
+
+    /// Zeroes the fields that legitimately differ between perf paths —
+    /// wall-clock stage times and cache counters — leaving every decision
+    /// output and deterministic counter intact.
+    fn comparable(record: &crate::types::RunRecord) -> crate::types::RunRecord {
+        let mut r = record.clone();
+        for s in &mut r.slices {
+            if let Some(t) = &mut s.telemetry {
+                t.profile_wall_ms = 0.0;
+                t.reconstruct_wall_ms = 0.0;
+                t.qos_wall_ms = 0.0;
+                t.search_wall_ms = 0.0;
+                t.repair_wall_ms = 0.0;
+                t.cache_hits = 0;
+                t.cache_misses = 0;
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn pool_and_cache_are_numerically_invisible() {
+        let scenario = quick(0.7, 0.8);
+        let pooled = {
+            let mut m = CuttleSysManager::for_scenario(&scenario);
+            run_scenario(&scenario, &mut m)
+        };
+        let cold = {
+            let mut m = CuttleSysManager::for_scenario(&scenario).with_perf(PerfConfig::cold());
+            run_scenario(&scenario, &mut m)
+        };
+        assert_eq!(comparable(&pooled), comparable(&cold));
+    }
+
+    #[test]
+    fn warm_start_cuts_sgd_epochs_and_reports_warm_solves() {
+        let scenario = quick(0.7, 0.8);
+        let mut manager = CuttleSysManager::for_scenario(&scenario).with_perf(PerfConfig::fast());
+        let record = run_scenario(&scenario, &mut manager);
+        let summary = record.stage_summary().expect("telemetry present");
+        assert!(summary.warm_solves > 0, "quanta after the first warm-start");
+        assert!(
+            summary.mean_sgd_epochs < 180.0,
+            "warm refinement must undercut the fixed cold schedule: {}",
+            summary.mean_sgd_epochs
+        );
+        assert!(record.batch_instructions() > 0.0);
     }
 
     #[test]

@@ -2,17 +2,31 @@
 //!
 //! `N` worker threads share a global best point. Each iteration, every
 //! thread generates `pointsPerIteration` candidates by perturbing the global
-//! best, keeps its local best, and a barrier-synchronized reduction installs
-//! the best local best as the next global best. To stop the threads from
+//! best, keeps its local best, and a synchronized reduction installs the
+//! best local best as the next global best. To stop the threads from
 //! exploring the same neighbourhood, thread groups use different perturbation
 //! radii: the first quarter uses `r₁`, the next `r₂`, and so on
 //! (`r = [0.2, 0.3, 0.4, 0.5]`, Fig. 6).
+//!
+//! Two execution back-ends produce bit-identical results:
+//!
+//! * [`parallel_search`] spawns one scoped OS thread per logical worker and
+//!   synchronizes iterations with a barrier — the original shape, kept as
+//!   the reference implementation;
+//! * [`parallel_search_in`] with a [`WorkerPool`] keeps the iteration loop
+//!   on the calling thread and fans each iteration's per-worker candidate
+//!   batches out to the pool. Per-worker RNG streams persist across
+//!   iterations and the reduction runs on the orchestrator in worker-index
+//!   order, so the result does not depend on the pool's physical width —
+//!   a 1-thread pool and an 8-thread pool return the same answer as the
+//!   spawning back-end.
 
 use std::sync::{Barrier, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use util::WorkerPool;
 
 use crate::objective::Objective;
 use crate::rng::standard_normal;
@@ -30,7 +44,8 @@ pub struct ParallelDdsParams {
     pub points_per_iteration: usize,
     /// Number of uniformly random starting points (Fig. 6: 50).
     pub initial_points: usize,
-    /// Worker threads; the paper uses one per core.
+    /// Logical worker threads; the paper uses one per core. With a pool
+    /// back-end this is the number of RNG streams, not OS threads.
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -57,7 +72,111 @@ struct Shared {
     best_value: f64,
 }
 
-/// Runs parallel DDS (Alg. 2), maximizing `objective` over `space`.
+/// Evaluated points, in evaluation order (only filled when
+/// `record_explored` is set).
+type ExploredLog = Vec<(Vec<usize>, f64)>;
+
+fn validate(params: &ParallelDdsParams) {
+    assert!(params.max_iters > 0, "need at least one iteration");
+    assert!(
+        params.points_per_iteration > 0,
+        "need at least one point per iteration"
+    );
+    assert!(params.initial_points > 0, "need at least one initial point");
+    assert!(params.threads > 0, "need at least one thread");
+    assert!(
+        !params.r_values.is_empty(),
+        "need at least one perturbation radius"
+    );
+}
+
+/// Phase 1 (Alg. 2 lines 5-6): random initial points, best becomes the
+/// incumbent. Done serially — it is a tiny fraction of the work.
+fn initial_phase(
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    params: &ParallelDdsParams,
+) -> (Vec<usize>, f64, ExploredLog) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut best_point = space.random_point(&mut rng);
+    let mut best_value = objective.evaluate(&best_point);
+    let mut explored = Vec::new();
+    if params.record_explored {
+        explored.push((best_point.clone(), best_value));
+    }
+    for _ in 1..params.initial_points {
+        let p = space.random_point(&mut rng);
+        let v = objective.evaluate(&p);
+        if params.record_explored {
+            explored.push((p.clone(), v));
+        }
+        if v > best_value {
+            best_value = v;
+            best_point = p;
+        }
+    }
+    (best_point, best_value, explored)
+}
+
+/// The seed of logical worker `t`, spread by the SplitMix64 golden gamma.
+fn worker_seed(seed: u64, t: usize) -> u64 {
+    seed ^ util::rng64::GOLDEN_GAMMA.wrapping_mul(t as u64 + 1)
+}
+
+/// The perturbation radius of logical worker `t` (Alg. 2: the first N/4
+/// threads use r₁, the next N/4 use r₂, …).
+fn worker_radius(params: &ParallelDdsParams, t: usize) -> f64 {
+    let group = t * params.r_values.len() / params.threads;
+    params.r_values[group.min(params.r_values.len() - 1)]
+}
+
+/// One logical worker's share of one iteration: `points_per_iteration`
+/// candidates perturbed from the global best, greedily keeping the local
+/// best. Shared verbatim by both back-ends so they cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn worker_iteration(
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    params: &ParallelDdsParams,
+    free: &[usize],
+    r: f64,
+    p_select: f64,
+    global_point: &[usize],
+    global_value: f64,
+    rng: &mut StdRng,
+    explored: &mut Vec<(Vec<usize>, f64)>,
+) -> (Vec<usize>, f64) {
+    let mut local_point = global_point.to_vec();
+    let mut local_value = global_value;
+    for _ in 0..params.points_per_iteration {
+        let mut candidate = local_point.clone();
+        let mut perturbed_any = false;
+        for &d in free {
+            if rng.random_range(0.0..1.0) < p_select {
+                let delta = r * space.num_choices() as f64 * standard_normal(rng);
+                candidate[d] = space.reflect(candidate[d] as f64 + delta);
+                perturbed_any = true;
+            }
+        }
+        if !perturbed_any && !free.is_empty() {
+            let d = free[rng.random_range(0..free.len())];
+            let delta = r * space.num_choices() as f64 * standard_normal(rng);
+            candidate[d] = space.reflect(candidate[d] as f64 + delta);
+        }
+        let v = objective.evaluate(&candidate);
+        if params.record_explored {
+            explored.push((candidate.clone(), v));
+        }
+        if v > local_value {
+            local_value = v;
+            local_point = candidate;
+        }
+    }
+    (local_point, local_value)
+}
+
+/// Runs parallel DDS (Alg. 2), maximizing `objective` over `space`, with
+/// one scoped OS thread per logical worker.
 ///
 /// Deterministic for a fixed seed: candidate generation is seeded per
 /// (thread, iteration) and the reduction breaks ties by thread index.
@@ -71,42 +190,8 @@ pub fn parallel_search(
     objective: &dyn Objective,
     params: &ParallelDdsParams,
 ) -> SearchResult {
-    assert!(params.max_iters > 0, "need at least one iteration");
-    assert!(
-        params.points_per_iteration > 0,
-        "need at least one point per iteration"
-    );
-    assert!(params.initial_points > 0, "need at least one initial point");
-    assert!(params.threads > 0, "need at least one thread");
-    assert!(
-        !params.r_values.is_empty(),
-        "need at least one perturbation radius"
-    );
-
-    // Phase 1 (Alg. 2 lines 5-6): random initial points, best becomes the
-    // incumbent. Done serially — it is a tiny fraction of the work.
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut best_point = space.random_point(&mut rng);
-    let mut best_value = objective.evaluate(&best_point);
-    let explored = Mutex::new(Vec::new());
-    let mut evaluations = params.initial_points;
-    if params.record_explored {
-        explored
-            .lock()
-            .unwrap()
-            .push((best_point.clone(), best_value));
-    }
-    for _ in 1..params.initial_points {
-        let p = space.random_point(&mut rng);
-        let v = objective.evaluate(&p);
-        if params.record_explored {
-            explored.lock().unwrap().push((p.clone(), v));
-        }
-        if v > best_value {
-            best_value = v;
-            best_point = p;
-        }
-    }
+    validate(params);
+    let (best_point, best_value, initial_explored) = initial_phase(space, objective, params);
 
     let shared = Mutex::new(Shared {
         best_point,
@@ -118,53 +203,36 @@ pub fn parallel_search(
     // Local bests posted by each thread every iteration, reduced by thread 0.
     type Post = Mutex<Option<(Vec<usize>, f64)>>;
     let posts: Vec<Post> = (0..params.threads).map(|_| Mutex::new(None)).collect();
+    // Per-thread explored logs, concatenated in thread order afterwards so
+    // the record is deterministic despite the concurrent evaluation.
+    let mut explored_parts: Vec<Vec<(Vec<usize>, f64)>> = vec![Vec::new(); params.threads];
 
     crossbeam::scope(|scope| {
-        for t in 0..params.threads {
-            let (shared, barrier, posts, explored, free) =
-                (&shared, &barrier, &posts, &explored, &free);
+        for (t, part) in explored_parts.iter_mut().enumerate() {
+            let (shared, barrier, posts, free) = (&shared, &barrier, &posts, &free);
             let params = &params;
             scope.spawn(move |_| {
-                // Alg. 2: the first N/4 threads use r₁, the next N/4 use r₂…
-                let group = t * params.r_values.len() / params.threads;
-                let r = params.r_values[group.min(params.r_values.len() - 1)];
-                let mut rng = StdRng::seed_from_u64(
-                    params.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
-                );
+                let r = worker_radius(params, t);
+                let mut rng = StdRng::seed_from_u64(worker_seed(params.seed, t));
                 for i in 1..=params.max_iters {
                     let (global_point, global_value) = {
                         let g = shared.lock().unwrap();
                         (g.best_point.clone(), g.best_value)
                     };
-                    let mut local_point = global_point.clone();
-                    let mut local_value = global_value;
                     let p_select = 1.0 - (i as f64).ln() / ln_max;
-                    for _ in 0..params.points_per_iteration {
-                        let mut candidate = local_point.clone();
-                        let mut perturbed_any = false;
-                        for &d in free {
-                            if rng.random_range(0.0..1.0) < p_select {
-                                let delta =
-                                    r * space.num_choices() as f64 * standard_normal(&mut rng);
-                                candidate[d] = space.reflect(candidate[d] as f64 + delta);
-                                perturbed_any = true;
-                            }
-                        }
-                        if !perturbed_any && !free.is_empty() {
-                            let d = free[rng.random_range(0..free.len())];
-                            let delta = r * space.num_choices() as f64 * standard_normal(&mut rng);
-                            candidate[d] = space.reflect(candidate[d] as f64 + delta);
-                        }
-                        let v = objective.evaluate(&candidate);
-                        if params.record_explored {
-                            explored.lock().unwrap().push((candidate.clone(), v));
-                        }
-                        if v > local_value {
-                            local_value = v;
-                            local_point = candidate;
-                        }
-                    }
-                    *posts[t].lock().unwrap() = Some((local_point, local_value));
+                    let local = worker_iteration(
+                        space,
+                        objective,
+                        params,
+                        free,
+                        r,
+                        p_select,
+                        &global_point,
+                        global_value,
+                        &mut rng,
+                        part,
+                    );
+                    *posts[t].lock().unwrap() = Some(local);
                     barrier.wait();
                     if t == 0 {
                         let mut g = shared.lock().unwrap();
@@ -184,13 +252,102 @@ pub fn parallel_search(
     })
     .expect("parallel DDS worker panicked");
 
-    evaluations += params.max_iters * params.points_per_iteration * params.threads;
     let g = shared.into_inner().unwrap();
+    let mut explored = initial_explored;
+    for part in explored_parts {
+        explored.extend(part);
+    }
     SearchResult {
         best_point: g.best_point,
         best_value: g.best_value,
-        evaluations,
-        explored: explored.into_inner().unwrap(),
+        evaluations: params.initial_points
+            + params.max_iters * params.points_per_iteration * params.threads,
+        explored,
+    }
+}
+
+/// Runs parallel DDS on an execution back-end: `Some(pool)` dispatches each
+/// iteration's logical workers to the persistent pool, `None` falls back to
+/// [`parallel_search`]'s spawn-per-call threads.
+///
+/// Bit-identical to [`parallel_search`] for the same `params`, whatever the
+/// pool's physical thread count: per-worker RNG streams live on the
+/// orchestrator across iterations, and the reduction happens on the
+/// orchestrator in worker-index order.
+pub fn parallel_search_in(
+    pool: Option<&WorkerPool>,
+    space: &SearchSpace,
+    objective: &dyn Objective,
+    params: &ParallelDdsParams,
+) -> SearchResult {
+    let Some(pool) = pool else {
+        return parallel_search(space, objective, params);
+    };
+    validate(params);
+    let (mut best_point, mut best_value, initial_explored) =
+        initial_phase(space, objective, params);
+
+    let free = space.free_dims();
+    let ln_max = (params.max_iters as f64).ln().max(f64::MIN_POSITIVE);
+    // Logical-worker state persists across iterations on the orchestrator.
+    let mut rngs: Vec<StdRng> = (0..params.threads)
+        .map(|t| StdRng::seed_from_u64(worker_seed(params.seed, t)))
+        .collect();
+    let radii: Vec<f64> = (0..params.threads)
+        .map(|t| worker_radius(params, t))
+        .collect();
+    let mut explored_parts: Vec<Vec<(Vec<usize>, f64)>> = vec![Vec::new(); params.threads];
+
+    for i in 1..=params.max_iters {
+        let p_select = 1.0 - (i as f64).ln() / ln_max;
+        let global_point = best_point.clone();
+        let global_value = best_value;
+        let mut locals: Vec<(Vec<usize>, f64)> =
+            vec![(Vec::new(), f64::NEG_INFINITY); params.threads];
+        pool.scope(|scope| {
+            let worker_state = locals
+                .iter_mut()
+                .zip(rngs.iter_mut())
+                .zip(explored_parts.iter_mut())
+                .zip(radii.iter());
+            for (((slot, rng), part), &r) in worker_state {
+                let (global_point, free, params) = (&global_point, &free, &params);
+                scope.spawn(move || {
+                    *slot = worker_iteration(
+                        space,
+                        objective,
+                        params,
+                        free,
+                        r,
+                        p_select,
+                        global_point,
+                        global_value,
+                        rng,
+                        part,
+                    );
+                });
+            }
+        });
+        // Reduction in worker-index order, exactly like thread 0's pass over
+        // the posts in the spawning back-end.
+        for (p, v) in locals {
+            if v > best_value {
+                best_value = v;
+                best_point = p;
+            }
+        }
+    }
+
+    let mut explored = initial_explored;
+    for part in explored_parts {
+        explored.extend(part);
+    }
+    SearchResult {
+        best_point,
+        best_value,
+        evaluations: params.initial_points
+            + params.max_iters * params.points_per_iteration * params.threads,
+        explored,
     }
 }
 
@@ -238,6 +395,40 @@ mod tests {
         let a = parallel_search(&space, &separable(30), &params);
         let b = parallel_search(&space, &separable(30), &params);
         assert_eq!(a.best_point, b.best_point);
+    }
+
+    #[test]
+    fn pooled_backend_is_bit_identical_to_spawning_backend() {
+        let space = SearchSpace::new(10, 108);
+        let params = ParallelDdsParams {
+            threads: 4,
+            record_explored: true,
+            ..ParallelDdsParams::default()
+        };
+        let objective = separable(66);
+        let spawned = parallel_search(&space, &objective, &params);
+        for pool_width in [1, 2, 8] {
+            let pool = WorkerPool::new(pool_width);
+            let pooled = parallel_search_in(Some(&pool), &space, &objective, &params);
+            assert_eq!(pooled.best_point, spawned.best_point);
+            assert_eq!(pooled.best_value.to_bits(), spawned.best_value.to_bits());
+            assert_eq!(pooled.evaluations, spawned.evaluations);
+            assert_eq!(pooled.explored, spawned.explored);
+        }
+    }
+
+    #[test]
+    fn parallel_search_in_without_pool_matches_spawning_backend() {
+        let space = SearchSpace::new(6, 50);
+        let params = ParallelDdsParams {
+            threads: 2,
+            ..ParallelDdsParams::default()
+        };
+        let objective = separable(25);
+        let direct = parallel_search(&space, &objective, &params);
+        let via_none = parallel_search_in(None, &space, &objective, &params);
+        assert_eq!(direct.best_point, via_none.best_point);
+        assert_eq!(direct.best_value.to_bits(), via_none.best_value.to_bits());
     }
 
     #[test]

@@ -63,6 +63,26 @@ impl AtomicVec {
 ///
 /// Panics if the matrix has no observed entries or `threads == 0`.
 pub fn fit_parallel(matrix: &RatingMatrix, config: &SgdConfig, threads: usize) -> SgdModel {
+    fit_parallel_in(None, matrix, config, threads)
+}
+
+/// [`fit_parallel`] on an execution back-end: `Some(pool)` runs the workers
+/// as jobs on the persistent pool instead of spawning scoped OS threads.
+///
+/// The work split is by logical worker index either way, so the *model* of
+/// parallelism is unchanged — but HOGWILD results are inherently racy, so
+/// unlike the DDS back-ends the two paths are statistically equivalent, not
+/// bit-identical (and neither is `fit_parallel` with itself).
+///
+/// # Panics
+///
+/// Panics if the matrix has no observed entries or `threads == 0`.
+pub fn fit_parallel_in(
+    pool: Option<&util::WorkerPool>,
+    matrix: &RatingMatrix,
+    config: &SgdConfig,
+    threads: usize,
+) -> SgdModel {
     assert!(threads > 0, "need at least one worker thread");
     assert!(
         matrix.observed_len() > 0,
@@ -90,33 +110,42 @@ pub fn fit_parallel(matrix: &RatingMatrix, config: &SgdConfig, threads: usize) -
     // test would reintroduce synchronization.
     let epochs = config.max_iters;
 
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let (q, p, rb, cb, rows_of) = (&q, &p, &rb, &cb, &rows_of);
-            scope.spawn(move |_| {
-                let mine: Vec<&(usize, usize, f64)> =
-                    rows_of.iter().skip(t).step_by(threads).flatten().collect();
-                for _ in 0..epochs {
-                    for &&(i, j, r) in &mine {
-                        let mut pred = mu + rb.load(i) + cb.load(j);
-                        for k in 0..rank {
-                            pred += q.load(i * rank + k) * p.load(j * rank + k);
-                        }
-                        let err = r - pred;
-                        rb.store(i, rb.load(i) + eta * (err - lambda * rb.load(i)));
-                        cb.store(j, cb.load(j) + eta * (err - lambda * cb.load(j)));
-                        for k in 0..rank {
-                            let qik = q.load(i * rank + k);
-                            let pjk = p.load(j * rank + k);
-                            q.store(i * rank + k, qik + eta * (err * pjk - lambda * qik));
-                            p.store(j * rank + k, pjk + eta * (err * qik - lambda * pjk));
-                        }
-                    }
+    let worker = |t: usize| {
+        let mine: Vec<&(usize, usize, f64)> =
+            rows_of.iter().skip(t).step_by(threads).flatten().collect();
+        for _ in 0..epochs {
+            for &&(i, j, r) in &mine {
+                let mut pred = mu + rb.load(i) + cb.load(j);
+                for k in 0..rank {
+                    pred += q.load(i * rank + k) * p.load(j * rank + k);
                 }
-            });
+                let err = r - pred;
+                rb.store(i, rb.load(i) + eta * (err - lambda * rb.load(i)));
+                cb.store(j, cb.load(j) + eta * (err - lambda * cb.load(j)));
+                for k in 0..rank {
+                    let qik = q.load(i * rank + k);
+                    let pjk = p.load(j * rank + k);
+                    q.store(i * rank + k, qik + eta * (err * pjk - lambda * qik));
+                    p.store(j * rank + k, pjk + eta * (err * qik - lambda * pjk));
+                }
+            }
         }
-    })
-    .expect("hogwild worker panicked");
+    };
+    match pool {
+        Some(pool) => pool.scope(|scope| {
+            for t in 0..threads {
+                let worker = &worker;
+                scope.spawn(move || worker(t));
+            }
+        }),
+        None => crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let worker = &worker;
+                scope.spawn(move |_| worker(t));
+            }
+        })
+        .expect("hogwild worker panicked"),
+    }
 
     let model = SgdModel {
         mu,
@@ -239,5 +268,25 @@ mod tests {
     fn zero_threads_rejected() {
         let obs = synthetic(4, 4, 4, 4);
         let _ = fit_parallel(&obs, &SgdConfig::default(), 0);
+    }
+
+    #[test]
+    fn pooled_backend_trains_as_well_as_spawning_backend() {
+        let obs = synthetic(20, 40, 16, 2);
+        let config = SgdConfig {
+            max_iters: 120,
+            ..SgdConfig::default()
+        };
+        let spawned = fit_parallel(&obs, &config, 4);
+        let pool = util::WorkerPool::new(2);
+        let pooled = fit_parallel_in(Some(&pool), &obs, &config, 4);
+        // HOGWILD is racy on both back-ends, so compare converged quality,
+        // not bits — both must land well below the ±2 rating scale.
+        assert!(
+            pooled.train_rmse < 0.5 && spawned.train_rmse < 0.5,
+            "pooled RMSE {} vs spawned RMSE {}",
+            pooled.train_rmse,
+            spawned.train_rmse
+        );
     }
 }

@@ -46,5 +46,5 @@ pub mod svd;
 
 pub use als::AlsConfig;
 pub use matrix::{DenseMatrix, RatingMatrix};
-pub use reconstruction::{Reconstructor, ValueTransform};
-pub use sgd::{SgdConfig, SgdModel};
+pub use reconstruction::{Completion, Reconstructor, SessionInput, ValueTransform};
+pub use sgd::{SgdConfig, SgdModel, WarmStartConfig};

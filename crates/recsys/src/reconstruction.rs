@@ -12,10 +12,11 @@
 //! * observed entries always pass through exactly — SGD only fills holes.
 
 use serde::{Deserialize, Serialize};
+use util::WorkerPool;
 
 use crate::hogwild;
 use crate::matrix::{DenseMatrix, RatingMatrix};
-use crate::sgd::{self, SgdConfig};
+use crate::sgd::{self, SgdConfig, SgdModel, WarmStartConfig};
 
 /// Value-space transform applied before SGD and inverted afterwards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,12 +83,41 @@ impl Reconstructor {
     ///
     /// Panics if the matrix has no observed entries.
     pub fn complete(&self, matrix: &RatingMatrix, transform: ValueTransform) -> DenseMatrix {
+        self.complete_session(None, matrix, transform, None).dense
+    }
+
+    /// [`Reconstructor::complete`] with session state: an optional worker
+    /// pool for the parallel solver and an optional `(schedule, prior)` pair
+    /// to warm-start from the previous quantum's fitted model.
+    ///
+    /// The returned [`Completion`] carries the fitted model (in *transformed*
+    /// space) so the caller can feed it back as the prior next quantum. Warm
+    /// starting silently falls back to a cold fit when the prior's shape no
+    /// longer matches the matrix — `Completion::warm_started` reports what
+    /// actually happened. With `pool = None` and `warm = None` this is
+    /// bit-identical to [`Reconstructor::complete`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no observed entries.
+    pub fn complete_session(
+        &self,
+        pool: Option<&WorkerPool>,
+        matrix: &RatingMatrix,
+        transform: ValueTransform,
+        warm: Option<(&WarmStartConfig, &SgdModel)>,
+    ) -> Completion {
         let transformed = matrix.map(|v| transform.forward(v));
-        let model = if self.threads > 1 {
-            hogwild::fit_parallel(&transformed, &self.config, self.threads)
-        } else {
-            sgd::fit(&transformed, &self.config)
-        };
+        let warm_model =
+            warm.and_then(|(cfg, prior)| sgd::fit_warm(&transformed, &self.config, cfg, prior));
+        let warm_started = warm_model.is_some();
+        let model = warm_model.unwrap_or_else(|| {
+            if self.threads > 1 {
+                hogwild::fit_parallel_in(pool, &transformed, &self.config, self.threads)
+            } else {
+                sgd::fit(&transformed, &self.config)
+            }
+        });
         let (lo, hi) = transformed
             .observed_range()
             .expect("matrix has observations");
@@ -103,7 +133,11 @@ impl Reconstructor {
                 out.set(r, c, value);
             }
         }
-        out
+        Completion {
+            dense: out,
+            model,
+            warm_started,
+        }
     }
 
     /// Runs several reconstructions concurrently — one OS thread per matrix,
@@ -126,6 +160,69 @@ impl Reconstructor {
         })
         .expect("reconstruction scope panicked")
     }
+
+    /// [`Reconstructor::complete_all`] with session state: the per-matrix
+    /// fan-out runs on the pool when one is given (falling back to scoped OS
+    /// threads otherwise), and each matrix may carry its own warm-start
+    /// prior. Inputs and outputs correspond by index.
+    pub fn complete_all_session(
+        &self,
+        pool: Option<&WorkerPool>,
+        inputs: &[SessionInput<'_>],
+    ) -> Vec<Completion> {
+        let mut slots: Vec<Option<Completion>> = (0..inputs.len()).map(|_| None).collect();
+        match pool {
+            Some(pool) => pool.scope(|scope| {
+                for (slot, input) in slots.iter_mut().zip(inputs) {
+                    scope.spawn(move || {
+                        *slot = Some(self.complete_session(
+                            Some(pool),
+                            input.matrix,
+                            input.transform,
+                            input.warm,
+                        ));
+                    });
+                }
+            }),
+            None => crossbeam::scope(|scope| {
+                for (slot, input) in slots.iter_mut().zip(inputs) {
+                    scope.spawn(move |_| {
+                        *slot = Some(self.complete_session(
+                            None,
+                            input.matrix,
+                            input.transform,
+                            input.warm,
+                        ));
+                    });
+                }
+            })
+            .expect("reconstruction scope panicked"),
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every reconstruction slot filled"))
+            .collect()
+    }
+}
+
+/// One matrix of a [`Reconstructor::complete_all_session`] batch.
+pub struct SessionInput<'a> {
+    /// The sparse observations to complete.
+    pub matrix: &'a RatingMatrix,
+    /// Value-space transform for this matrix.
+    pub transform: ValueTransform,
+    /// Optional warm-start schedule and prior model (transformed space).
+    pub warm: Option<(&'a WarmStartConfig, &'a SgdModel)>,
+}
+
+/// The result of one session-aware completion.
+pub struct Completion {
+    /// The completed dense matrix (observed entries passed through).
+    pub dense: DenseMatrix,
+    /// The fitted model, in transformed space — next quantum's warm prior.
+    pub model: SgdModel,
+    /// Whether the fit actually started from the supplied prior.
+    pub warm_started: bool,
 }
 
 #[cfg(test)]
@@ -235,6 +332,63 @@ mod tests {
         assert_eq!(outs[0].rows(), 8);
         // Concurrent result must equal the sequential result.
         assert_eq!(outs[0], rec.complete(&m1, ValueTransform::Linear));
+    }
+
+    #[test]
+    fn session_completion_without_warm_state_matches_plain_complete() {
+        let (_, m) = structured(10, 12, 8, 2);
+        let rec = Reconstructor::default();
+        let plain = rec.complete(&m, ValueTransform::Linear);
+        let pool = WorkerPool::new(2);
+        let session = rec.complete_session(Some(&pool), &m, ValueTransform::Linear, None);
+        assert_eq!(session.dense, plain);
+        assert!(!session.warm_started);
+    }
+
+    #[test]
+    fn warm_session_reuses_the_prior_model() {
+        let (_, m) = structured(16, 20, 13, 2);
+        let rec = Reconstructor::default();
+        let first = rec.complete_session(None, &m, ValueTransform::Linear, None);
+        assert!(!first.warm_started);
+        let warm_cfg = WarmStartConfig::default();
+        let second = rec.complete_session(
+            None,
+            &m,
+            ValueTransform::Linear,
+            Some((&warm_cfg, &first.model)),
+        );
+        assert!(second.warm_started);
+        assert!(second.model.epochs <= warm_cfg.max_epochs);
+        // Same observations, warm factors: the refit keeps the fit quality.
+        assert!(second.model.train_rmse <= first.model.train_rmse + 0.01);
+    }
+
+    #[test]
+    fn complete_all_session_matches_complete_all() {
+        let (_, m1) = structured(8, 10, 6, 2);
+        let (_, m2) = structured(8, 10, 7, 3);
+        let rec = Reconstructor::default();
+        let plain = rec.complete_all(&[(&m1, ValueTransform::Linear), (&m2, ValueTransform::Log)]);
+        let pool = WorkerPool::new(2);
+        let session = rec.complete_all_session(
+            Some(&pool),
+            &[
+                SessionInput {
+                    matrix: &m1,
+                    transform: ValueTransform::Linear,
+                    warm: None,
+                },
+                SessionInput {
+                    matrix: &m2,
+                    transform: ValueTransform::Log,
+                    warm: None,
+                },
+            ],
+        );
+        assert_eq!(session.len(), 2);
+        assert_eq!(session[0].dense, plain[0]);
+        assert_eq!(session[1].dense, plain[1]);
     }
 
     #[test]

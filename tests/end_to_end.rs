@@ -148,7 +148,10 @@ fn overload_triggers_relocation_and_recovery() {
 fn runs_are_deterministic_for_a_fixed_seed() {
     // Wall-clock stage timings are measured from the host and legitimately
     // vary between runs; every decision (and every telemetry work counter)
-    // must not.
+    // must not. The evaluation-cache hit/miss split is the one other
+    // scheduling-dependent counter: the cache releases its lock during the
+    // underlying evaluation, so two threads racing on the same fresh point
+    // both count a miss. The *values* returned stay bit-identical.
     fn strip_wall_clock(mut r: cuttlesys::types::RunRecord) -> cuttlesys::types::RunRecord {
         for slice in &mut r.slices {
             if let Some(t) = &mut slice.telemetry {
@@ -157,6 +160,8 @@ fn runs_are_deterministic_for_a_fixed_seed() {
                 t.qos_wall_ms = 0.0;
                 t.search_wall_ms = 0.0;
                 t.repair_wall_ms = 0.0;
+                t.cache_hits = 0;
+                t.cache_misses = 0;
             }
         }
         r

@@ -227,3 +227,181 @@ fn reflection_maps_any_value_into_range() {
         );
     }
 }
+
+/// Pinned-LC constraints reach DDS as frozen dimensions: no point the
+/// search returns — or even evaluates — may move them, on either the
+/// spawning or the pooled backend.
+#[test]
+fn parallel_dds_honors_frozen_dimensions_pooled_and_unpooled() {
+    let mut rng = rng_for("parallel_dds_honors_frozen_dimensions_pooled_and_unpooled");
+    let pool = util::WorkerPool::new(2);
+    for _ in 0..CASES / 16 {
+        let dims = rng.random_range(2..8);
+        let choices = rng.random_range(2..30);
+        let mut space = dds::SearchSpace::new(dims, choices);
+        let mut frozen = Vec::new();
+        for d in 0..dims {
+            if rng.random_range(0.0..1.0) < 0.4 {
+                let v = rng.random_range(0..choices);
+                space.freeze(d, v);
+                frozen.push((d, v));
+            }
+        }
+        let objective = move |x: &[usize]| x.iter().map(|&c| (c as f64).sin()).sum::<f64>();
+        let params = dds::ParallelDdsParams {
+            max_iters: 10,
+            initial_points: 4,
+            seed: rng.random_range(0..1000) as u64,
+            record_explored: true,
+            ..Default::default()
+        };
+        for pool in [None, Some(&pool)] {
+            let result = dds::parallel_search_in(pool, &space, &objective, &params);
+            assert!(space.contains(&result.best_point));
+            for (point, _) in &result.explored {
+                assert!(space.contains(point), "explored point escaped the space");
+                for &(d, v) in &frozen {
+                    assert_eq!(point[d], v, "frozen dimension {d} moved");
+                }
+            }
+        }
+    }
+}
+
+/// With an overwhelming penalty weight, DDS must never *prefer* an
+/// infeasible plan: the returned point satisfies the power and way-capacity
+/// constraints unless no evaluated point was feasible at all.
+#[test]
+fn overwhelming_penalty_never_prefers_an_infeasible_plan() {
+    let mut rng = rng_for("overwhelming_penalty_never_prefers_an_infeasible_plan");
+    for _ in 0..CASES / 16 {
+        let dims = rng.random_range(2..6);
+        let choices = rng.random_range(3..12);
+        let watts: Vec<Vec<f64>> = (0..dims)
+            .map(|_| (0..choices).map(|_| rng.random_range(1.0..10.0)).collect())
+            .collect();
+        let ways: Vec<Vec<f64>> = (0..dims)
+            .map(|_| (0..choices).map(|_| rng.random_range(0.5..8.0)).collect())
+            .collect();
+        // A cap somewhere between all-minimum and all-maximum demand, so
+        // feasibility actually bites on most cases.
+        let min_watts: f64 = watts
+            .iter()
+            .map(|row| row.iter().cloned().fold(f64::INFINITY, f64::min))
+            .sum();
+        let max_watts: f64 = watts
+            .iter()
+            .map(|row| row.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        let max_power = rng.random_range(min_watts..max_watts.max(min_watts + 1e-9));
+        let max_ways = rng.random_range(2.0..(8.0 * dims as f64));
+        let watts_t = &watts;
+        let ways_t = &ways;
+        let objective = dds::SoftPenalty {
+            benefit: |x: &[usize]| {
+                x.iter()
+                    .enumerate()
+                    .map(|(d, &c)| (c as f64 + 1.0) / (d as f64 + 1.0))
+                    .sum::<f64>()
+            },
+            power: |x: &[usize]| x.iter().enumerate().map(|(d, &c)| watts_t[d][c]).sum(),
+            cache_ways: |x: &[usize]| x.iter().enumerate().map(|(d, &c)| ways_t[d][c]).sum(),
+            max_power,
+            max_ways,
+            penalty_power: 1e6,
+            penalty_cache: 1e6,
+        };
+        let space = dds::SearchSpace::new(dims, choices);
+        let params = dds::ParallelDdsParams {
+            max_iters: 12,
+            initial_points: 6,
+            seed: rng.random_range(0..1000) as u64,
+            record_explored: true,
+            ..Default::default()
+        };
+        let result = dds::parallel_search_in(None, &space, &objective, &params);
+        let any_feasible = result
+            .explored
+            .iter()
+            .any(|(point, _)| objective.is_feasible(point));
+        assert!(
+            objective.is_feasible(&result.best_point) || !any_feasible,
+            "returned an infeasible plan while a feasible one was evaluated"
+        );
+    }
+}
+
+/// The evaluation cache must be numerically invisible: over a thousand
+/// random candidates (drawn with repeats so hits occur), every cached score
+/// is bit-identical to the uncached objective's.
+#[test]
+fn evaluation_cache_scores_are_bit_identical_to_uncached() {
+    use dds::Objective;
+    let mut rng = rng_for("evaluation_cache_scores_are_bit_identical_to_uncached");
+    let dims = 6;
+    let choices = 10;
+    let objective = |x: &[usize]| {
+        x.iter()
+            .enumerate()
+            .map(|(d, &c)| ((c * 31 + d * 7) as f64).sin() * (c as f64 + 0.5).ln())
+            .sum::<f64>()
+    };
+    let cached = dds::CachedObjective::new(&objective);
+    // A small pool of distinct points sampled 1000 times forces both cold
+    // misses and hot hits through the comparison.
+    let pool: Vec<Vec<usize>> = (0..100)
+        .map(|_| (0..dims).map(|_| rng.random_range(0..choices)).collect())
+        .collect();
+    for _ in 0..1000 {
+        let point = &pool[rng.random_range(0..pool.len())];
+        assert_eq!(
+            cached.evaluate(point).to_bits(),
+            objective.evaluate(point).to_bits(),
+            "cached score diverged at {point:?}"
+        );
+    }
+    assert!(cached.hits() >= 900, "repeated candidates must hit");
+}
+
+/// Warm-started SGD may never train materially worse than a cold solve on
+/// the same matrix: across random incremental-update workloads its RMSE
+/// stays within epsilon of the full-schedule cold fit.
+#[test]
+fn warm_sgd_rmse_stays_within_epsilon_of_cold() {
+    let mut rng = rng_for("warm_sgd_rmse_stays_within_epsilon_of_cold");
+    for case in 0..CASES / 16 {
+        let rows = rng.random_range(8..16);
+        let cols = rng.random_range(10..24);
+        let dense_rows = rows - 2;
+        let mut m = RatingMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = 1.0 + (r as f64 * 0.3) + (c as f64 * 0.2) + rng.random_range(0.0..0.1);
+                // Sparse rows start with a handful of observations.
+                if r < dense_rows || (r * 13 + c * 5) % 7 == 0 {
+                    m.set(r, c, v);
+                }
+            }
+        }
+        let config = recsys::SgdConfig {
+            seed: case as u64,
+            ..recsys::SgdConfig::default()
+        };
+        let prior = recsys::sgd::fit(&m, &config);
+        // Next quantum: a few more samples land on the sparse rows.
+        for r in dense_rows..rows {
+            let c = (r * 3 + case) % cols;
+            m.set(r, c, 1.0 + (r as f64 * 0.3) + (c as f64 * 0.2));
+        }
+        let warm_cfg = recsys::WarmStartConfig::default();
+        let warm = recsys::sgd::fit_warm(&m, &config, &warm_cfg, &prior).expect("shapes match");
+        let cold = recsys::sgd::fit(&m, &config);
+        assert!(warm.epochs <= warm_cfg.max_epochs);
+        assert!(
+            warm.train_rmse <= cold.train_rmse + 0.01,
+            "case {case}: warm RMSE {} vs cold RMSE {}",
+            warm.train_rmse,
+            cold.train_rmse
+        );
+    }
+}
