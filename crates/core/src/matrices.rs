@@ -18,7 +18,7 @@
 //! When a batch job departs (churn), [`JobMatrices::retire_batch`] drops its
 //! live observations so a later arrival in the same slot starts cold.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use recsys::{
     RatingMatrix, Reconstructor, SessionInput, SgdModel, ValueTransform, WarmStartConfig,
@@ -136,13 +136,17 @@ pub struct JobMatrices {
     num_batch: usize,
     training_bips: Vec<Vec<f64>>,
     training_watts: Vec<Vec<f64>>,
-    tail_training: HashMap<usize, Vec<Vec<f64>>>,
+    // Observation maps are BTreeMaps, not HashMaps: every one of them is
+    // iterated on the decision path (matrix assembly, the monotone tail
+    // closure), and the SGD training-sample order must be a function of the
+    // observations alone — never of a hasher's per-process seed.
+    tail_training: BTreeMap<usize, Vec<Vec<f64>>>,
     tail_library: Vec<LcService>,
     oracle: Oracle,
-    batch_bips_obs: Vec<HashMap<usize, f64>>,
-    batch_watts_obs: Vec<HashMap<usize, f64>>,
-    lc_watts_obs: Vec<HashMap<usize, f64>>,
-    tail_obs: Vec<HashMap<usize, HashMap<usize, f64>>>,
+    batch_bips_obs: Vec<BTreeMap<usize, f64>>,
+    batch_watts_obs: Vec<BTreeMap<usize, f64>>,
+    lc_watts_obs: Vec<BTreeMap<usize, f64>>,
+    tail_obs: Vec<BTreeMap<usize, BTreeMap<usize, f64>>>,
     generation: u64,
 }
 
@@ -195,13 +199,13 @@ impl JobMatrices {
             num_batch,
             training_bips,
             training_watts,
-            tail_training: HashMap::new(),
+            tail_training: BTreeMap::new(),
             tail_library: tail_library(),
             oracle,
-            batch_bips_obs: vec![HashMap::new(); num_batch],
-            batch_watts_obs: vec![HashMap::new(); num_batch],
-            lc_watts_obs: vec![HashMap::new(); num_lc],
-            tail_obs: vec![HashMap::new(); num_lc],
+            batch_bips_obs: vec![BTreeMap::new(); num_batch],
+            batch_watts_obs: vec![BTreeMap::new(); num_batch],
+            lc_watts_obs: vec![BTreeMap::new(); num_lc],
+            tail_obs: vec![BTreeMap::new(); num_lc],
             generation: 0,
         }
     }
@@ -296,8 +300,8 @@ impl JobMatrices {
     /// Queueing tails move smoothly over a couple of load percent, and
     /// input load drifts gradually in practice, so neighbouring evidence
     /// prevents a cold start at every bucket boundary.
-    pub fn tail_observations_near(&self, lc: usize, bucket: usize) -> HashMap<usize, f64> {
-        let mut merged = HashMap::new();
+    pub fn tail_observations_near(&self, lc: usize, bucket: usize) -> BTreeMap<usize, f64> {
+        let mut merged = BTreeMap::new();
         for distance in (0..=2).rev() {
             for b in [
                 bucket.saturating_sub(distance),
@@ -557,6 +561,7 @@ pub struct WarmState {
     generation: u64,
     bips: Option<SgdModel>,
     watts: Option<SgdModel>,
+    // lint:allow(DET-HASH-ITER, reason = "keyed lookup/insert/remove only; the map is never iterated, so hasher order cannot reach the SGD sample stream or any decision")
     tails: HashMap<(usize, usize), SgdModel>,
 }
 

@@ -1,0 +1,134 @@
+#![cfg(loom)]
+//! Loom model of the [`cuttlesys::faults::CircuitBreaker`] state machine
+//! under concurrent outcome reporting.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p cuttlesys --test loom_breaker
+//! ```
+//!
+//! The breaker itself is `&mut self` (the decision loop owns it), so the
+//! concurrency model is the *sharing pattern* the runtime uses when stage
+//! outcomes arrive from worker threads: a `Mutex<CircuitBreaker>` with
+//! every reporter taking the lock. The invariants that must survive any
+//! interleaving of reporters:
+//!
+//! * the state machine never wedges: after enough exclusive failures it is
+//!   open, after a close-quorum of probe successes it is closed;
+//! * `opens` and `closes` stay consistent (`closes <= opens`), and an open
+//!   breaker is exactly `opens > closes`;
+//! * mixed concurrent success/failure traffic leaves the breaker in *a*
+//!   legal state — specifically, `consecutive_failures` can never exceed
+//!   the open threshold while the breaker reports closed.
+
+use cuttlesys::faults::{CircuitBreaker, ResilienceConfig};
+use loom::sync::{Arc, Mutex};
+
+fn cfg() -> ResilienceConfig {
+    ResilienceConfig {
+        breaker_open_after: 3,
+        breaker_probe_interval: 1,
+        breaker_close_after: 2,
+        ..ResilienceConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_reporters_leave_a_legal_state() {
+    loom::model(|| {
+        let cfg = cfg();
+        let breaker = Arc::new(Mutex::new(CircuitBreaker::new()));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let breaker = Arc::clone(&breaker);
+            handles.push(loom::thread::spawn(move || {
+                for i in 0..4 {
+                    let mut b = breaker.lock().unwrap();
+                    // Thread 0 reports failures, thread 1 successes, with a
+                    // schedule point between quanta.
+                    if t == 0 {
+                        b.on_failure(&cfg);
+                    } else {
+                        b.on_success(&cfg);
+                    }
+                    drop(b);
+                    if i % 2 == 0 {
+                        loom::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let b = breaker.lock().unwrap();
+        assert!(
+            b.closes <= b.opens,
+            "closes {} cannot outrun opens {}",
+            b.closes,
+            b.opens
+        );
+        assert_eq!(
+            b.is_open(),
+            b.opens > b.closes,
+            "open/closed must match the opens-closes ledger"
+        );
+    });
+}
+
+#[test]
+fn exclusive_failure_burst_always_opens() {
+    loom::model(|| {
+        let cfg = cfg();
+        let breaker = Arc::new(Mutex::new(CircuitBreaker::new()));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let breaker = Arc::clone(&breaker);
+            handles.push(loom::thread::spawn(move || {
+                for _ in 0..3 {
+                    breaker.lock().unwrap().on_failure(&cfg);
+                    loom::thread::yield_now();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let b = breaker.lock().unwrap();
+        assert!(
+            b.is_open(),
+            "six serialized failures against open_after=3 must trip the breaker"
+        );
+        assert_eq!(b.opens, 1, "re-tripping while open must not double-count");
+    });
+}
+
+#[test]
+fn probe_recovery_closes_exactly_once() {
+    loom::model(|| {
+        let cfg = cfg();
+        let breaker = Arc::new(Mutex::new(CircuitBreaker::new()));
+        {
+            let mut b = breaker.lock().unwrap();
+            for _ in 0..3 {
+                b.on_failure(&cfg);
+            }
+            assert!(b.is_open());
+        }
+        // Two concurrent probe reporters race to deliver the close quorum.
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let breaker = Arc::clone(&breaker);
+            handles.push(loom::thread::spawn(move || {
+                breaker.lock().unwrap().on_success(&cfg);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let b = breaker.lock().unwrap();
+        assert!(!b.is_open(), "close_after=2 with 2 successes must close");
+        assert_eq!(b.closes, 1, "the close must be recorded exactly once");
+    });
+}

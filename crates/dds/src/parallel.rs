@@ -207,6 +207,7 @@ pub fn parallel_search(
     // the record is deterministic despite the concurrent evaluation.
     let mut explored_parts: Vec<Vec<(Vec<usize>, f64)>> = vec![Vec::new(); params.threads];
 
+    // lint:allow(DET-RAW-SPAWN, reason = "reference spawn-per-call back-end kept as the cross-check for the pooled back-end; tests/determinism.rs pins both to identical bits")
     crossbeam::scope(|scope| {
         for (t, part) in explored_parts.iter_mut().enumerate() {
             let (shared, barrier, posts, free) = (&shared, &barrier, &posts, &free);
@@ -216,6 +217,7 @@ pub fn parallel_search(
                 let mut rng = StdRng::seed_from_u64(worker_seed(params.seed, t));
                 for i in 1..=params.max_iters {
                     let (global_point, global_value) = {
+                        // lint:allow(PANIC-POLICY, reason = "lock poisoning means a sibling worker already panicked; propagating tears down the scope, which the breaker absorbs")
                         let g = shared.lock().unwrap();
                         (g.best_point.clone(), g.best_value)
                     };
@@ -232,11 +234,14 @@ pub fn parallel_search(
                         &mut rng,
                         part,
                     );
+                    // lint:allow(PANIC-POLICY, reason = "poisoned post slot means a sibling panicked; propagate")
                     *posts[t].lock().unwrap() = Some(local);
                     barrier.wait();
                     if t == 0 {
+                        // lint:allow(PANIC-POLICY, reason = "poisoned global best means a sibling panicked; propagate")
                         let mut g = shared.lock().unwrap();
                         for post in posts.iter() {
+                            // lint:allow(PANIC-POLICY, reason = "poisoned post slot means a sibling panicked; propagate")
                             if let Some((p, v)) = post.lock().unwrap().take() {
                                 if v > g.best_value {
                                     g.best_value = v;
@@ -250,13 +255,15 @@ pub fn parallel_search(
             });
         }
     })
+    // Documented panic: a worker panic is a search-stage fault, and the
+    // decision pipeline's circuit breaker catches it at the stage boundary.
+    // lint:allow(PANIC-POLICY, reason = "worker panic surfaces as a stage fault for the circuit breaker; swallowing it would return a half-reduced best")
     .expect("parallel DDS worker panicked");
 
+    // lint:allow(PANIC-POLICY, reason = "into_inner after the scope joined every worker; poisoning is impossible unless a panic already propagated above")
     let g = shared.into_inner().unwrap();
     let mut explored = initial_explored;
-    for part in explored_parts {
-        explored.extend(part);
-    }
+    explored.extend(util::reduce::ordered_concat(explored_parts));
     SearchResult {
         best_point: g.best_point,
         best_value: g.best_value,
@@ -330,18 +337,11 @@ pub fn parallel_search_in(
         });
         // Reduction in worker-index order, exactly like thread 0's pass over
         // the posts in the spawning back-end.
-        for (p, v) in locals {
-            if v > best_value {
-                best_value = v;
-                best_point = p;
-            }
-        }
+        (best_point, best_value) = util::reduce::ordered_best(locals, (best_point, best_value));
     }
 
     let mut explored = initial_explored;
-    for part in explored_parts {
-        explored.extend(part);
-    }
+    explored.extend(util::reduce::ordered_concat(explored_parts));
     SearchResult {
         best_point,
         best_value,

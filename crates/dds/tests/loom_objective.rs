@@ -1,0 +1,76 @@
+#![cfg(loom)]
+//! Loom model of [`dds::objective::CachedObjective`]'s
+//! release-lock-during-eval protocol.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p dds --test loom_objective
+//! ```
+//!
+//! The cache drops its map lock while the wrapped objective runs, so two
+//! threads racing on the same unseen point may *both* evaluate it (a benign
+//! double miss). The properties that must hold under every interleaving:
+//!
+//! * both racers return the same value (the objective is pure);
+//! * `hits + misses` equals the number of `evaluate` calls — no event is
+//!   lost or double-counted, and `misses` mirrors inner evaluations;
+//! * the double miss stays bounded: the inner objective runs at most once
+//!   per racing thread, and a post-race lookup is a pure hit.
+
+use dds::objective::{CachedObjective, Objective};
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+struct Counting {
+    calls: AtomicUsize,
+}
+
+impl Objective for Counting {
+    fn evaluate(&self, point: &[usize]) -> f64 {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        loom::thread::yield_now(); // widen the unlocked window
+        point.iter().sum::<usize>() as f64
+    }
+}
+
+#[test]
+fn racing_evaluations_agree_and_lose_no_events() {
+    loom::model(|| {
+        // The cache borrows its objective; `'static` borrows are the price
+        // of crossing `spawn`, so the tiny per-iteration leak is accepted.
+        let inner: &'static Counting = Box::leak(Box::new(Counting {
+            calls: AtomicUsize::new(0),
+        }));
+        let cache = Arc::new(CachedObjective::new(inner));
+
+        let a = {
+            let cache = Arc::clone(&cache);
+            loom::thread::spawn(move || cache.evaluate(&[1, 2, 3]))
+        };
+        let b = {
+            let cache = Arc::clone(&cache);
+            loom::thread::spawn(move || cache.evaluate(&[1, 2, 3]))
+        };
+        let (va, vb) = (a.join().unwrap(), b.join().unwrap());
+        assert_eq!(va.to_bits(), vb.to_bits(), "racers must agree bit-for-bit");
+        assert_eq!(va, 6.0);
+
+        // A third, post-race evaluation must be a pure hit.
+        let hits_before = cache.hits();
+        assert_eq!(cache.evaluate(&[1, 2, 3]), 6.0);
+        assert_eq!(cache.hits(), hits_before + 1, "post-race lookup must hit");
+
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            3,
+            "every evaluate is either a hit or a miss"
+        );
+        let calls = inner.calls.load(Ordering::SeqCst);
+        assert!(
+            (1..=2).contains(&calls),
+            "inner objective ran {calls} times for one point"
+        );
+        assert_eq!(cache.misses(), calls, "misses mirror inner evaluations");
+    });
+}

@@ -44,6 +44,7 @@ fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Vec<f64> {
     for col in 0..n {
         let pivot = (col..n)
             .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
+            // lint:allow(PANIC-POLICY, reason = "col..n is non-empty by the loop bound col < n; an empty range here is a solver bug worth crashing on")
             .expect("non-empty system");
         if pivot != col {
             for k in 0..n {
@@ -226,6 +227,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // training/fit loop; intractable under Miri (DESIGN.md §8)
     fn als_fits_the_training_entries() {
         let obs = synthetic(16, 24, 13, 2);
         let model = fit(&obs, &AlsConfig::default());
@@ -233,6 +235,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // training/fit loop; intractable under Miri (DESIGN.md §8)
     fn als_matches_sgd_held_out_quality() {
         let obs = synthetic(20, 30, 16, 2);
         let truth = |i: usize, j: usize| {
@@ -260,6 +263,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // training/fit loop; intractable under Miri (DESIGN.md §8)
     fn als_is_deterministic() {
         let obs = synthetic(10, 15, 8, 2);
         let a = fit(&obs, &AlsConfig::default());
@@ -269,6 +273,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // training/fit loop; intractable under Miri (DESIGN.md §8)
     fn more_sweeps_do_not_hurt_training_fit() {
         let obs = synthetic(12, 20, 10, 3);
         let short = fit(

@@ -8,7 +8,7 @@
 //! delay factor, which is how co-runner interference leaks into performance
 //! even with cache isolation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +19,10 @@ use crate::params::SystemParams;
 /// A way-partitioning of the shared LLC across jobs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LlcPartition {
-    allocs: HashMap<JobId, CacheAlloc>,
+    // A BTreeMap so that `total_ways` (a float sum) and `iter` walk jobs in
+    // JobId order: allocation ways happen to sum exactly in f64 today, but
+    // the determinism must be structural, not an accident of the values.
+    allocs: BTreeMap<JobId, CacheAlloc>,
 }
 
 impl LlcPartition {
@@ -76,7 +79,7 @@ impl LlcPartition {
         self.allocs.is_empty()
     }
 
-    /// Iterates over `(job, allocation)` pairs in unspecified order.
+    /// Iterates over `(job, allocation)` pairs in ascending `JobId` order.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, CacheAlloc)> + '_ {
         self.allocs.iter().map(|(j, a)| (*j, *a))
     }

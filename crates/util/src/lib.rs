@@ -14,8 +14,12 @@
 //!   mixing built on it. Previously each crate carried its own copy of the
 //!   constants; a single unit-tested helper keeps the fault streams (and the
 //!   DDS per-thread seeding) from silently diverging.
+//! * [`reduce`] — worker-ordered reduction helpers. Parallel float
+//!   reductions must fold per-worker slots in worker-index order to stay
+//!   bit-deterministic; the `DET-FLOAT-REDUCE` lint points offenders here.
 
 pub mod pool;
+pub mod reduce;
 pub mod rng64;
 
 pub use pool::WorkerPool;

@@ -1,0 +1,641 @@
+//! A span-accurate Rust lexer for the invariant linter.
+//!
+//! The container this repo builds in has no crates.io access, so `syn` is
+//! not available; the lint pass instead runs over a token stream produced
+//! here. The lexer understands everything that can *hide* an identifier —
+//! line and nested block comments, string/raw-string/byte-string and char
+//! literals, lifetimes — so the rules in [`crate::rules`] never fire on
+//! text inside a literal or comment, and never miss an identifier because
+//! of one. That is the property the rules actually need; full expression
+//! parsing is not.
+//!
+//! Two side products matter to the rules:
+//!
+//! * [`Allow`] records parsed `// lint:allow(RULE, reason = "...")`
+//!   escape-hatch comments with their line numbers;
+//! * inactive regions: tokens inside `#[cfg(test)]` / `#[cfg(loom)]` items
+//!   (and files with a matching inner attribute) are marked inactive, since
+//!   test-only and loom-model code is exempt from the runtime invariants.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+    /// Whether the token is live runtime code: `false` inside
+    /// `#[cfg(test)]` / `#[cfg(loom)]` items.
+    pub active: bool,
+}
+
+/// Token kinds the linter distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'env` (kept distinct from char literals).
+    Lifetime(String),
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A parsed `lint:allow` escape-hatch comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule id being allowed, e.g. `DET-HASH-ITER`.
+    pub rule: String,
+    /// The justification string, empty when the comment omitted it.
+    pub reason: String,
+    /// 1-based line the comment appears on.
+    pub line: usize,
+    /// Whether the comment carried a non-empty `reason = "..."`.
+    pub has_reason: bool,
+}
+
+/// The lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Escape-hatch comments in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes `source`, marking `#[cfg(test)]` / `#[cfg(loom)]` items inactive.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = RawLexer::new(source);
+    let mut tokens = Vec::new();
+    while let Some(tok) = lx.next_token() {
+        tokens.push(tok);
+    }
+    mark_inactive(&mut tokens);
+    Lexed {
+        tokens,
+        allows: lx.allows,
+    }
+}
+
+struct RawLexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+    allows: Vec<Allow>,
+}
+
+impl<'a> RawLexer<'a> {
+    fn new(source: &'a str) -> Self {
+        RawLexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+            allows: Vec::new(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next()
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        loop {
+            let c = self.peek()?;
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => self.line_comment(),
+                '/' if self.peek2() == Some('*') => self.block_comment(),
+                '"' => {
+                    self.string_literal();
+                    return Some(self.tok(TokenKind::Literal, line, col));
+                }
+                'r' if matches!(self.peek2(), Some('"') | Some('#')) && self.is_raw_string() => {
+                    self.raw_string_literal();
+                    return Some(self.tok(TokenKind::Literal, line, col));
+                }
+                'b' if matches!(self.peek2(), Some('"')) => {
+                    self.bump(); // b
+                    self.string_literal();
+                    return Some(self.tok(TokenKind::Literal, line, col));
+                }
+                'b' if matches!(self.peek2(), Some('\'')) => {
+                    self.bump(); // b
+                    self.char_literal();
+                    return Some(self.tok(TokenKind::Literal, line, col));
+                }
+                '\'' => {
+                    if let Some(tok) = self.lifetime_or_char(line, col) {
+                        return Some(tok);
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    self.number_literal();
+                    return Some(self.tok(TokenKind::Literal, line, col));
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    let ident = self.ident();
+                    return Some(self.tok(TokenKind::Ident(ident), line, col));
+                }
+                c => {
+                    self.bump();
+                    return Some(self.tok(TokenKind::Punct(c), line, col));
+                }
+            }
+        }
+    }
+
+    fn tok(&self, kind: TokenKind, line: usize, col: usize) -> Token {
+        Token {
+            kind,
+            line,
+            col,
+            active: true,
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Only plain `//` comments carry annotations; `///` and `//!` doc
+        // comments are documentation and may *mention* the syntax freely.
+        let is_doc = matches!(text.chars().nth(2), Some('/' | '!'));
+        if !is_doc {
+            if let Some(allow) = parse_allow(&text, line) {
+                self.allows.push(allow);
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether the upcoming `r...` really starts a raw string (`r"`, `r#"`),
+    /// as opposed to an identifier that merely starts with `r`.
+    fn is_raw_string(&mut self) -> bool {
+        let mut clone = self.chars.clone();
+        clone.next(); // 'r'
+        let mut c = clone.next();
+        while c == Some('#') {
+            c = clone.next();
+        }
+        c == Some('"')
+    }
+
+    fn raw_string_literal(&mut self) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Disambiguates a `'` between a lifetime (`'env`) and a char literal
+    /// (`'a'`, `'\n'`): an identifier directly after the quote that is *not*
+    /// closed by another quote is a lifetime.
+    fn lifetime_or_char(&mut self, line: usize, col: usize) -> Option<Token> {
+        let mut clone = self.chars.clone();
+        clone.next(); // the quote
+        let first = clone.next();
+        match first {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Walk the identifier; if it ends with a closing quote it
+                // was a char literal like 'a'.
+                let n = clone.clone();
+                let mut len = 1;
+                let mut closed = false;
+                for nc in n {
+                    if nc.is_alphanumeric() || nc == '_' {
+                        len += 1;
+                    } else {
+                        closed = nc == '\'';
+                        break;
+                    }
+                }
+                if closed && len == 1 {
+                    self.char_literal();
+                    Some(self.tok(TokenKind::Literal, line, col))
+                } else {
+                    self.bump(); // quote
+                    let ident = self.ident();
+                    Some(self.tok(TokenKind::Lifetime(ident), line, col))
+                }
+            }
+            _ => {
+                self.char_literal();
+                Some(self.tok(TokenKind::Literal, line, col))
+            }
+        }
+    }
+
+    fn number_literal(&mut self) {
+        while let Some(c) = self.peek() {
+            // Good enough for spans: consume digits, radix letters, `_`,
+            // `.` followed by a digit, and exponent signs.
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' {
+                match self.peek2() {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Parses `lint:allow(RULE)` / `lint:allow(RULE, reason = "...")` out of a
+/// line comment's text.
+fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
+    let idx = comment.find("lint:allow(")?;
+    let rest = &comment[idx + "lint:allow(".len()..];
+    // The rule id runs to the first `,` or `)`. The reason, when present,
+    // is a double-quoted string that may itself contain `(`/`)`/`,` — so it
+    // is parsed by its quotes, not by the closing paren.
+    let rule_end = rest.find([',', ')'])?;
+    let rule = rest[..rule_end].trim();
+    let reason = if rest[rule_end..].starts_with(',') {
+        rest[rule_end + 1..]
+            .trim_start()
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.split('"').next())
+            .unwrap_or("")
+            .to_string()
+    } else {
+        String::new()
+    };
+    let has_reason = !reason.is_empty();
+    Some(Allow {
+        rule: rule.to_string(),
+        reason,
+        line,
+        has_reason,
+    })
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[cfg(loom)]` items as inactive.
+///
+/// Also handles the inner-attribute form `#![cfg(loom)]`, which deactivates
+/// the whole file. The "item" following an exempting attribute extends over
+/// any further attributes, up to and including its brace block (or a `;`
+/// that arrives before any brace — e.g. a gated `use`).
+fn mark_inactive(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#![cfg(...)]` — inner attribute: whole file.
+        let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let bracket = if inner { i + 2 } else { i + 1 };
+        if !tokens.get(bracket).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(end) = matching_bracket(tokens, bracket) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_exempting_cfg(&tokens[bracket + 1..end]) {
+            i = bracket + 1;
+            continue;
+        }
+        if inner {
+            for t in tokens.iter_mut() {
+                t.active = false;
+            }
+            return;
+        }
+        // Attribute applies to the following item: deactivate through the
+        // end of its block (or terminating semicolon).
+        let item_end = item_end(tokens, end + 1);
+        for t in &mut tokens[i..item_end] {
+            t.active = false;
+        }
+        i = item_end;
+    }
+}
+
+/// Whether the attribute tokens (inside `[...]`) are a `cfg(...)` whose
+/// predicate mentions `test` or `loom`.
+fn attr_is_exempting_cfg(attr: &[Token]) -> bool {
+    if attr.first().and_then(Token::ident) != Some("cfg") {
+        return false;
+    }
+    attr.iter()
+        .filter_map(Token::ident)
+        .any(|id| id == "test" || id == "loom")
+}
+
+/// Public view of [`matching_bracket`] for the rules pass (clippy-allow
+/// attribute spans in `PANIC-POLICY`).
+pub fn matching_bracket_pub(tokens: &[Token], open: usize) -> Option<usize> {
+    matching_bracket(tokens, open)
+}
+
+/// Public view of [`item_end`] for the rules pass.
+pub fn item_end_pub(tokens: &[Token], start: usize) -> usize {
+    item_end(tokens, start)
+}
+
+/// Index of the matching `]`/`}`/`)` for the opener at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens[open].kind {
+        TokenKind::Punct('[') => ('[', ']'),
+        TokenKind::Punct('{') => ('{', '}'),
+        TokenKind::Punct('(') => ('(', ')'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// End index (exclusive) of the item starting at `start`: skips further
+/// attributes, then runs to the close of the first brace block, or to a
+/// top-level `;` if one comes first.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes.
+    while i < tokens.len() && tokens[i].is_punct('#') {
+        if let Some(close) = tokens
+            .get(i + 1)
+            .filter(|t| t.is_punct('['))
+            .and_then(|_| matching_bracket(tokens, i + 1))
+        {
+            i = close + 1;
+        } else {
+            break;
+        }
+    }
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(';') {
+            return i + 1;
+        }
+        if t.is_punct('{') {
+            return matching_bracket(tokens, i).map_or(tokens.len(), |c| c + 1);
+        }
+        // Skip parenthesized/bracketed groups (where `;` can legally occur,
+        // e.g. `[0u8; 4]` in a signature default) without ending the item.
+        if t.is_punct('(') || t.is_punct('[') {
+            i = matching_bracket(tokens, i).map_or(tokens.len(), |c| c + 1);
+            continue;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<(&str, bool)> {
+        lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(|s| (s, t.active)))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap<_, _>";
+            let r = r#"HashMap"#;
+            let c = 'H';
+            fn f<'env>(x: &'env str) {}
+        "##;
+        let lexed = lex(src);
+        assert!(idents(&lexed).iter().all(|(s, _)| *s != "HashMap"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Lifetime(l) if l == "env")));
+    }
+
+    #[test]
+    fn spans_are_line_and_column_accurate() {
+        let src = "fn main() {\n    let map = HashMap::new();\n}\n";
+        let lexed = lex(src);
+        let tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("HashMap"))
+            .unwrap();
+        assert_eq!((tok.line, tok.col), (2, 15));
+    }
+
+    #[test]
+    fn cfg_test_items_are_inactive() {
+        let src = r#"
+            fn live() { thread_rng(); }
+            #[cfg(test)]
+            mod tests {
+                fn gated() { thread_rng(); }
+            }
+            fn live_again() {}
+        "#;
+        let lexed = lex(src);
+        let rngs: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.ident() == Some("thread_rng"))
+            .map(|t| t.active)
+            .collect();
+        assert_eq!(rngs, vec![true, false]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.ident() == Some("live_again") && t.active));
+    }
+
+    #[test]
+    fn cfg_loom_and_inner_attributes_deactivate() {
+        let gated = lex("#[cfg(loom)]\nfn model() { spawn(); }\nfn live() {}");
+        let spawn = gated
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("spawn"))
+            .unwrap();
+        assert!(!spawn.active);
+        let whole = lex("#![cfg(loom)]\nfn anything() { spawn(); }");
+        assert!(whole.tokens.iter().all(|t| !t.active));
+    }
+
+    #[test]
+    fn allow_comments_parse_rule_and_reason() {
+        let src = "// lint:allow(DET-HASH-ITER, reason = \"lookup only\")\nlet x = 1;\n// lint:allow(DET-RNG)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "DET-HASH-ITER");
+        assert_eq!(lexed.allows[0].reason, "lookup only");
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[1].rule, "DET-RNG");
+        assert!(!lexed.allows[1].has_reason);
+    }
+
+    #[test]
+    fn allow_reasons_may_contain_parens_and_commas() {
+        let src = "// lint:allow(DET-HASH-ITER, reason = \"keyed O(1) lookup, never iterated (see field doc)\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!(
+            lexed.allows[0].reason,
+            "keyed O(1) lookup, never iterated (see field doc)"
+        );
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_annotations() {
+        let src = "/// mentions lint:allow(DET-RNG, reason = \"docs\") in prose\n//! and lint:allow(DET-RNG) here\nfn f() {}\n";
+        assert!(lex(src).allows.is_empty());
+    }
+
+    #[test]
+    fn raw_identifier_prefix_r_is_not_a_raw_string() {
+        let lexed = lex("let radius = r_values[0];");
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("r_values")));
+    }
+}

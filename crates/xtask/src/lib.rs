@@ -1,0 +1,106 @@
+//! `cargo xtask` — repo-local developer tasks.
+//!
+//! The only task today is `lint`: a source-level pass that enforces the
+//! determinism and concurrency invariants the golden-record tests depend
+//! on, as named rules with span-accurate diagnostics (catalogue and
+//! rationale: DESIGN.md §8, `rules.rs` module docs). Run it as
+//!
+//! ```text
+//! cargo xtask lint            # human-readable, exit 1 on violations
+//! cargo xtask lint --json     # stable machine-readable report on stdout
+//! cargo xtask lint PATH...    # restrict to specific files/directories
+//! ```
+//!
+//! The crate is a library so the integration tests (`tests/lint_rules.rs`)
+//! drive the same engine the CLI does, over the fixture corpus in
+//! `tests/fixtures/`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// Directories never linted: vendored stand-ins are out of policy scope,
+/// build output is not source, and the fixture corpus *intentionally*
+/// violates every rule.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Lints every `.rs` file under `roots` (workspace-relative paths are
+/// resolved against `workspace`). Returns the sorted report.
+pub fn run_lint(workspace: &Path, roots: &[PathBuf]) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for root in roots {
+        let abs = if root.is_absolute() {
+            root.clone()
+        } else {
+            workspace.join(root)
+        };
+        collect_rs_files(&abs, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(workspace)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.diagnostics.extend(rules::lint_source(&rel, &source));
+        report.checked_files += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// The default lint roots: all first-party crate sources.
+pub fn default_roots() -> Vec<PathBuf> {
+    vec![PathBuf::from("crates")]
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    if !path.is_dir() {
+        return Ok(());
+    }
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if SKIP_DIRS.contains(&name) {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        collect_rs_files(&entry, out)?;
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first directory
+/// containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! CLI entry point for `cargo xtask`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint [--json] [PATH...]   check determinism/concurrency invariants
+                            (default PATH: crates/). --json writes the
+                            stable machine-readable report to stdout.
+                            Exits 0 when clean, 1 on violations.
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("xtask lint: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots = xtask::default_roots();
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(workspace) = xtask::find_workspace_root(&cwd) else {
+        eprintln!(
+            "xtask lint: no workspace Cargo.toml above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    match xtask::run_lint(&workspace, &roots) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: allow-comment hygiene. A reason-less allow must report
+// LINT-ALLOW-REASON and NOT suppress its rule; an unknown rule id must
+// report LINT-UNKNOWN-RULE (linted as crates/core/src/fixture.rs).
+
+// lint:allow(DET-HASH-ITER)
+pub fn still_flagged() -> HashMap<u32, u32> {
+    todo!()
+}
+
+// lint:allow(DET-TYPO-RULE, reason = "this rule does not exist")
+pub fn fine() {}

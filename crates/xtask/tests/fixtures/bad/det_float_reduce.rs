@@ -1,0 +1,16 @@
+// Fixture: DET-FLOAT-REDUCE must fire on atomic float accumulation
+// (fetch ops in a file that bit-casts floats) and on Mutex<f64>
+// accumulators (linted as crates/dds/src/fixture.rs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Acc {
+    pub total: Mutex<f64>,
+}
+
+pub fn add(cell: &AtomicU64, x: f64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+        Some((f64::from_bits(bits) + x).to_bits())
+    });
+}

@@ -1,0 +1,14 @@
+// Fixture: DET-HASH-ITER must fire on HashMap/HashSet at expression and
+// type sites in decision-path crates (linted as crates/core/src/fixture.rs),
+// while the `use` declaration stays exempt.
+// Expected hits: (8,26), (9,18), (9,40), (14,17).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn observations() -> HashMap<usize, f64> {
+    let mut obs: HashMap<usize, f64> = HashMap::new();
+    obs.insert(0, 1.0);
+    obs
+}
+
+pub struct Seen(HashSet<usize>);

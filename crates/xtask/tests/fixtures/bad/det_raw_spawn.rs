@@ -1,0 +1,12 @@
+// Fixture: DET-RAW-SPAWN must fire on raw thread machinery outside
+// util::pool (linted as crates/workloads/src/fixture.rs — the rule is
+// workspace-wide, not decision-path-only).
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    crossbeam::scope(|s| {
+        s.spawn(|_| ());
+    })
+    .unwrap();
+}

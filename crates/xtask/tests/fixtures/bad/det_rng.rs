@@ -1,0 +1,9 @@
+// Fixture: DET-RNG must fire on ambient-entropy randomness anywhere in the
+// workspace (linted as crates/bench/src/fixture.rs — even bench code must
+// seed explicitly or runs stop being comparable).
+
+pub fn draws() -> (f64, u64) {
+    let mut r = rand::thread_rng();
+    let s = StdRng::from_entropy();
+    (r.gen(), s.next_u64())
+}

@@ -1,0 +1,11 @@
+// Fixture: DET-WALLCLOCK must fire on wall-clock reads outside the
+// telemetry/bench allowlist (linted as crates/core/src/fixture.rs).
+// A bare `Instant` type mention (the parameter) must NOT fire.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stage(deadline: Instant) -> bool {
+    let now = Instant::now();
+    let _epoch = SystemTime::now();
+    now < deadline
+}

@@ -1,0 +1,10 @@
+// Fixture: PANIC-POLICY must fire on bare .unwrap()/.expect() method calls
+// in decision-path crates (linted as crates/simulator/src/fixture.rs), and
+// must NOT fire on unwrap_or / an `unwrap` path segment.
+
+pub fn brittle(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be ok");
+    let c = x.unwrap_or(0);
+    a + b + c
+}

