@@ -1,0 +1,214 @@
+//! Facade-overhead bench for the control-plane service.
+//!
+//! The service runs every decision quantum behind a reactor thread, a
+//! bounded command channel, lifecycle settling, and event publication.
+//! None of that is allowed to cost real time against the 100 ms quantum:
+//! the acceptance gate for the control-plane refactor is that driving a
+//! scenario through the full [`Service`] facade (manual pacing, one
+//! subscriber draining the bus) costs **< 5 %** more wall time per quantum
+//! than the bare pipeline (`run_scenario` over a [`CuttleSysManager`]).
+//!
+//! Both paths run the identical scenario and produce bit-identical
+//! decisions (pinned by `tests/control_plane.rs`); the only difference is
+//! the plumbing, so the per-quantum delta *is* the facade overhead. Each
+//! path runs `--reps` times and the fastest run is compared — the minimum
+//! is the standard estimator for plumbing cost because slower repetitions
+//! measure scheduler noise, not the facade.
+//!
+//! Usage: `service_loop [--slices N] [--reps N] [--json [path]] [--check]`
+//!
+//! * `--slices N` — quanta per run (default 30).
+//! * `--reps N`   — repetitions per path, fastest wins (default 3).
+//! * `--json [path]` — write the report (default
+//!   `BENCH_service_loop.json`), flat `metrics` object as in the other
+//!   bench bins.
+//! * `--check` — exit non-zero when the overhead gate fails.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::report::{emit_json, JsonValue};
+use bench::Table;
+use cuttlesys::runtime::CuttleSysManager;
+use cuttlesys::testbed::run_scenario;
+use cuttlesys::types::Scenario;
+use service::bus::Received;
+use service::ServiceBuilder;
+use workloads::loadgen::LoadPattern;
+
+/// The acceptance gate: facade overhead per quantum, as a fraction of the
+/// bare pipeline's per-quantum wall time.
+const OVERHEAD_GATE: f64 = 0.05;
+
+fn scenario(slices: usize) -> Scenario {
+    Scenario {
+        cap: LoadPattern::Constant(0.7),
+        duration_slices: slices,
+        noise: 0.0,
+        phases: false,
+        ..Scenario::paper_default()
+    }
+    .with_load(LoadPattern::Constant(0.8))
+}
+
+/// Wall time for the bare pipeline: the static testbed loop, no service.
+fn bare_run_ms(s: &Scenario) -> f64 {
+    let mut manager = CuttleSysManager::for_scenario(s);
+    let start = Instant::now();
+    let record = run_scenario(s, &mut manager);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(record.slices.len(), s.duration_slices);
+    elapsed
+}
+
+/// Wall time for the same quanta through the service facade: reactor
+/// thread, command channel, lifecycle settling, event bus with one
+/// same-thread subscriber draining after every quantum, final drain and
+/// record assembly.
+fn facade_run_ms(s: &Scenario) -> f64 {
+    let svc = ServiceBuilder::new(s).start().expect("service starts");
+    let mut events = svc.subscribe();
+    let mut event_count = 0usize;
+    let start = Instant::now();
+    for _ in 0..s.duration_slices {
+        svc.step_quantum().expect("quantum");
+        while let Ok(Some(got)) = events.try_recv() {
+            if matches!(got, Received::Event(_)) {
+                event_count += 1;
+            }
+        }
+    }
+    let record = svc.shutdown().expect("clean shutdown");
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(record.slices.len(), s.duration_slices);
+    assert!(event_count > 0, "the run published lifecycle events");
+    elapsed
+}
+
+fn fastest(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+struct CliArgs {
+    slices: usize,
+    reps: usize,
+    json: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> CliArgs {
+    let mut args = CliArgs {
+        slices: 30,
+        reps: 3,
+        json: None,
+        check: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slices" => {
+                args.slices = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slices takes a positive integer");
+            }
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps takes a positive integer");
+            }
+            "--json" => {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => PathBuf::from(it.next().expect("peeked")),
+                    _ => PathBuf::from("BENCH_service_loop.json"),
+                };
+                args.json = Some(path);
+            }
+            "--check" => args.check = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    assert!(args.slices >= 2, "need at least 2 slices");
+    assert!(args.reps >= 1, "need at least 1 rep");
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let s = scenario(args.slices);
+
+    // Interleave one warmup of each path so neither pays first-touch costs.
+    let _ = bare_run_ms(&s);
+    let _ = facade_run_ms(&s);
+
+    let bare_ms = fastest(args.reps, || bare_run_ms(&s));
+    let facade_ms = fastest(args.reps, || facade_run_ms(&s));
+    let bare_per_quantum = bare_ms / args.slices as f64;
+    let facade_per_quantum = facade_ms / args.slices as f64;
+    let overhead = facade_per_quantum / bare_per_quantum - 1.0;
+
+    let mut table = Table::new(
+        &format!(
+            "service_loop: paper_default ({} quanta, best of {})",
+            args.slices, args.reps
+        ),
+        &["path", "total ms", "per-quantum ms"],
+    );
+    table.row(vec![
+        "bare pipeline".into(),
+        format!("{bare_ms:.2}"),
+        format!("{bare_per_quantum:.3}"),
+    ]);
+    table.row(vec![
+        "service facade".into(),
+        format!("{facade_ms:.2}"),
+        format!("{facade_per_quantum:.3}"),
+    ]);
+    table.print();
+    println!(
+        "facade overhead: {:+.2}% per quantum (gate: < {:.0}%)",
+        100.0 * overhead,
+        100.0 * OVERHEAD_GATE
+    );
+
+    if let Some(path) = &args.json {
+        let doc = JsonValue::Obj(vec![
+            ("bench".into(), JsonValue::Str("service_loop".into())),
+            ("slices".into(), JsonValue::Num(args.slices as f64)),
+            ("reps".into(), JsonValue::Num(args.reps as f64)),
+            (
+                "metrics".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "bare.per_quantum_ms".into(),
+                        JsonValue::Num(bare_per_quantum),
+                    ),
+                    (
+                        "facade.per_quantum_ms".into(),
+                        JsonValue::Num(facade_per_quantum),
+                    ),
+                    ("facade.overhead".into(), JsonValue::Num(overhead)),
+                ]),
+            ),
+            ("tables".into(), JsonValue::Arr(vec![table.to_json()])),
+        ]);
+        emit_json(path, &doc).expect("write JSON report");
+        println!("JSON report written to {}", path.display());
+    }
+
+    if args.check && overhead >= OVERHEAD_GATE {
+        println!(
+            "GATE FAILED: facade overhead {:.2}% >= {:.0}%",
+            100.0 * overhead,
+            100.0 * OVERHEAD_GATE
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.check {
+        println!("check passed: facade overhead within the gate");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,11 +6,12 @@
 //! `--json <path>` flag additionally write the same tables as a JSON
 //! document via [`emit_json`] so plots can be regenerated without scraping
 //! text. The JSON writer is hand-rolled: the workspace's vendored `serde`
-//! is a stub, so nothing here derives serialization.
+//! is a stub, so nothing here derives serialization. [`JsonValue`] and
+//! [`emit_json`] now live in the shared `util` crate (the core crate's run
+//! snapshots and the control-plane service use the same conventions); they
+//! are re-exported here so the experiment binaries keep their imports.
 
-use std::fmt;
-use std::io::Write;
-use std::path::Path;
+pub use util::json::{emit_json, JsonValue};
 
 /// A fixed-width text table.
 #[derive(Debug, Clone, Default)]
@@ -114,96 +115,6 @@ impl Table {
     }
 }
 
-/// A JSON document, built by hand (the vendored `serde` is a no-op stub).
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number; non-finite values serialize as `null`.
-    Num(f64),
-    /// A string (escaped on output).
-    Str(String),
-    /// An array.
-    Arr(Vec<JsonValue>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-fn write_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl JsonValue {
-    fn write(&self, out: &mut String) {
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
-            JsonValue::Num(_) => out.push_str("null"),
-            JsonValue::Str(s) => write_json_str(out, s),
-            JsonValue::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            JsonValue::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_json_str(out, k);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl fmt::Display for JsonValue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = String::new();
-        self.write(&mut s);
-        f.write_str(&s)
-    }
-}
-
-/// Writes a JSON document to `path`, creating parent directories.
-///
-/// # Errors
-///
-/// Propagates any I/O failure from directory creation or the write.
-pub fn emit_json(path: &Path, value: &JsonValue) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
-    let mut file = std::fs::File::create(path)?;
-    writeln!(file, "{value}")
-}
-
 /// Extracts the `--json <path>` flag from an argument list, returning the
 /// path (if present) and the remaining arguments in order.
 pub fn take_json_flag(args: Vec<String>) -> (Option<std::path::PathBuf>, Vec<String>) {
@@ -261,26 +172,6 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips_structure() {
-        let v = JsonValue::Obj(vec![
-            ("name".into(), JsonValue::Str("fig\"5\"".into())),
-            (
-                "rows".into(),
-                JsonValue::Arr(vec![
-                    JsonValue::Num(1.5),
-                    JsonValue::Bool(true),
-                    JsonValue::Null,
-                    JsonValue::Num(f64::NAN),
-                ]),
-            ),
-        ]);
-        assert_eq!(
-            v.to_string(),
-            "{\"name\":\"fig\\\"5\\\"\",\"rows\":[1.5,true,null,null]}"
-        );
-    }
-
-    #[test]
     fn table_to_json_types_numeric_cells() {
         let mut t = Table::new("demo", &["scheme", "value"]);
         t.row(vec!["cuttlesys".into(), "1.25".into()]);
@@ -301,15 +192,5 @@ mod tests {
         let (none, rest) = take_json_flag(vec!["5".into()]);
         assert!(none.is_none());
         assert_eq!(rest, vec!["5".to_string()]);
-    }
-
-    #[test]
-    fn emit_json_writes_file() {
-        let dir = std::env::temp_dir().join("cuttlesys_report_test");
-        let path = dir.join("nested").join("out.json");
-        emit_json(&path, &JsonValue::Arr(vec![JsonValue::Num(3.0)])).unwrap();
-        let body = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(body.trim(), "[3]");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,6 +15,13 @@
 //!   per-slice records, and the [`ResourceManager`] trait.
 //! * [`testbed`] — the simulated server every resource manager runs on:
 //!   timeslice execution, noisy measurements, and ground-truth records.
+//! * [`driver`] — the simulation loop as a steppable value
+//!   ([`driver::ScenarioDriver`]): one 100 ms slice per call, with batch
+//!   jobs injected and drained between steps (runtime churn).
+//! * [`lifecycle`] — the tenant lifecycle state machine the control plane
+//!   enforces (Registering → … → Retired; illegal transitions are errors).
+//! * [`control`] — the sans-io control-plane core ([`control::ControlCore`]):
+//!   admission control, lifecycle tracking, step-one-quantum, snapshots.
 //! * [`matrices`] — the Resource Controller's rating-matrix bookkeeping:
 //!   offline-characterized training rows plus online observations.
 //! * [`pipeline`] — the decision quantum as an instrumented five-stage
@@ -53,7 +60,10 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod accounting;
+pub mod control;
+pub mod driver;
 pub mod faults;
+pub mod lifecycle;
 pub mod managers;
 pub mod matrices;
 pub mod pipeline;
@@ -62,7 +72,12 @@ pub mod telemetry;
 pub mod testbed;
 pub mod types;
 
+pub use control::{
+    AdmissionError, ControlCore, ControlError, ControlEvent, ControlSnapshot, TenantId, TenantKind,
+};
+pub use driver::ScenarioDriver;
 pub use faults::{DecisionError, FaultInjector, FaultPlan, ResilienceConfig, StageError};
+pub use lifecycle::{LifecycleError, LifecycleState, TenantLifecycle};
 pub use runtime::{CuttleSysManager, PerfConfig};
 pub use testbed::run_scenario;
 pub use types::{Plan, ResourceManager, RunRecord, Scenario};

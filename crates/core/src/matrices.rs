@@ -295,6 +295,18 @@ impl JobMatrices {
         self.generation += 1;
     }
 
+    /// Grows the matrices by one cold batch row (runtime admission),
+    /// returning the new job's batch index. The generation moves: warm
+    /// solver state sized for the old row set cannot be reused.
+    pub fn admit_batch(&mut self) -> usize {
+        let j = self.num_batch;
+        self.num_batch += 1;
+        self.batch_bips_obs.push(BTreeMap::new());
+        self.batch_watts_obs.push(BTreeMap::new());
+        self.generation += 1;
+        j
+    }
+
     /// Observations usable at `bucket` for tenant `lc`: direct observations
     /// merged with neighbours within ±2 % load (nearer buckets win).
     /// Queueing tails move smoothly over a couple of load percent, and

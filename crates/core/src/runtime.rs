@@ -324,6 +324,27 @@ impl CuttleSysManager {
         (self.breaker.opens, self.breaker.closes)
     }
 
+    /// Grows the manager's bookkeeping by one batch job (runtime
+    /// admission), returning the new job's batch index. The new slot starts
+    /// inactive and cold; the last plan and the last-good replay plan are
+    /// padded with a gated action so a degraded quantum in the admission
+    /// slice still emits a full-width plan. (Last-good *predictions* are
+    /// deliberately left short: [`safe_mode_plan`] treats a missing batch
+    /// prediction as infinite power and gates the job, which is the
+    /// conservative answer for a job never yet observed.)
+    pub fn admit_batch(&mut self) -> usize {
+        let j = self.matrices.admit_batch();
+        self.num_batch += 1;
+        self.prev_active.push(false);
+        if let Some(plan) = self.last_plan.as_mut() {
+            plan.batch.push(BatchAction::Gated);
+        }
+        if let Some(lg) = self.last_good.as_mut() {
+            lg.plan.batch.push(BatchAction::Gated);
+        }
+        j
+    }
+
     /// Runs one full decision quantum, surfacing every stage failure as a
     /// typed error instead of a panic. This is the fallible core that
     /// [`ResourceManager::plan`] wraps with the degradation ladder.

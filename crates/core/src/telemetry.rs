@@ -262,6 +262,60 @@ impl TelemetrySummary {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// The summary as a JSON document (hand-rolled — the vendored `serde`
+    /// is a stub). Stage timings are keyed by [`STAGE_NAMES`].
+    pub fn to_json(&self) -> util::JsonValue {
+        use util::JsonValue as J;
+        let stages = |vals: [f64; 5]| {
+            J::Obj(
+                STAGE_NAMES
+                    .iter()
+                    .zip(vals)
+                    .map(|(name, v)| ((*name).to_string(), J::Num(v)))
+                    .collect(),
+            )
+        };
+        let n = |v: usize| J::Num(v as f64);
+        J::Obj(vec![
+            ("decisions".into(), n(self.decisions)),
+            ("mean_wall_ms".into(), stages(self.mean_wall_ms)),
+            ("max_wall_ms".into(), stages(self.max_wall_ms)),
+            (
+                "mean_total_wall_ms".into(),
+                J::Num(self.mean_total_wall_ms()),
+            ),
+            (
+                "mean_profile_sim_ms".into(),
+                J::Num(self.mean_profile_sim_ms),
+            ),
+            ("mean_samples".into(), J::Num(self.mean_samples)),
+            ("mean_sgd_epochs".into(), J::Num(self.mean_sgd_epochs)),
+            ("warm_solves".into(), n(self.warm_solves)),
+            (
+                "mean_search_evaluations".into(),
+                J::Num(self.mean_search_evaluations),
+            ),
+            ("cache_hits".into(), n(self.cache_hits)),
+            ("cache_misses".into(), n(self.cache_misses)),
+            ("cache_hit_rate".into(), J::Num(self.cache_hit_rate())),
+            ("reclaims".into(), n(self.reclaims)),
+            ("relinquishes".into(), n(self.relinquishes)),
+            ("repairs".into(), n(self.repairs)),
+            ("samples_rejected".into(), n(self.samples_rejected)),
+            ("sample_retries".into(), n(self.sample_retries)),
+            (
+                "reconstruct_fallbacks".into(),
+                n(self.reconstruct_fallbacks),
+            ),
+            ("deadline_exceeded".into(), n(self.deadline_exceeded)),
+            ("last_good_replays".into(), n(self.last_good_replays)),
+            ("safe_mode_quanta".into(), n(self.safe_mode_quanta)),
+            ("breaker_open_quanta".into(), n(self.breaker_open_quanta)),
+            ("max_stale_age".into(), n(self.max_stale_age)),
+            ("degraded_quanta".into(), n(self.degraded_quanta)),
+        ])
+    }
 }
 
 /// Names of the pipeline stages, in the order `mean_wall_ms` uses.

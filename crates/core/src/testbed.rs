@@ -28,19 +28,15 @@ use simulator::{CacheAlloc, Chip, CoreState, JobConfig, JobId, LlcPartition};
 use workloads::phase::PhasedProfile;
 use workloads::queueing::MmcQueue;
 
-use crate::faults::{FaultInjector, InjectedFaults};
 use crate::rng_normal;
-use crate::types::{
-    BatchAction, LcAssignment, Plan, ProfilePlan, ProfileSample, ResourceManager, RunRecord,
-    SamplePoint, Scenario, SliceInfo, SliceOutcome, SliceRecord, TIMESLICE_MS,
-};
+use crate::types::{BatchAction, ResourceManager, RunRecord, Scenario};
 
 /// A queueing regime segment within a slice, for one LC tenant.
-struct TailSegment {
-    duration_ms: f64,
-    servers: usize,
-    service_rate: f64,
-    arrival_rate: f64,
+pub(crate) struct TailSegment {
+    pub(crate) duration_ms: f64,
+    pub(crate) servers: usize,
+    pub(crate) service_rate: f64,
+    pub(crate) arrival_rate: f64,
 }
 
 impl TailSegment {
@@ -62,29 +58,33 @@ impl TailSegment {
 }
 
 /// The simulated server.
+///
+/// Fields are `pub(crate)` so [`crate::driver::ScenarioDriver`] — the
+/// steppable simulation loop split out of this module — can drive frames
+/// and mutate churn state without widening the public API.
 pub struct Testbed {
-    scenario: Scenario,
-    chip: Chip,
-    profiles: Vec<PhasedProfile>,
-    rng: StdRng,
-    now_ms: f64,
-    slice_end_ms: f64,
-    num_lc: usize,
+    pub(crate) scenario: Scenario,
+    pub(crate) chip: Chip,
+    pub(crate) profiles: Vec<PhasedProfile>,
+    pub(crate) rng: StdRng,
+    pub(crate) now_ms: f64,
+    pub(crate) slice_end_ms: f64,
+    pub(crate) num_lc: usize,
     /// Per-tenant input load during the current slice.
-    current_load: Vec<f64>,
+    pub(crate) current_load: Vec<f64>,
     /// Which batch jobs are present during the current slice (churn).
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     // Per-slice accumulators.
-    energy_mj: f64,
-    instructions: Vec<f64>,
+    pub(crate) energy_mj: f64,
+    pub(crate) instructions: Vec<f64>,
     /// Per-tenant queueing regime segments of the current slice.
-    tail_segments: Vec<Vec<TailSegment>>,
+    pub(crate) tail_segments: Vec<Vec<TailSegment>>,
     /// Per-tenant fluid backlog carried across slices.
-    carry_backlog: Vec<f64>,
-    rotation: usize,
+    pub(crate) carry_backlog: Vec<f64>,
+    pub(crate) rotation: usize,
     /// Configuration each job ran in during the previous frame, for
     /// charging reconfiguration transition stalls.
-    last_config: Vec<Option<JobConfig>>,
+    pub(crate) last_config: Vec<Option<JobConfig>>,
 }
 
 impl Testbed {
@@ -141,7 +141,7 @@ impl Testbed {
         }
     }
 
-    fn noisy(&mut self, value: f64) -> f64 {
+    pub(crate) fn noisy(&mut self, value: f64) -> f64 {
         let sigma = self.scenario.noise;
         if sigma == 0.0 {
             return value;
@@ -224,7 +224,7 @@ impl Testbed {
 
     /// Runs one frame, accumulating energy, instructions, and each tenant's
     /// tail segment; returns the frame result and contention.
-    fn run_frame(
+    pub(crate) fn run_frame(
         &mut self,
         lc_configs: &[Vec<JobConfig>],
         batch: &[BatchAction],
@@ -295,7 +295,7 @@ impl Testbed {
     /// configuration that follows it, which is why CuttleSys' 2 ms
     /// profiling barely moves the window p99 while Flicker's 90 ms
     /// profiling destroys it (§VIII-E).
-    fn window_p99(&mut self, lc: usize) -> f64 {
+    pub(crate) fn window_p99(&mut self, lc: usize) -> f64 {
         let segments = &self.tail_segments[lc];
         if segments.is_empty() {
             return 0.0;
@@ -351,302 +351,18 @@ impl Testbed {
 /// physically ran (the *applied* plan) plus the per-slice
 /// [`InjectedFaults`] counts.
 pub fn run_scenario(scenario: &Scenario, manager: &mut dyn ResourceManager) -> RunRecord {
-    let mut tb = Testbed::new(scenario);
-    let injector = FaultInjector::new(scenario.faults.clone());
-    let num_lc = scenario.num_lc();
-    let num_jobs = num_lc + scenario.num_batch();
-    let mut slices = Vec::with_capacity(scenario.duration_slices);
-    let mut last_tails: Vec<Option<f64>> = vec![None; num_lc];
-    let mut last_cores: Vec<usize> = scenario.lc_jobs().iter().map(|lc| lc.cores).collect();
-    let lc_specs: Vec<_> = scenario.lc_jobs().into_iter().cloned().collect();
-
-    for slice in 0..scenario.duration_slices {
-        let qf = injector.quantum(slice);
-        let mut slice_faults = InjectedFaults {
-            power_blackout: qf.power_blackout,
-            reconfig_failed: qf.reconfig_fail,
-            ..InjectedFaults::default()
-        };
-        let t_s = slice as f64 * TIMESLICE_MS / 1000.0;
-        for (i, lc) in lc_specs.iter().enumerate() {
-            tb.current_load[i] = lc.load.load_at(t_s);
-        }
-        tb.active = scenario.batch_active(slice);
-        let cap_watts = scenario.cap.load_at(t_s) * scenario.nominal_budget_watts();
-        tb.slice_end_ms = (slice + 1) as f64 * TIMESLICE_MS;
-        tb.energy_mj = 0.0;
-        tb.instructions.iter_mut().for_each(|i| *i = 0.0);
-        tb.tail_segments.iter_mut().for_each(Vec::clear);
-
-        let info = SliceInfo {
-            slice,
-            cap_watts,
-            num_cores: scenario.params.num_cores,
-            num_batch: scenario.num_batch(),
-            lc: lc_specs
-                .iter()
-                .enumerate()
-                .map(|(i, lc)| crate::types::LcSliceInfo {
-                    service: lc.service,
-                    qos_ms: lc.qos_ms,
-                    load: tb.current_load[i],
-                    last_tail_ms: last_tails[i],
-                    last_cores: last_cores[i],
-                })
-                .collect(),
-            batch_active: tb.active.clone(),
-        };
-
-        // Let the manager probe; each probe consumes slice time.
-        let plan = {
-            let tb_ref = &mut tb;
-            let sf = &mut slice_faults;
-            let mut frame_idx = 0u64;
-            let mut probe = |pp: &ProfilePlan, ms: f64| -> ProfileSample {
-                let remaining = tb_ref.slice_end_ms - tb_ref.now_ms;
-                let ms = ms.min(remaining.max(0.0));
-                if ms <= 0.0 {
-                    return ProfileSample {
-                        duration_ms: 0.0,
-                        samples: Vec::new(),
-                        lc_tails_ms: vec![0.0; num_lc],
-                    };
-                }
-                let result = tb_ref.run_frame(&pp.lc_configs, &pp.batch, ms);
-                let mut samples = Vec::new();
-                // LC tenants: one sample per distinct configuration among
-                // each tenant's cores.
-                let mut offset = 0;
-                for (i, configs) in pp.lc_configs.iter().enumerate() {
-                    let mut seen: Vec<JobConfig> = Vec::new();
-                    for cfg in configs {
-                        if seen.contains(cfg) {
-                            continue;
-                        }
-                        seen.push(*cfg);
-                        let cores: Vec<usize> = configs
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, c)| *c == cfg)
-                            .map(|(k, _)| offset + k)
-                            .collect();
-                        let bips = cores
-                            .iter()
-                            .map(|&c| result.per_core_bips[c].get())
-                            .sum::<f64>()
-                            / cores.len() as f64;
-                        let watts = cores
-                            .iter()
-                            .map(|&c| result.per_core_watts[c].get())
-                            .sum::<f64>()
-                            / cores.len() as f64;
-                        samples.push(SamplePoint {
-                            job: i,
-                            config: *cfg,
-                            bips: tb_ref.noisy(bips),
-                            watts: tb_ref.noisy(watts),
-                        });
-                    }
-                    offset += configs.len();
-                }
-                // Batch: per-core bips of each running job.
-                for (j, action) in pp.batch.iter().enumerate() {
-                    if let BatchAction::Run(config) = action {
-                        let bips = result.per_job_bips[num_lc + j].get();
-                        if bips > 0.0 {
-                            let watts = result.per_job_watts[num_lc + j].get();
-                            samples.push(SamplePoint {
-                                job: num_lc + j,
-                                config: *config,
-                                bips: tb_ref.noisy(bips),
-                                watts: tb_ref.noisy(watts),
-                            });
-                        }
-                    }
-                }
-                let lc_tails_ms: Vec<f64> = (0..num_lc)
-                    .map(|i| {
-                        let p99 = tb_ref.tail_segments[i]
-                            .last()
-                            .map(|seg| {
-                                MmcQueue::new(seg.servers, seg.service_rate, seg.arrival_rate)
-                                    .p99_ms()
-                                    .get()
-                            })
-                            .unwrap_or(0.0);
-                        tb_ref.noisy(p99)
-                    })
-                    .collect();
-                let mut sample = ProfileSample {
-                    duration_ms: ms,
-                    samples,
-                    lc_tails_ms,
-                };
-                // Environment faults, applied strictly *after* every noise
-                // draw so the RNG stream matches a clean run exactly.
-                if qf.power_blackout {
-                    for s in sample.samples.iter_mut() {
-                        s.watts = f64::NAN;
-                    }
-                }
-                let (dropped, corrupted) = injector.corrupt_profile(slice, frame_idx, &mut sample);
-                frame_idx += 1;
-                sf.samples_dropped += dropped;
-                sf.samples_corrupted += corrupted;
-                sample
-            };
-            manager.plan(&info, &mut probe)
-        };
-        assert_eq!(plan.lc.len(), num_lc, "plan must cover every LC tenant");
-        let telemetry = manager.take_telemetry();
-
-        // Steady phase for the remainder of the slice. A failed
-        // reconfiguration command leaves every job in the configuration it
-        // last ran (gating still works — only reshaping fails), so the
-        // *applied* plan can differ from what the manager requested.
-        let applied_plan = if qf.reconfig_fail {
-            Plan {
-                lc: plan
-                    .lc
-                    .iter()
-                    .enumerate()
-                    .map(|(i, a)| LcAssignment {
-                        cores: a.cores,
-                        config: tb.last_config[i].unwrap_or(a.config),
-                    })
-                    .collect(),
-                batch: plan
-                    .batch
-                    .iter()
-                    .enumerate()
-                    .map(|(j, a)| match a {
-                        BatchAction::Run(cfg) => {
-                            BatchAction::Run(tb.last_config[num_lc + j].unwrap_or(*cfg))
-                        }
-                        BatchAction::Gated => BatchAction::Gated,
-                    })
-                    .collect(),
-            }
-        } else {
-            plan.clone()
-        };
-        let steady_ms = (tb.slice_end_ms - tb.now_ms).max(0.0);
-        let lc_configs: Vec<Vec<JobConfig>> = applied_plan
-            .lc
-            .iter()
-            .map(|a| vec![a.config; a.cores])
-            .collect();
-        let steady = if steady_ms > 0.0 {
-            Some(tb.run_frame(&lc_configs, &applied_plan.batch, steady_ms))
-        } else {
-            None
-        };
-
-        let tails_ms: Vec<f64> = (0..num_lc).map(|i| tb.window_p99(i)).collect();
-        let chip_watts = tb.energy_mj / TIMESLICE_MS;
-        let batch_instr: f64 = tb.instructions[num_lc..].iter().sum();
-        let gmean = steady
-            .as_ref()
-            .map(|r| {
-                // Jobs idled by time-multiplex rotation executed nothing
-                // this slice; the geo-mean covers the jobs that ran.
-                let running: Vec<simulator::Bips> = applied_plan
-                    .batch
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| matches!(a, BatchAction::Run(_)))
-                    .map(|(j, _)| r.per_job_bips[num_lc + j])
-                    .filter(|b| b.get() > 0.0)
-                    .collect();
-                simulator::metrics::geometric_mean(&running).get()
-            })
-            .unwrap_or(0.0);
-
-        let record = SliceRecord {
-            t_s,
-            cap_watts,
-            chip_watts,
-            power_violation: chip_watts > cap_watts * 1.001,
-            lc: lc_specs
-                .iter()
-                .enumerate()
-                .map(|(i, lc)| crate::types::LcSliceRecord {
-                    service: lc.service.name,
-                    qos_ms: lc.qos_ms,
-                    load: tb.current_load[i],
-                    tail_ms: tails_ms[i],
-                    qos_violation: tails_ms[i] > lc.qos_ms,
-                    cores: applied_plan.lc[i].cores,
-                    config: applied_plan.lc[i].config,
-                })
-                .collect(),
-            batch_instructions: batch_instr,
-            total_instructions: tb.instructions.iter().sum(),
-            per_job_instructions: tb.instructions.clone(),
-            batch_configs: applied_plan.batch.iter().map(|a| a.config()).collect(),
-            batch_gmean_bips: gmean,
-            telemetry,
-            fault: if injector.is_clean() {
-                None
-            } else {
-                Some(slice_faults)
-            },
-        };
-
-        // Tell the manager what happened (noisy measurements). The outcome
-        // carries the *applied* plan so observations land on the
-        // configurations that physically ran.
-        let (m_bips, mut m_watts) = if let Some(r) = &steady {
-            let mut bips = Vec::with_capacity(num_jobs);
-            let mut watts = Vec::with_capacity(num_jobs);
-            for j in 0..num_jobs {
-                let per_core = if j < num_lc {
-                    applied_plan.lc[j].cores as f64
-                } else {
-                    1.0
-                };
-                bips.push(tb.noisy(r.per_job_bips[j].get() / per_core));
-                watts.push(tb.noisy(r.per_job_watts[j].get() / per_core));
-            }
-            (bips, watts)
-        } else {
-            (vec![0.0; num_jobs], vec![0.0; num_jobs])
-        };
-        // A power-telemetry blackout NaNs the watt readings after the noise
-        // draws, keeping the RNG stream identical to a clean run.
-        if qf.power_blackout {
-            for w in m_watts.iter_mut() {
-                *w = f64::NAN;
-            }
-        }
-        let measured_tails: Vec<f64> = tails_ms.iter().map(|&t| tb.noisy(t)).collect();
-        manager.observe(&SliceOutcome {
-            plan: applied_plan.clone(),
-            measured_bips: m_bips,
-            measured_watts: m_watts,
-            tails_ms: measured_tails.clone(),
-        });
-
-        for i in 0..num_lc {
-            last_tails[i] = Some(measured_tails[i]);
-            last_cores[i] = applied_plan.lc[i].cores;
-        }
-        tb.rotation += 1;
-        tb.now_ms = tb.slice_end_ms;
-        slices.push(record);
+    let mut driver = crate::driver::ScenarioDriver::new(scenario);
+    while !driver.is_done() {
+        driver.step(manager);
     }
-
-    RunRecord {
-        scheme: manager.name(),
-        slices,
-    }
+    driver.into_record(manager.name())
 }
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use crate::types::{LcAssignment, Plan};
+    use crate::types::{LcAssignment, Plan, ProfilePlan, ProfileSample, SliceInfo};
     use simulator::CoreConfig;
 
     /// A trivial manager: everything at the widest configuration.

@@ -728,4 +728,79 @@ impl RunRecord {
             .filter(|t| t.degradation.safe_mode)
             .count()
     }
+
+    /// The run as a JSON document (hand-rolled — the vendored `serde` is a
+    /// stub): scheme, run-level summary metrics, the aggregated stage
+    /// telemetry when present, and one row per slice.
+    pub fn to_json(&self) -> util::JsonValue {
+        use util::JsonValue as J;
+        let slice_row = |s: &SliceRecord| {
+            J::Obj(vec![
+                ("t_s".into(), J::Num(s.t_s)),
+                ("cap_watts".into(), J::Num(s.cap_watts)),
+                ("chip_watts".into(), J::Num(s.chip_watts)),
+                ("power_violation".into(), J::Bool(s.power_violation)),
+                (
+                    "lc".into(),
+                    J::Arr(
+                        s.lc.iter()
+                            .map(|l| {
+                                J::Obj(vec![
+                                    ("service".into(), J::Str(l.service.to_string())),
+                                    ("load".into(), J::Num(l.load)),
+                                    ("tail_ms".into(), J::Num(l.tail_ms)),
+                                    ("qos_ms".into(), J::Num(l.qos_ms)),
+                                    ("qos_violation".into(), J::Bool(l.qos_violation)),
+                                    ("cores".into(), J::Num(l.cores as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("batch_instructions".into(), J::Num(s.batch_instructions)),
+                ("batch_gmean_bips".into(), J::Num(s.batch_gmean_bips)),
+                (
+                    "degraded".into(),
+                    J::Bool(
+                        s.telemetry
+                            .as_ref()
+                            .is_some_and(|t| t.degradation.degraded()),
+                    ),
+                ),
+            ])
+        };
+        J::Obj(vec![
+            ("scheme".into(), J::Str(self.scheme.clone())),
+            (
+                "batch_instructions".into(),
+                J::Num(self.batch_instructions()),
+            ),
+            (
+                "qos_violations".into(),
+                J::Num(self.qos_violations() as f64),
+            ),
+            (
+                "power_violations".into(),
+                J::Num(self.power_violations() as f64),
+            ),
+            ("worst_tail_ratio".into(), J::Num(self.worst_tail_ratio())),
+            (
+                "degraded_quanta".into(),
+                J::Num(self.degraded_quanta() as f64),
+            ),
+            (
+                "safe_mode_quanta".into(),
+                J::Num(self.safe_mode_quanta() as f64),
+            ),
+            (
+                "stage_summary".into(),
+                self.stage_summary()
+                    .map_or(J::Null, |summary| summary.to_json()),
+            ),
+            (
+                "slices".into(),
+                J::Arr(self.slices.iter().map(slice_row).collect()),
+            ),
+        ])
+    }
 }

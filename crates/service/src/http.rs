@@ -1,0 +1,182 @@
+//! A minimal scrape endpoint: `GET /metrics` and `GET /state` over plain
+//! `std::net`.
+//!
+//! There is no async runtime in this workspace, and a metrics endpoint
+//! does not need one: scrapes are rare (seconds apart), tiny (one
+//! request line in, one document out), and tolerant of milliseconds of
+//! latency. The server is a single thread around a non-blocking
+//! [`TcpListener`]: it polls `accept` with a short sleep, serves one
+//! connection at a time, and forwards each request to the reactor as a
+//! [`Command`] — so a scrape costs the reactor one rendered string
+//! between quanta and can never race the control core.
+//!
+//! Unknown paths get 404, non-GET methods 405, and a request that
+//! arrives while the reactor is shutting down gets 503.
+//!
+//! This file (with `reactor.rs`) is on the `DET-RAW-SPAWN` allowlist in
+//! `cargo xtask lint`; the deterministic stack below the service crate
+//! never spawns.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::reactor::Command;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-connection read/write deadline: a stalled scraper cannot wedge the
+/// endpoint (the next poll iteration serves the next connection).
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The metrics endpoint thread and its shutdown flag.
+pub(crate) struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error verbatim.
+    pub(crate) fn spawn(addr: &str, commands: SyncSender<Command>) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cuttlesys-metrics-http".into())
+            .spawn(move || accept_loop(&listener, &commands, &stop_flag))?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub(crate) fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, commands: &SyncSender<Command>, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => serve(stream, commands),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // Transient accept errors (e.g. ECONNABORTED) are not fatal to
+            // the endpoint; back off and keep listening.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads the request line, routes it, writes the response. Any I/O error
+/// just drops the connection — the scraper retries on its next interval.
+fn serve(mut stream: TcpStream, commands: &SyncSender<Command>) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut buf = [0u8; 1024];
+    let mut n = 0;
+    // Read until the request line is complete (or the buffer fills — a
+    // longer request line than 1 KiB is not one we route anyway).
+    while !buf[..n].contains(&b'\n') && n < buf.len() {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => n += m,
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf[..n]) {
+        Ok(text) => text.lines().next().unwrap_or("").to_string(),
+        Err(_) => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+        return;
+    }
+    match path {
+        "/metrics" => match ask(commands, |reply| Command::Metrics { reply }) {
+            Some(body) => respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body),
+            None => unavailable(&mut stream),
+        },
+        "/state" => match ask(commands, |reply| Command::Snapshot { reply }) {
+            Some(snap) => {
+                let mut body = snap.to_json().to_string();
+                body.push('\n');
+                respond(&mut stream, "200 OK", "application/json", &body);
+            }
+            None => unavailable(&mut stream),
+        },
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics or /state\n",
+        ),
+    }
+}
+
+/// Round-trips one command to the reactor; `None` when it has stopped.
+fn ask<T>(
+    commands: &SyncSender<Command>,
+    make: impl FnOnce(SyncSender<T>) -> Command,
+) -> Option<T> {
+    let (reply_tx, reply_rx) = sync_channel(1);
+    commands.send(make(reply_tx)).ok()?;
+    reply_rx.recv().ok()
+}
+
+fn unavailable(stream: &mut TcpStream) {
+    respond(
+        stream,
+        "503 Service Unavailable",
+        "text/plain",
+        "control plane stopped\n",
+    );
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,444 @@
+//! The CuttleSys control-plane service: the sans-io [`ControlCore`] run as
+//! a long-lived process component.
+//!
+//! The `cuttlesys` crate ends at a deliberately austere boundary: a core
+//! that is a pure function of the scenario seed and the request sequence —
+//! no clocks, no threads, no sockets (`cargo xtask lint` enforces the
+//! boundary). This crate is everything on the other side of it:
+//!
+//! * [`reactor`] — a dedicated thread owns the core; callers talk to it
+//!   over a bounded command channel (backpressure, not queues). Pacing is
+//!   [`Pacing::Manual`] (deterministic; tests, replays, benchmarks) or
+//!   [`Pacing::Interval`] (wall-clock quanta, the paper's 100 ms cadence).
+//! * [`bus`] — a bounded broadcast bus for lifecycle, admission, breaker,
+//!   and degradation events. Publishing never blocks a quantum; lagged
+//!   subscribers observably drop ([`bus::Received::Lagged`]).
+//! * [`metrics`] + an HTTP endpoint — `GET /metrics` renders a
+//!   Prometheus-style document from the telemetry the pipeline already
+//!   collects; `GET /state` serves the tenant-table snapshot as JSON.
+//! * [`trace`] — record the request sequence, replay it bit-for-bit.
+//!
+//! ```
+//! use cuttlesys::types::Scenario;
+//! use service::ServiceBuilder;
+//!
+//! let service = ServiceBuilder::new(&Scenario::quick_demo()).start().unwrap();
+//! let mut events = service.subscribe();
+//! service.step_quantum().unwrap();
+//! let text = service.metrics().unwrap();
+//! assert!(text.contains("cuttlesys_quanta_total 1"));
+//! let record = service.shutdown().unwrap();
+//! assert_eq!(record.slices.len(), 1);
+//! assert!(events.recv().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod bus;
+mod http;
+pub mod metrics;
+pub mod pacing;
+mod reactor;
+pub mod trace;
+
+use std::io;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+use cuttlesys::control::{
+    AdmissionError, ControlCore, ControlError, ControlEvent, ControlSnapshot, TenantId,
+};
+use cuttlesys::types::{RunRecord, Scenario, SliceRecord};
+use workloads::batch::SpecBenchmark;
+
+use crate::bus::{Bus, Subscriber};
+use crate::http::HttpServer;
+use crate::reactor::Command;
+use crate::trace::{RegistrationTrace, TraceOp};
+
+pub use crate::pacing::Pacing;
+
+/// Why a service request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The reactor has stopped (the service was shut down or its thread
+    /// panicked); no further requests can be served.
+    Stopped,
+    /// Admission control rejected the registration.
+    Admission(AdmissionError),
+    /// The control core refused the request.
+    Control(ControlError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Stopped => write!(f, "control plane stopped"),
+            ServiceError::Admission(e) => write!(f, "{e}"),
+            ServiceError::Control(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<AdmissionError> for ServiceError {
+    fn from(e: AdmissionError) -> ServiceError {
+        ServiceError::Admission(e)
+    }
+}
+
+impl From<ControlError> for ServiceError {
+    fn from(e: ControlError) -> ServiceError {
+        ServiceError::Control(e)
+    }
+}
+
+/// Configures and starts a [`Service`].
+pub struct ServiceBuilder {
+    scenario: Scenario,
+    pacing: Pacing,
+    bus_capacity: usize,
+    metrics_addr: Option<String>,
+}
+
+impl ServiceBuilder {
+    /// Defaults: manual pacing, a 256-event bus, no HTTP endpoint.
+    pub fn new(scenario: &Scenario) -> ServiceBuilder {
+        ServiceBuilder {
+            scenario: scenario.clone(),
+            pacing: Pacing::Manual,
+            bus_capacity: 256,
+            metrics_addr: None,
+        }
+    }
+
+    /// How quanta are paced (manual requests vs. a wall-clock interval).
+    pub fn pacing(mut self, pacing: Pacing) -> ServiceBuilder {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Events the broadcast bus retains for slow subscribers.
+    pub fn bus_capacity(mut self, capacity: usize) -> ServiceBuilder {
+        self.bus_capacity = capacity;
+        self
+    }
+
+    /// Serve `GET /metrics` and `GET /state` on this address (use
+    /// `"127.0.0.1:0"` for an ephemeral port; see [`Service::metrics_addr`]).
+    pub fn metrics_addr(mut self, addr: &str) -> ServiceBuilder {
+        self.metrics_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Builds the control core and starts the reactor (and, if configured,
+    /// the HTTP endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the metrics address cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ControlCore::new`].
+    pub fn start(self) -> io::Result<Service> {
+        let core = ControlCore::new(&self.scenario);
+        let bus = Bus::new(self.bus_capacity);
+        let (commands, reactor) = reactor::spawn(core, self.pacing, bus.clone());
+        let http = match &self.metrics_addr {
+            Some(addr) => Some(HttpServer::spawn(addr, commands.clone())?),
+            None => None,
+        };
+        Ok(Service {
+            commands,
+            bus,
+            http,
+            reactor: Some(reactor),
+        })
+    }
+}
+
+/// A running control plane: reactor thread, event bus, optional metrics
+/// endpoint.
+///
+/// Dropping the service without [`Service::shutdown`] stops the threads
+/// but discards the run record and skips the tenant drain.
+pub struct Service {
+    commands: SyncSender<Command>,
+    bus: Bus<ControlEvent>,
+    http: Option<HttpServer>,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Round-trips one command to the reactor.
+    fn ask<T>(&self, make: impl FnOnce(SyncSender<T>) -> Command) -> Result<T, ServiceError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.commands
+            .send(make(reply_tx))
+            .map_err(|_| ServiceError::Stopped)?;
+        reply_rx.recv().map_err(|_| ServiceError::Stopped)
+    }
+
+    /// Registers a batch tenant through admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Admission`] when the tenant's worst-case power does
+    /// not fit the steady-state budget; [`ServiceError::Stopped`] after
+    /// shutdown.
+    pub fn register_batch(&self, name: &str, app: SpecBenchmark) -> Result<TenantId, ServiceError> {
+        self.ask(|reply| Command::Register {
+            name: name.to_string(),
+            app,
+            reply,
+        })?
+        .map_err(ServiceError::from)
+    }
+
+    /// Drains a batch tenant; it retires once its last slice has run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Control`] for LC tenants, unknown ids, or tenants
+    /// not in a drainable state; [`ServiceError::Stopped`] after shutdown.
+    pub fn deregister(&self, tenant: TenantId) -> Result<(), ServiceError> {
+        self.ask(|reply| Command::Deregister { tenant, reply })?
+            .map_err(ServiceError::from)
+    }
+
+    /// Runs one decision quantum now (works in any pacing mode).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Control`] on a lifecycle logic bug;
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn step_quantum(&self) -> Result<SliceRecord, ServiceError> {
+        self.ask(|reply| Command::Step { reply })?
+            .map_err(ServiceError::from)
+    }
+
+    /// A point-in-time view of the tenant table.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn snapshot(&self) -> Result<ControlSnapshot, ServiceError> {
+        self.ask(|reply| Command::Snapshot { reply })
+    }
+
+    /// The Prometheus-style metrics document (what `GET /metrics` serves).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn metrics(&self) -> Result<String, ServiceError> {
+        self.ask(|reply| Command::Metrics { reply })
+    }
+
+    /// Subscribes to control-plane events published after this call.
+    pub fn subscribe(&self) -> Subscriber<ControlEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Events overwritten in the bus ring before delivery.
+    pub fn bus_overwrites(&self) -> u64 {
+        self.bus.overwrites()
+    }
+
+    /// The bound metrics endpoint address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(HttpServer::addr)
+    }
+
+    /// Applies a recorded trace, op by op, through the live service.
+    /// Admission rejections are recorded behavior, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first non-admission failure.
+    pub fn apply_trace(&self, trace: &RegistrationTrace) -> Result<(), ServiceError> {
+        for op in trace.ops() {
+            match op {
+                TraceOp::Register { name, app } => match self.register_batch(name, *app) {
+                    Ok(_) | Err(ServiceError::Admission(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                TraceOp::Deregister { tenant } => self.deregister(*tenant)?,
+                TraceOp::Step => {
+                    self.step_quantum()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every tenant to Retired, closes the bus, stops the threads,
+    /// and returns the completed run record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] if the reactor already stopped;
+    /// [`ServiceError::Control`] on a lifecycle logic bug during the drain.
+    pub fn shutdown(mut self) -> Result<RunRecord, ServiceError> {
+        let record = self
+            .ask(|reply| Command::Shutdown { reply })?
+            .map_err(ServiceError::from)?;
+        self.join();
+        Ok(*record)
+    }
+
+    /// Stops the HTTP endpoint and joins the reactor thread.
+    fn join(&mut self) {
+        if let Some(http) = self.http.as_mut() {
+            http.shutdown();
+        }
+        self.http = None;
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Stop the endpoint first: it holds a clone of the command sender,
+        // and the reactor only exits once every sender is gone (or after an
+        // explicit Shutdown command).
+        if let Some(http) = self.http.as_mut() {
+            http.shutdown();
+        }
+        self.http = None;
+        // Dropping our sender disconnects the reactor's receiver; the
+        // reactor closes the bus and exits.
+        let (dead_tx, _) = sync_channel(1);
+        let _ = std::mem::replace(&mut self.commands, dead_tx);
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Zeroes the wall-clock stage timings (and the wall-clock-budgeted cache
+/// counters) in a [`RunRecord`] so runs compare on simulated quantities
+/// only — the convention every determinism test in this workspace uses.
+pub fn comparable(mut record: RunRecord) -> RunRecord {
+    for slice in record.slices.iter_mut() {
+        if let Some(t) = slice.telemetry.as_mut() {
+            t.profile_wall_ms = 0.0;
+            t.reconstruct_wall_ms = 0.0;
+            t.qos_wall_ms = 0.0;
+            t.search_wall_ms = 0.0;
+            t.repair_wall_ms = 0.0;
+            t.cache_hits = 0;
+            t.cache_misses = 0;
+        }
+    }
+    record
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::bus::Received;
+    use cuttlesys::lifecycle::LifecycleState;
+
+    fn quiet(slices: usize) -> Scenario {
+        Scenario {
+            noise: 0.0,
+            phases: false,
+            duration_slices: slices,
+            ..Scenario::quick_demo()
+        }
+    }
+
+    #[test]
+    fn manual_service_runs_a_scenario_and_returns_the_record() {
+        let scenario = quiet(3);
+        let service = ServiceBuilder::new(&scenario).start().unwrap();
+        for _ in 0..scenario.duration_slices {
+            service.step_quantum().unwrap();
+        }
+        let record = service.shutdown().unwrap();
+        assert_eq!(record.slices.len(), scenario.duration_slices);
+    }
+
+    #[test]
+    fn events_flow_to_subscribers() {
+        let service = ServiceBuilder::new(&quiet(2)).start().unwrap();
+        let mut events = service.subscribe();
+        service.step_quantum().unwrap();
+        drop(service);
+        // Dropping the service closes the bus; drain everything published.
+        // The stream carries the construction-time admissions and, from the
+        // first quantum, every pre-admitted tenant's promotion to Running.
+        let mut saw_running = false;
+        while let Ok(got) = events.recv() {
+            if matches!(
+                got,
+                Received::Event(ControlEvent::Lifecycle {
+                    to: LifecycleState::Running,
+                    ..
+                })
+            ) {
+                saw_running = true;
+            }
+        }
+        assert!(saw_running);
+    }
+
+    #[test]
+    fn requests_after_shutdown_report_stopped() {
+        let service = ServiceBuilder::new(&quiet(2)).start().unwrap();
+        let extra_sender_probe = {
+            let service_ref = &service;
+            service_ref.metrics().unwrap()
+        };
+        assert!(extra_sender_probe.contains("cuttlesys_quanta_total 0"));
+        let _record = service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics_and_state() {
+        use std::io::{Read, Write};
+        let service = ServiceBuilder::new(&quiet(2))
+            .metrics_addr("127.0.0.1:0")
+            .start()
+            .unwrap();
+        service.step_quantum().unwrap();
+        let addr = service.metrics_addr().unwrap();
+        let scrape = |path: &str| {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        };
+        let metrics = scrape("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("cuttlesys_quanta_total 1"), "{metrics}");
+        let state = scrape("/state");
+        assert!(state.contains("\"tenants\":["), "{state}");
+        let missing = scrape("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let record = service.shutdown().unwrap();
+        assert_eq!(record.slices.len(), 1);
+    }
+
+    #[test]
+    fn live_service_matches_trace_replay() {
+        let scenario = quiet(3);
+        let mut trace = trace::RegistrationTrace::new();
+        for _ in 0..scenario.duration_slices {
+            trace.step();
+        }
+        let service = ServiceBuilder::new(&scenario).start().unwrap();
+        service.apply_trace(&trace).unwrap();
+        let live = service.shutdown().unwrap();
+        let replayed = trace.replay(&scenario).unwrap();
+        assert_eq!(comparable(live), comparable(replayed));
+    }
+}

@@ -1,0 +1,168 @@
+//! The reactor: one thread that owns the control core and serializes every
+//! request through a bounded command channel.
+//!
+//! The sans-io [`ControlCore`] is single-threaded by design — admission,
+//! lifecycle settling, and the decision quantum all mutate one state
+//! machine. Rather than wrap it in a lock (and let a slow scrape stall a
+//! quantum waiting for the mutex), the service runs it on a dedicated
+//! reactor thread and talks to it over a bounded `sync_channel` of
+//! [`Command`]s, each carrying a rendezvous reply channel. The channel
+//! bound ([`COMMAND_QUEUE_DEPTH`]) is the service's backpressure: callers
+//! that outrun the reactor block in `send`, they do not grow an unbounded
+//! queue.
+//!
+//! Pacing:
+//!
+//! * [`Pacing::Manual`] — the reactor blocks on the command channel and
+//!   quanta run only on [`Command::Step`]. Fully deterministic; the mode
+//!   every test, replay, and benchmark uses.
+//! * [`Pacing::Interval`] — the reactor waits with
+//!   `recv_timeout(ticker.remaining())`, so commands are served between
+//!   quanta and a quantum fires whenever the deadline arrives.
+//!
+//! After every operation that can queue [`ControlEvent`]s the reactor
+//! drains the core's pending queue and publishes onto the broadcast
+//! [`Bus`] — which never blocks, so subscribers cannot stretch a quantum.
+//!
+//! This file (with `http.rs`) is the service's thread boundary: the
+//! per-rule allowed-paths table in `cargo xtask lint` exempts exactly
+//! these files from `DET-RAW-SPAWN`.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::thread::JoinHandle;
+
+use cuttlesys::control::{
+    AdmissionError, ControlCore, ControlError, ControlEvent, ControlSnapshot, TenantId,
+};
+use cuttlesys::types::{RunRecord, SliceRecord};
+use workloads::batch::SpecBenchmark;
+
+use crate::bus::Bus;
+use crate::metrics;
+use crate::pacing::{Pacing, Ticker};
+
+/// Commands the reactor accepts. Each carries a rendezvous reply channel;
+/// the reactor never blocks on a reply (a caller that gave up is skipped).
+pub(crate) enum Command {
+    /// Register a batch tenant through admission control.
+    Register {
+        name: String,
+        app: SpecBenchmark,
+        reply: SyncSender<Result<TenantId, AdmissionError>>,
+    },
+    /// Drain and retire a batch tenant.
+    Deregister {
+        tenant: TenantId,
+        reply: SyncSender<Result<(), ControlError>>,
+    },
+    /// Run one decision quantum now (any pacing mode).
+    Step {
+        reply: SyncSender<Result<SliceRecord, ControlError>>,
+    },
+    /// Snapshot the tenant table.
+    Snapshot { reply: SyncSender<ControlSnapshot> },
+    /// Render the Prometheus-style metrics document.
+    Metrics { reply: SyncSender<String> },
+    /// Drain every tenant, close the bus, and return the completed run.
+    Shutdown {
+        reply: SyncSender<Result<Box<RunRecord>, ControlError>>,
+    },
+}
+
+/// Commands the channel buffers before `send` blocks the caller.
+pub(crate) const COMMAND_QUEUE_DEPTH: usize = 64;
+
+/// Spawns the reactor thread over an already-built core.
+// Thread spawning can only fail on OS resource exhaustion, at which point
+// the service cannot exist; surfacing the panic is correct.
+#[allow(clippy::expect_used)]
+pub(crate) fn spawn(
+    core: ControlCore,
+    pacing: Pacing,
+    bus: Bus<ControlEvent>,
+) -> (SyncSender<Command>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::sync_channel(COMMAND_QUEUE_DEPTH);
+    let handle = std::thread::Builder::new()
+        .name("cuttlesys-reactor".into())
+        .spawn(move || run(core, pacing, bus, rx))
+        .expect("spawn the reactor thread");
+    (tx, handle)
+}
+
+/// Drains the core's pending events onto the bus.
+fn publish_pending(core: &mut ControlCore, bus: &Bus<ControlEvent>) {
+    for event in core.drain_events() {
+        bus.publish(event);
+    }
+}
+
+fn step_now(core: &mut ControlCore, bus: &Bus<ControlEvent>) -> Result<SliceRecord, ControlError> {
+    let result = core.step_quantum();
+    publish_pending(core, bus);
+    result
+}
+
+fn run(mut core: ControlCore, pacing: Pacing, bus: Bus<ControlEvent>, rx: Receiver<Command>) {
+    let mut ticker = match pacing {
+        Pacing::Manual => None,
+        Pacing::Interval(period) => Some(Ticker::new(period)),
+    };
+    loop {
+        let cmd = match ticker.as_mut() {
+            None => match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+            Some(t) => {
+                if t.due() {
+                    if let Err(e) = step_now(&mut core, &bus) {
+                        // A settle error is a control-plane logic bug
+                        // (illegal lifecycle transitions are hard errors by
+                        // contract) and in interval mode there is no caller
+                        // to hand it to.
+                        panic!("paced quantum failed: {e}");
+                    }
+                    t.advance();
+                    continue;
+                }
+                match rx.recv_timeout(t.remaining()) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match cmd {
+            Command::Register { name, app, reply } => {
+                let result = core.register_batch(&name, app);
+                publish_pending(&mut core, &bus);
+                let _ = reply.send(result);
+            }
+            Command::Deregister { tenant, reply } => {
+                let result = core.deregister(tenant);
+                publish_pending(&mut core, &bus);
+                let _ = reply.send(result);
+            }
+            Command::Step { reply } => {
+                let _ = reply.send(step_now(&mut core, &bus));
+            }
+            Command::Snapshot { reply } => {
+                let _ = reply.send(core.snapshot());
+            }
+            Command::Metrics { reply } => {
+                let text = metrics::render(&core.snapshot(), core.records(), bus.overwrites());
+                let _ = reply.send(text);
+            }
+            Command::Shutdown { reply } => {
+                let result = core.shutdown();
+                publish_pending(&mut core, &bus);
+                bus.close();
+                let _ = reply.send(result.map(|()| Box::new(core.into_record())));
+                return;
+            }
+        }
+    }
+    // Every service handle dropped without a shutdown: the run record is
+    // unreachable now, but subscribers still deserve a clean close.
+    bus.close();
+}

@@ -1,0 +1,175 @@
+//! Registration traces: record the control-plane request sequence, replay
+//! it bit-for-bit.
+//!
+//! The control core is a pure function of the scenario seed and the
+//! request sequence, so the request sequence *is* the state of a live
+//! service. A [`RegistrationTrace`] captures that sequence — register,
+//! deregister, step — and [`RegistrationTrace::replay`] reproduces the
+//! whole run through a fresh [`ControlCore`]: same seed, same trace, same
+//! [`RunRecord`], bit for bit (modulo the wall-clock stage timings that
+//! are nondeterministic even in a static run). `tests/control_plane.rs`
+//! pins this against the static-`Scenario` equivalent.
+//!
+//! Traces export as JSON ([`RegistrationTrace::to_json`]) for run
+//! artifacts; replay works from the in-memory form.
+
+use cuttlesys::control::{ControlCore, ControlError, TenantId};
+use cuttlesys::types::{RunRecord, Scenario};
+use util::json::JsonValue;
+use workloads::batch::SpecBenchmark;
+
+/// One recorded control-plane request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// A batch tenant registration (admission control applies on replay
+    /// exactly as it did live — a rejection is deterministic behavior, not
+    /// a replay error).
+    Register {
+        /// The registered name.
+        name: String,
+        /// The workload to admit.
+        app: SpecBenchmark,
+    },
+    /// A batch tenant deregistration, by the id the registration order
+    /// assigns (ids are deterministic, so recorded ids replay verbatim).
+    Deregister {
+        /// The tenant drained.
+        tenant: TenantId,
+    },
+    /// One decision quantum.
+    Step,
+}
+
+/// An append-only record of control-plane requests, in arrival order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrationTrace {
+    ops: Vec<TraceOp>,
+}
+
+impl RegistrationTrace {
+    /// An empty trace.
+    pub fn new() -> RegistrationTrace {
+        RegistrationTrace::default()
+    }
+
+    /// Appends a registration.
+    pub fn register(&mut self, name: &str, app: SpecBenchmark) {
+        self.ops.push(TraceOp::Register {
+            name: name.to_string(),
+            app,
+        });
+    }
+
+    /// Appends a deregistration.
+    pub fn deregister(&mut self, tenant: TenantId) {
+        self.ops.push(TraceOp::Deregister { tenant });
+    }
+
+    /// Appends one quantum.
+    pub fn step(&mut self) {
+        self.ops.push(TraceOp::Step);
+    }
+
+    /// The recorded requests, in order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the trace through a fresh control core over `scenario` and
+    /// returns the completed run.
+    ///
+    /// Admission rejections replay as rejections (they are part of the
+    /// recorded behavior, not errors); everything else is propagated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError`] if a deregistration or quantum fails —
+    /// which a faithful trace over the same scenario never does.
+    pub fn replay(&self, scenario: &Scenario) -> Result<RunRecord, ControlError> {
+        let mut core = ControlCore::new(scenario);
+        for op in &self.ops {
+            match op {
+                TraceOp::Register { name, app } => {
+                    // A rejected registration still records its tenant row
+                    // and event, exactly as it did live.
+                    let _ = core.register_batch(name, *app);
+                }
+                TraceOp::Deregister { tenant } => core.deregister(*tenant)?,
+                TraceOp::Step => {
+                    core.step_quantum()?;
+                }
+            }
+        }
+        Ok(core.into_record())
+    }
+
+    /// The trace as a JSON document (a run artifact, not a replay input:
+    /// replay works from the in-memory form).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![(
+            "ops".into(),
+            JsonValue::Arr(
+                self.ops
+                    .iter()
+                    .map(|op| match op {
+                        TraceOp::Register { name, app } => JsonValue::Obj(vec![
+                            ("op".into(), JsonValue::Str("register".into())),
+                            ("name".into(), JsonValue::Str(name.clone())),
+                            ("app".into(), JsonValue::Str(app.name.to_string())),
+                        ]),
+                        TraceOp::Deregister { tenant } => JsonValue::Obj(vec![
+                            ("op".into(), JsonValue::Str("deregister".into())),
+                            ("tenant".into(), JsonValue::Num(tenant.index() as f64)),
+                        ]),
+                        TraceOp::Step => {
+                            JsonValue::Obj(vec![("op".into(), JsonValue::Str("step".into()))])
+                        }
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use workloads::batch;
+
+    #[test]
+    fn replay_is_self_deterministic() {
+        let scenario = Scenario::quick_demo();
+        let mut trace = RegistrationTrace::new();
+        for _ in 0..scenario.duration_slices {
+            trace.step();
+        }
+        let a = crate::comparable(trace.replay(&scenario).unwrap());
+        let b = crate::comparable(trace.replay(&scenario).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exports_json() {
+        let mut trace = RegistrationTrace::new();
+        trace.register("newcomer", batch::mix(1, 0xBEEF).apps[0]);
+        trace.step();
+        trace.deregister(TenantId::from_index(0));
+        let json = trace.to_json().to_string();
+        assert!(json.contains("\"op\":\"register\""), "{json}");
+        assert!(json.contains("\"op\":\"step\""), "{json}");
+        assert!(json.contains("\"tenant\":0"), "{json}");
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+    }
+}

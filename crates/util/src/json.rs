@@ -1,0 +1,152 @@
+//! Hand-rolled JSON emission, shared workspace-wide.
+//!
+//! The workspace's vendored `serde` is a no-op stub — the offline container
+//! cannot add a real serialization dependency — so everything that emits
+//! JSON builds a [`JsonValue`] tree by hand and prints it. The type started
+//! life in `bench::report` for experiment output; it moved here (the bench
+//! crate re-exports it) once the core crate needed the same conventions to
+//! serve run snapshots through the control-plane service.
+//!
+//! Conventions, kept deliberately small:
+//!
+//! * objects preserve insertion order, so documents are byte-stable across
+//!   runs — tests can compare serialized snapshots directly;
+//! * non-finite numbers serialize as `null` (JSON has no NaN), matching
+//!   what the power-blackout fault injection produces;
+//! * strings are escaped on output, including control characters.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A JSON document, built by hand (the vendored `serde` is a no-op stub).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Str(s) => write_json_str(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Writes a JSON document to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn emit_json(path: &Path, value: &JsonValue) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{value}")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structure() {
+        let v = JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str("fig\"5\"".into())),
+            (
+                "rows".into(),
+                JsonValue::Arr(vec![
+                    JsonValue::Num(1.5),
+                    JsonValue::Bool(true),
+                    JsonValue::Null,
+                    JsonValue::Num(f64::NAN),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"name\":\"fig\\\"5\\\"\",\"rows\":[1.5,true,null,null]}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = JsonValue::Str("a\u{1}b\nc".into());
+        assert_eq!(v.to_string(), "\"a\\u0001b\\nc\"");
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join("cuttlesys_util_json_test");
+        let path = dir.join("nested").join("out.json");
+        emit_json(&path, &JsonValue::Arr(vec![JsonValue::Num(3.0)])).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.trim(), "[3]");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,6 +27,8 @@ tasks:
                             (default PATH: crates/). --json writes the
                             stable machine-readable report to stdout.
                             Exits 0 when clean, 1 on violations.
+  lint --table              print the per-rule allowed-paths table (the
+                            workspace's nondeterminism boundary) and exit.
 ";
 
 fn lint(args: &[String]) -> ExitCode {
@@ -35,6 +37,10 @@ fn lint(args: &[String]) -> ExitCode {
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--table" => {
+                print!("{}", xtask::rules::render_allowed_paths());
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;

@@ -13,8 +13,8 @@
 //! | id | scope | invariant |
 //! |----|-------|-----------|
 //! | `DET-HASH-ITER` | decision-path crates | no `HashMap`/`HashSet`: hasher order must not reach SGD sample streams or plans; iterated maps are `BTreeMap`, lookup-only maps carry an allow |
-//! | `DET-WALLCLOCK` | all but telemetry/bench allowlist | no `Instant::now` / `SystemTime` reads in stage logic |
-//! | `DET-RAW-SPAWN` | all but `util::pool` | no raw `std::thread` / `crossbeam::scope` / `rayon`; parallelism goes through the shared `WorkerPool` |
+//! | `DET-WALLCLOCK` | all but its [`ALLOWED_PATHS`] row | no `Instant::now` / `SystemTime` reads in stage logic |
+//! | `DET-RAW-SPAWN` | all but its [`ALLOWED_PATHS`] row | no raw `std::thread` / `crossbeam::scope` / `rayon`; parallelism goes through the shared `WorkerPool` |
 //! | `DET-RNG` | workspace | all randomness is seeded through `util::rng64` / `StdRng::seed_from_u64`; ambient entropy (`thread_rng`, `from_entropy`, `OsRng`) is banned |
 //! | `DET-FLOAT-REDUCE` | decision-path crates | no atomic float accumulation (`fetch_*` over `to_bits`/`from_bits`) or `Mutex<f64>` accumulators; reductions go through `util::reduce` |
 //! | `PANIC-POLICY` | decision-path crates | `.unwrap()` / `.expect()` are deny-by-default; each use carries an allow or a clippy `allow(clippy::unwrap_used/expect_used)` with rationale |
@@ -24,13 +24,68 @@ use crate::lexer::{lex, Allow, Token};
 /// Crates whose source participates in decisions the golden record pins.
 pub const DECISION_PATH_CRATES: &[&str] = &["core", "dds", "recsys", "simulator"];
 
-/// Path fragments exempt from `DET-WALLCLOCK` (telemetry and benching are
-/// what wall clocks are *for*; they must never feed back into stage logic).
-pub const WALLCLOCK_ALLOWLIST: &[&str] = &["crates/bench/", "crates/core/src/telemetry.rs"];
+/// One rule's path-level exemptions: which files may violate it, and why.
+pub struct AllowedPaths {
+    /// The rule id these paths are exempt from.
+    pub rule: &'static str,
+    /// Path fragments (workspace-relative, `/` separators); a file whose
+    /// path contains any fragment is exempt.
+    pub paths: &'static [&'static str],
+    /// Why the exemption exists — rendered by `cargo xtask lint --table`.
+    pub rationale: &'static str,
+}
 
-/// Path fragments exempt from `DET-RAW-SPAWN`: the pool implementation
-/// itself is the one place allowed to own OS threads.
-pub const SPAWN_ALLOWLIST: &[&str] = &["crates/util/src/pool.rs"];
+/// The per-rule allowed-paths table. This is the workspace's *entire*
+/// nondeterminism boundary, in one place: a file not named here obeys
+/// every rule (or carries an inline, reasoned `lint:allow`). Growing this
+/// table is an architectural decision, not a lint chore.
+pub const ALLOWED_PATHS: &[AllowedPaths] = &[
+    AllowedPaths {
+        rule: "DET-WALLCLOCK",
+        paths: &[
+            "crates/bench/",
+            "crates/core/src/telemetry.rs",
+            "crates/service/src/pacing.rs",
+        ],
+        rationale: "telemetry and benching are what wall clocks are *for*, and the \
+                    service's quantum pacing is the one place live time enters; none \
+                    may feed back into stage logic",
+    },
+    AllowedPaths {
+        rule: "DET-RAW-SPAWN",
+        paths: &[
+            "crates/util/src/pool.rs",
+            "crates/service/src/reactor.rs",
+            "crates/service/src/http.rs",
+        ],
+        rationale: "the worker pool owns the deterministic fan-out threads; the \
+                    service's reactor and scrape endpoint own its two long-lived \
+                    threads — everything else goes through `util::pool::WorkerPool`",
+    },
+];
+
+/// The exempt path fragments for `rule` (empty for rules with no
+/// path-level exemptions).
+pub fn allowed_paths(rule: &str) -> &'static [&'static str] {
+    ALLOWED_PATHS
+        .iter()
+        .find(|entry| entry.rule == rule)
+        .map_or(&[], |entry| entry.paths)
+}
+
+/// Renders the allowed-paths table (`cargo xtask lint --table`).
+pub fn render_allowed_paths() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for entry in ALLOWED_PATHS {
+        let _ = writeln!(out, "{}", entry.rule);
+        for path in entry.paths {
+            let _ = writeln!(out, "  {path}");
+        }
+        let _ = writeln!(out, "  ({})", entry.rationale);
+    }
+    out
+}
 
 /// Every rule id this linter knows, in report order.
 pub const RULE_IDS: &[&str] = &[
@@ -252,7 +307,7 @@ fn det_hash_iter(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>)
 }
 
 fn det_wallclock(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>) {
-    if ctx.in_list(WALLCLOCK_ALLOWLIST) {
+    if ctx.in_list(allowed_paths("DET-WALLCLOCK")) {
         return;
     }
     for (i, tok, name) in active_idents(tokens) {
@@ -281,7 +336,7 @@ fn det_wallclock(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>)
 }
 
 fn det_raw_spawn(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>) {
-    if ctx.in_list(SPAWN_ALLOWLIST) {
+    if ctx.in_list(allowed_paths("DET-RAW-SPAWN")) {
         return;
     }
     for (i, tok, name) in active_idents(tokens) {
@@ -494,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn wallclock_respects_the_allowlist() {
+    fn wallclock_respects_the_allowed_paths_table() {
         let src = "fn f() { let t = Instant::now(); }";
         assert_eq!(
             rules_hit("crates/core/src/x.rs", src),
@@ -502,18 +557,49 @@ mod tests {
         );
         assert!(rules_hit("crates/bench/src/x.rs", src).is_empty());
         assert!(rules_hit("crates/core/src/telemetry.rs", src).is_empty());
+        // The service's pacing module is the one clock-reading service file.
+        assert!(rules_hit("crates/service/src/pacing.rs", src).is_empty());
+        assert_eq!(
+            rules_hit("crates/service/src/lib.rs", src),
+            vec!["DET-WALLCLOCK"]
+        );
         // The type alone (a parameter) is not a clock read.
         assert!(rules_hit("crates/core/src/x.rs", "fn g(t: Instant) {}").is_empty());
     }
 
     #[test]
-    fn raw_spawn_fires_everywhere_but_the_pool() {
+    fn the_allowed_paths_table_names_only_known_rules() {
+        for entry in ALLOWED_PATHS {
+            assert!(RULE_IDS.contains(&entry.rule), "{}", entry.rule);
+            assert!(!entry.paths.is_empty(), "{} has no paths", entry.rule);
+            assert!(
+                !entry.rationale.is_empty(),
+                "{} lacks rationale",
+                entry.rule
+            );
+        }
+        assert!(allowed_paths("DET-RNG").is_empty());
+        let rendered = render_allowed_paths();
+        assert!(rendered.contains("DET-WALLCLOCK"));
+        assert!(rendered.contains("crates/service/src/pacing.rs"));
+    }
+
+    #[test]
+    fn raw_spawn_fires_everywhere_but_the_spawn_boundary() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         assert_eq!(
             rules_hit("crates/workloads/src/x.rs", src),
             vec!["DET-RAW-SPAWN"]
         );
         assert!(rules_hit("crates/util/src/pool.rs", src).is_empty());
+        // The service's two thread owners are on the table; the rest of the
+        // service crate is not.
+        assert!(rules_hit("crates/service/src/reactor.rs", src).is_empty());
+        assert!(rules_hit("crates/service/src/http.rs", src).is_empty());
+        assert_eq!(
+            rules_hit("crates/service/src/lib.rs", src),
+            vec!["DET-RAW-SPAWN"]
+        );
         assert_eq!(
             rules_hit(
                 "crates/dds/src/x.rs",

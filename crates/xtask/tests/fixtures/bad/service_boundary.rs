@@ -1,0 +1,14 @@
+// Fixture: the allowed-paths table exempts exactly three service files
+// (pacing.rs for DET-WALLCLOCK; reactor.rs and http.rs for DET-RAW-SPAWN).
+// Linted as crates/service/src/fixture.rs — any OTHER service file reading
+// the clock or spawning must be flagged like the rest of the workspace.
+
+use std::time::Instant;
+
+pub fn sneak_a_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn sneak_a_thread() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,19 @@
+// Fixture: the DET-WALLCLOCK row of the allowed-paths table names
+// crates/service/src/pacing.rs — the one place live time enters the
+// service. Linted under that virtual path, clock reads are clean.
+
+use std::time::{Duration, Instant};
+
+pub struct Deadline {
+    at: Instant,
+}
+
+pub fn next_deadline(period: Duration) -> Deadline {
+    Deadline {
+        at: Instant::now() + period,
+    }
+}
+
+pub fn overdue(d: &Deadline) -> bool {
+    Instant::now() >= d.at
+}

@@ -1,0 +1,11 @@
+// Fixture: the DET-RAW-SPAWN row of the allowed-paths table names
+// crates/service/src/reactor.rs (and http.rs) — the service's two
+// long-lived threads. Linted under the reactor's virtual path, spawning
+// is clean.
+
+pub fn start(run: impl FnOnce() + Send + 'static) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("reactor".into())
+        .spawn(run)
+        .unwrap_or_else(|e| panic!("spawn: {e}"))
+}

@@ -98,11 +98,21 @@ fn bad_allow_hygiene_reports_and_does_not_suppress() {
 }
 
 #[test]
+fn bad_service_boundary_is_confined_to_the_table_rows() {
+    // A service file NOT named in the allowed-paths table obeys both rules.
+    let hits = spans("crates/service/src/fixture.rs", "bad/service_boundary.rs");
+    let rules: Vec<&str> = hits.iter().map(|h| h.0).collect();
+    assert_eq!(rules, vec!["DET-WALLCLOCK", "DET-RAW-SPAWN"], "{hits:?}");
+}
+
+#[test]
 fn good_fixtures_lint_clean() {
     for (virtual_path, name) in [
         ("crates/core/src/fixture.rs", "good/annotated.rs"),
         ("crates/dds/src/fixture.rs", "good/exempt_contexts.rs"),
         ("crates/workloads/src/fixture.rs", "good/out_of_scope.rs"),
+        ("crates/service/src/pacing.rs", "good/service_pacing.rs"),
+        ("crates/service/src/reactor.rs", "good/service_reactor.rs"),
     ] {
         let hits = spans(virtual_path, name);
         assert!(hits.is_empty(), "{name} as {virtual_path}: {hits:?}");
