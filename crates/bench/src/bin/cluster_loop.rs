@@ -1,0 +1,228 @@
+//! Coordinator-overhead bench for the cluster control plane.
+//!
+//! The [`ClusterCoordinator`] wraps N per-node control cores in lockstep
+//! quanta: completing due migrations, draining per-node events into the
+//! cluster queue, and running the balance policy are all serial
+//! cross-node work layered on top of the per-node quanta. None of that is
+//! allowed to cost real time against the fleet: the acceptance gate is
+//! that one coordinator quantum costs **< 10 %** more wall time than the
+//! sum of the same N node quanta stepped bare (no coordinator).
+//!
+//! Both paths step the identical per-node scenarios (the coordinator path
+//! is bit-identical to the bare path by the determinism tests); the only
+//! difference is the cross-node plumbing, so the per-quantum delta *is*
+//! the coordinator overhead. Each path runs `--reps` times and the
+//! fastest run is compared — the minimum is the standard estimator for
+//! plumbing cost because slower repetitions measure scheduler noise.
+//!
+//! Usage: `cluster_loop [--nodes N] [--slices N] [--reps N] [--json [path]] [--check]`
+//!
+//! * `--nodes N`  — fleet size (default 8).
+//! * `--slices N` — quanta per run (default 10).
+//! * `--reps N`   — repetitions per path, fastest wins (default 3).
+//! * `--json [path]` — write the report (default
+//!   `BENCH_cluster_loop.json`), flat `metrics` object as in the other
+//!   bench bins.
+//! * `--check` — exit non-zero when the overhead gate fails.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::report::{emit_json, JsonValue};
+use bench::Table;
+use cluster::{BalanceConfig, ClusterConfig, ClusterCoordinator, ClusterScenario, NodeId};
+use cuttlesys::control::ControlCore;
+use cuttlesys::types::Scenario;
+use workloads::loadgen::LoadPattern;
+
+/// The acceptance gate: coordinator overhead per quantum, as a fraction
+/// of the summed bare node quanta.
+const OVERHEAD_GATE: f64 = 0.10;
+
+fn base_scenario(slices: usize) -> Scenario {
+    Scenario {
+        cap: LoadPattern::Constant(0.7),
+        duration_slices: slices,
+        noise: 0.0,
+        phases: false,
+        ..Scenario::paper_default()
+    }
+    .with_load(LoadPattern::Constant(0.8))
+}
+
+/// Wall time for the bare fleet: N independent control cores stepped
+/// serially, events drained — everything the coordinator does per node,
+/// minus the coordinator.
+fn bare_run_ms(scenario: &ClusterScenario) -> f64 {
+    let mut cores: Vec<ControlCore> = scenario
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ControlCore::on_node(s, NodeId::from_index(i)))
+        .collect();
+    let slices = scenario.nodes[0].duration_slices;
+    let start = Instant::now();
+    for _ in 0..slices {
+        for core in cores.iter_mut() {
+            core.step_quantum().expect("bare quantum");
+            let _ = core.drain_events();
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Wall time for the same quanta under the coordinator: lockstep serial
+/// stepping plus the cross-node phases (migration completion, event
+/// drain into the cluster queue, traffic balancing).
+fn coordinator_run_ms(scenario: &ClusterScenario) -> f64 {
+    let config = ClusterConfig {
+        balance: Some(BalanceConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let mut coordinator = ClusterCoordinator::with_config(scenario, config);
+    let slices = scenario.nodes[0].duration_slices;
+    let start = Instant::now();
+    for _ in 0..slices {
+        coordinator.step_quantum().expect("cluster quantum");
+        let _ = coordinator.drain_events();
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn fastest(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+struct CliArgs {
+    nodes: usize,
+    slices: usize,
+    reps: usize,
+    json: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> CliArgs {
+    let mut args = CliArgs {
+        nodes: 8,
+        slices: 10,
+        reps: 3,
+        json: None,
+        check: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                args.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nodes takes a positive integer");
+            }
+            "--slices" => {
+                args.slices = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slices takes a positive integer");
+            }
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps takes a positive integer");
+            }
+            "--json" => {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => PathBuf::from(it.next().expect("peeked")),
+                    _ => PathBuf::from("BENCH_cluster_loop.json"),
+                };
+                args.json = Some(path);
+            }
+            "--check" => args.check = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    assert!(args.nodes >= 1, "need at least 1 node");
+    assert!(args.slices >= 2, "need at least 2 slices");
+    assert!(args.reps >= 1, "need at least 1 rep");
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let scenario = ClusterScenario::uniform(&base_scenario(args.slices), args.nodes);
+
+    // Interleave one warmup of each path so neither pays first-touch costs.
+    let _ = bare_run_ms(&scenario);
+    let _ = coordinator_run_ms(&scenario);
+
+    let bare_ms = fastest(args.reps, || bare_run_ms(&scenario));
+    let coordinator_ms = fastest(args.reps, || coordinator_run_ms(&scenario));
+    let bare_per_quantum = bare_ms / args.slices as f64;
+    let coordinator_per_quantum = coordinator_ms / args.slices as f64;
+    let overhead = coordinator_per_quantum / bare_per_quantum - 1.0;
+
+    let mut table = Table::new(
+        &format!(
+            "cluster_loop: {} nodes ({} quanta, best of {})",
+            args.nodes, args.slices, args.reps
+        ),
+        &["path", "total ms", "per-quantum ms"],
+    );
+    table.row(vec![
+        "bare node cores".into(),
+        format!("{bare_ms:.2}"),
+        format!("{bare_per_quantum:.3}"),
+    ]);
+    table.row(vec![
+        "coordinator".into(),
+        format!("{coordinator_ms:.2}"),
+        format!("{coordinator_per_quantum:.3}"),
+    ]);
+    table.print();
+    println!(
+        "coordinator overhead: {:+.2}% per quantum (gate: < {:.0}%)",
+        100.0 * overhead,
+        100.0 * OVERHEAD_GATE
+    );
+
+    if let Some(path) = &args.json {
+        let doc = JsonValue::Obj(vec![
+            ("bench".into(), JsonValue::Str("cluster_loop".into())),
+            ("nodes".into(), JsonValue::Num(args.nodes as f64)),
+            ("slices".into(), JsonValue::Num(args.slices as f64)),
+            ("reps".into(), JsonValue::Num(args.reps as f64)),
+            (
+                "metrics".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "bare.per_quantum_ms".into(),
+                        JsonValue::Num(bare_per_quantum),
+                    ),
+                    (
+                        "coordinator.per_quantum_ms".into(),
+                        JsonValue::Num(coordinator_per_quantum),
+                    ),
+                    ("coordinator.overhead".into(), JsonValue::Num(overhead)),
+                ]),
+            ),
+            ("tables".into(), JsonValue::Arr(vec![table.to_json()])),
+        ]);
+        emit_json(path, &doc).expect("write JSON report");
+        println!("JSON report written to {}", path.display());
+    }
+
+    if args.check && overhead >= OVERHEAD_GATE {
+        println!(
+            "GATE FAILED: coordinator overhead {:.2}% >= {:.0}%",
+            100.0 * overhead,
+            100.0 * OVERHEAD_GATE
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.check {
+        println!("check passed: coordinator overhead within the gate");
+    }
+    ExitCode::SUCCESS
+}

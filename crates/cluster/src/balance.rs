@@ -1,0 +1,133 @@
+//! Cross-node load balancing: shifting LC traffic between replicas.
+//!
+//! LC tenants are pinned to their nodes (their matrix rows, phase state,
+//! and queue histories live there), so the cluster rebalances them by
+//! moving *traffic*, not tenants: every node's [`ScenarioDriver`] carries
+//! a per-service share multiplier (1.0 by default), and after each
+//! lockstep quantum the coordinator moves a fraction of share from the
+//! replica with the worst tail-latency-to-QoS ratio to the one with the
+//! best, whenever the worst breaches the threshold. The sum of shares is
+//! conserved, so the fleet-wide offered load is unchanged — only its
+//! distribution moves.
+//!
+//! [`ScenarioDriver`]: cuttlesys::driver::ScenarioDriver
+
+use cuttlesys::lifecycle::NodeId;
+
+/// Balance policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceConfig {
+    /// A replica whose tail ratio (`tail_ms / qos_ms`) exceeds this after
+    /// a quantum sheds traffic. 1.0 means "balance on QoS violation".
+    pub tail_ratio_threshold: f64,
+    /// Share moved per breach, in absolute share units.
+    pub shift: f64,
+    /// No replica's share drops below this (a drained replica could never
+    /// recover: with no traffic its tail looks perfect forever).
+    pub min_share: f64,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> BalanceConfig {
+        BalanceConfig {
+            tail_ratio_threshold: 1.0,
+            shift: 0.1,
+            min_share: 0.25,
+        }
+    }
+}
+
+/// One share movement the policy decided: `amount` of service
+/// `lc_index`'s share moves `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareShift {
+    /// The LC service (its index on every node of a uniform fleet).
+    pub lc_index: usize,
+    /// The replica shedding traffic.
+    pub from: NodeId,
+    /// The replica absorbing it.
+    pub to: NodeId,
+    /// Share units moved.
+    pub amount: f64,
+}
+
+/// Decides the share shift for one LC service given every replica's
+/// `(tail_ratio, current_share)` in node-id order. Returns `None` when no
+/// replica breaches, only one node exists, or the breacher is already at
+/// the share floor. Ties break toward the lowest node id on both ends.
+pub fn decide_shift(
+    config: &BalanceConfig,
+    lc_index: usize,
+    replicas: &[(f64, f64)],
+) -> Option<ShareShift> {
+    if replicas.len() < 2 {
+        return None;
+    }
+    let (mut worst, mut best) = (0usize, 0usize);
+    for (i, (ratio, _)) in replicas.iter().enumerate() {
+        // Strict comparisons: the first (lowest-id) extremum wins ties.
+        if *ratio > replicas[worst].0 {
+            worst = i;
+        }
+        if *ratio < replicas[best].0 {
+            best = i;
+        }
+    }
+    let (worst_ratio, worst_share) = replicas[worst];
+    if worst_ratio <= config.tail_ratio_threshold || worst == best {
+        return None;
+    }
+    let amount = config.shift.min(worst_share - config.min_share);
+    if amount <= 0.0 {
+        return None;
+    }
+    Some(ShareShift {
+        lc_index,
+        from: NodeId::from_index(worst),
+        to: NodeId::from_index(best),
+        amount,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_breaching_replica_sheds_to_the_best() {
+        let cfg = BalanceConfig::default();
+        let shift = decide_shift(&cfg, 0, &[(0.4, 1.0), (1.3, 1.0), (0.9, 1.0)]).unwrap();
+        assert_eq!(shift.from, NodeId::from_index(1));
+        assert_eq!(shift.to, NodeId::from_index(0));
+        assert!((shift.amount - cfg.shift).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_breach_or_single_node_means_no_shift() {
+        let cfg = BalanceConfig::default();
+        assert_eq!(decide_shift(&cfg, 0, &[(0.9, 1.0), (0.8, 1.0)]), None);
+        assert_eq!(decide_shift(&cfg, 0, &[(5.0, 1.0)]), None, "one node");
+        assert_eq!(decide_shift(&cfg, 0, &[]), None);
+    }
+
+    #[test]
+    fn the_share_floor_caps_the_shift() {
+        let cfg = BalanceConfig::default();
+        // Breacher is 0.05 above the floor: only that much can move.
+        let shift = decide_shift(&cfg, 2, &[(1.5, 0.30), (0.2, 1.7)]).unwrap();
+        assert!((shift.amount - 0.05).abs() < 1e-12);
+        assert_eq!(shift.lc_index, 2);
+        // At the floor: nothing moves.
+        assert_eq!(decide_shift(&cfg, 0, &[(1.5, 0.25), (0.2, 1.75)]), None);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_node_id() {
+        let cfg = BalanceConfig::default();
+        let shift = decide_shift(&cfg, 0, &[(0.3, 1.0), (0.3, 1.0), (1.2, 1.0), (1.2, 1.0)]);
+        let shift = shift.unwrap();
+        assert_eq!(shift.from, NodeId::from_index(2), "first worst wins");
+        assert_eq!(shift.to, NodeId::from_index(0), "first best wins");
+    }
+}

@@ -1,0 +1,902 @@
+//! The deterministic cluster coordinator.
+//!
+//! [`ClusterCoordinator`] owns N [`NodeAgent`]s and steps them through the
+//! same 100 ms decision quantum in lockstep. One quantum is five phases,
+//! in a fixed order:
+//!
+//! 1. **Complete due migrations** (serial, start order): a tenant whose
+//!    modeled migration cost has elapsed is admitted on its destination.
+//! 2. **Step every node** — serially in either direction or on a borrowed
+//!    [`WorkerPool`]; nodes share nothing within a quantum, so any
+//!    schedule reaches bit-identical state.
+//! 3. **Drain node events** into the cluster event queue, in node-id
+//!    order.
+//! 4. **Balance** LC traffic shares from the quantum's tail ratios.
+//! 5. **Auto-migrate** (when configured): a node still breaching after
+//!    balancing offloads its most recently placed batch tenant.
+//!
+//! Phases 1 and 3–5 are the only cross-node code, and they run serially
+//! in node-id order — that is the whole determinism argument (see the
+//! crate docs), and `tests/cluster.rs` pins it.
+
+use cuttlesys::control::AdmissionError;
+use cuttlesys::control::{ControlError, ControlEvent, ControlSnapshot, TenantId, TenantKind};
+use cuttlesys::lifecycle::{LifecycleState, NodeId, RelocationTarget};
+use cuttlesys::types::RunRecord;
+use util::json::JsonValue;
+use util::WorkerPool;
+use workloads::batch::SpecBenchmark;
+
+use crate::balance::{decide_shift, BalanceConfig};
+use crate::migration::{InFlight, MigrateError, MigrationConfig};
+use crate::node::NodeAgent;
+use crate::placement::{pick_best, PlacementConfig, PlacementError, PlacementScore};
+use crate::topology::ClusterScenario;
+
+/// Opaque handle to one tenant in the cluster's tenant table. Ids are
+/// never reused; a migrated tenant keeps its id across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterTenantId(usize);
+
+impl ClusterTenantId {
+    /// The tenant's index in the cluster tenant table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from its table index.
+    pub fn from_index(index: usize) -> ClusterTenantId {
+        ClusterTenantId(index)
+    }
+}
+
+impl std::fmt::Display for ClusterTenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Which direction the serial stepper walks the node table — exists so
+/// the determinism tests can pin that the order is immaterial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepOrder {
+    /// Ascending node id (the canonical order).
+    #[default]
+    Forward,
+    /// Descending node id.
+    Reverse,
+}
+
+/// Cluster-wide policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterConfig {
+    /// Placement score weights.
+    pub placement: PlacementConfig,
+    /// Migration cost model and auto-migration trigger.
+    pub migration: MigrationConfig,
+    /// Traffic balancing; `None` disables it.
+    pub balance: Option<BalanceConfig>,
+}
+
+/// One row of the cluster tenant table.
+#[derive(Debug, Clone)]
+struct ClusterTenantEntry {
+    name: String,
+    /// The batch app, kept for re-admission on migration (`None` for LC
+    /// tenants, which never move).
+    app: Option<SpecBenchmark>,
+    node: NodeId,
+    local: TenantId,
+}
+
+/// A cluster-level occurrence. Per-node [`ControlEvent`]s are wrapped so
+/// one drain sees the whole fleet's history in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterEvent {
+    /// A node's control plane produced an event.
+    Node(ControlEvent),
+    /// Placement put a tenant on a node.
+    Placed {
+        /// The new tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The chosen node.
+        node: NodeId,
+    },
+    /// A migration began: the tenant drained from `from` and is in flight.
+    MigrationStarted {
+        /// The moving tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The source node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The quantum at whose start the destination admit happens.
+        admit_at: usize,
+    },
+    /// A migration completed: the tenant was admitted on its destination.
+    MigrationCompleted {
+        /// The moved tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The source node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The quantum at whose start the admit happened.
+        quantum: usize,
+    },
+    /// A migration failed at completion: the destination's admission
+    /// control rejected the tenant, which retires drained.
+    MigrationFailed {
+        /// The tenant that failed to move.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The destination that rejected it.
+        to: NodeId,
+        /// The quantum at whose start the admit was attempted.
+        quantum: usize,
+    },
+    /// The balance policy moved LC traffic share between replicas.
+    SharesShifted {
+        /// The LC service index.
+        lc_index: usize,
+        /// The replica that shed traffic.
+        from: NodeId,
+        /// The replica that absorbed it.
+        to: NodeId,
+        /// Share units moved.
+        amount: f64,
+        /// The quantum whose tail ratios triggered the shift.
+        quantum: usize,
+    },
+}
+
+/// A cluster request that could not be honored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No tenant has this id.
+    UnknownTenant(ClusterTenantId),
+    /// The operation applies only to batch tenants.
+    NotABatchTenant(ClusterTenantId),
+    /// The node id is not in the cluster.
+    UnknownNode(NodeId),
+    /// The tenant is mid-migration; wait for the move to settle.
+    InFlight(ClusterTenantId),
+    /// A node's admission control rejected a directed registration.
+    Admission(AdmissionError),
+    /// A node's control plane refused a request.
+    Control(ControlError),
+    /// A migration request was refused.
+    Migrate(MigrateError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownTenant(t) => write!(f, "unknown cluster tenant {t}"),
+            ClusterError::NotABatchTenant(t) => {
+                write!(f, "tenant {t} is latency-critical and pinned to its node")
+            }
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::InFlight(t) => write!(f, "tenant {t} is mid-migration"),
+            ClusterError::Admission(e) => write!(f, "{e}"),
+            ClusterError::Control(e) => write!(f, "{e}"),
+            ClusterError::Migrate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ControlError> for ClusterError {
+    fn from(e: ControlError) -> ClusterError {
+        ClusterError::Control(e)
+    }
+}
+
+impl From<MigrateError> for ClusterError {
+    fn from(e: MigrateError) -> ClusterError {
+        ClusterError::Migrate(e)
+    }
+}
+
+/// A serializable view of one cluster tenant for [`ClusterSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTenantSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// `"latency_critical"` or `"batch"`.
+    pub kind: &'static str,
+    /// The node currently (or last) hosting the tenant.
+    pub node: NodeId,
+    /// The cluster-visible lifecycle state: the hosting node's view, or
+    /// `Relocating(Node(dest))` while the tenant is in flight.
+    pub state: LifecycleState,
+}
+
+/// A point-in-time view of the whole cluster (the cluster `/state`
+/// endpoint renders it via [`ClusterSnapshot::to_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot {
+    /// Lockstep quanta completed so far.
+    pub quantum: usize,
+    /// Per-node control-plane snapshots, in node-id order.
+    pub nodes: Vec<ControlSnapshot>,
+    /// Per-node LC traffic shares, in node-id order.
+    pub lc_shares: Vec<Vec<f64>>,
+    /// The cluster tenant table, in registration order.
+    pub tenants: Vec<ClusterTenantSnapshot>,
+    /// Tenants currently mid-migration.
+    pub in_flight: usize,
+}
+
+impl ClusterSnapshot {
+    /// The snapshot as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("quantum", self.quantum.into()),
+            ("in_flight", self.in_flight.into()),
+            (
+                "nodes",
+                JsonValue::Arr(self.nodes.iter().map(ControlSnapshot::to_json).collect()),
+            ),
+            (
+                "lc_shares",
+                JsonValue::Arr(
+                    self.lc_shares
+                        .iter()
+                        .map(|shares| JsonValue::array(shares.iter().copied()))
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants",
+                JsonValue::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            JsonValue::object([
+                                ("name", t.name.as_str().into()),
+                                ("kind", t.kind.into()),
+                                ("node", t.node.to_string().into()),
+                                ("state", t.state.name().into()),
+                                (
+                                    "target",
+                                    t.state
+                                        .relocation_target()
+                                        .map(|n| n.to_string().into())
+                                        .unwrap_or(JsonValue::Null),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A completed cluster run: every node's [`RunRecord`] plus the lockstep
+/// quantum count. Bit-for-bit equality of two `ClusterRecord`s (after
+/// [`comparable`](Self::comparable)) is the determinism criterion the
+/// cluster tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRecord {
+    /// Lockstep quanta the coordinator ran.
+    pub quanta: usize,
+    /// Per-node records, in node-id order.
+    pub nodes: Vec<RunRecord>,
+}
+
+impl ClusterRecord {
+    /// The record with every node's wall-clock telemetry zeroed (see
+    /// [`RunRecord::comparable`]).
+    pub fn comparable(self) -> ClusterRecord {
+        ClusterRecord {
+            quanta: self.quanta,
+            nodes: self.nodes.into_iter().map(RunRecord::comparable).collect(),
+        }
+    }
+
+    /// Worst tail-latency-to-QoS ratio across the fleet.
+    pub fn worst_tail_ratio(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(RunRecord::worst_tail_ratio)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// N per-node agents stepped in lockstep under deterministic cross-node
+/// placement, migration, and balancing policies.
+pub struct ClusterCoordinator {
+    nodes: Vec<NodeAgent>,
+    tenants: Vec<ClusterTenantEntry>,
+    in_flight: Vec<InFlight>,
+    config: ClusterConfig,
+    quantum: usize,
+    pending: Vec<ClusterEvent>,
+}
+
+impl ClusterCoordinator {
+    /// Builds the coordinator with default policies. Every tenant each
+    /// node's scenario declares is seeded into the cluster tenant table.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NodeAgent::new`].
+    pub fn new(scenario: &ClusterScenario) -> ClusterCoordinator {
+        ClusterCoordinator::with_config(scenario, ClusterConfig::default())
+    }
+
+    /// Builds the coordinator with explicit policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NodeAgent::new`].
+    pub fn with_config(scenario: &ClusterScenario, config: ClusterConfig) -> ClusterCoordinator {
+        let nodes: Vec<NodeAgent> = scenario
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| NodeAgent::new(s, NodeId::from_index(i)))
+            .collect();
+        let mut tenants = Vec::new();
+        for agent in &nodes {
+            let scenario = agent.core().scenario();
+            let batch_apps: Vec<SpecBenchmark> =
+                scenario.batch_jobs().iter().map(|b| b.app).collect();
+            for (i, t) in agent.core().tenants().iter().enumerate() {
+                tenants.push(ClusterTenantEntry {
+                    name: t.name().to_string(),
+                    app: match t.kind() {
+                        TenantKind::Batch { batch_index } => batch_apps.get(batch_index).copied(),
+                        TenantKind::LatencyCritical { .. } => None,
+                    },
+                    node: agent.id(),
+                    local: TenantId::from_index(i),
+                });
+            }
+        }
+        ClusterCoordinator {
+            nodes,
+            tenants,
+            in_flight: Vec::new(),
+            config,
+            quantum: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lockstep quanta completed so far.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// One node's agent, if the id is valid.
+    pub fn node(&self, id: NodeId) -> Option<&NodeAgent> {
+        self.nodes.get(id.index())
+    }
+
+    /// The cluster-visible lifecycle state of a tenant: its hosting
+    /// node's view, overlaid with `Relocating(Node(dest))` while the
+    /// tenant is in flight between nodes.
+    pub fn tenant_state(&self, id: ClusterTenantId) -> Option<LifecycleState> {
+        let entry = self.tenants.get(id.0)?;
+        if let Some(m) = self.in_flight.iter().find(|m| m.tenant == id) {
+            return Some(LifecycleState::Relocating(RelocationTarget::Node(m.dest)));
+        }
+        self.nodes
+            .get(entry.node.index())?
+            .core()
+            .tenant(entry.local)
+            .map(|t| t.state())
+    }
+
+    /// The node currently (or last) hosting a tenant.
+    pub fn tenant_node(&self, id: ClusterTenantId) -> Option<NodeId> {
+        if let Some(m) = self.in_flight.iter().find(|m| m.tenant == id) {
+            return Some(m.dest);
+        }
+        self.tenants.get(id.0).map(|e| e.node)
+    }
+
+    /// Scores every node (minus `exclude`) as a placement candidate for
+    /// `app`, in node-id order.
+    fn scores_for(&self, app: SpecBenchmark, exclude: Option<NodeId>) -> Vec<PlacementScore> {
+        self.nodes
+            .iter()
+            .filter(|n| Some(n.id()) != exclude)
+            .map(|n| {
+                let (required, budget) = n.core().admission_preview(app);
+                let scenario = n.core().scenario();
+                let batch_names: Vec<&'static str> =
+                    scenario.batch_jobs().iter().map(|b| b.app.name).collect();
+                let same_app = n
+                    .core()
+                    .tenants()
+                    .iter()
+                    .filter(|t| t.state().is_live())
+                    .filter(|t| match t.kind() {
+                        TenantKind::Batch { batch_index } => {
+                            batch_names.get(batch_index) == Some(&app.name)
+                        }
+                        TenantKind::LatencyCritical { .. } => false,
+                    })
+                    .count();
+                PlacementScore {
+                    node: n.id(),
+                    headroom_watts: budget - required,
+                    same_app_tenants: same_app,
+                    live_tenants: n.live_tenants(),
+                }
+            })
+            .collect()
+    }
+
+    /// The placement arithmetic for a candidate, without registering it:
+    /// per-node scores in node-id order (the bench and example report
+    /// these).
+    pub fn placement_scores(&self, app: SpecBenchmark) -> Vec<PlacementScore> {
+        self.scores_for(app, None)
+    }
+
+    /// Registers a batch tenant, letting placement choose the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::NoCapacity`] when no node's steady-state
+    /// budget fits the candidate's worst case.
+    pub fn register_batch(
+        &mut self,
+        name: &str,
+        app: SpecBenchmark,
+    ) -> Result<ClusterTenantId, PlacementError> {
+        let scores = self.scores_for(app, None);
+        let Some(node) = pick_best(&scores, &self.config.placement) else {
+            // Report the least-infeasible node's arithmetic (ties toward
+            // the lowest id, matching every other policy here).
+            let closest = scores.iter().reduce(|a, b| {
+                if b.headroom_watts > a.headroom_watts {
+                    b
+                } else {
+                    a
+                }
+            });
+            return Err(match closest {
+                Some(s) => {
+                    let (required, budget) = self
+                        .nodes
+                        .get(s.node.index())
+                        .map(|n| n.core().admission_preview(app))
+                        .unwrap_or((0.0, 0.0));
+                    PlacementError::NoCapacity {
+                        closest: s.node,
+                        required_watts: required,
+                        budget_watts: budget,
+                    }
+                }
+                None => PlacementError::UnknownNode(NodeId::local()),
+            });
+        };
+        self.register_batch_on(node, name, app)
+            .map_err(|e| match e {
+                ClusterError::Admission(AdmissionError::PowerBudgetExceeded {
+                    required_watts,
+                    budget_watts,
+                }) => PlacementError::NoCapacity {
+                    closest: node,
+                    required_watts,
+                    budget_watts,
+                },
+                // register_batch_on only fails with Admission or UnknownNode,
+                // and the node came from our own table.
+                _ => PlacementError::UnknownNode(node),
+            })
+    }
+
+    /// Registers a batch tenant on a specific node, bypassing placement
+    /// (the migration engine's admit half uses exactly this path, which
+    /// is what makes a migration equal a drain plus a directed admit).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] for an invalid node,
+    /// [`ClusterError::Admission`] when the node's admission control
+    /// rejects the tenant (the rejection is still recorded on the node).
+    pub fn register_batch_on(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        app: SpecBenchmark,
+    ) -> Result<ClusterTenantId, ClusterError> {
+        let agent = self
+            .nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
+        let local = agent
+            .core_mut()
+            .register_batch(name, app)
+            .map_err(ClusterError::Admission)?;
+        let id = ClusterTenantId(self.tenants.len());
+        self.tenants.push(ClusterTenantEntry {
+            name: name.to_string(),
+            app: Some(app),
+            node,
+            local,
+        });
+        self.pending.push(ClusterEvent::Placed {
+            tenant: id,
+            name: name.to_string(),
+            node,
+        });
+        Ok(id)
+    }
+
+    /// Deregisters a batch tenant: it drains on its node and retires.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InFlight`] while the tenant is mid-migration;
+    /// otherwise the hosting node's [`ControlError`].
+    pub fn deregister(&mut self, id: ClusterTenantId) -> Result<(), ClusterError> {
+        if self.in_flight.iter().any(|m| m.tenant == id) {
+            return Err(ClusterError::InFlight(id));
+        }
+        let entry = self
+            .tenants
+            .get(id.0)
+            .ok_or(ClusterError::UnknownTenant(id))?;
+        if entry.app.is_none() {
+            return Err(ClusterError::NotABatchTenant(id));
+        }
+        let (node, local) = (entry.node, entry.local);
+        self.nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?
+            .core_mut()
+            .deregister(local)?;
+        Ok(())
+    }
+
+    /// Starts migrating a batch tenant to `dest`: drains it on its source
+    /// now, admits it on `dest` after the configured cost in quanta.
+    /// While in flight the tenant's cluster state is
+    /// `Relocating(Node(dest))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MigrateError`] when the tenant cannot move (unknown, LC,
+    /// already in flight, same node, unknown destination, or the source
+    /// refuses the drain).
+    pub fn migrate(&mut self, id: ClusterTenantId, dest: NodeId) -> Result<(), MigrateError> {
+        if self.in_flight.iter().any(|m| m.tenant == id) {
+            return Err(MigrateError::AlreadyInFlight(id));
+        }
+        let entry = self
+            .tenants
+            .get(id.0)
+            .ok_or(MigrateError::UnknownTenant(id))?;
+        if entry.app.is_none() {
+            return Err(MigrateError::NotABatchTenant(id));
+        }
+        if dest.index() >= self.nodes.len() {
+            return Err(MigrateError::UnknownNode(dest));
+        }
+        if entry.node == dest {
+            return Err(MigrateError::SameNode(dest));
+        }
+        let (from, local, name) = (entry.node, entry.local, entry.name.clone());
+        self.nodes[from.index()]
+            .core_mut()
+            .deregister(local)
+            .map_err(MigrateError::Source)?;
+        let admit_at = self.quantum + self.config.migration.cost_quanta.max(1);
+        self.in_flight.push(InFlight {
+            tenant: id,
+            from,
+            dest,
+            admit_at,
+        });
+        self.pending.push(ClusterEvent::MigrationStarted {
+            tenant: id,
+            name,
+            from,
+            to: dest,
+            admit_at,
+        });
+        Ok(())
+    }
+
+    /// Phase 1: admit every migration whose cost has elapsed.
+    fn complete_due_migrations(&mut self) {
+        let due: Vec<InFlight> = self
+            .in_flight
+            .iter()
+            .filter(|m| m.admit_at <= self.quantum)
+            .copied()
+            .collect();
+        self.in_flight.retain(|m| m.admit_at > self.quantum);
+        for m in due {
+            let entry = &self.tenants[m.tenant.0];
+            let name = entry.name.clone();
+            // In-flight tenants are batch by construction (migrate()
+            // refuses LC tenants), so the app is always present.
+            let Some(app) = entry.app else { continue };
+            match self.nodes[m.dest.index()]
+                .core_mut()
+                .register_batch(&name, app)
+            {
+                Ok(local) => {
+                    let entry = &mut self.tenants[m.tenant.0];
+                    entry.node = m.dest;
+                    entry.local = local;
+                    self.pending.push(ClusterEvent::MigrationCompleted {
+                        tenant: m.tenant,
+                        name,
+                        from: m.from,
+                        to: m.dest,
+                        quantum: self.quantum,
+                    });
+                }
+                Err(_) => {
+                    // The tenant already drained from its source; it
+                    // retires there, and the destination records the
+                    // rejection as its own AdmissionRejected event.
+                    self.pending.push(ClusterEvent::MigrationFailed {
+                        tenant: m.tenant,
+                        name,
+                        to: m.dest,
+                        quantum: self.quantum,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Phases 3–5: drain node events, balance traffic, auto-migrate.
+    fn settle_cross_node(&mut self) {
+        for i in 0..self.nodes.len() {
+            let events: Vec<ControlEvent> = self.nodes[i].core_mut().drain_events();
+            self.pending
+                .extend(events.into_iter().map(ClusterEvent::Node));
+        }
+
+        if let Some(balance) = self.config.balance {
+            let num_lc = self
+                .nodes
+                .iter()
+                .map(|n| n.core().scenario().num_lc())
+                .min()
+                .unwrap_or(0);
+            for lc_index in 0..num_lc {
+                let replicas: Vec<(f64, f64)> = self
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        (
+                            n.lc_tail_ratio(lc_index).unwrap_or(0.0),
+                            n.core().lc_traffic_shares()[lc_index],
+                        )
+                    })
+                    .collect();
+                if let Some(shift) = decide_shift(&balance, lc_index, &replicas) {
+                    let from_share = replicas[shift.from.index()].1 - shift.amount;
+                    let to_share = replicas[shift.to.index()].1 + shift.amount;
+                    // Indices came from the replica table we just built,
+                    // so the driver cannot refuse them.
+                    let _ = self.nodes[shift.from.index()]
+                        .core_mut()
+                        .set_lc_traffic_share(lc_index, from_share);
+                    let _ = self.nodes[shift.to.index()]
+                        .core_mut()
+                        .set_lc_traffic_share(lc_index, to_share);
+                    self.pending.push(ClusterEvent::SharesShifted {
+                        lc_index,
+                        from: shift.from,
+                        to: shift.to,
+                        amount: shift.amount,
+                        quantum: self.quantum,
+                    });
+                }
+            }
+        }
+
+        if let Some(threshold) = self.config.migration.auto_tail_ratio {
+            for i in 0..self.nodes.len() {
+                if self.nodes[i].last_tail_ratio() <= threshold {
+                    continue;
+                }
+                let source = NodeId::from_index(i);
+                // The most recently placed live batch tenant on the
+                // breaching node, skipping tenants already in flight.
+                let candidate = self
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .map(|(idx, e)| (ClusterTenantId(idx), e))
+                    .find(|(id, e)| {
+                        e.node == source
+                            && e.app.is_some()
+                            && !self.in_flight.iter().any(|m| m.tenant == *id)
+                            && self.nodes[i]
+                                .core()
+                                .tenant(e.local)
+                                .is_some_and(|t| t.state().is_live())
+                    });
+                let Some((id, entry)) = candidate else {
+                    continue;
+                };
+                let Some(app) = entry.app else { continue };
+                let scores = self.scores_for(app, Some(source));
+                if let Some(dest) = pick_best(&scores, &self.config.placement) {
+                    // All preconditions were just checked; a refusal here
+                    // would be a coordinator logic bug.
+                    let moved = self.migrate(id, dest);
+                    debug_assert!(moved.is_ok(), "auto-migration refused: {moved:?}");
+                }
+            }
+        }
+    }
+
+    /// Steps one lockstep quantum across the fleet, serially in ascending
+    /// node-id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stepping node's [`ControlError`] in node-id
+    /// order (a control-plane logic bug, surfaced hard).
+    pub fn step_quantum(&mut self) -> Result<(), ClusterError> {
+        self.step_quantum_ordered(StepOrder::Forward)
+    }
+
+    /// Steps one lockstep quantum, walking nodes in the given serial
+    /// order. Nodes share nothing within a quantum, so the resulting
+    /// state is bit-identical for every order — the determinism tests
+    /// step the same cluster both ways and compare records.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_quantum`](Self::step_quantum).
+    pub fn step_quantum_ordered(&mut self, order: StepOrder) -> Result<(), ClusterError> {
+        self.complete_due_migrations();
+        let mut first_err: Vec<Option<ControlError>> = Vec::new();
+        first_err.resize_with(self.nodes.len(), || None);
+        let indices: Vec<usize> = match order {
+            StepOrder::Forward => (0..self.nodes.len()).collect(),
+            StepOrder::Reverse => (0..self.nodes.len()).rev().collect(),
+        };
+        for i in indices {
+            if let Err(e) = self.nodes[i].step() {
+                first_err[i] = Some(e);
+            }
+        }
+        self.finish_quantum(first_err)
+    }
+
+    /// Steps one lockstep quantum with per-node work spread over a
+    /// borrowed [`WorkerPool`]. Nodes share nothing within a quantum, so
+    /// any pool width yields state bit-identical to the serial stepper.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_quantum`](Self::step_quantum).
+    pub fn step_quantum_pooled(&mut self, pool: &WorkerPool) -> Result<(), ClusterError> {
+        self.complete_due_migrations();
+        let mut results: Vec<Option<ControlError>> = Vec::new();
+        results.resize_with(self.nodes.len(), || None);
+        pool.scope(|scope| {
+            for (node, slot) in self.nodes.iter_mut().zip(results.iter_mut()) {
+                scope.spawn(move || {
+                    if let Err(e) = node.step() {
+                        *slot = Some(e);
+                    }
+                });
+            }
+        });
+        self.finish_quantum(results)
+    }
+
+    /// Phase-2 epilogue shared by every stepper: surface the first error
+    /// in node-id order, then run the serial cross-node phases.
+    fn finish_quantum(
+        &mut self,
+        mut errors: Vec<Option<ControlError>>,
+    ) -> Result<(), ClusterError> {
+        if let Some(e) = errors.iter_mut().find_map(Option::take) {
+            return Err(ClusterError::Control(e));
+        }
+        self.settle_cross_node();
+        self.quantum += 1;
+        Ok(())
+    }
+
+    /// Whether every node's declared horizon has been simulated.
+    pub fn is_done(&self) -> bool {
+        self.nodes.iter().all(|n| n.core().is_done())
+    }
+
+    /// Takes every cluster event queued since the previous drain.
+    pub fn drain_events(&mut self) -> Vec<ClusterEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// A point-in-time view of the whole cluster.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            quantum: self.quantum,
+            nodes: self.nodes.iter().map(|n| n.core().snapshot()).collect(),
+            lc_shares: self
+                .nodes
+                .iter()
+                .map(|n| n.core().lc_traffic_shares().to_vec())
+                .collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ClusterTenantSnapshot {
+                    name: e.name.clone(),
+                    kind: if e.app.is_some() {
+                        "batch"
+                    } else {
+                        "latency_critical"
+                    },
+                    node: self.tenant_node(ClusterTenantId(i)).unwrap_or(e.node),
+                    state: self
+                        .tenant_state(ClusterTenantId(i))
+                        .unwrap_or(LifecycleState::Retired),
+                })
+                .collect(),
+            in_flight: self.in_flight.len(),
+        }
+    }
+
+    /// Drains every node to retirement: in-flight migrations are
+    /// abandoned (the tenant is already drained from its source), then
+    /// each node's control plane shuts down in node-id order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node's [`ControlError`] — impossible by the
+    /// transition table, so any error here is a logic bug.
+    pub fn shutdown(&mut self) -> Result<(), ClusterError> {
+        self.in_flight.clear();
+        for node in self.nodes.iter_mut() {
+            node.core_mut().shutdown()?;
+            // The drain emits lifecycle events (Draining, Retired) on the
+            // node core; surface them like any other quantum's phase 3.
+            let events: Vec<ControlEvent> = node.core_mut().drain_events();
+            self.pending
+                .extend(events.into_iter().map(ClusterEvent::Node));
+        }
+        Ok(())
+    }
+
+    /// Consumes the coordinator into the completed cluster record.
+    pub fn into_record(self) -> ClusterRecord {
+        ClusterRecord {
+            quanta: self.quantum,
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|n| {
+                    let core = n.into_core();
+                    core.into_record()
+                })
+                .collect(),
+        }
+    }
+}

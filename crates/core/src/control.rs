@@ -40,7 +40,7 @@ use workloads::oracle::Oracle;
 
 use crate::accounting::steady_state_budget;
 use crate::driver::{DriveError, ScenarioDriver};
-use crate::lifecycle::{LifecycleError, LifecycleState, TenantLifecycle};
+use crate::lifecycle::{LifecycleError, LifecycleState, NodeId, RelocationTarget, TenantLifecycle};
 use crate::runtime::CuttleSysManager;
 use crate::types::{
     BatchJobSpec, JobSpec, ResourceManager, RunRecord, Scenario, SliceRecord, TIMESLICE_MS,
@@ -138,6 +138,8 @@ impl TenantEntry {
 pub enum ControlEvent {
     /// A tenant moved between lifecycle states.
     Lifecycle {
+        /// The node whose control plane took the transition.
+        node: NodeId,
         /// The tenant.
         tenant: TenantId,
         /// Its registered name.
@@ -151,6 +153,8 @@ pub enum ControlEvent {
     },
     /// Admission control rejected a registration.
     AdmissionRejected {
+        /// The node whose admission control rejected it.
+        node: NodeId,
         /// The (retired) tenant row recording the attempt.
         tenant: TenantId,
         /// The candidate's registered name.
@@ -164,21 +168,40 @@ pub enum ControlEvent {
     },
     /// The safe-mode circuit breaker opened during a quantum.
     BreakerOpened {
+        /// The node whose breaker opened.
+        node: NodeId,
         /// The slice whose quantum opened it.
         slice: usize,
     },
     /// The safe-mode circuit breaker closed during a quantum.
     BreakerClosed {
+        /// The node whose breaker closed.
+        node: NodeId,
         /// The slice whose quantum closed it.
         slice: usize,
     },
     /// A quantum was served from the degradation ladder.
     QuantumDegraded {
+        /// The node whose quantum degraded.
+        node: NodeId,
         /// The degraded slice.
         slice: usize,
         /// Whether the ladder bottomed out in safe mode.
         safe_mode: bool,
     },
+}
+
+impl ControlEvent {
+    /// The node whose control plane produced the event.
+    pub fn node(&self) -> NodeId {
+        match self {
+            ControlEvent::Lifecycle { node, .. }
+            | ControlEvent::AdmissionRejected { node, .. }
+            | ControlEvent::BreakerOpened { node, .. }
+            | ControlEvent::BreakerClosed { node, .. }
+            | ControlEvent::QuantumDegraded { node, .. } => *node,
+        }
+    }
 }
 
 /// Why admission control rejected a registration.
@@ -272,6 +295,8 @@ pub struct TenantSnapshot {
 /// A point-in-time view of the control plane (the `/state` endpoint).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControlSnapshot {
+    /// The node this control plane runs on.
+    pub node: NodeId,
     /// Index of the next slice to run.
     pub slice: usize,
     /// Whether the manager's safe-mode circuit breaker is open.
@@ -284,6 +309,7 @@ impl ControlSnapshot {
     /// The snapshot as a JSON document.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Obj(vec![
+            ("node".into(), JsonValue::Str(self.node.to_string())),
             ("slice".into(), JsonValue::Num(self.slice as f64)),
             ("breaker_open".into(), JsonValue::Bool(self.breaker_open)),
             (
@@ -309,6 +335,7 @@ impl ControlSnapshot {
 /// The sans-io control plane: a [`ScenarioDriver`], a [`CuttleSysManager`],
 /// and the tenant table, stepped one quantum at a time.
 pub struct ControlCore {
+    node: NodeId,
     driver: ScenarioDriver,
     manager: CuttleSysManager,
     oracle: Oracle,
@@ -331,9 +358,19 @@ impl ControlCore {
     /// [`ScenarioDriver::new`] / [`CuttleSysManager::for_scenario`].
     // Declared tenants bypass admission, so these transitions are legal by
     // construction.
-    #[allow(clippy::expect_used)]
     pub fn new(scenario: &Scenario) -> ControlCore {
+        ControlCore::on_node(scenario, NodeId::local())
+    }
+
+    /// Like [`new`](Self::new), but stamps every event and snapshot with the
+    /// given node identity. A cluster coordinator builds one core per node;
+    /// single-node deployments use [`new`](Self::new), whose
+    /// [`NodeId::local`] identity is node 0 — the two produce bit-identical
+    /// records.
+    #[allow(clippy::expect_used)]
+    pub fn on_node(scenario: &Scenario, node: NodeId) -> ControlCore {
         let mut core = ControlCore {
+            node,
             driver: ScenarioDriver::new(scenario),
             manager: CuttleSysManager::for_scenario(scenario),
             oracle: Oracle::new(Chip::new(scenario.params, CoreKind::Reconfigurable)),
@@ -381,6 +418,7 @@ impl ControlCore {
         let from = entry.lifecycle.state();
         entry.lifecycle.transition(to)?;
         self.pending.push(ControlEvent::Lifecycle {
+            node: self.node,
             tenant: id,
             name: entry.name.clone(),
             from,
@@ -391,7 +429,9 @@ impl ControlCore {
     }
 
     /// Like [`transition`](Self::transition) but a no-op (and no event)
-    /// when the tenant is already in `to`.
+    /// when the tenant is already in `to`'s state kind (a tenant relocating
+    /// toward another node stays put when a quantum re-settles it as
+    /// relocating locally).
     fn settle(&mut self, id: TenantId, to: LifecycleState) -> Result<(), ControlError> {
         let state = self
             .tenants
@@ -399,7 +439,7 @@ impl ControlCore {
             .ok_or(ControlError::UnknownTenant(id))?
             .lifecycle
             .state();
-        if state == to {
+        if state.same_kind(to) {
             return Ok(());
         }
         self.transition(id, to)
@@ -490,6 +530,7 @@ impl ControlCore {
             self.transition(id, LifecycleState::Retired)
                 .expect("rejection is legal");
             self.pending.push(ControlEvent::AdmissionRejected {
+                node: self.node,
                 tenant: id,
                 name: name.to_string(),
                 required_watts,
@@ -581,7 +622,7 @@ impl ControlCore {
                         let target = if degraded {
                             LifecycleState::Degraded
                         } else if moved {
-                            LifecycleState::Relocating
+                            LifecycleState::Relocating(RelocationTarget::Local)
                         } else {
                             LifecycleState::Running
                         };
@@ -613,15 +654,24 @@ impl ControlCore {
 
         let (opens, closes) = self.manager.breaker_cycles();
         if opens > self.prev_breaker.0 {
-            self.pending.push(ControlEvent::BreakerOpened { slice });
+            self.pending.push(ControlEvent::BreakerOpened {
+                node: self.node,
+                slice,
+            });
         }
         if closes > self.prev_breaker.1 {
-            self.pending.push(ControlEvent::BreakerClosed { slice });
+            self.pending.push(ControlEvent::BreakerClosed {
+                node: self.node,
+                slice,
+            });
         }
         self.prev_breaker = (opens, closes);
         if degraded {
-            self.pending
-                .push(ControlEvent::QuantumDegraded { slice, safe_mode });
+            self.pending.push(ControlEvent::QuantumDegraded {
+                node: self.node,
+                slice,
+                safe_mode,
+            });
         }
         Ok(record)
     }
@@ -665,6 +715,7 @@ impl ControlCore {
     /// A point-in-time view of the tenant table.
     pub fn snapshot(&self) -> ControlSnapshot {
         ControlSnapshot {
+            node: self.node,
             slice: self.driver.next_slice(),
             breaker_open: self.manager.breaker_open(),
             tenants: self
@@ -678,6 +729,35 @@ impl ControlCore {
                 })
                 .collect(),
         }
+    }
+
+    /// The node identity stamped on this core's events and snapshots.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The admission arithmetic for a candidate batch app, without
+    /// registering it: `(required_watts, budget_watts)`. A cluster placement
+    /// layer calls this on every node to bin-pack a tenant onto the node
+    /// with the most worst-case headroom.
+    pub fn admission_preview(&self, app: SpecBenchmark) -> (f64, f64) {
+        self.admission_check(app)
+    }
+
+    /// Scales the offered load of one LC service (cluster load balancing
+    /// shifts traffic between replicas of a service on different nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::UnknownLcService`] when `lc_index` is out of
+    /// range.
+    pub fn set_lc_traffic_share(&mut self, lc_index: usize, share: f64) -> Result<(), DriveError> {
+        self.driver.set_lc_share(lc_index, share)
+    }
+
+    /// The current per-LC traffic-share multipliers.
+    pub fn lc_traffic_shares(&self) -> &[f64] {
+        self.driver.lc_shares()
     }
 
     /// Every tenant ever registered, in registration order.

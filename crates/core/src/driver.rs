@@ -47,6 +47,8 @@ pub enum DriveError {
     UnknownBatchJob(usize),
     /// The batch job already departed (or never arrived).
     NotRunning(usize),
+    /// The LC service index does not exist.
+    UnknownLcService(usize),
 }
 
 impl std::fmt::Display for DriveError {
@@ -54,6 +56,7 @@ impl std::fmt::Display for DriveError {
         match self {
             DriveError::UnknownBatchJob(j) => write!(f, "unknown batch job index {j}"),
             DriveError::NotRunning(j) => write!(f, "batch job {j} is not running"),
+            DriveError::UnknownLcService(i) => write!(f, "unknown LC service index {i}"),
         }
     }
 }
@@ -67,6 +70,7 @@ pub struct ScenarioDriver {
     injector: FaultInjector,
     last_tails: Vec<Option<f64>>,
     last_cores: Vec<usize>,
+    lc_shares: Vec<f64>,
     next_slice: usize,
     slices: Vec<SliceRecord>,
 }
@@ -84,9 +88,34 @@ impl ScenarioDriver {
             injector: FaultInjector::new(scenario.faults.clone()),
             last_tails: vec![None; scenario.num_lc()],
             last_cores,
+            lc_shares: vec![1.0; scenario.num_lc()],
             next_slice: 0,
             slices: Vec::with_capacity(scenario.duration_slices),
         }
+    }
+
+    /// Scales the offered load of LC service `lc_index` by `share` from the
+    /// next slice on. The default share of 1.0 multiplies the declared load
+    /// pattern by exactly 1.0, so an untouched driver is bit-identical to a
+    /// pre-share one; cluster load balancing moves traffic between replicas
+    /// on different nodes by adjusting shares while conserving their sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::UnknownLcService`] when `lc_index` is out of
+    /// range.
+    pub fn set_lc_share(&mut self, lc_index: usize, share: f64) -> Result<(), DriveError> {
+        let slot = self
+            .lc_shares
+            .get_mut(lc_index)
+            .ok_or(DriveError::UnknownLcService(lc_index))?;
+        *slot = share;
+        Ok(())
+    }
+
+    /// The current per-LC traffic-share multipliers.
+    pub fn lc_shares(&self) -> &[f64] {
+        &self.lc_shares
     }
 
     /// The scenario as currently constituted (runtime churn included).
@@ -189,7 +218,7 @@ impl ScenarioDriver {
         };
         let t_s = slice as f64 * TIMESLICE_MS / 1000.0;
         for (i, lc) in lc_specs.iter().enumerate() {
-            tb.current_load[i] = lc.load.load_at(t_s);
+            tb.current_load[i] = lc.load.load_at(t_s) * self.lc_shares[i];
         }
         tb.active = tb.scenario.batch_active(slice);
         let cap_watts = tb.scenario.cap.load_at(t_s) * tb.scenario.nominal_budget_watts();

@@ -32,6 +32,63 @@
 //! enumerate it exhaustively: every transition not in the table is
 //! rejected, and from every reachable state some legal path reaches
 //! [`LifecycleState::Retired`].
+//!
+//! Since the cluster refactor, [`LifecycleState::Relocating`] carries its
+//! [`RelocationTarget`]: an on-chip reshape ([`RelocationTarget::Local`])
+//! or a cross-node move with a destination [`NodeId`]. Legality is decided
+//! on the state's *kind* ([`LifecycleState::same_kind`]), so the transition
+//! table stays a finite, exactly-enumerable relation: every
+//! `Relocating(target)` value behaves identically under the table, and the
+//! ALL×ALL property test remains exhaustive over representatives.
+
+/// Identity of one node (one reconfigurable chip plus its agent) in a
+/// cluster. A single-node deployment is node `n0` ([`NodeId::local`]); ids
+/// are dense indices into the cluster's node table, assigned at
+/// construction and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The node's index in the cluster's node table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from its node-table index.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The id every single-node deployment uses (`n0`).
+    pub fn local() -> NodeId {
+        NodeId(0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where a relocating tenant is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelocationTarget {
+    /// An on-chip reshape: the tenant stays on its node but its core
+    /// reservation is being regrown or shrunk (the PR-2 churn path).
+    Local,
+    /// A cross-node move: the tenant is in flight to this node.
+    Node(NodeId),
+}
+
+impl std::fmt::Display for RelocationTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelocationTarget::Local => write!(f, "local"),
+            RelocationTarget::Node(node) => write!(f, "{node}"),
+        }
+    }
+}
 
 /// The states a tenant moves through, from registration to retirement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,9 +102,10 @@ pub enum LifecycleState {
     /// The most recent quantum served this tenant from the degradation
     /// ladder (last-good replay, safe mode, or an open breaker).
     Degraded,
-    /// The tenant's resources are being reshaped (e.g. an LC tenant's core
-    /// reservation grows or shrinks mid-run).
-    Relocating,
+    /// The tenant's resources are being reshaped: an on-chip core
+    /// reservation change ([`RelocationTarget::Local`]) or a cross-node
+    /// move carrying its destination ([`RelocationTarget::Node`]).
+    Relocating(RelocationTarget),
     /// Deregistration accepted; the tenant finishes its current slice and
     /// releases its resources.
     Draining,
@@ -57,47 +115,68 @@ pub enum LifecycleState {
 }
 
 impl LifecycleState {
-    /// Every state, in declaration order (used by the property tests to
-    /// enumerate the full transition relation).
+    /// Every state kind, in declaration order (used by the property tests
+    /// to enumerate the full transition relation). `Relocating` appears as
+    /// its [`RelocationTarget::Local`] representative: the table is
+    /// target-agnostic, so one representative per kind is exhaustive.
     pub const ALL: [LifecycleState; 7] = [
         LifecycleState::Registering,
         LifecycleState::Admitted,
         LifecycleState::Running,
         LifecycleState::Degraded,
-        LifecycleState::Relocating,
+        LifecycleState::Relocating(RelocationTarget::Local),
         LifecycleState::Draining,
         LifecycleState::Retired,
     ];
 
-    /// The states legally reachable in one transition from `self`. This
-    /// table *is* the specification; [`TenantLifecycle::transition`]
-    /// consults nothing else.
+    /// The state kinds legally reachable in one transition from `self`
+    /// (representatives, as in [`LifecycleState::ALL`]). This table *is*
+    /// the specification; [`TenantLifecycle::transition`] consults nothing
+    /// else. Legality is decided by [`LifecycleState::same_kind`], so every
+    /// `Relocating(target)` shares one row and one entry.
     pub fn successors(self) -> &'static [LifecycleState] {
         use LifecycleState::*;
+        const RELOCATING: LifecycleState = Relocating(RelocationTarget::Local);
         match self {
             // Admission either accepts or permanently rejects.
             Registering => &[Admitted, Retired],
             // An admitted tenant starts running, or is deregistered before
             // its first quantum.
             Admitted => &[Running, Draining],
-            Running => &[Degraded, Relocating, Draining],
-            Degraded => &[Running, Relocating, Draining],
-            Relocating => &[Running, Degraded, Draining],
+            Running => &[Degraded, RELOCATING, Draining],
+            Degraded => &[Running, RELOCATING, Draining],
+            Relocating(_) => &[Running, Degraded, Draining],
             Draining => &[Retired],
             Retired => &[],
         }
     }
 
-    /// Whether `self → to` is a legal transition.
+    /// Whether `self` and `other` are the same state *kind* — equal up to
+    /// the relocation target. The transition table is defined over kinds.
+    pub fn same_kind(self, other: LifecycleState) -> bool {
+        std::mem::discriminant(&self) == std::mem::discriminant(&other)
+    }
+
+    /// Whether `self → to` is a legal transition (target-agnostic: any
+    /// relocation target is admissible where the table lists `Relocating`).
     pub fn can_transition(self, to: LifecycleState) -> bool {
-        self.successors().contains(&to)
+        self.successors().iter().any(|s| s.same_kind(to))
+    }
+
+    /// The relocation destination, when the tenant is mid-move to another
+    /// node (`None` for every other state, including local reshapes).
+    pub fn relocation_target(self) -> Option<NodeId> {
+        match self {
+            LifecycleState::Relocating(RelocationTarget::Node(node)) => Some(node),
+            _ => None,
+        }
     }
 
     /// Whether the tenant still holds resources the quantum must plan for.
     pub fn is_live(self) -> bool {
         matches!(
             self,
-            LifecycleState::Running | LifecycleState::Degraded | LifecycleState::Relocating
+            LifecycleState::Running | LifecycleState::Degraded | LifecycleState::Relocating(_)
         )
     }
 
@@ -113,7 +192,7 @@ impl LifecycleState {
             LifecycleState::Admitted => "admitted",
             LifecycleState::Running => "running",
             LifecycleState::Degraded => "degraded",
-            LifecycleState::Relocating => "relocating",
+            LifecycleState::Relocating(_) => "relocating",
             LifecycleState::Draining => "draining",
             LifecycleState::Retired => "retired",
         }
@@ -307,6 +386,51 @@ mod tests {
             assert!(reachable_from(s).contains(&Retired), "{s:?} cannot drain");
             assert_eq!(s.successors().is_empty(), s.is_terminal(), "{s:?}");
         }
+    }
+
+    /// Every relocation target behaves identically under the table: the
+    /// representative in `ALL` speaks for the whole family, which is what
+    /// keeps the ALL×ALL enumeration above exact.
+    #[test]
+    fn relocation_targets_share_the_representative_row() {
+        let targets = [
+            RelocationTarget::Local,
+            RelocationTarget::Node(NodeId::local()),
+            RelocationTarget::Node(NodeId::from_index(63)),
+        ];
+        for target in targets {
+            let state = Relocating(target);
+            assert!(state.same_kind(Relocating(RelocationTarget::Local)));
+            assert_eq!(
+                state.successors(),
+                Relocating(RelocationTarget::Local).successors(),
+                "{target}"
+            );
+            assert!(Running.can_transition(state), "{target}");
+            assert!(Degraded.can_transition(state), "{target}");
+            assert!(state.can_transition(Draining), "{target}");
+            assert!(state.is_live(), "{target}");
+            assert_eq!(state.name(), "relocating");
+            // A retarget is not a transition: Relocating -> Relocating is
+            // off-table regardless of the targets involved.
+            let mut lc = TenantLifecycle {
+                state,
+                transitions: 0,
+            };
+            assert!(lc
+                .transition(Relocating(RelocationTarget::Node(NodeId::from_index(9))))
+                .is_err());
+        }
+        assert_eq!(
+            Relocating(RelocationTarget::Node(NodeId::from_index(5))).relocation_target(),
+            Some(NodeId::from_index(5))
+        );
+        assert_eq!(
+            Relocating(RelocationTarget::Local).relocation_target(),
+            None
+        );
+        assert_eq!(Running.relocation_target(), None);
+        assert_eq!(format!("{}", NodeId::from_index(3)), "n3");
     }
 
     #[test]

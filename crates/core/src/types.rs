@@ -693,6 +693,25 @@ impl RunRecord {
             .fold(0.0, f64::max)
     }
 
+    /// The record with wall-clock stage timings (and the
+    /// wall-clock-budgeted cache counters) zeroed, so runs compare on
+    /// simulated quantities only — the convention every determinism test in
+    /// this workspace uses (`service::comparable` delegates here).
+    pub fn comparable(mut self) -> RunRecord {
+        for slice in self.slices.iter_mut() {
+            if let Some(t) = slice.telemetry.as_mut() {
+                t.profile_wall_ms = 0.0;
+                t.reconstruct_wall_ms = 0.0;
+                t.qos_wall_ms = 0.0;
+                t.search_wall_ms = 0.0;
+                t.repair_wall_ms = 0.0;
+                t.cache_hits = 0;
+                t.cache_misses = 0;
+            }
+        }
+        self
+    }
+
     /// Per-stage telemetry aggregated over the slices that carry it
     /// (`None` when no slice does — e.g. baseline managers).
     pub fn stage_summary(&self) -> Option<crate::telemetry::TelemetrySummary> {

@@ -1,0 +1,470 @@
+//! The cluster control plane run as a long-lived process component.
+//!
+//! [`ClusterService`] is to [`cluster::ClusterCoordinator`] what
+//! [`Service`](crate::Service) is to `ControlCore`: a dedicated reactor
+//! thread owns the coordinator, callers talk to it over a bounded command
+//! channel, cluster events broadcast on a [`Bus`], and the optional HTTP
+//! endpoint serves the fleet's `/metrics` (per-node `node=` labels) and a
+//! cluster-wide `/state` rendered from [`ClusterSnapshot::to_json`].
+//!
+//! ```
+//! use cluster::ClusterScenario;
+//! use cuttlesys::types::Scenario;
+//! use service::cluster::ClusterServiceBuilder;
+//!
+//! let scenario = ClusterScenario::uniform(&Scenario::quick_demo(), 2);
+//! let service = ClusterServiceBuilder::new(&scenario).start().unwrap();
+//! service.step_quantum().unwrap();
+//! let snap = service.snapshot().unwrap();
+//! assert_eq!(snap.quantum, 1);
+//! let record = service.shutdown().unwrap();
+//! assert_eq!(record.nodes.len(), 2);
+//! ```
+
+use std::io;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+use cluster::{
+    ClusterConfig, ClusterCoordinator, ClusterError, ClusterEvent, ClusterRecord, ClusterScenario,
+    ClusterSnapshot, ClusterTenantId, MigrateError, NodeId, PlacementError,
+};
+use util::WorkerPool;
+use workloads::batch::SpecBenchmark;
+
+use crate::bus::{Bus, Subscriber};
+use crate::http::{ask, HttpServer, Routes};
+use crate::pacing::Pacing;
+use crate::reactor::{self, ClusterCommand};
+
+/// Why a cluster service request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterServiceError {
+    /// The cluster reactor has stopped; no further requests can be served.
+    Stopped,
+    /// Placement found no node with capacity for the tenant.
+    Placement(PlacementError),
+    /// The coordinator refused the request.
+    Cluster(ClusterError),
+    /// A migration request was refused.
+    Migrate(MigrateError),
+}
+
+impl std::fmt::Display for ClusterServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterServiceError::Stopped => write!(f, "cluster control plane stopped"),
+            ClusterServiceError::Placement(e) => write!(f, "{e}"),
+            ClusterServiceError::Cluster(e) => write!(f, "{e}"),
+            ClusterServiceError::Migrate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterServiceError {}
+
+impl From<PlacementError> for ClusterServiceError {
+    fn from(e: PlacementError) -> ClusterServiceError {
+        ClusterServiceError::Placement(e)
+    }
+}
+
+impl From<ClusterError> for ClusterServiceError {
+    fn from(e: ClusterError) -> ClusterServiceError {
+        ClusterServiceError::Cluster(e)
+    }
+}
+
+impl From<MigrateError> for ClusterServiceError {
+    fn from(e: MigrateError) -> ClusterServiceError {
+        ClusterServiceError::Migrate(e)
+    }
+}
+
+/// Configures and starts a [`ClusterService`].
+pub struct ClusterServiceBuilder {
+    scenario: ClusterScenario,
+    config: ClusterConfig,
+    pacing: Pacing,
+    bus_capacity: usize,
+    metrics_addr: Option<String>,
+    pool_threads: Option<usize>,
+}
+
+impl ClusterServiceBuilder {
+    /// Defaults: default policies, manual pacing, a 256-event bus, no
+    /// HTTP endpoint, serial stepping.
+    pub fn new(scenario: &ClusterScenario) -> ClusterServiceBuilder {
+        ClusterServiceBuilder {
+            scenario: scenario.clone(),
+            config: ClusterConfig::default(),
+            pacing: Pacing::Manual,
+            bus_capacity: 256,
+            metrics_addr: None,
+            pool_threads: None,
+        }
+    }
+
+    /// Placement, migration, and balance policies.
+    pub fn config(mut self, config: ClusterConfig) -> ClusterServiceBuilder {
+        self.config = config;
+        self
+    }
+
+    /// How quanta are paced (manual requests vs. a wall-clock interval).
+    pub fn pacing(mut self, pacing: Pacing) -> ClusterServiceBuilder {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Events the broadcast bus retains for slow subscribers.
+    pub fn bus_capacity(mut self, capacity: usize) -> ClusterServiceBuilder {
+        self.bus_capacity = capacity;
+        self
+    }
+
+    /// Serve `GET /metrics` and `GET /state` on this address (use
+    /// `"127.0.0.1:0"` for an ephemeral port).
+    pub fn metrics_addr(mut self, addr: &str) -> ClusterServiceBuilder {
+        self.metrics_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Step the fleet over a worker pool of this many threads instead of
+    /// serially. Bit-identical results at any width: nodes share nothing
+    /// within a quantum.
+    pub fn pool_threads(mut self, threads: usize) -> ClusterServiceBuilder {
+        self.pool_threads = Some(threads);
+        self
+    }
+
+    /// Builds the coordinator and starts the cluster reactor (and, if
+    /// configured, the HTTP endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the metrics address cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ClusterCoordinator::new`].
+    pub fn start(self) -> io::Result<ClusterService> {
+        let coordinator = ClusterCoordinator::with_config(&self.scenario, self.config);
+        let bus = Bus::new(self.bus_capacity);
+        let pool = self.pool_threads.map(WorkerPool::new);
+        let (commands, reactor) =
+            reactor::spawn_cluster(coordinator, self.pacing, bus.clone(), pool);
+        let http = match &self.metrics_addr {
+            Some(addr) => Some(HttpServer::spawn(
+                addr,
+                ClusterRoutes {
+                    commands: commands.clone(),
+                },
+            )?),
+            None => None,
+        };
+        Ok(ClusterService {
+            commands,
+            bus,
+            http,
+            reactor: Some(reactor),
+        })
+    }
+}
+
+/// Routes the HTTP endpoint through the cluster reactor.
+struct ClusterRoutes {
+    commands: SyncSender<ClusterCommand>,
+}
+
+impl Routes for ClusterRoutes {
+    fn metrics(&self) -> Option<String> {
+        ask(&self.commands, |reply| ClusterCommand::Metrics { reply })
+    }
+
+    fn state_json(&self) -> Option<String> {
+        let snap = ask(&self.commands, |reply| ClusterCommand::Snapshot { reply })?;
+        let mut body = snap.to_json().to_string();
+        body.push('\n');
+        Some(body)
+    }
+}
+
+/// A running cluster control plane: reactor thread, event bus, optional
+/// metrics endpoint.
+///
+/// Dropping the service without [`ClusterService::shutdown`] stops the
+/// threads but discards the cluster record and skips the fleet drain.
+pub struct ClusterService {
+    commands: SyncSender<ClusterCommand>,
+    bus: Bus<ClusterEvent>,
+    http: Option<HttpServer>,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl ClusterService {
+    /// Round-trips one command to the cluster reactor.
+    fn ask<T>(
+        &self,
+        make: impl FnOnce(SyncSender<T>) -> ClusterCommand,
+    ) -> Result<T, ClusterServiceError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.commands
+            .send(make(reply_tx))
+            .map_err(|_| ClusterServiceError::Stopped)?;
+        reply_rx.recv().map_err(|_| ClusterServiceError::Stopped)
+    }
+
+    /// Registers a batch tenant, letting placement choose the node.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Placement`] when no node has capacity;
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn register_batch(
+        &self,
+        name: &str,
+        app: SpecBenchmark,
+    ) -> Result<ClusterTenantId, ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Register {
+            name: name.to_string(),
+            app,
+            reply,
+        })?
+        .map_err(ClusterServiceError::from)
+    }
+
+    /// Registers a batch tenant on a specific node, bypassing placement.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Cluster`] for an unknown node or an
+    /// admission rejection; [`ClusterServiceError::Stopped`] after
+    /// shutdown.
+    pub fn register_batch_on(
+        &self,
+        node: NodeId,
+        name: &str,
+        app: SpecBenchmark,
+    ) -> Result<ClusterTenantId, ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::RegisterOn {
+            node,
+            name: name.to_string(),
+            app,
+            reply,
+        })?
+        .map_err(ClusterServiceError::from)
+    }
+
+    /// Drains a batch tenant on its node; it retires once its last slice
+    /// has run.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Cluster`] for LC tenants, unknown ids, or
+    /// mid-migration tenants; [`ClusterServiceError::Stopped`] after
+    /// shutdown.
+    pub fn deregister(&self, tenant: ClusterTenantId) -> Result<(), ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Deregister { tenant, reply })?
+            .map_err(ClusterServiceError::from)
+    }
+
+    /// Starts migrating a batch tenant to `dest` (drain now, admit after
+    /// the modeled cost in quanta).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Migrate`] when the tenant cannot move;
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn migrate(
+        &self,
+        tenant: ClusterTenantId,
+        dest: NodeId,
+    ) -> Result<(), ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Migrate {
+            tenant,
+            dest,
+            reply,
+        })?
+        .map_err(ClusterServiceError::from)
+    }
+
+    /// Runs one lockstep quantum across the fleet now (any pacing mode).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Cluster`] on a control-plane logic bug;
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn step_quantum(&self) -> Result<(), ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Step { reply })?
+            .map_err(ClusterServiceError::from)
+    }
+
+    /// A point-in-time view of the whole cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn snapshot(&self) -> Result<ClusterSnapshot, ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Snapshot { reply })
+    }
+
+    /// The cluster metrics document (what `GET /metrics` serves), with
+    /// per-node samples under `node=` labels.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn metrics(&self) -> Result<String, ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::Metrics { reply })
+    }
+
+    /// Subscribes to cluster events published after this call.
+    pub fn subscribe(&self) -> Subscriber<ClusterEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Events overwritten in the bus ring before delivery.
+    pub fn bus_overwrites(&self) -> u64 {
+        self.bus.overwrites()
+    }
+
+    /// The bound metrics endpoint address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(HttpServer::addr)
+    }
+
+    /// Drains every node to retirement, closes the bus, stops the
+    /// threads, and returns the completed cluster record.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Stopped`] if the reactor already stopped;
+    /// [`ClusterServiceError::Cluster`] on a logic bug during the drain.
+    pub fn shutdown(mut self) -> Result<ClusterRecord, ClusterServiceError> {
+        let record = self
+            .ask(|reply| ClusterCommand::Shutdown { reply })?
+            .map_err(ClusterServiceError::from)?;
+        self.join();
+        Ok(*record)
+    }
+
+    /// Stops the HTTP endpoint and joins the reactor thread.
+    fn join(&mut self) {
+        if let Some(http) = self.http.as_mut() {
+            http.shutdown();
+        }
+        self.http = None;
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClusterService {
+    fn drop(&mut self) {
+        // Same teardown order as the single-node service: the endpoint
+        // holds a clone of the command sender, so stop it first, then
+        // disconnect the reactor by dropping our own sender.
+        if let Some(http) = self.http.as_mut() {
+            http.shutdown();
+        }
+        self.http = None;
+        let (dead_tx, _) = sync_channel(1);
+        let _ = std::mem::replace(&mut self.commands, dead_tx);
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use cuttlesys::types::Scenario;
+
+    fn quiet(slices: usize) -> ClusterScenario {
+        let base = Scenario {
+            noise: 0.0,
+            phases: false,
+            duration_slices: slices,
+            ..Scenario::quick_demo()
+        };
+        ClusterScenario::uniform(&base, 2)
+    }
+
+    #[test]
+    fn manual_cluster_service_runs_a_scenario() {
+        let scenario = quiet(3);
+        let service = ClusterServiceBuilder::new(&scenario).start().unwrap();
+        for _ in 0..3 {
+            service.step_quantum().unwrap();
+        }
+        let record = service.shutdown().unwrap();
+        assert_eq!(record.quanta, 3);
+        assert_eq!(record.nodes.len(), 2);
+        for node in &record.nodes {
+            assert_eq!(node.slices.len(), 3);
+        }
+    }
+
+    #[test]
+    fn pooled_service_matches_serial_service() {
+        let scenario = quiet(3);
+        let serial = ClusterServiceBuilder::new(&scenario).start().unwrap();
+        let pooled = ClusterServiceBuilder::new(&scenario)
+            .pool_threads(2)
+            .start()
+            .unwrap();
+        for _ in 0..3 {
+            serial.step_quantum().unwrap();
+            pooled.step_quantum().unwrap();
+        }
+        assert_eq!(
+            serial.shutdown().unwrap().comparable(),
+            pooled.shutdown().unwrap().comparable()
+        );
+    }
+
+    #[test]
+    fn http_endpoint_serves_cluster_metrics_and_state() {
+        use std::io::{Read, Write};
+        let service = ClusterServiceBuilder::new(&quiet(2))
+            .metrics_addr("127.0.0.1:0")
+            .start()
+            .unwrap();
+        service.step_quantum().unwrap();
+        let addr = service.metrics_addr().unwrap();
+        let scrape = |path: &str| {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        };
+        let metrics = scrape("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("cuttlesys_cluster_nodes 2"), "{metrics}");
+        assert!(
+            metrics.contains("cuttlesys_quanta_total{node=\"n1\"} 1"),
+            "{metrics}"
+        );
+        let state = scrape("/state");
+        assert!(state.contains("\"quantum\":1"), "{state}");
+        assert!(state.contains("\"nodes\":["), "{state}");
+        let record = service.shutdown().unwrap();
+        assert_eq!(record.quanta, 1);
+    }
+
+    #[test]
+    fn requests_after_shutdown_report_stopped() {
+        let service = ClusterServiceBuilder::new(&quiet(2)).start().unwrap();
+        let probe = service.metrics().unwrap();
+        assert!(
+            probe.contains("cuttlesys_cluster_quanta_total 0"),
+            "{probe}"
+        );
+        let _record = service.shutdown().unwrap();
+    }
+}

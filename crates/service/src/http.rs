@@ -6,9 +6,10 @@
 //! request line in, one document out), and tolerant of milliseconds of
 //! latency. The server is a single thread around a non-blocking
 //! [`TcpListener`]: it polls `accept` with a short sleep, serves one
-//! connection at a time, and forwards each request to the reactor as a
-//! [`Command`] — so a scrape costs the reactor one rendered string
-//! between quanta and can never race the control core.
+//! connection at a time, and forwards each request to a [`Routes`]
+//! implementation — which round-trips a command to the owning reactor
+//! (single-node or cluster), so a scrape costs the reactor one rendered
+//! string between quanta and can never race the control core.
 //!
 //! Unknown paths get 404, non-GET methods 405, and a request that
 //! arrives while the reactor is shutting down gets 503.
@@ -25,7 +26,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::reactor::Command;
+/// What the endpoint serves: each hook renders one document, or `None`
+/// when the backing reactor has stopped (the scraper gets 503). The
+/// single-node service and the cluster service each supply one
+/// implementation over their own command channel.
+pub(crate) trait Routes: Send + 'static {
+    /// The `GET /metrics` body (Prometheus text format).
+    fn metrics(&self) -> Option<String>;
+    /// The `GET /state` body (a JSON document, newline-terminated).
+    fn state_json(&self) -> Option<String>;
+}
 
 /// How long the accept loop sleeps when no connection is pending.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
@@ -48,7 +58,7 @@ impl HttpServer {
     /// # Errors
     ///
     /// Returns the bind error verbatim.
-    pub(crate) fn spawn(addr: &str, commands: SyncSender<Command>) -> io::Result<HttpServer> {
+    pub(crate) fn spawn<R: Routes>(addr: &str, routes: R) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -56,7 +66,7 @@ impl HttpServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("cuttlesys-metrics-http".into())
-            .spawn(move || accept_loop(&listener, &commands, &stop_flag))?;
+            .spawn(move || accept_loop(&listener, &routes, &stop_flag))?;
         Ok(HttpServer {
             addr,
             stop,
@@ -84,10 +94,10 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, commands: &SyncSender<Command>, stop: &AtomicBool) {
+fn accept_loop<R: Routes>(listener: &TcpListener, routes: &R, stop: &AtomicBool) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _)) => serve(stream, commands),
+            Ok((stream, _)) => serve(stream, routes),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
@@ -100,7 +110,7 @@ fn accept_loop(listener: &TcpListener, commands: &SyncSender<Command>, stop: &At
 
 /// Reads the request line, routes it, writes the response. Any I/O error
 /// just drops the connection — the scraper retries on its next interval.
-fn serve(mut stream: TcpStream, commands: &SyncSender<Command>) {
+fn serve<R: Routes>(mut stream: TcpStream, routes: &R) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut buf = [0u8; 1024];
@@ -131,16 +141,12 @@ fn serve(mut stream: TcpStream, commands: &SyncSender<Command>) {
         return;
     }
     match path {
-        "/metrics" => match ask(commands, |reply| Command::Metrics { reply }) {
+        "/metrics" => match routes.metrics() {
             Some(body) => respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body),
             None => unavailable(&mut stream),
         },
-        "/state" => match ask(commands, |reply| Command::Snapshot { reply }) {
-            Some(snap) => {
-                let mut body = snap.to_json().to_string();
-                body.push('\n');
-                respond(&mut stream, "200 OK", "application/json", &body);
-            }
+        "/state" => match routes.state_json() {
+            Some(body) => respond(&mut stream, "200 OK", "application/json", &body),
             None => unavailable(&mut stream),
         },
         _ => respond(
@@ -152,10 +158,10 @@ fn serve(mut stream: TcpStream, commands: &SyncSender<Command>) {
     }
 }
 
-/// Round-trips one command to the reactor; `None` when it has stopped.
-fn ask<T>(
-    commands: &SyncSender<Command>,
-    make: impl FnOnce(SyncSender<T>) -> Command,
+/// Round-trips one command to a reactor; `None` when it has stopped.
+pub(crate) fn ask<C, T>(
+    commands: &SyncSender<C>,
+    make: impl FnOnce(SyncSender<T>) -> C,
 ) -> Option<T> {
     let (reply_tx, reply_rx) = sync_channel(1);
     commands.send(make(reply_tx)).ok()?;

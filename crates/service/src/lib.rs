@@ -36,6 +36,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bus;
+pub mod cluster;
 mod http;
 pub mod metrics;
 pub mod pacing;
@@ -53,7 +54,7 @@ use cuttlesys::types::{RunRecord, Scenario, SliceRecord};
 use workloads::batch::SpecBenchmark;
 
 use crate::bus::{Bus, Subscriber};
-use crate::http::HttpServer;
+use crate::http::{ask, HttpServer, Routes};
 use crate::reactor::Command;
 use crate::trace::{RegistrationTrace, TraceOp};
 
@@ -148,7 +149,12 @@ impl ServiceBuilder {
         let bus = Bus::new(self.bus_capacity);
         let (commands, reactor) = reactor::spawn(core, self.pacing, bus.clone());
         let http = match &self.metrics_addr {
-            Some(addr) => Some(HttpServer::spawn(addr, commands.clone())?),
+            Some(addr) => Some(HttpServer::spawn(
+                addr,
+                NodeRoutes {
+                    commands: commands.clone(),
+                },
+            )?),
             None => None,
         };
         Ok(Service {
@@ -157,6 +163,24 @@ impl ServiceBuilder {
             http,
             reactor: Some(reactor),
         })
+    }
+}
+
+/// Routes the HTTP endpoint through the single-node reactor.
+struct NodeRoutes {
+    commands: SyncSender<Command>,
+}
+
+impl Routes for NodeRoutes {
+    fn metrics(&self) -> Option<String> {
+        ask(&self.commands, |reply| Command::Metrics { reply })
+    }
+
+    fn state_json(&self) -> Option<String> {
+        let snap = ask(&self.commands, |reply| Command::Snapshot { reply })?;
+        let mut body = snap.to_json().to_string();
+        body.push('\n');
+        Some(body)
     }
 }
 
@@ -324,19 +348,8 @@ impl Drop for Service {
 /// Zeroes the wall-clock stage timings (and the wall-clock-budgeted cache
 /// counters) in a [`RunRecord`] so runs compare on simulated quantities
 /// only — the convention every determinism test in this workspace uses.
-pub fn comparable(mut record: RunRecord) -> RunRecord {
-    for slice in record.slices.iter_mut() {
-        if let Some(t) = slice.telemetry.as_mut() {
-            t.profile_wall_ms = 0.0;
-            t.reconstruct_wall_ms = 0.0;
-            t.qos_wall_ms = 0.0;
-            t.search_wall_ms = 0.0;
-            t.repair_wall_ms = 0.0;
-            t.cache_hits = 0;
-            t.cache_misses = 0;
-        }
-    }
-    record
+pub fn comparable(record: RunRecord) -> RunRecord {
+    record.comparable()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! `# HELP` / `# TYPE` comment pairs followed by `name{labels} value`
 //! samples. Only counters and gauges are used.
 
+use cluster::ClusterCoordinator;
 use cuttlesys::control::ControlSnapshot;
 use cuttlesys::lifecycle::LifecycleState;
 use cuttlesys::telemetry::{TelemetrySummary, STAGE_NAMES};
@@ -254,7 +255,11 @@ pub fn render(snapshot: &ControlSnapshot, records: &[SliceRecord], bus_overwrite
         "Tenants per lifecycle state.",
     );
     for state in LifecycleState::ALL {
-        let n = snapshot.tenants.iter().filter(|t| t.state == state).count();
+        let n = snapshot
+            .tenants
+            .iter()
+            .filter(|t| t.state.same_kind(state))
+            .count();
         sample(
             &mut out,
             "cuttlesys_tenants",
@@ -299,6 +304,201 @@ pub fn render(snapshot: &ControlSnapshot, records: &[SliceRecord], bus_overwrite
     out
 }
 
+/// Renders the cluster `/metrics` document: fleet-level counters plus the
+/// same per-node families the single-node document exposes, each sample
+/// tagged with a `node="nK"` label. The single-node renderer above is
+/// untouched — its output stays byte-identical for existing scrapers.
+pub fn render_cluster(cluster: &ClusterCoordinator, bus_overwrites: u64) -> String {
+    let snapshot = cluster.snapshot();
+    let mut out = String::with_capacity(4096 * snapshot.nodes.len().max(1));
+
+    family(
+        &mut out,
+        "cuttlesys_cluster_nodes",
+        "gauge",
+        "Nodes under this coordinator.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_cluster_nodes",
+        "",
+        cluster.num_nodes() as f64,
+    );
+
+    family(
+        &mut out,
+        "cuttlesys_cluster_quanta_total",
+        "counter",
+        "Lockstep quanta the coordinator has run.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_cluster_quanta_total",
+        "",
+        cluster.quantum() as f64,
+    );
+
+    family(
+        &mut out,
+        "cuttlesys_cluster_migrations_in_flight",
+        "gauge",
+        "Tenants currently mid-migration between nodes.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_cluster_migrations_in_flight",
+        "",
+        snapshot.in_flight as f64,
+    );
+
+    family(
+        &mut out,
+        "cuttlesys_quanta_total",
+        "counter",
+        "Decision quanta run per node.",
+    );
+    family(
+        &mut out,
+        "cuttlesys_qos_violations_total",
+        "counter",
+        "Slices in which any latency-critical tenant violated its QoS, per node.",
+    );
+    family(
+        &mut out,
+        "cuttlesys_batch_instructions_total",
+        "counter",
+        "Instructions executed by batch jobs, per node.",
+    );
+    let agents: Vec<_> = (0..cluster.num_nodes())
+        .filter_map(|i| cluster.node(cluster::NodeId::from_index(i)))
+        .collect();
+    for agent in &agents {
+        let node = format!("node=\"{}\"", agent.id());
+        let records = agent.core().records();
+        sample(
+            &mut out,
+            "cuttlesys_quanta_total",
+            &node,
+            records.len() as f64,
+        );
+        sample(
+            &mut out,
+            "cuttlesys_qos_violations_total",
+            &node,
+            records.iter().filter(|s| s.qos_violation()).count() as f64,
+        );
+        sample(
+            &mut out,
+            "cuttlesys_batch_instructions_total",
+            &node,
+            records.iter().map(|s| s.batch_instructions).sum(),
+        );
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_chip_watts",
+        "gauge",
+        "Time-weighted average chip power over each node's most recent slice.",
+    );
+    family(
+        &mut out,
+        "cuttlesys_lc_tail_ms",
+        "gauge",
+        "Per-tenant 99th-percentile latency over each node's most recent slice.",
+    );
+    family(
+        &mut out,
+        "cuttlesys_lc_cores",
+        "gauge",
+        "Cores held by each latency-critical tenant in each node's most recent slice.",
+    );
+    for agent in &agents {
+        let node = format!("node=\"{}\"", agent.id());
+        if let Some(last) = agent.core().records().last() {
+            sample(&mut out, "cuttlesys_chip_watts", &node, last.chip_watts);
+            for lc in &last.lc {
+                let labels = format!("{node},service=\"{}\"", lc.service);
+                sample(&mut out, "cuttlesys_lc_tail_ms", &labels, lc.tail_ms);
+                sample(&mut out, "cuttlesys_lc_cores", &labels, lc.cores as f64);
+            }
+        }
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_lc_traffic_share",
+        "gauge",
+        "Fraction of an LC service's reference load routed to each node.",
+    );
+    for (i, shares) in snapshot.lc_shares.iter().enumerate() {
+        for (lc_index, share) in shares.iter().enumerate() {
+            sample(
+                &mut out,
+                "cuttlesys_lc_traffic_share",
+                &format!("node=\"n{i}\",lc=\"{lc_index}\""),
+                *share,
+            );
+        }
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_tenants",
+        "gauge",
+        "Cluster tenants per lifecycle state.",
+    );
+    for state in LifecycleState::ALL {
+        let n = snapshot
+            .tenants
+            .iter()
+            .filter(|t| t.state.same_kind(state))
+            .count();
+        sample(
+            &mut out,
+            "cuttlesys_tenants",
+            &format!("state=\"{}\"", state.name()),
+            n as f64,
+        );
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_tenant_state",
+        "gauge",
+        "One sample per cluster tenant, value 1, node and state in the labels.",
+    );
+    for t in &snapshot.tenants {
+        sample(
+            &mut out,
+            "cuttlesys_tenant_state",
+            &format!(
+                "tenant=\"{}\",kind=\"{}\",node=\"{}\",state=\"{}\"",
+                t.name,
+                t.kind,
+                t.node,
+                t.state.name()
+            ),
+            1.0,
+        );
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_bus_overwrites_total",
+        "counter",
+        "Events overwritten in the broadcast ring before delivery.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_bus_overwrites_total",
+        "",
+        bus_overwrites as f64,
+    );
+
+    out
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -318,6 +518,29 @@ mod tests {
         assert!(text.contains("cuttlesys_bus_overwrites_total 2"));
         assert!(text.contains("cuttlesys_lc_tail_ms{service=\"xapian\"}"));
         // Every non-comment line is `name value` or `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed sample line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_per_node_labels_for_a_cluster() {
+        use cluster::ClusterScenario;
+        let scenario = ClusterScenario::uniform(&Scenario::quick_demo(), 2);
+        let mut coordinator = ClusterCoordinator::new(&scenario);
+        coordinator.step_quantum().unwrap();
+        let text = render_cluster(&coordinator, 3);
+        assert!(text.contains("cuttlesys_cluster_nodes 2"));
+        assert!(text.contains("cuttlesys_cluster_quanta_total 1"));
+        assert!(text.contains("cuttlesys_quanta_total{node=\"n0\"} 1"));
+        assert!(text.contains("cuttlesys_quanta_total{node=\"n1\"} 1"));
+        assert!(text.contains("cuttlesys_lc_tail_ms{node=\"n0\",service=\"xapian\"}"));
+        assert!(text.contains("cuttlesys_lc_traffic_share{node=\"n1\",lc=\"0\"} 1"));
+        assert!(text.contains("cuttlesys_bus_overwrites_total 3"));
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert!(
                 line.rsplit_once(' ')

@@ -31,10 +31,15 @@
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 
+use cluster::{
+    ClusterCoordinator, ClusterError, ClusterEvent, ClusterRecord, ClusterSnapshot,
+    ClusterTenantId, MigrateError, NodeId, PlacementError,
+};
 use cuttlesys::control::{
     AdmissionError, ControlCore, ControlError, ControlEvent, ControlSnapshot, TenantId,
 };
 use cuttlesys::types::{RunRecord, SliceRecord};
+use util::WorkerPool;
 use workloads::batch::SpecBenchmark;
 
 use crate::bus::Bus;
@@ -164,5 +169,176 @@ fn run(mut core: ControlCore, pacing: Pacing, bus: Bus<ControlEvent>, rx: Receiv
     }
     // Every service handle dropped without a shutdown: the run record is
     // unreachable now, but subscribers still deserve a clean close.
+    bus.close();
+}
+
+// --- cluster reactor -------------------------------------------------------
+
+/// Commands the cluster reactor accepts: the [`ClusterCoordinator`]'s
+/// public surface, serialized through the same bounded-channel discipline
+/// as the single-node [`Command`]s.
+pub(crate) enum ClusterCommand {
+    /// Register a batch tenant, letting placement choose the node.
+    Register {
+        name: String,
+        app: SpecBenchmark,
+        reply: SyncSender<Result<ClusterTenantId, PlacementError>>,
+    },
+    /// Register a batch tenant on a specific node, bypassing placement.
+    RegisterOn {
+        node: NodeId,
+        name: String,
+        app: SpecBenchmark,
+        reply: SyncSender<Result<ClusterTenantId, ClusterError>>,
+    },
+    /// Drain and retire a batch tenant on its node.
+    Deregister {
+        tenant: ClusterTenantId,
+        reply: SyncSender<Result<(), ClusterError>>,
+    },
+    /// Start migrating a batch tenant to another node.
+    Migrate {
+        tenant: ClusterTenantId,
+        dest: NodeId,
+        reply: SyncSender<Result<(), MigrateError>>,
+    },
+    /// Run one lockstep quantum across the fleet now.
+    Step {
+        reply: SyncSender<Result<(), ClusterError>>,
+    },
+    /// Snapshot the whole cluster.
+    Snapshot { reply: SyncSender<ClusterSnapshot> },
+    /// Render the cluster metrics document (per-node `node=` labels).
+    Metrics { reply: SyncSender<String> },
+    /// Drain every node, close the bus, and return the completed run.
+    Shutdown {
+        reply: SyncSender<Result<Box<ClusterRecord>, ClusterError>>,
+    },
+}
+
+/// Spawns the cluster reactor thread over an already-built coordinator.
+/// When `pool` is `Some`, quanta step the fleet over that worker pool
+/// (bit-identical to serial stepping — nodes share nothing mid-quantum).
+// Thread spawning can only fail on OS resource exhaustion, at which point
+// the service cannot exist; surfacing the panic is correct.
+#[allow(clippy::expect_used)]
+pub(crate) fn spawn_cluster(
+    coordinator: ClusterCoordinator,
+    pacing: Pacing,
+    bus: Bus<ClusterEvent>,
+    pool: Option<WorkerPool>,
+) -> (SyncSender<ClusterCommand>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::sync_channel(COMMAND_QUEUE_DEPTH);
+    let handle = std::thread::Builder::new()
+        .name("cuttlesys-cluster-reactor".into())
+        .spawn(move || run_cluster(coordinator, pacing, bus, pool, rx))
+        .expect("spawn the cluster reactor thread");
+    (tx, handle)
+}
+
+/// Drains the coordinator's pending cluster events onto the bus.
+fn publish_cluster_pending(coordinator: &mut ClusterCoordinator, bus: &Bus<ClusterEvent>) {
+    for event in coordinator.drain_events() {
+        bus.publish(event);
+    }
+}
+
+fn cluster_step_now(
+    coordinator: &mut ClusterCoordinator,
+    bus: &Bus<ClusterEvent>,
+    pool: Option<&WorkerPool>,
+) -> Result<(), ClusterError> {
+    let result = match pool {
+        Some(pool) => coordinator.step_quantum_pooled(pool),
+        None => coordinator.step_quantum(),
+    };
+    publish_cluster_pending(coordinator, bus);
+    result
+}
+
+fn run_cluster(
+    mut coordinator: ClusterCoordinator,
+    pacing: Pacing,
+    bus: Bus<ClusterEvent>,
+    pool: Option<WorkerPool>,
+    rx: Receiver<ClusterCommand>,
+) {
+    let mut ticker = match pacing {
+        Pacing::Manual => None,
+        Pacing::Interval(period) => Some(Ticker::new(period)),
+    };
+    loop {
+        let cmd = match ticker.as_mut() {
+            None => match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+            Some(t) => {
+                if t.due() {
+                    if let Err(e) = cluster_step_now(&mut coordinator, &bus, pool.as_ref()) {
+                        // Same contract as the single-node reactor: a
+                        // stepping error is a control-plane logic bug and
+                        // interval mode has no caller to hand it to.
+                        panic!("paced cluster quantum failed: {e}");
+                    }
+                    t.advance();
+                    continue;
+                }
+                match rx.recv_timeout(t.remaining()) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match cmd {
+            ClusterCommand::Register { name, app, reply } => {
+                let result = coordinator.register_batch(&name, app);
+                publish_cluster_pending(&mut coordinator, &bus);
+                let _ = reply.send(result);
+            }
+            ClusterCommand::RegisterOn {
+                node,
+                name,
+                app,
+                reply,
+            } => {
+                let result = coordinator.register_batch_on(node, &name, app);
+                publish_cluster_pending(&mut coordinator, &bus);
+                let _ = reply.send(result);
+            }
+            ClusterCommand::Deregister { tenant, reply } => {
+                let result = coordinator.deregister(tenant);
+                publish_cluster_pending(&mut coordinator, &bus);
+                let _ = reply.send(result);
+            }
+            ClusterCommand::Migrate {
+                tenant,
+                dest,
+                reply,
+            } => {
+                let result = coordinator.migrate(tenant, dest);
+                publish_cluster_pending(&mut coordinator, &bus);
+                let _ = reply.send(result);
+            }
+            ClusterCommand::Step { reply } => {
+                let _ = reply.send(cluster_step_now(&mut coordinator, &bus, pool.as_ref()));
+            }
+            ClusterCommand::Snapshot { reply } => {
+                let _ = reply.send(coordinator.snapshot());
+            }
+            ClusterCommand::Metrics { reply } => {
+                let text = metrics::render_cluster(&coordinator, bus.overwrites());
+                let _ = reply.send(text);
+            }
+            ClusterCommand::Shutdown { reply } => {
+                let result = coordinator.shutdown();
+                publish_cluster_pending(&mut coordinator, &bus);
+                bus.close();
+                let _ = reply.send(result.map(|()| Box::new(coordinator.into_record())));
+                return;
+            }
+        }
+    }
     bus.close();
 }

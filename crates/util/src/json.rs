@@ -53,6 +53,43 @@ fn write_json_str(out: &mut String, s: &str) {
 }
 
 impl JsonValue {
+    /// Builds an array from anything iterable over convertible items:
+    /// `JsonValue::array([1.0, 2.0])`, `JsonValue::array(names)`.
+    pub fn array<I>(items: I) -> JsonValue
+    where
+        I: IntoIterator,
+        I::Item: Into<JsonValue>,
+    {
+        JsonValue::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds an insertion-ordered object from `(key, value)` pairs:
+    /// `JsonValue::object([("n", 3.0.into())])`.
+    pub fn object<K, I>(fields: I) -> JsonValue
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, JsonValue)>,
+    {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object (`None` for missing keys and non-objects)
+    /// — enough for tests to poke at nested documents without a parser.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an array (`None` out of bounds and for non-arrays).
+    pub fn at(&self, index: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Arr(items) => items.get(index),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -83,6 +120,36 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> JsonValue {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> JsonValue {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> JsonValue {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> JsonValue {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> JsonValue {
+        JsonValue::Str(v)
     }
 }
 
@@ -132,6 +199,26 @@ mod tests {
             v.to_string(),
             "{\"name\":\"fig\\\"5\\\"\",\"rows\":[1.5,true,null,null]}"
         );
+    }
+
+    #[test]
+    fn builders_compose_nested_documents() {
+        let v = JsonValue::object([
+            ("nodes", JsonValue::array(["n0", "n1"])),
+            ("shares", JsonValue::Arr(vec![JsonValue::array([0.5, 1.5])])),
+            ("quantum", 7usize.into()),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"nodes\":[\"n0\",\"n1\"],\"shares\":[[0.5,1.5]],\"quantum\":7}"
+        );
+        assert_eq!(v.get("quantum"), Some(&JsonValue::Num(7.0)));
+        assert_eq!(
+            v.get("shares").and_then(|s| s.at(0)).and_then(|s| s.at(1)),
+            Some(&JsonValue::Num(1.5))
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.at(0), None, "objects do not index");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 use crate::lexer::{lex, Allow, Token};
 
 /// Crates whose source participates in decisions the golden record pins.
-pub const DECISION_PATH_CRATES: &[&str] = &["core", "dds", "recsys", "simulator"];
+/// `cluster` joined when the coordinator landed: cross-node placement,
+/// migration, and balancing decide what every node runs, so they are as
+/// record-pinned as the per-node decision loop.
+pub const DECISION_PATH_CRATES: &[&str] = &["core", "dds", "recsys", "simulator", "cluster"];
 
 /// One rule's path-level exemptions: which files may violate it, and why.
 pub struct AllowedPaths {

@@ -1,0 +1,13 @@
+// Fixture: crates/cluster is a decision-path crate from day one — the
+// coordinator's cross-node placement, migration, and balancing decide
+// what every node runs. Linted as crates/cluster/src/fixture.rs: hasher
+// order, wall clocks, raw threads, and bare unwraps are all flagged.
+
+pub fn sneak_nondeterminism() {
+    let affinity: HashMap<&str, usize> = HashMap::new();
+    let _ = affinity;
+    let _migration_started = std::time::Instant::now();
+    std::thread::spawn(|| {});
+    let dest = pick_dest().unwrap();
+    let _ = dest;
+}

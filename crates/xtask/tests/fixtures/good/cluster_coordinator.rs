@@ -1,0 +1,22 @@
+// Fixture: the deterministic patterns the cluster crate is allowed to
+// use. Linted as crates/cluster/src/fixture.rs — decision-path scope —
+// this must be clean: ordered maps, a *borrowed* WorkerPool (no raw
+// spawns), seeded streams, and Result-shaped fallibility.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic_cross_node(pool: &util::WorkerPool, nodes: &mut [Node]) -> Option<usize> {
+    // Ordered map: iteration order is the key order, not hasher state.
+    let mut shares: BTreeMap<usize, f64> = BTreeMap::new();
+    shares.insert(0, 1.0);
+    // Fan-out borrows the shared pool; the pool owns the only threads.
+    pool.scope(|scope| {
+        for node in nodes.iter_mut() {
+            scope.spawn(move || node.step());
+        }
+    });
+    // Seeded, not ambient: per-node streams derive from the base seed.
+    let salt = 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Fallibility stays Result/Option-shaped; ties break on node id.
+    shares.keys().next().copied().map(|id| id ^ salt as usize)
+}

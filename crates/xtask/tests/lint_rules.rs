@@ -106,6 +106,31 @@ fn bad_service_boundary_is_confined_to_the_table_rows() {
 }
 
 #[test]
+fn bad_cluster_boundary_is_decision_path_gated() {
+    // The new cluster crate is in DECISION_PATH_CRATES and on no
+    // allowed-paths row: every rule fires there like in core.
+    let hits = spans("crates/cluster/src/fixture.rs", "bad/cluster_boundary.rs");
+    let rules: Vec<&str> = hits.iter().map(|h| h.0).collect();
+    for expect in [
+        "DET-HASH-ITER",
+        "DET-WALLCLOCK",
+        "DET-RAW-SPAWN",
+        "PANIC-POLICY",
+    ] {
+        assert!(rules.contains(&expect), "missing {expect}: {hits:?}");
+    }
+    // The same snippet outside the decision path only keeps the
+    // workspace-wide rules (clock + spawn).
+    let outside = spans("crates/workloads/src/fixture.rs", "bad/cluster_boundary.rs");
+    let outside_rules: Vec<&str> = outside.iter().map(|h| h.0).collect();
+    assert_eq!(
+        outside_rules,
+        vec!["DET-WALLCLOCK", "DET-RAW-SPAWN"],
+        "{outside:?}"
+    );
+}
+
+#[test]
 fn good_fixtures_lint_clean() {
     for (virtual_path, name) in [
         ("crates/core/src/fixture.rs", "good/annotated.rs"),
@@ -113,6 +138,10 @@ fn good_fixtures_lint_clean() {
         ("crates/workloads/src/fixture.rs", "good/out_of_scope.rs"),
         ("crates/service/src/pacing.rs", "good/service_pacing.rs"),
         ("crates/service/src/reactor.rs", "good/service_reactor.rs"),
+        (
+            "crates/cluster/src/fixture.rs",
+            "good/cluster_coordinator.rs",
+        ),
     ] {
         let hits = spans(virtual_path, name);
         assert!(hits.is_empty(), "{name} as {virtual_path}: {hits:?}");
