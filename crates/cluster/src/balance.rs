@@ -51,29 +51,33 @@ pub struct ShareShift {
     pub amount: f64,
 }
 
-/// Decides the share shift for one LC service given every replica's
-/// `(tail_ratio, current_share)` in node-id order. Returns `None` when no
-/// replica breaches, only one node exists, or the breacher is already at
-/// the share floor. Ties break toward the lowest node id on both ends.
+/// Decides the share shift for one LC service given each *hosting*
+/// replica's `(node, tail_ratio, current_share)` in node-id order. Nodes
+/// that don't host the service (or are down) simply don't appear — the
+/// fleet is no longer truncated to its narrowest node. Returns `None`
+/// when fewer than two replicas exist, no replica breaches, or the
+/// breacher is already at the share floor. Ties break toward the lowest
+/// node id on both ends (callers pass replicas in node-id order; the
+/// first extremum wins).
 pub fn decide_shift(
     config: &BalanceConfig,
     lc_index: usize,
-    replicas: &[(f64, f64)],
+    replicas: &[(NodeId, f64, f64)],
 ) -> Option<ShareShift> {
     if replicas.len() < 2 {
         return None;
     }
     let (mut worst, mut best) = (0usize, 0usize);
-    for (i, (ratio, _)) in replicas.iter().enumerate() {
+    for (i, (_, ratio, _)) in replicas.iter().enumerate() {
         // Strict comparisons: the first (lowest-id) extremum wins ties.
-        if *ratio > replicas[worst].0 {
+        if *ratio > replicas[worst].1 {
             worst = i;
         }
-        if *ratio < replicas[best].0 {
+        if *ratio < replicas[best].1 {
             best = i;
         }
     }
-    let (worst_ratio, worst_share) = replicas[worst];
+    let (_, worst_ratio, worst_share) = replicas[worst];
     if worst_ratio <= config.tail_ratio_threshold || worst == best {
         return None;
     }
@@ -83,8 +87,8 @@ pub fn decide_shift(
     }
     Some(ShareShift {
         lc_index,
-        from: NodeId::from_index(worst),
-        to: NodeId::from_index(best),
+        from: replicas[worst].0,
+        to: replicas[best].0,
         amount,
     })
 }
@@ -94,20 +98,28 @@ pub fn decide_shift(
 mod tests {
     use super::*;
 
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
     #[test]
     fn a_breaching_replica_sheds_to_the_best() {
         let cfg = BalanceConfig::default();
-        let shift = decide_shift(&cfg, 0, &[(0.4, 1.0), (1.3, 1.0), (0.9, 1.0)]).unwrap();
-        assert_eq!(shift.from, NodeId::from_index(1));
-        assert_eq!(shift.to, NodeId::from_index(0));
+        let replicas = [(n(0), 0.4, 1.0), (n(1), 1.3, 1.0), (n(2), 0.9, 1.0)];
+        let shift = decide_shift(&cfg, 0, &replicas).unwrap();
+        assert_eq!(shift.from, n(1));
+        assert_eq!(shift.to, n(0));
         assert!((shift.amount - cfg.shift).abs() < 1e-12);
     }
 
     #[test]
     fn no_breach_or_single_node_means_no_shift() {
         let cfg = BalanceConfig::default();
-        assert_eq!(decide_shift(&cfg, 0, &[(0.9, 1.0), (0.8, 1.0)]), None);
-        assert_eq!(decide_shift(&cfg, 0, &[(5.0, 1.0)]), None, "one node");
+        assert_eq!(
+            decide_shift(&cfg, 0, &[(n(0), 0.9, 1.0), (n(1), 0.8, 1.0)]),
+            None
+        );
+        assert_eq!(decide_shift(&cfg, 0, &[(n(0), 5.0, 1.0)]), None, "one node");
         assert_eq!(decide_shift(&cfg, 0, &[]), None);
     }
 
@@ -115,19 +127,37 @@ mod tests {
     fn the_share_floor_caps_the_shift() {
         let cfg = BalanceConfig::default();
         // Breacher is 0.05 above the floor: only that much can move.
-        let shift = decide_shift(&cfg, 2, &[(1.5, 0.30), (0.2, 1.7)]).unwrap();
+        let shift = decide_shift(&cfg, 2, &[(n(0), 1.5, 0.30), (n(1), 0.2, 1.7)]).unwrap();
         assert!((shift.amount - 0.05).abs() < 1e-12);
         assert_eq!(shift.lc_index, 2);
         // At the floor: nothing moves.
-        assert_eq!(decide_shift(&cfg, 0, &[(1.5, 0.25), (0.2, 1.75)]), None);
+        assert_eq!(
+            decide_shift(&cfg, 0, &[(n(0), 1.5, 0.25), (n(1), 0.2, 1.75)]),
+            None
+        );
     }
 
     #[test]
     fn ties_break_toward_the_lowest_node_id() {
         let cfg = BalanceConfig::default();
-        let shift = decide_shift(&cfg, 0, &[(0.3, 1.0), (0.3, 1.0), (1.2, 1.0), (1.2, 1.0)]);
-        let shift = shift.unwrap();
-        assert_eq!(shift.from, NodeId::from_index(2), "first worst wins");
-        assert_eq!(shift.to, NodeId::from_index(0), "first best wins");
+        let replicas = [
+            (n(0), 0.3, 1.0),
+            (n(1), 0.3, 1.0),
+            (n(2), 1.2, 1.0),
+            (n(3), 1.2, 1.0),
+        ];
+        let shift = decide_shift(&cfg, 0, &replicas).unwrap();
+        assert_eq!(shift.from, n(2), "first worst wins");
+        assert_eq!(shift.to, n(0), "first best wins");
+    }
+
+    #[test]
+    fn a_sparse_fleet_balances_among_its_hosting_nodes_only() {
+        // Nodes 0 and 3 host this LC; 1 and 2 do not and are simply absent
+        // — the decision still pairs the real node ids.
+        let cfg = BalanceConfig::default();
+        let shift = decide_shift(&cfg, 1, &[(n(0), 1.4, 1.0), (n(3), 0.5, 1.0)]).unwrap();
+        assert_eq!(shift.from, n(0));
+        assert_eq!(shift.to, n(3));
     }
 }

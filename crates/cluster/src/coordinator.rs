@@ -1,23 +1,35 @@
 //! The deterministic cluster coordinator.
 //!
 //! [`ClusterCoordinator`] owns N [`NodeAgent`]s and steps them through the
-//! same 100 ms decision quantum in lockstep. One quantum is five phases,
+//! same 100 ms decision quantum in lockstep. One quantum is six phases,
 //! in a fixed order:
 //!
+//! 0. **Health** (serial, node-id order): inject this quantum's planned
+//!    fleet faults ([`FleetFaultPlan`]), observe every node's heartbeat
+//!    (did it answer the previous steps, or is it crashed / blacked out /
+//!    slow?), advance each node's [`NodeHealth`] state machine, evacuate
+//!    nodes newly declared Down, retry the displaced queue with bounded
+//!    backoff, and run the fleet degraded-mode hysteresis.
 //! 1. **Complete due migrations** (serial, start order): a tenant whose
-//!    modeled migration cost has elapsed is admitted on its destination.
-//! 2. **Step every node** — serially in either direction or on a borrowed
-//!    [`WorkerPool`]; nodes share nothing within a quantum, so any
-//!    schedule reaches bit-identical state.
+//!    modeled migration cost has elapsed is admitted on its destination;
+//!    a refusal schedules a bounded retry against the next-best node.
+//! 2. **Step every steppable node** — serially in either direction or on
+//!    a borrowed [`WorkerPool`]; nodes share nothing within a quantum, so
+//!    any schedule reaches bit-identical state. Crashed and drained nodes
+//!    never step again; blacked-out nodes keep stepping (they are alive,
+//!    just unobservable — the split-brain is reconciled on rejoin).
 //! 3. **Drain node events** into the cluster event queue, in node-id
 //!    order.
 //! 4. **Balance** LC traffic shares from the quantum's tail ratios.
 //! 5. **Auto-migrate** (when configured): a node still breaching after
 //!    balancing offloads its most recently placed batch tenant.
 //!
-//! Phases 1 and 3–5 are the only cross-node code, and they run serially
+//! Phases 0–1 and 3–5 are the only cross-node code, and they run serially
 //! in node-id order — that is the whole determinism argument (see the
-//! crate docs), and `tests/cluster.rs` pins it.
+//! crate docs), and `tests/cluster.rs` plus `tests/fleet_resilience.rs`
+//! pin it. With [`FleetFaultPlan::none`] phase 0 observes a clean
+//! heartbeat on every Up node and does nothing at all, so a fault-free
+//! coordinator is bit-identical to one built before faults existed.
 
 use cuttlesys::control::AdmissionError;
 use cuttlesys::control::{ControlError, ControlEvent, ControlSnapshot, TenantId, TenantKind};
@@ -28,6 +40,8 @@ use util::WorkerPool;
 use workloads::batch::SpecBenchmark;
 
 use crate::balance::{decide_shift, BalanceConfig};
+use crate::faults::{FleetFaultInjector, FleetFaultPlan};
+use crate::health::{retry_backoff, DegradedMode, HealthConfig, HealthTracker, NodeHealth};
 use crate::migration::{InFlight, MigrateError, MigrationConfig};
 use crate::node::NodeAgent;
 use crate::placement::{pick_best, PlacementConfig, PlacementError, PlacementScore};
@@ -76,6 +90,49 @@ pub struct ClusterConfig {
     pub migration: MigrationConfig,
     /// Traffic balancing; `None` disables it.
     pub balance: Option<BalanceConfig>,
+    /// Health detection thresholds, displaced-retry backoff, and the
+    /// fleet degraded-mode hysteresis.
+    pub health: HealthConfig,
+}
+
+/// What the fault plan has done to one node so far — mechanical truth,
+/// as opposed to the coordinator's *knowledge* in [`NodeHealth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct NodeFate {
+    /// The node crashed; it never steps again.
+    crashed: bool,
+    /// The node was drained for maintenance; it never steps again.
+    drained: bool,
+    /// Blacked out (silent but alive) until this quantum.
+    silent_until: usize,
+    /// This quantum's step overran its deadline (one missed heartbeat);
+    /// refreshed by fault injection every quantum.
+    slow: bool,
+}
+
+impl NodeFate {
+    /// Whether the node still executes steps.
+    fn steppable(self) -> bool {
+        !self.crashed && !self.drained
+    }
+
+    /// Whether the node fails to heartbeat at `quantum`.
+    fn silent_at(self, quantum: usize) -> bool {
+        self.crashed || self.drained || quantum < self.silent_until || self.slow
+    }
+}
+
+/// One evacuated tenant the fleet had no room for: parked, retried each
+/// quantum its backoff allows, never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DisplacedTenant {
+    tenant: ClusterTenantId,
+    /// The failed node it was evacuated from.
+    from: NodeId,
+    /// Placement attempts so far (drives the backoff).
+    attempts: u32,
+    /// The next quantum at which placement is retried.
+    retry_at: usize,
 }
 
 /// One row of the cluster tenant table.
@@ -130,8 +187,10 @@ pub enum ClusterEvent {
         /// The quantum at whose start the admit happened.
         quantum: usize,
     },
-    /// A migration failed at completion: the destination's admission
-    /// control rejected the tenant, which retires drained.
+    /// A destination refused an in-flight tenant's admit (the node is
+    /// down, or its admission control rejected the tenant). Followed by
+    /// either [`ClusterEvent::MigrationRetried`] or
+    /// [`ClusterEvent::MigrationAbandoned`].
     MigrationFailed {
         /// The tenant that failed to move.
         tenant: ClusterTenantId,
@@ -140,6 +199,98 @@ pub enum ClusterEvent {
         /// The destination that rejected it.
         to: NodeId,
         /// The quantum at whose start the admit was attempted.
+        quantum: usize,
+    },
+    /// A refused migration was re-aimed at the next-best node with
+    /// bounded backoff.
+    MigrationRetried {
+        /// The still-in-flight tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The new destination (the old one when nothing else fits).
+        to: NodeId,
+        /// The quantum at whose start the next admit happens.
+        admit_at: usize,
+        /// Refusals so far.
+        attempt: usize,
+        /// The quantum of the refusal.
+        quantum: usize,
+    },
+    /// A migration exhausted its retries; the tenant retires drained.
+    MigrationAbandoned {
+        /// The abandoned tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The last destination that refused it.
+        to: NodeId,
+        /// Total refusals.
+        attempts: usize,
+        /// The quantum of the final refusal.
+        quantum: usize,
+    },
+    /// A node's health state changed (missed or recovered heartbeats, or
+    /// a deliberate drain).
+    NodeHealthChanged {
+        /// The node.
+        node: NodeId,
+        /// Previous state.
+        from: NodeHealth,
+        /// New state.
+        to: NodeHealth,
+        /// The quantum of the transition.
+        quantum: usize,
+    },
+    /// A node was deliberately drained for maintenance: tenants evacuate
+    /// with warning, then the node's control plane shuts down cleanly.
+    NodeDrained {
+        /// The drained node.
+        node: NodeId,
+        /// The quantum of the drain.
+        quantum: usize,
+    },
+    /// A tenant was moved off a failed or draining node: batch tenants
+    /// re-enter admission on the destination; LC tenants fold their
+    /// traffic share onto the surviving replica.
+    Evacuated {
+        /// The evacuated tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The failed node.
+        from: NodeId,
+        /// The node that took it in.
+        to: NodeId,
+        /// The quantum of the evacuation.
+        quantum: usize,
+    },
+    /// An evacuated tenant had nowhere to go and was parked in the
+    /// displaced queue; emitted again after every failed retry.
+    Displaced {
+        /// The parked tenant.
+        tenant: ClusterTenantId,
+        /// Its registered name.
+        name: String,
+        /// The failed node it came from.
+        from: NodeId,
+        /// Placement attempts so far.
+        attempts: u32,
+        /// The quantum of the next retry.
+        retry_at: usize,
+        /// The quantum of this failure.
+        quantum: usize,
+    },
+    /// Lost capacity left displaced tenants unplaceable for long enough;
+    /// the fleet starts shedding batch work (then shrinking LC shares
+    /// toward safe-mode allocations) until placement is feasible again.
+    FleetDegraded {
+        /// The quantum degraded mode engaged.
+        quantum: usize,
+    },
+    /// The fleet has been feasible long enough to leave degraded mode.
+    FleetRecovered {
+        /// The quantum degraded mode disengaged.
         quantum: usize,
     },
     /// The balance policy moved LC traffic share between replicas.
@@ -166,6 +317,8 @@ pub enum ClusterError {
     NotABatchTenant(ClusterTenantId),
     /// The node id is not in the cluster.
     UnknownNode(NodeId),
+    /// The node is already down, drained, or crashed.
+    NodeUnavailable(NodeId),
     /// The tenant is mid-migration; wait for the move to settle.
     InFlight(ClusterTenantId),
     /// A node's admission control rejected a directed registration.
@@ -184,6 +337,9 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "tenant {t} is latency-critical and pinned to its node")
             }
             ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::NodeUnavailable(n) => {
+                write!(f, "node {n} is already down, drained, or crashed")
+            }
             ClusterError::InFlight(t) => write!(f, "tenant {t} is mid-migration"),
             ClusterError::Admission(e) => write!(f, "{e}"),
             ClusterError::Control(e) => write!(f, "{e}"),
@@ -234,6 +390,14 @@ pub struct ClusterSnapshot {
     pub tenants: Vec<ClusterTenantSnapshot>,
     /// Tenants currently mid-migration.
     pub in_flight: usize,
+    /// Per-node health state names, in node-id order.
+    pub node_health: Vec<&'static str>,
+    /// Tenants parked in the displaced queue.
+    pub displaced: usize,
+    /// Evacuations performed so far.
+    pub evacuations: usize,
+    /// Whether the fleet is in degraded mode.
+    pub degraded: bool,
 }
 
 impl ClusterSnapshot {
@@ -242,6 +406,18 @@ impl ClusterSnapshot {
         JsonValue::object([
             ("quantum", self.quantum.into()),
             ("in_flight", self.in_flight.into()),
+            ("displaced", self.displaced.into()),
+            ("evacuations", self.evacuations.into()),
+            ("degraded", self.degraded.into()),
+            (
+                "node_health",
+                JsonValue::Arr(
+                    self.node_health
+                        .iter()
+                        .map(|h| JsonValue::from(*h))
+                        .collect(),
+                ),
+            ),
             (
                 "nodes",
                 JsonValue::Arr(self.nodes.iter().map(ControlSnapshot::to_json).collect()),
@@ -322,6 +498,20 @@ pub struct ClusterCoordinator {
     config: ClusterConfig,
     quantum: usize,
     pending: Vec<ClusterEvent>,
+    faults: FleetFaultInjector,
+    /// Per-node health detectors, in node-id order.
+    health: Vec<HealthTracker>,
+    /// Per-node mechanical fault state, in node-id order.
+    fate: Vec<NodeFate>,
+    /// Evacuated tenants with nowhere to go, in displacement order.
+    displaced: Vec<DisplacedTenant>,
+    /// Per-node local tenant rows that were evacuated elsewhere while the
+    /// node was unobservable-but-alive (blackout split-brain); drained
+    /// when the node rejoins.
+    stale_locals: Vec<Vec<TenantId>>,
+    degraded: DegradedMode,
+    /// Evacuations performed so far (batch re-placements + LC foldings).
+    evacuations: usize,
 }
 
 impl ClusterCoordinator {
@@ -335,12 +525,28 @@ impl ClusterCoordinator {
         ClusterCoordinator::with_config(scenario, ClusterConfig::default())
     }
 
-    /// Builds the coordinator with explicit policies.
+    /// Builds the coordinator with explicit policies and no fleet faults.
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`NodeAgent::new`].
     pub fn with_config(scenario: &ClusterScenario, config: ClusterConfig) -> ClusterCoordinator {
+        ClusterCoordinator::with_faults(scenario, config, FleetFaultPlan::none())
+    }
+
+    /// Builds the coordinator with explicit policies and a fleet fault
+    /// plan. [`FleetFaultPlan::none`] makes this identical to
+    /// [`with_config`](Self::with_config) — the clean plan performs no
+    /// draws and injects nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NodeAgent::new`].
+    pub fn with_faults(
+        scenario: &ClusterScenario,
+        config: ClusterConfig,
+        plan: FleetFaultPlan,
+    ) -> ClusterCoordinator {
         let nodes: Vec<NodeAgent> = scenario
             .nodes
             .iter()
@@ -364,6 +570,7 @@ impl ClusterCoordinator {
                 });
             }
         }
+        let n = nodes.len();
         ClusterCoordinator {
             nodes,
             tenants,
@@ -371,6 +578,13 @@ impl ClusterCoordinator {
             config,
             quantum: 0,
             pending: Vec::new(),
+            faults: FleetFaultInjector::new(plan),
+            health: vec![HealthTracker::new(); n],
+            fate: vec![NodeFate::default(); n],
+            displaced: Vec::new(),
+            stale_locals: vec![Vec::new(); n],
+            degraded: DegradedMode::new(),
+            evacuations: 0,
         }
     }
 
@@ -389,13 +603,43 @@ impl ClusterCoordinator {
         self.nodes.get(id.index())
     }
 
+    /// One node's health state, if the id is valid.
+    pub fn node_health(&self, id: NodeId) -> Option<NodeHealth> {
+        self.health.get(id.index()).map(HealthTracker::state)
+    }
+
+    /// Tenants currently parked in the displaced queue.
+    pub fn displaced_tenants(&self) -> usize {
+        self.displaced.len()
+    }
+
+    /// Evacuations performed so far (batch re-placements plus LC traffic
+    /// foldings).
+    pub fn evacuations_total(&self) -> usize {
+        self.evacuations
+    }
+
+    /// Whether the fleet is in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.active()
+    }
+
+    /// The fleet fault plan this coordinator injects from.
+    pub fn fault_plan(&self) -> &FleetFaultPlan {
+        self.faults.plan()
+    }
+
     /// The cluster-visible lifecycle state of a tenant: its hosting
     /// node's view, overlaid with `Relocating(Node(dest))` while the
-    /// tenant is in flight between nodes.
+    /// tenant is in flight between nodes and `Relocating(Displaced)`
+    /// while it is parked in the displaced queue.
     pub fn tenant_state(&self, id: ClusterTenantId) -> Option<LifecycleState> {
         let entry = self.tenants.get(id.0)?;
         if let Some(m) = self.in_flight.iter().find(|m| m.tenant == id) {
             return Some(LifecycleState::Relocating(RelocationTarget::Node(m.dest)));
+        }
+        if self.displaced.iter().any(|d| d.tenant == id) {
+            return Some(LifecycleState::Relocating(RelocationTarget::Displaced));
         }
         self.nodes
             .get(entry.node.index())?
@@ -412,12 +656,17 @@ impl ClusterCoordinator {
         self.tenants.get(id.0).map(|e| e.node)
     }
 
-    /// Scores every node (minus `exclude`) as a placement candidate for
-    /// `app`, in node-id order.
+    /// Scores every *serving* node (minus `exclude`) as a placement
+    /// candidate for `app`, in node-id order. "Serving" is the
+    /// coordinator's knowledge ([`NodeHealth::is_serving`]), not ground
+    /// truth: a crashed node stays a candidate until its failure is
+    /// detected, and the tenants placed on it in that window are
+    /// recovered by the evacuation the detection triggers.
     fn scores_for(&self, app: SpecBenchmark, exclude: Option<NodeId>) -> Vec<PlacementScore> {
         self.nodes
             .iter()
             .filter(|n| Some(n.id()) != exclude)
+            .filter(|n| self.health[n.id().index()].state().is_serving())
             .map(|n| {
                 let (required, budget) = n.core().admission_preview(app);
                 let scenario = n.core().scenario();
@@ -608,6 +857,7 @@ impl ClusterCoordinator {
             from,
             dest,
             admit_at,
+            attempts: 0,
         });
         self.pending.push(ClusterEvent::MigrationStarted {
             tenant: id,
@@ -619,7 +869,394 @@ impl ClusterCoordinator {
         Ok(())
     }
 
-    /// Phase 1: admit every migration whose cost has elapsed.
+    /// Deliberately drains a node for maintenance: its tenants evacuate
+    /// with warning (batch re-enters admission elsewhere, LC traffic
+    /// folds onto surviving replicas), its control plane shuts down
+    /// cleanly, and it is declared Down. The node never steps again.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] for an invalid id;
+    /// [`ClusterError::NodeUnavailable`] when the node is already down,
+    /// drained, or crashed.
+    pub fn drain_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        if node.index() >= self.nodes.len() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        let fate = self.fate[node.index()];
+        if fate.crashed || fate.drained || self.health[node.index()].state().is_down() {
+            return Err(ClusterError::NodeUnavailable(node));
+        }
+        self.drain_node_inner(node.index());
+        Ok(())
+    }
+
+    /// The drain mechanics, shared by [`drain_node`](Self::drain_node)
+    /// and the fault plan's scheduled-maintenance stream.
+    fn drain_node_inner(&mut self, node_index: usize) {
+        let node = NodeId::from_index(node_index);
+        self.pending.push(ClusterEvent::NodeDrained {
+            node,
+            quantum: self.quantum,
+        });
+        self.fate[node_index].drained = true;
+        // Down *before* evacuating, so the node cannot be chosen as its
+        // own tenants' destination.
+        if let Some((from, to)) = self.health[node_index].force_down() {
+            self.pending.push(ClusterEvent::NodeHealthChanged {
+                node,
+                from,
+                to,
+                quantum: self.quantum,
+            });
+        }
+        self.evacuate_node(node_index);
+        // The node's control plane shuts down cleanly: every remaining
+        // local row (the evacuees' old rows and any unplaceable
+        // stragglers') drains and retires. Impossible to refuse by the
+        // transition table.
+        let _ = self.nodes[node_index].core_mut().shutdown();
+    }
+
+    /// Phase 0: inject planned faults, observe heartbeats, advance every
+    /// node's health state machine, evacuate nodes newly declared Down,
+    /// retry the displaced queue, and run the degraded-mode hysteresis —
+    /// all serial, in node-id order. On a healthy fleet with a clean
+    /// fault plan every step here is a no-op, which is why
+    /// [`FleetFaultPlan::none`] leaves the coordinator bit-identical to
+    /// one built before faults existed.
+    fn health_phase(&mut self) {
+        let q = self.quantum;
+        // (a) Inject this quantum's faults (a clean plan performs no
+        // draws at all).
+        for i in 0..self.nodes.len() {
+            let verdict = self.faults.node_quantum(NodeId::from_index(i), q);
+            self.fate[i].slow = verdict.slow;
+            if verdict.crash {
+                self.fate[i].crashed = true;
+            }
+            if verdict.blackout_quanta > 0 {
+                let until = q + verdict.blackout_quanta;
+                self.fate[i].silent_until = self.fate[i].silent_until.max(until);
+            }
+            if verdict.drain && self.fate[i].steppable() && !self.health[i].state().is_down() {
+                self.drain_node_inner(i);
+            }
+        }
+        // (b) Observe heartbeats and advance each state machine. The
+        // heartbeat is the one observable the coordinator has: did the
+        // node answer this quantum, or is it crashed / blacked out /
+        // overrunning its step deadline? Timeouts are quantum-counted,
+        // never wall-clock.
+        for i in 0..self.nodes.len() {
+            let beat = !self.fate[i].silent_at(q);
+            let Some((from, to)) = self.health[i].observe(beat, &self.config.health) else {
+                continue;
+            };
+            self.pending.push(ClusterEvent::NodeHealthChanged {
+                node: NodeId::from_index(i),
+                from,
+                to,
+                quantum: q,
+            });
+            if to.is_down() {
+                self.evacuate_node(i);
+            } else if from.is_down() {
+                self.reconcile_rejoin(i);
+            }
+        }
+        // (c) Retry displaced tenants whose backoff has elapsed.
+        self.retry_displaced();
+        // (d) Degraded-mode hysteresis: the fleet is infeasible while
+        // displaced tenants remain unplaceable after their retries.
+        let infeasible = !self.displaced.is_empty();
+        match self.degraded.observe(infeasible, &self.config.health) {
+            Some(true) => self
+                .pending
+                .push(ClusterEvent::FleetDegraded { quantum: q }),
+            Some(false) => self
+                .pending
+                .push(ClusterEvent::FleetRecovered { quantum: q }),
+            None => {}
+        }
+        if self.degraded.active() {
+            self.shed_for_capacity();
+        }
+    }
+
+    /// Moves every recoverable tenant off a node that has been declared
+    /// Down, in tenant-id order: batch tenants re-enter admission on the
+    /// best-scoring serving node (or park in the displaced queue), LC
+    /// tenants fold their traffic share onto the best surviving replica.
+    fn evacuate_node(&mut self, node_index: usize) {
+        let source = NodeId::from_index(node_index);
+        let candidates: Vec<ClusterTenantId> = (0..self.tenants.len())
+            .map(ClusterTenantId)
+            .filter(|id| {
+                let e = &self.tenants[id.0];
+                e.node == source
+                    && !self.in_flight.iter().any(|m| m.tenant == *id)
+                    && !self.displaced.iter().any(|d| d.tenant == *id)
+                    && self.nodes[node_index]
+                        .core()
+                        .tenant(e.local)
+                        .is_some_and(|t| {
+                            matches!(
+                                t.state(),
+                                LifecycleState::Admitted
+                                    | LifecycleState::Running
+                                    | LifecycleState::Degraded
+                                    | LifecycleState::Relocating(_)
+                            )
+                        })
+            })
+            .collect();
+        for id in candidates {
+            if self.tenants[id.0].app.is_some() {
+                if !self.place_evacuee(id) {
+                    self.park(id, source);
+                }
+            } else {
+                self.evacuate_lc(id);
+            }
+        }
+    }
+
+    /// Parks an unplaceable evacuee in the displaced queue with the
+    /// initial backoff. Parked tenants are retried every quantum their
+    /// backoff allows; they are never dropped.
+    fn park(&mut self, id: ClusterTenantId, from: NodeId) {
+        let retry_at = self.quantum + retry_backoff(&self.config.health, 0);
+        self.displaced.push(DisplacedTenant {
+            tenant: id,
+            from,
+            attempts: 0,
+            retry_at,
+        });
+        self.pending.push(ClusterEvent::Displaced {
+            tenant: id,
+            name: self.tenants[id.0].name.clone(),
+            from,
+            attempts: 0,
+            retry_at,
+            quantum: self.quantum,
+        });
+    }
+
+    /// Tries to find a batch evacuee a home. Returns `true` when the
+    /// tenant is settled: admitted on a serving node, or resolved in
+    /// place because its home node rejoined (a short blackout can end
+    /// before the tenant is ever re-placed) — its old row is still live
+    /// there, so it never actually left.
+    fn place_evacuee(&mut self, id: ClusterTenantId) -> bool {
+        let entry = &self.tenants[id.0];
+        let home = entry.node;
+        let old_local = entry.local;
+        let name = entry.name.clone();
+        if self.health[home.index()].state().is_serving()
+            && self.fate[home.index()].steppable()
+            && self.nodes[home.index()]
+                .core()
+                .tenant(old_local)
+                .is_some_and(|t| t.state().is_live())
+        {
+            return true;
+        }
+        let Some(app) = entry.app else { return true };
+        let scores = self.scores_for(app, Some(home));
+        let Some(dest) = pick_best(&scores, &self.config.placement) else {
+            return false;
+        };
+        match self.nodes[dest.index()]
+            .core_mut()
+            .register_batch(&name, app)
+        {
+            Ok(local) => {
+                if self.fate[home.index()].steppable() {
+                    // The old row still exists on an alive-but-silent
+                    // node (blackout split-brain): remember it so the
+                    // duplicate drains when the node rejoins.
+                    self.stale_locals[home.index()].push(old_local);
+                }
+                let entry = &mut self.tenants[id.0];
+                entry.node = dest;
+                entry.local = local;
+                self.evacuations += 1;
+                self.pending.push(ClusterEvent::Evacuated {
+                    tenant: id,
+                    name,
+                    from: home,
+                    to: dest,
+                    quantum: self.quantum,
+                });
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Evacuates one LC tenant by folding its traffic share onto the
+    /// best surviving replica of the same service. LC tenants cannot
+    /// re-enter admission (their matrix rows and queue state are pinned),
+    /// so the *traffic* moves instead — the cluster entry is re-homed to
+    /// the survivor's own LC row, which may leave two cluster entries
+    /// mapping to the same local row until the failed node is replaced.
+    fn evacuate_lc(&mut self, id: ClusterTenantId) {
+        let entry = &self.tenants[id.0];
+        let source = entry.node;
+        let old_local = entry.local;
+        let name = entry.name.clone();
+        let Some(TenantKind::LatencyCritical { lc_index }) = self.nodes[source.index()]
+            .core()
+            .tenant(old_local)
+            .map(|t| t.kind())
+        else {
+            return;
+        };
+        // Surviving replicas: serving nodes that host this LC service.
+        // Scored through the shared placement policy (tenant-count
+        // pressure only; LC admission is not power-gated here).
+        let scores: Vec<PlacementScore> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id() != source)
+            .filter(|n| self.health[n.id().index()].state().is_serving())
+            .filter(|n| n.core().scenario().num_lc() > lc_index)
+            .map(|n| PlacementScore {
+                node: n.id(),
+                headroom_watts: 0.0,
+                same_app_tenants: 1,
+                live_tenants: n.live_tenants(),
+            })
+            .collect();
+        let Some(dest) = pick_best(&scores, &self.config.placement) else {
+            // No surviving replica hosts this service: the traffic has
+            // nowhere to fold. The entry stays homed on the failed node.
+            return;
+        };
+        let src_share = self.nodes[source.index()].core().lc_traffic_shares()[lc_index];
+        let dest_share = self.nodes[dest.index()].core().lc_traffic_shares()[lc_index];
+        // Indices are valid by the filters above; the driver cannot
+        // refuse them.
+        let _ = self.nodes[source.index()]
+            .core_mut()
+            .set_lc_traffic_share(lc_index, 0.0);
+        let _ = self.nodes[dest.index()]
+            .core_mut()
+            .set_lc_traffic_share(lc_index, dest_share + src_share);
+        let dest_local = self.nodes[dest.index()].core().tenants().iter().position(
+            |t| matches!(t.kind(), TenantKind::LatencyCritical { lc_index: li } if li == lc_index),
+        );
+        if let Some(pos) = dest_local {
+            let entry = &mut self.tenants[id.0];
+            entry.node = dest;
+            entry.local = TenantId::from_index(pos);
+        }
+        self.evacuations += 1;
+        self.pending.push(ClusterEvent::Evacuated {
+            tenant: id,
+            name,
+            from: source,
+            to: dest,
+            quantum: self.quantum,
+        });
+    }
+
+    /// Retries every displaced tenant whose backoff has elapsed, in
+    /// displacement order. A failure re-parks the tenant with the next
+    /// (bounded) backoff and announces it — the queue shrinks only by
+    /// successful placement, never by dropping.
+    fn retry_displaced(&mut self) {
+        let parked = std::mem::take(&mut self.displaced);
+        for d in parked {
+            if d.retry_at > self.quantum {
+                self.displaced.push(d);
+                continue;
+            }
+            if self.place_evacuee(d.tenant) {
+                continue;
+            }
+            let attempts = d.attempts + 1;
+            let retry_at = self.quantum + retry_backoff(&self.config.health, attempts);
+            self.pending.push(ClusterEvent::Displaced {
+                tenant: d.tenant,
+                name: self.tenants[d.tenant.0].name.clone(),
+                from: d.from,
+                attempts,
+                retry_at,
+                quantum: self.quantum,
+            });
+            self.displaced.push(DisplacedTenant {
+                attempts,
+                retry_at,
+                ..d
+            });
+        }
+    }
+
+    /// Drains the stale local rows a rejoining node accumulated while it
+    /// was unobservable: tenants evacuated elsewhere in the meantime must
+    /// not run twice. The row may have already retired; refusals are
+    /// fine.
+    fn reconcile_rejoin(&mut self, node_index: usize) {
+        for local in std::mem::take(&mut self.stale_locals[node_index]) {
+            let _ = self.nodes[node_index].core_mut().deregister(local);
+        }
+    }
+
+    /// While degraded, frees capacity each quantum: sheds the most
+    /// recently placed live batch tenant on a serving node; once no batch
+    /// remains, shrinks every serving node's LC traffic shares toward the
+    /// safe-mode floor.
+    fn shed_for_capacity(&mut self) {
+        let victims: Vec<ClusterTenantId> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(idx, e)| (ClusterTenantId(idx), e))
+            .filter(|(id, e)| {
+                e.app.is_some()
+                    && self.health[e.node.index()].state().is_serving()
+                    && !self.in_flight.iter().any(|m| m.tenant == *id)
+                    && !self.displaced.iter().any(|d| d.tenant == *id)
+                    && self.nodes[e.node.index()]
+                        .core()
+                        .tenant(e.local)
+                        .is_some_and(|t| t.state().is_live())
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for id in victims {
+            if self.deregister(id).is_ok() {
+                return;
+            }
+        }
+        // No batch left to shed: shrink LC shares toward the floor.
+        let cfg = self.config.health;
+        for i in 0..self.nodes.len() {
+            if !self.health[i].state().is_serving() {
+                continue;
+            }
+            let shares = self.nodes[i].core().lc_traffic_shares().to_vec();
+            for (lc_index, share) in shares.into_iter().enumerate() {
+                let target = (share - cfg.share_shrink).max(cfg.min_degraded_share);
+                if target < share {
+                    let _ = self.nodes[i]
+                        .core_mut()
+                        .set_lc_traffic_share(lc_index, target);
+                }
+            }
+        }
+    }
+
+    /// Phase 1: admit every migration whose cost has elapsed. A refusal
+    /// (the destination is down, or its admission control rejected the
+    /// tenant) no longer loses the tenant: the move is re-aimed at the
+    /// next-best serving node with bounded exponential backoff, and only
+    /// after [`MigrationConfig::max_retries`] refusals does the tenant
+    /// retire drained — announced by
+    /// [`ClusterEvent::MigrationAbandoned`], never silently.
     fn complete_due_migrations(&mut self) {
         let due: Vec<InFlight> = self
             .in_flight
@@ -634,11 +1271,18 @@ impl ClusterCoordinator {
             // In-flight tenants are batch by construction (migrate()
             // refuses LC tenants), so the app is always present.
             let Some(app) = entry.app else { continue };
-            match self.nodes[m.dest.index()]
-                .core_mut()
-                .register_batch(&name, app)
-            {
-                Ok(local) => {
+            // A non-serving destination counts as a refusal without
+            // bothering its admission control.
+            let admitted = if self.health[m.dest.index()].state().is_serving() {
+                self.nodes[m.dest.index()]
+                    .core_mut()
+                    .register_batch(&name, app)
+                    .ok()
+            } else {
+                None
+            };
+            match admitted {
+                Some(local) => {
                     let entry = &mut self.tenants[m.tenant.0];
                     entry.node = m.dest;
                     entry.local = local;
@@ -650,14 +1294,50 @@ impl ClusterCoordinator {
                         quantum: self.quantum,
                     });
                 }
-                Err(_) => {
-                    // The tenant already drained from its source; it
-                    // retires there, and the destination records the
-                    // rejection as its own AdmissionRejected event.
+                None => {
                     self.pending.push(ClusterEvent::MigrationFailed {
                         tenant: m.tenant,
-                        name,
+                        name: name.clone(),
                         to: m.dest,
+                        quantum: self.quantum,
+                    });
+                    let attempts = m.attempts + 1;
+                    if attempts > self.config.migration.max_retries {
+                        // The tenant already drained from its source; it
+                        // retires there, and the destination records the
+                        // rejection as its own AdmissionRejected event.
+                        self.pending.push(ClusterEvent::MigrationAbandoned {
+                            tenant: m.tenant,
+                            name,
+                            to: m.dest,
+                            attempts,
+                            quantum: self.quantum,
+                        });
+                        continue;
+                    }
+                    // Next-best destination, excluding the refuser; fall
+                    // back to the same destination when nothing else is
+                    // feasible (it may free capacity by the retry).
+                    let scores = self.scores_for(app, Some(m.dest));
+                    let next = pick_best(&scores, &self.config.placement).unwrap_or(m.dest);
+                    let cost = self.config.migration.cost_quanta.max(1);
+                    let wait = cost
+                        .saturating_mul(1usize << attempts.min(16))
+                        .min(self.config.migration.retry_cap_quanta.max(cost));
+                    let admit_at = self.quantum + wait;
+                    self.in_flight.push(InFlight {
+                        tenant: m.tenant,
+                        from: m.from,
+                        dest: next,
+                        admit_at,
+                        attempts,
+                    });
+                    self.pending.push(ClusterEvent::MigrationRetried {
+                        tenant: m.tenant,
+                        name,
+                        to: next,
+                        admit_at,
+                        attempt: attempts,
                         quantum: self.quantum,
                     });
                 }
@@ -674,28 +1354,41 @@ impl ClusterCoordinator {
         }
 
         if let Some(balance) = self.config.balance {
+            // The loop runs to the *widest* node's LC count; nodes that
+            // don't host a service (or are down) drop out of that
+            // service's replica set instead of truncating the fleet.
             let num_lc = self
                 .nodes
                 .iter()
                 .map(|n| n.core().scenario().num_lc())
-                .min()
+                .max()
                 .unwrap_or(0);
             for lc_index in 0..num_lc {
-                let replicas: Vec<(f64, f64)> = self
+                let replicas: Vec<(NodeId, f64, f64)> = self
                     .nodes
                     .iter()
+                    .filter(|n| self.health[n.id().index()].state().is_serving())
+                    .filter(|n| n.core().scenario().num_lc() > lc_index)
                     .map(|n| {
                         (
+                            n.id(),
                             n.lc_tail_ratio(lc_index).unwrap_or(0.0),
                             n.core().lc_traffic_shares()[lc_index],
                         )
                     })
                     .collect();
                 if let Some(shift) = decide_shift(&balance, lc_index, &replicas) {
-                    let from_share = replicas[shift.from.index()].1 - shift.amount;
-                    let to_share = replicas[shift.to.index()].1 + shift.amount;
-                    // Indices came from the replica table we just built,
-                    // so the driver cannot refuse them.
+                    let share_of = |node: NodeId| {
+                        replicas
+                            .iter()
+                            .find(|r| r.0 == node)
+                            .map(|r| r.2)
+                            .unwrap_or(0.0)
+                    };
+                    let from_share = share_of(shift.from) - shift.amount;
+                    let to_share = share_of(shift.to) + shift.amount;
+                    // Ids came from the replica table we just built, so
+                    // the driver cannot refuse them.
                     let _ = self.nodes[shift.from.index()]
                         .core_mut()
                         .set_lc_traffic_share(lc_index, from_share);
@@ -715,12 +1408,16 @@ impl ClusterCoordinator {
 
         if let Some(threshold) = self.config.migration.auto_tail_ratio {
             for i in 0..self.nodes.len() {
+                if !self.health[i].state().is_serving() {
+                    continue;
+                }
                 if self.nodes[i].last_tail_ratio() <= threshold {
                     continue;
                 }
                 let source = NodeId::from_index(i);
                 // The most recently placed live batch tenant on the
-                // breaching node, skipping tenants already in flight.
+                // breaching node, skipping tenants already in flight or
+                // parked displaced.
                 let candidate = self
                     .tenants
                     .iter()
@@ -731,6 +1428,7 @@ impl ClusterCoordinator {
                         e.node == source
                             && e.app.is_some()
                             && !self.in_flight.iter().any(|m| m.tenant == *id)
+                            && !self.displaced.iter().any(|d| d.tenant == *id)
                             && self.nodes[i]
                                 .core()
                                 .tenant(e.local)
@@ -771,6 +1469,7 @@ impl ClusterCoordinator {
     ///
     /// As [`step_quantum`](Self::step_quantum).
     pub fn step_quantum_ordered(&mut self, order: StepOrder) -> Result<(), ClusterError> {
+        self.health_phase();
         self.complete_due_migrations();
         let mut first_err: Vec<Option<ControlError>> = Vec::new();
         first_err.resize_with(self.nodes.len(), || None);
@@ -779,6 +1478,9 @@ impl ClusterCoordinator {
             StepOrder::Reverse => (0..self.nodes.len()).rev().collect(),
         };
         for i in indices {
+            if !self.fate[i].steppable() {
+                continue;
+            }
             if let Err(e) = self.nodes[i].step() {
                 first_err[i] = Some(e);
             }
@@ -794,11 +1496,16 @@ impl ClusterCoordinator {
     ///
     /// As [`step_quantum`](Self::step_quantum).
     pub fn step_quantum_pooled(&mut self, pool: &WorkerPool) -> Result<(), ClusterError> {
+        self.health_phase();
         self.complete_due_migrations();
         let mut results: Vec<Option<ControlError>> = Vec::new();
         results.resize_with(self.nodes.len(), || None);
+        let fate = &self.fate;
         pool.scope(|scope| {
-            for (node, slot) in self.nodes.iter_mut().zip(results.iter_mut()) {
+            for (i, (node, slot)) in self.nodes.iter_mut().zip(results.iter_mut()).enumerate() {
+                if !fate[i].steppable() {
+                    continue;
+                }
                 scope.spawn(move || {
                     if let Err(e) = node.step() {
                         *slot = Some(e);
@@ -823,9 +1530,13 @@ impl ClusterCoordinator {
         Ok(())
     }
 
-    /// Whether every node's declared horizon has been simulated.
+    /// Whether every still-steppable node's declared horizon has been
+    /// simulated (crashed and drained nodes never finish theirs).
     pub fn is_done(&self) -> bool {
-        self.nodes.iter().all(|n| n.core().is_done())
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| !self.fate[i].steppable() || n.core().is_done())
     }
 
     /// Takes every cluster event queued since the previous drain.
@@ -861,6 +1572,10 @@ impl ClusterCoordinator {
                 })
                 .collect(),
             in_flight: self.in_flight.len(),
+            node_health: self.health.iter().map(|h| h.state().name()).collect(),
+            displaced: self.displaced.len(),
+            evacuations: self.evacuations,
+            degraded: self.degraded.active(),
         }
     }
 
@@ -874,11 +1589,17 @@ impl ClusterCoordinator {
     /// transition table, so any error here is a logic bug.
     pub fn shutdown(&mut self) -> Result<(), ClusterError> {
         self.in_flight.clear();
-        for node in self.nodes.iter_mut() {
-            node.core_mut().shutdown()?;
+        self.displaced.clear();
+        for i in 0..self.nodes.len() {
+            // A crashed node is gone — nothing drains cleanly off it —
+            // and a drained node's control plane already shut down; both
+            // still surface any events queued before the lights went out.
+            if self.fate[i].steppable() {
+                self.nodes[i].core_mut().shutdown()?;
+            }
             // The drain emits lifecycle events (Draining, Retired) on the
             // node core; surface them like any other quantum's phase 3.
-            let events: Vec<ControlEvent> = node.core_mut().drain_events();
+            let events: Vec<ControlEvent> = self.nodes[i].core_mut().drain_events();
             self.pending
                 .extend(events.into_iter().map(ClusterEvent::Node));
         }

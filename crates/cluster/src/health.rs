@@ -1,0 +1,369 @@
+//! Per-node health tracking and the fleet degraded-mode hysteresis.
+//!
+//! The coordinator cannot see inside a failed node — it sees only whether
+//! the node answered this quantum's lockstep step (its "heartbeat"). This
+//! module turns that one observable into a per-node state machine:
+//!
+//! ```text
+//!        miss            missed >= down_after
+//!  Up ─────────→ Suspect ────────────────────→ Down
+//!   ↑ beat          │ beat                      │ beat
+//!   │←──────────────┘                           ▼
+//!   │         clean >= recover_after        Recovering
+//!   └───────────────────────────────────────────┘
+//!                                     (a miss while Recovering relapses
+//!                                      straight back to Down)
+//! ```
+//!
+//! Every timeout is **quantum-counted** — `down_after` missed heartbeats,
+//! `recover_after` clean quanta — never wall-clock. The coordinator steps
+//! the fleet in simulated lockstep time; a wall clock here would make the
+//! detector's verdicts depend on host scheduling and break bit-replay
+//! (the invariant linter keeps this file on the decision path).
+//!
+//! The same config carries the displaced-queue backoff arithmetic
+//! ([`retry_backoff`]: `min(retry_base · 2^attempts, retry_cap)` quanta)
+//! and the fleet [`DegradedMode`] hysteresis (enter after `degrade_after`
+//! consecutive infeasible quanta, exit after `restore_after` consecutive
+//! feasible ones — the fleet-level analogue of PR 3's circuit breaker).
+
+/// One node's health as the coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Heartbeating normally.
+    Up,
+    /// Missed `missed` consecutive heartbeats; not yet declared down.
+    Suspect {
+        /// Consecutive missed heartbeats so far.
+        missed: usize,
+    },
+    /// Declared down; its tenants are evacuated.
+    Down,
+    /// Heartbeats resumed after Down; `clean` consecutive clean quanta so
+    /// far, on the way back to Up.
+    Recovering {
+        /// Consecutive clean quanta since heartbeats resumed.
+        clean: usize,
+    },
+}
+
+impl NodeHealth {
+    /// The state's stable lower-case name (used in metrics and events).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeHealth::Up => "up",
+            NodeHealth::Suspect { .. } => "suspect",
+            NodeHealth::Down => "down",
+            NodeHealth::Recovering { .. } => "recovering",
+        }
+    }
+
+    /// Whether the node can host tenants and receive traffic: everything
+    /// but Down. A Suspect or Recovering node is still serving — the
+    /// coordinator only evacuates on Down.
+    pub fn is_serving(self) -> bool {
+        self != NodeHealth::Down
+    }
+
+    /// Whether the node is declared down.
+    pub fn is_down(self) -> bool {
+        self == NodeHealth::Down
+    }
+}
+
+/// Quantum-counted health thresholds, displaced-retry backoff, and the
+/// fleet degraded-mode hysteresis knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Consecutive missed heartbeats before a node is declared Down (and
+    /// its tenants evacuated).
+    pub down_after: usize,
+    /// Consecutive clean quanta a Recovering node needs to return to Up.
+    pub recover_after: usize,
+    /// Displaced-queue backoff base, in quanta (first retry waits this).
+    pub retry_base: usize,
+    /// Displaced-queue backoff ceiling, in quanta.
+    pub retry_cap: usize,
+    /// Consecutive infeasible quanta (displaced tenants unplaceable)
+    /// before the fleet enters degraded mode.
+    pub degrade_after: usize,
+    /// Consecutive feasible quanta before the fleet exits degraded mode.
+    pub restore_after: usize,
+    /// While degraded and out of batch to shed, LC traffic shares shrink
+    /// toward this floor (the fleet's safe-mode allocation) ...
+    pub min_degraded_share: f64,
+    /// ... by this much per quantum.
+    pub share_shrink: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            down_after: 3,
+            recover_after: 2,
+            retry_base: 1,
+            retry_cap: 8,
+            degrade_after: 2,
+            restore_after: 2,
+            min_degraded_share: 0.5,
+            share_shrink: 0.1,
+        }
+    }
+}
+
+/// Bounded exponential backoff for the displaced queue, in quanta:
+/// `min(retry_base · 2^attempts, retry_cap)`, never less than one. Pure
+/// arithmetic over quantum counts — deterministic and replayable.
+pub fn retry_backoff(config: &HealthConfig, attempts: u32) -> usize {
+    let base = config.retry_base.max(1);
+    base.saturating_mul(1usize << attempts.min(16))
+        .min(config.retry_cap.max(1))
+}
+
+/// One node's health detector: feed it the heartbeat verdict each
+/// quantum, get back the transition (if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTracker {
+    state: NodeHealth,
+}
+
+impl HealthTracker {
+    /// A fresh tracker: the node starts Up.
+    pub fn new() -> HealthTracker {
+        HealthTracker {
+            state: NodeHealth::Up,
+        }
+    }
+
+    /// The current health state.
+    pub fn state(&self) -> NodeHealth {
+        self.state
+    }
+
+    /// Observes one quantum's heartbeat verdict. Returns `Some((from,
+    /// to))` when the state changed (missed-count and clean-count updates
+    /// within Suspect/Recovering count as changes too — the coordinator
+    /// reports only the Down/serving edges it cares about).
+    pub fn observe(
+        &mut self,
+        heartbeat: bool,
+        config: &HealthConfig,
+    ) -> Option<(NodeHealth, NodeHealth)> {
+        let from = self.state;
+        let down_after = config.down_after.max(1);
+        let recover_after = config.recover_after.max(1);
+        let missed_step = |missed: usize| {
+            if missed >= down_after {
+                NodeHealth::Down
+            } else {
+                NodeHealth::Suspect { missed }
+            }
+        };
+        let clean_step = |clean: usize| {
+            if clean >= recover_after {
+                NodeHealth::Up
+            } else {
+                NodeHealth::Recovering { clean }
+            }
+        };
+        self.state = match (from, heartbeat) {
+            (NodeHealth::Up, true) => NodeHealth::Up,
+            (NodeHealth::Up, false) => missed_step(1),
+            (NodeHealth::Suspect { .. }, true) => NodeHealth::Up,
+            (NodeHealth::Suspect { missed }, false) => missed_step(missed + 1),
+            (NodeHealth::Down, true) => clean_step(1),
+            (NodeHealth::Down, false) => NodeHealth::Down,
+            (NodeHealth::Recovering { clean }, true) => clean_step(clean + 1),
+            (NodeHealth::Recovering { .. }, false) => NodeHealth::Down,
+        };
+        (self.state != from).then_some((from, self.state))
+    }
+
+    /// Forces the node Down (the maintenance-drain path: the coordinator
+    /// takes a healthy node out deliberately). Returns the transition, or
+    /// `None` if already Down.
+    pub fn force_down(&mut self) -> Option<(NodeHealth, NodeHealth)> {
+        let from = self.state;
+        self.state = NodeHealth::Down;
+        (from != NodeHealth::Down).then_some((from, NodeHealth::Down))
+    }
+}
+
+impl Default for HealthTracker {
+    fn default() -> HealthTracker {
+        HealthTracker::new()
+    }
+}
+
+/// Fleet-level degraded mode with hysteretic entry and exit: the
+/// coordinator reports each quantum whether lost capacity left displaced
+/// tenants unplaceable, and the mode flips only after a configured streak
+/// in either direction — one bad (or good) quantum never flaps the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradedMode {
+    active: bool,
+    infeasible_streak: usize,
+    feasible_streak: usize,
+}
+
+impl DegradedMode {
+    /// A fresh, inactive mode.
+    pub fn new() -> DegradedMode {
+        DegradedMode::default()
+    }
+
+    /// Whether the fleet is currently degraded.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Observes one quantum's feasibility verdict. Returns `Some(true)`
+    /// on entry, `Some(false)` on exit, `None` otherwise.
+    pub fn observe(&mut self, infeasible: bool, config: &HealthConfig) -> Option<bool> {
+        if infeasible {
+            self.infeasible_streak += 1;
+            self.feasible_streak = 0;
+            if !self.active && self.infeasible_streak >= config.degrade_after.max(1) {
+                self.active = true;
+                return Some(true);
+            }
+        } else {
+            self.feasible_streak += 1;
+            self.infeasible_streak = 0;
+            if self.active && self.feasible_streak >= config.restore_after.max(1) {
+                self.active = false;
+                return Some(false);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_detector_walks_up_suspect_down_recovering_up() {
+        let config = HealthConfig::default();
+        let mut t = HealthTracker::new();
+        assert_eq!(t.observe(true, &config), None, "clean quantum, no change");
+        assert_eq!(
+            t.observe(false, &config),
+            Some((NodeHealth::Up, NodeHealth::Suspect { missed: 1 }))
+        );
+        assert_eq!(
+            t.observe(false, &config),
+            Some((
+                NodeHealth::Suspect { missed: 1 },
+                NodeHealth::Suspect { missed: 2 }
+            ))
+        );
+        // Third consecutive miss crosses down_after = 3.
+        assert_eq!(
+            t.observe(false, &config),
+            Some((NodeHealth::Suspect { missed: 2 }, NodeHealth::Down))
+        );
+        assert_eq!(t.observe(false, &config), None, "down stays down");
+        assert_eq!(
+            t.observe(true, &config),
+            Some((NodeHealth::Down, NodeHealth::Recovering { clean: 1 }))
+        );
+        // Second clean quantum crosses recover_after = 2.
+        assert_eq!(
+            t.observe(true, &config),
+            Some((NodeHealth::Recovering { clean: 1 }, NodeHealth::Up))
+        );
+    }
+
+    #[test]
+    fn a_heartbeat_clears_suspicion_and_a_relapse_returns_to_down() {
+        let config = HealthConfig::default();
+        let mut t = HealthTracker::new();
+        t.observe(false, &config);
+        assert_eq!(
+            t.observe(true, &config),
+            Some((NodeHealth::Suspect { missed: 1 }, NodeHealth::Up))
+        );
+        // Down, one clean quantum, then a miss: straight back to Down.
+        for _ in 0..3 {
+            t.observe(false, &config);
+        }
+        assert_eq!(t.state(), NodeHealth::Down);
+        t.observe(true, &config);
+        assert_eq!(
+            t.observe(false, &config),
+            Some((NodeHealth::Recovering { clean: 1 }, NodeHealth::Down))
+        );
+    }
+
+    #[test]
+    fn down_after_one_means_immediate_detection() {
+        let config = HealthConfig {
+            down_after: 1,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new();
+        assert_eq!(
+            t.observe(false, &config),
+            Some((NodeHealth::Up, NodeHealth::Down)),
+            "a kill with warning: detected the quantum it happens"
+        );
+    }
+
+    #[test]
+    fn force_down_reports_once() {
+        let mut t = HealthTracker::new();
+        assert_eq!(t.force_down(), Some((NodeHealth::Up, NodeHealth::Down)));
+        assert_eq!(t.force_down(), None);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_saturates_at_the_cap() {
+        let config = HealthConfig::default(); // base 1, cap 8
+        let waits: Vec<usize> = (0..6).map(|a| retry_backoff(&config, a)).collect();
+        assert_eq!(waits, vec![1, 2, 4, 8, 8, 8]);
+        // Huge attempt counts cannot overflow.
+        assert_eq!(retry_backoff(&config, u32::MAX), 8);
+        let zeroed = HealthConfig {
+            retry_base: 0,
+            retry_cap: 0,
+            ..config
+        };
+        assert_eq!(retry_backoff(&zeroed, 0), 1, "never less than one quantum");
+    }
+
+    #[test]
+    fn degraded_mode_is_hysteretic_in_both_directions() {
+        let config = HealthConfig::default(); // degrade_after 2, restore_after 2
+        let mut mode = DegradedMode::new();
+        assert_eq!(
+            mode.observe(true, &config),
+            None,
+            "one bad quantum is noise"
+        );
+        assert_eq!(mode.observe(false, &config), None, "streak broken");
+        assert_eq!(mode.observe(true, &config), None);
+        assert_eq!(
+            mode.observe(true, &config),
+            Some(true),
+            "second in a row enters"
+        );
+        assert!(mode.active());
+        assert_eq!(mode.observe(true, &config), None, "already degraded");
+        assert_eq!(
+            mode.observe(false, &config),
+            None,
+            "one good quantum is noise"
+        );
+        assert_eq!(mode.observe(true, &config), None, "streak broken");
+        assert_eq!(mode.observe(false, &config), None);
+        assert_eq!(
+            mode.observe(false, &config),
+            Some(false),
+            "second in a row exits"
+        );
+        assert!(!mode.active());
+    }
+}

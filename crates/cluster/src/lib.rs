@@ -23,6 +23,16 @@
 //!   ratio breaches a threshold, the coordinator shifts a fraction of
 //!   that service's traffic share to the least-loaded replica,
 //!   conserving the total offered load.
+//! * **Fault tolerance** ([`faults`], [`health`]) — a seeded
+//!   [`FleetFaultPlan`] deterministically injects node crashes,
+//!   blackouts, slow nodes, and maintenance drains; a per-node
+//!   [`NodeHealth`] state machine driven by quantum-counted heartbeat
+//!   timeouts detects them; detection triggers evacuation (batch tenants
+//!   re-enter admission elsewhere, LC traffic folds onto surviving
+//!   replicas), unplaceable tenants park in a displaced queue with
+//!   bounded backoff, and sustained infeasibility engages a hysteretic
+//!   fleet degraded mode that sheds batch work, then shrinks LC shares
+//!   toward safe-mode allocations.
 //!
 //! # Determinism rules
 //!
@@ -48,6 +58,8 @@
 
 pub mod balance;
 pub mod coordinator;
+pub mod faults;
+pub mod health;
 pub mod migration;
 pub mod node;
 pub mod placement;
@@ -59,6 +71,10 @@ pub use coordinator::{
     ClusterTenantId, ClusterTenantSnapshot, StepOrder,
 };
 pub use cuttlesys::lifecycle::{NodeId, RelocationTarget};
+pub use faults::{
+    FleetFaultInjector, FleetFaultKind, FleetFaultPlan, NodeQuantumFaults, ScheduledFault,
+};
+pub use health::{HealthConfig, NodeHealth};
 pub use migration::{MigrateError, MigrationConfig};
 pub use node::NodeAgent;
 pub use placement::{PlacementConfig, PlacementError, PlacementScore};

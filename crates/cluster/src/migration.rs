@@ -30,6 +30,13 @@ pub struct MigrationConfig {
     /// tail ratio exceeds `r` after a quantum offloads its most recently
     /// placed live batch tenant to the best-scoring other node.
     pub auto_tail_ratio: Option<f64>,
+    /// How many times a rejected destination admit is retried (against the
+    /// next-best placement, with bounded backoff) before the move is
+    /// abandoned and the tenant retires drained.
+    pub max_retries: usize,
+    /// Retry backoff ceiling, in quanta: attempt `k` waits
+    /// `min(cost_quanta · 2^k, retry_cap_quanta)` before re-admitting.
+    pub retry_cap_quanta: usize,
 }
 
 impl Default for MigrationConfig {
@@ -37,6 +44,8 @@ impl Default for MigrationConfig {
         MigrationConfig {
             cost_quanta: 2,
             auto_tail_ratio: None,
+            max_retries: 3,
+            retry_cap_quanta: 8,
         }
     }
 }
@@ -52,6 +61,9 @@ pub(crate) struct InFlight {
     pub dest: NodeId,
     /// The quantum at whose start the destination admit happens.
     pub admit_at: usize,
+    /// How many destination admits have been refused so far; drives the
+    /// retry backoff and the abandon threshold.
+    pub attempts: usize,
 }
 
 /// Why a migration request was refused.
@@ -114,5 +126,9 @@ mod tests {
     fn default_cost_is_nonzero() {
         assert!(MigrationConfig::default().cost_quanta >= 1);
         assert_eq!(MigrationConfig::default().auto_tail_ratio, None);
+        assert!(MigrationConfig::default().max_retries >= 1);
+        assert!(
+            MigrationConfig::default().retry_cap_quanta >= MigrationConfig::default().cost_quanta
+        );
     }
 }

@@ -79,6 +79,10 @@ pub enum RelocationTarget {
     Local,
     /// A cross-node move: the tenant is in flight to this node.
     Node(NodeId),
+    /// Evacuated off a failed node with no destination yet: the cluster
+    /// parks the tenant in its displaced queue and retries placement with
+    /// bounded, quantum-counted backoff until capacity returns.
+    Displaced,
 }
 
 impl std::fmt::Display for RelocationTarget {
@@ -86,6 +90,7 @@ impl std::fmt::Display for RelocationTarget {
         match self {
             RelocationTarget::Local => write!(f, "local"),
             RelocationTarget::Node(node) => write!(f, "{node}"),
+            RelocationTarget::Displaced => write!(f, "displaced"),
         }
     }
 }
@@ -397,6 +402,7 @@ mod tests {
             RelocationTarget::Local,
             RelocationTarget::Node(NodeId::local()),
             RelocationTarget::Node(NodeId::from_index(63)),
+            RelocationTarget::Displaced,
         ];
         for target in targets {
             let state = Relocating(target);

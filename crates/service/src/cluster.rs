@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 
 use cluster::{
     ClusterConfig, ClusterCoordinator, ClusterError, ClusterEvent, ClusterRecord, ClusterScenario,
-    ClusterSnapshot, ClusterTenantId, MigrateError, NodeId, PlacementError,
+    ClusterSnapshot, ClusterTenantId, FleetFaultPlan, MigrateError, NodeId, PlacementError,
 };
 use util::WorkerPool;
 use workloads::batch::SpecBenchmark;
@@ -85,6 +85,7 @@ impl From<MigrateError> for ClusterServiceError {
 pub struct ClusterServiceBuilder {
     scenario: ClusterScenario,
     config: ClusterConfig,
+    faults: FleetFaultPlan,
     pacing: Pacing,
     bus_capacity: usize,
     metrics_addr: Option<String>,
@@ -92,12 +93,13 @@ pub struct ClusterServiceBuilder {
 }
 
 impl ClusterServiceBuilder {
-    /// Defaults: default policies, manual pacing, a 256-event bus, no
-    /// HTTP endpoint, serial stepping.
+    /// Defaults: default policies, no fleet faults, manual pacing, a
+    /// 256-event bus, no HTTP endpoint, serial stepping.
     pub fn new(scenario: &ClusterScenario) -> ClusterServiceBuilder {
         ClusterServiceBuilder {
             scenario: scenario.clone(),
             config: ClusterConfig::default(),
+            faults: FleetFaultPlan::none(),
             pacing: Pacing::Manual,
             bus_capacity: 256,
             metrics_addr: None,
@@ -105,9 +107,17 @@ impl ClusterServiceBuilder {
         }
     }
 
-    /// Placement, migration, and balance policies.
+    /// Placement, migration, balance, and health policies.
     pub fn config(mut self, config: ClusterConfig) -> ClusterServiceBuilder {
         self.config = config;
+        self
+    }
+
+    /// Fleet fault plan injected deterministically each quantum.
+    /// [`FleetFaultPlan::none`] (the default) is bit-identical to a
+    /// coordinator with no fault machinery at all.
+    pub fn faults(mut self, plan: FleetFaultPlan) -> ClusterServiceBuilder {
+        self.faults = plan;
         self
     }
 
@@ -149,7 +159,7 @@ impl ClusterServiceBuilder {
     ///
     /// Panics under the same conditions as [`ClusterCoordinator::new`].
     pub fn start(self) -> io::Result<ClusterService> {
-        let coordinator = ClusterCoordinator::with_config(&self.scenario, self.config);
+        let coordinator = ClusterCoordinator::with_faults(&self.scenario, self.config, self.faults);
         let bus = Bus::new(self.bus_capacity);
         let pool = self.pool_threads.map(WorkerPool::new);
         let (commands, reactor) =
@@ -287,6 +297,21 @@ impl ClusterService {
             reply,
         })?
         .map_err(ClusterServiceError::from)
+    }
+
+    /// Deliberately drains a node for maintenance: its tenants evacuate
+    /// with warning (batch re-enters admission elsewhere, LC traffic
+    /// folds onto surviving replicas), its control plane shuts down
+    /// cleanly, and it is declared Down.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterServiceError::Cluster`] for an unknown node or one that
+    /// is already down, drained, or crashed;
+    /// [`ClusterServiceError::Stopped`] after shutdown.
+    pub fn drain_node(&self, node: NodeId) -> Result<(), ClusterServiceError> {
+        self.ask(|reply| ClusterCommand::DrainNode { node, reply })?
+            .map_err(ClusterServiceError::from)
     }
 
     /// Runs one lockstep quantum across the fleet now (any pacing mode).

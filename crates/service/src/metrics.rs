@@ -353,6 +353,61 @@ pub fn render_cluster(cluster: &ClusterCoordinator, bus_overwrites: u64) -> Stri
 
     family(
         &mut out,
+        "cuttlesys_node_up",
+        "gauge",
+        "Whether each node is serving (1) or declared down (0), with its health state in a label.",
+    );
+    for (i, health) in snapshot.node_health.iter().enumerate() {
+        let up = if *health == "down" { 0.0 } else { 1.0 };
+        sample(
+            &mut out,
+            "cuttlesys_node_up",
+            &format!("node=\"n{i}\",health=\"{health}\""),
+            up,
+        );
+    }
+
+    family(
+        &mut out,
+        "cuttlesys_evacuations_total",
+        "counter",
+        "Tenants moved off failed or draining nodes (batch re-placements plus LC traffic foldings).",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_evacuations_total",
+        "",
+        snapshot.evacuations as f64,
+    );
+
+    family(
+        &mut out,
+        "cuttlesys_displaced_tenants",
+        "gauge",
+        "Evacuated tenants parked without a home, awaiting their backoff retry.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_displaced_tenants",
+        "",
+        snapshot.displaced as f64,
+    );
+
+    family(
+        &mut out,
+        "cuttlesys_fleet_degraded",
+        "gauge",
+        "Whether the fleet is shedding load because lost capacity left tenants unplaceable.",
+    );
+    sample(
+        &mut out,
+        "cuttlesys_fleet_degraded",
+        "",
+        f64::from(u8::from(snapshot.degraded)),
+    );
+
+    family(
+        &mut out,
         "cuttlesys_quanta_total",
         "counter",
         "Decision quanta run per node.",

@@ -202,6 +202,12 @@ pub(crate) enum ClusterCommand {
         dest: NodeId,
         reply: SyncSender<Result<(), MigrateError>>,
     },
+    /// Deliberately drain a node for maintenance: evacuate its tenants,
+    /// shut its control plane down, declare it Down.
+    DrainNode {
+        node: NodeId,
+        reply: SyncSender<Result<(), ClusterError>>,
+    },
     /// Run one lockstep quantum across the fleet now.
     Step {
         reply: SyncSender<Result<(), ClusterError>>,
@@ -318,6 +324,11 @@ fn run_cluster(
                 reply,
             } => {
                 let result = coordinator.migrate(tenant, dest);
+                publish_cluster_pending(&mut coordinator, &bus);
+                let _ = reply.send(result);
+            }
+            ClusterCommand::DrainNode { node, reply } => {
+                let result = coordinator.drain_node(node);
                 publish_cluster_pending(&mut coordinator, &bus);
                 let _ = reply.send(result);
             }

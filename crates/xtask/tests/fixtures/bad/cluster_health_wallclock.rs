@@ -1,0 +1,27 @@
+// Fixture: a health detector that times heartbeats off the wall clock.
+// Linted as crates/cluster/src/health.rs — decision-path scope — both
+// clock reads must fire DET-WALLCLOCK: failure detection that depends on
+// real elapsed time can never replay bit-for-bit, and a slow CI machine
+// would declare healthy nodes dead.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub struct WallclockDetector {
+    last_heartbeat: Instant,
+    timeout: Duration,
+}
+
+impl WallclockDetector {
+    pub fn is_down(&self) -> bool {
+        let now = Instant::now();
+        now.duration_since(self.last_heartbeat) > self.timeout
+    }
+
+    pub fn stamp(&mut self) -> u64 {
+        let epoch = SystemTime::now();
+        epoch
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}

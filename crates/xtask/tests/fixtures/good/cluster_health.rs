@@ -1,0 +1,42 @@
+// Fixture: the deterministic shape of the health detector. Linted as
+// crates/cluster/src/health.rs — decision-path scope — this must be
+// clean: timeouts are counted in lockstep quanta (not wall time), state
+// lives in plain enums, and backoff is integer arithmetic on quantum
+// counts, so the same event log replays bit-for-bit at any pool width.
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    Up,
+    Suspect { missed: usize },
+    Down,
+}
+
+pub struct QuantumDetector {
+    state: Health,
+    down_after: usize,
+}
+
+impl QuantumDetector {
+    // One observation per lockstep quantum: the caller tells us whether
+    // the heartbeat arrived; no clock is consulted anywhere.
+    pub fn observe(&mut self, heartbeat: bool) -> Option<Health> {
+        let next = match (self.state, heartbeat) {
+            (Health::Up, false) => Health::Suspect { missed: 1 },
+            (Health::Suspect { missed }, false) if missed + 1 >= self.down_after => Health::Down,
+            (Health::Suspect { missed }, false) => Health::Suspect { missed: missed + 1 },
+            (Health::Suspect { .. }, true) => Health::Up,
+            (state, _) => state,
+        };
+        let changed = next != self.state;
+        self.state = next;
+        changed.then_some(next)
+    }
+
+    // Bounded exponential backoff in whole quanta: shift-and-clamp on
+    // integers, deterministic for every (base, attempts) pair.
+    pub fn retry_backoff(&self, base: usize, cap: usize, attempts: u32) -> usize {
+        base.max(1)
+            .saturating_mul(1usize << attempts.min(16))
+            .min(cap.max(1))
+    }
+}

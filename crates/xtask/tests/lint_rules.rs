@@ -131,6 +131,19 @@ fn bad_cluster_boundary_is_decision_path_gated() {
 }
 
 #[test]
+fn bad_health_detector_wallclock_is_flagged() {
+    // A heartbeat detector timed off the wall clock in the cluster's
+    // health module: both clock reads fire, nothing else does (the
+    // `last_heartbeat: Instant` field and the `unwrap_or` stay clean).
+    let hits = spans(
+        "crates/cluster/src/health.rs",
+        "bad/cluster_health_wallclock.rs",
+    );
+    let rules: Vec<&str> = hits.iter().map(|h| h.0).collect();
+    assert_eq!(rules, vec!["DET-WALLCLOCK", "DET-WALLCLOCK"], "{hits:?}");
+}
+
+#[test]
 fn good_fixtures_lint_clean() {
     for (virtual_path, name) in [
         ("crates/core/src/fixture.rs", "good/annotated.rs"),
@@ -142,6 +155,7 @@ fn good_fixtures_lint_clean() {
             "crates/cluster/src/fixture.rs",
             "good/cluster_coordinator.rs",
         ),
+        ("crates/cluster/src/health.rs", "good/cluster_health.rs"),
     ] {
         let hits = spans(virtual_path, name);
         assert!(hits.is_empty(), "{name} as {virtual_path}: {hits:?}");
