@@ -145,6 +145,28 @@ impl PerfConfig {
         }
     }
 
+    /// Replaces the worker-pool width (`0` = legacy spawn-per-quantum).
+    #[must_use]
+    pub fn with_pool_threads(mut self, threads: usize) -> PerfConfig {
+        self.pool_threads = threads;
+        self
+    }
+
+    /// Enables or disables warm-started reconstruction (the default
+    /// schedule when enabled).
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> PerfConfig {
+        self.warm_start = warm.then(WarmStartConfig::default);
+        self
+    }
+
+    /// Enables or disables the per-quantum DDS evaluation cache.
+    #[must_use]
+    pub fn with_evaluation_cache(mut self, cache: bool) -> PerfConfig {
+        self.evaluation_cache = cache;
+        self
+    }
+
     /// Builds the shared worker pool this configuration calls for, if any.
     fn pool(&self) -> Option<Arc<WorkerPool>> {
         (self.pool_threads > 0).then(|| Arc::new(WorkerPool::new(self.pool_threads)))

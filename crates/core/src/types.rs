@@ -221,6 +221,41 @@ impl Scenario {
         self
     }
 
+    /// Replaces the number of decision quanta to simulate.
+    #[must_use]
+    pub fn with_duration_slices(mut self, slices: usize) -> Scenario {
+        self.duration_slices = slices;
+        self
+    }
+
+    /// Replaces the power-cap pattern (fraction of the nominal budget).
+    #[must_use]
+    pub fn with_cap(mut self, cap: LoadPattern) -> Scenario {
+        self.cap = cap;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the measurement-noise relative standard deviation.
+    #[must_use]
+    pub fn with_noise(mut self, noise: f64) -> Scenario {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables or disables execution-phase drift.
+    #[must_use]
+    pub fn with_phases(mut self, phases: bool) -> Scenario {
+        self.phases = phases;
+        self
+    }
+
     /// Replaces the primary LC tenant's load pattern.
     // Documented panic: every scenario/plan carries at least one LC tenant.
     #[allow(clippy::expect_used)]

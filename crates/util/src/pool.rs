@@ -172,6 +172,32 @@ impl WorkerPool {
             .clamp(2, 8)
     }
 
+    /// Fans `f` out over `items`, returning the results in input order.
+    ///
+    /// Each item's result lands in its own slot, so the output is
+    /// independent of which worker ran which item and in what order —
+    /// the property the sweep harness relies on for byte-stable reports
+    /// at any pool width. Blocks until every item has been processed;
+    /// a panicking `f` is resumed here after the remaining items drain.
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        self.scope(|scope| {
+            for (i, (item, slot)) in items.iter().zip(slots.iter_mut()).enumerate() {
+                let f = &f;
+                scope.spawn(move || *slot = Some(f(i, item)));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scope barrier guarantees every slot is filled"))
+            .collect()
+    }
+
     /// Runs `f` with a [`PoolScope`] whose spawned jobs may borrow from the
     /// caller's stack. Blocks until every spawned job has finished; if any
     /// job panicked, the first panic is resumed here after the rest drain.
@@ -332,6 +358,27 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn map_indexed_preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..33).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for width in [1, 2, 8] {
+            let pool = WorkerPool::new(width);
+            let out = pool.map_indexed(&items, |i, v| {
+                assert_eq!(items[i], *v);
+                v * v
+            });
+            assert_eq!(out, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_input() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u64> = pool.map_indexed(&[], |_, v: &u64| *v);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -49,10 +49,12 @@ pub const ALLOWED_PATHS: &[AllowedPaths] = &[
             "crates/bench/",
             "crates/core/src/telemetry.rs",
             "crates/service/src/pacing.rs",
+            "crates/sweep/src/bin/",
         ],
         rationale: "telemetry and benching are what wall clocks are *for*, and the \
-                    service's quantum pacing is the one place live time enters; none \
-                    may feed back into stage logic",
+                    service's quantum pacing is the one place live time enters; the \
+                    sweep CLI times its run for the console footer only — nothing \
+                    timed reaches summary.json; none may feed back into stage logic",
     },
     AllowedPaths {
         rule: "DET-RAW-SPAWN",

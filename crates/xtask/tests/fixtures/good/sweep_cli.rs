@@ -1,0 +1,9 @@
+// The sweep CLI's console footer: wall-clock timing that never reaches
+// summary.json. Allowed only under crates/sweep/src/bin/.
+use std::time::Instant;
+
+fn timed_run(run: impl FnOnce()) -> f64 {
+    let started = Instant::now();
+    run();
+    started.elapsed().as_secs_f64()
+}

@@ -144,6 +144,18 @@ fn bad_health_detector_wallclock_is_flagged() {
 }
 
 #[test]
+fn sweep_wallclock_boundary_stops_at_the_cli() {
+    // The sweep CLI may time its run for the console footer…
+    let cli = spans("crates/sweep/src/bin/sweep.rs", "good/sweep_cli.rs");
+    assert!(cli.is_empty(), "the sweep CLI is on the allowlist: {cli:?}");
+    // …but the sweep library — whose output is the byte-stable
+    // summary.json — must stay clock-free.
+    let lib = spans("crates/sweep/src/runner.rs", "good/sweep_cli.rs");
+    let rules: Vec<&str> = lib.iter().map(|h| h.0).collect();
+    assert_eq!(rules, vec!["DET-WALLCLOCK"], "{lib:?}");
+}
+
+#[test]
 fn good_fixtures_lint_clean() {
     for (virtual_path, name) in [
         ("crates/core/src/fixture.rs", "good/annotated.rs"),

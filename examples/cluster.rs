@@ -45,11 +45,9 @@ fn main() -> ExitCode {
     // Every node runs the paper-default co-location with steady-state
     // headroom (so migrated tenants can be re-admitted elsewhere); node
     // n0 additionally takes the paper's flash crowd.
-    let base = Scenario {
-        duration_slices: 10,
-        cap: LoadPattern::Constant(2.0),
-        ..Scenario::paper_default()
-    };
+    let base = Scenario::paper_default()
+        .with_duration_slices(10)
+        .with_cap(LoadPattern::Constant(2.0));
     let mut scenario = ClusterScenario::uniform(&base, 3);
     scenario.nodes[0] = scenario.nodes[0]
         .clone()

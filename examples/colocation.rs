@@ -27,10 +27,7 @@ fn summarize(record: &RunRecord, baseline: f64) {
 }
 
 fn main() {
-    let scenario = Scenario {
-        cap: LoadPattern::Constant(0.6),
-        ..Scenario::paper_default()
-    };
+    let scenario = Scenario::paper_default().with_cap(LoadPattern::Constant(0.6));
     let fixed = Scenario {
         kind: CoreKind::Fixed,
         ..scenario.clone()

@@ -12,13 +12,11 @@ use workloads::latency;
 use workloads::loadgen::LoadPattern;
 
 fn main() {
-    let scenario = Scenario {
-        cap: LoadPattern::Constant(0.7),
-        duration_slices: 10,
-        ..Scenario::paper_default()
-    }
-    .with_service(latency::service_by_name("masstree").expect("masstree exists"))
-    .with_load(LoadPattern::paper_diurnal());
+    let scenario = Scenario::paper_default()
+        .with_cap(LoadPattern::Constant(0.7))
+        .with_duration_slices(10)
+        .with_service(latency::service_by_name("masstree").expect("masstree exists"))
+        .with_load(LoadPattern::paper_diurnal());
     let qos_ms = scenario.primary_lc().qos_ms;
     let mut manager = CuttleSysManager::for_scenario(&scenario);
     let record = run_scenario(&scenario, &mut manager);

@@ -58,11 +58,9 @@ fn main() -> ExitCode {
 
     // Headroom on every node so the survivors can absorb n1's tenants;
     // the flash crowd keeps n0 busy while it happens.
-    let base = Scenario {
-        duration_slices: 12,
-        cap: LoadPattern::Constant(2.0),
-        ..Scenario::paper_default()
-    };
+    let base = Scenario::paper_default()
+        .with_duration_slices(12)
+        .with_cap(LoadPattern::Constant(2.0));
     let mut scenario = ClusterScenario::uniform(&base, 3);
     scenario.nodes[0] = scenario.nodes[0]
         .clone()

@@ -13,11 +13,9 @@ use cuttlesys::CuttleSysManager;
 use workloads::loadgen::LoadPattern;
 
 fn main() {
-    let scenario = Scenario {
-        duration_slices: 10,
-        ..Scenario::paper_default()
-    }
-    .with_load(LoadPattern::paper_spike());
+    let scenario = Scenario::paper_default()
+        .with_duration_slices(10)
+        .with_load(LoadPattern::paper_spike());
     let qos_ms = scenario.primary_lc().qos_ms;
     let mut manager = CuttleSysManager::for_scenario(&scenario);
     let record = run_scenario(&scenario, &mut manager);

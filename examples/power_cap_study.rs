@@ -20,11 +20,9 @@ fn main() {
     println!("imgdnn @ 80% load + 16 SPEC jobs, batch instructions (1e9) by cap:\n");
     println!("  cap   core-gating   cuttlesys   advantage");
     for cap in [0.9, 0.8, 0.7, 0.6, 0.5] {
-        let scenario = Scenario {
-            cap: LoadPattern::Constant(cap),
-            ..Scenario::paper_default()
-        }
-        .with_service(latency::service_by_name("imgdnn").expect("imgdnn exists"));
+        let scenario = Scenario::paper_default()
+            .with_cap(LoadPattern::Constant(cap))
+            .with_service(latency::service_by_name("imgdnn").expect("imgdnn exists"));
         let fixed = Scenario {
             kind: CoreKind::Fixed,
             ..scenario.clone()
