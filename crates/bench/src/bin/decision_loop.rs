@@ -10,16 +10,25 @@
 //! (the first quantum is cold on every path and is excluded).
 //!
 //! Usage: `decision_loop [--slices N] [--threads N] [--json [path]]
-//! [--check <baseline.json>]`
+//! [--check <baseline.json>] [--profile <stage>]`
 //!
 //! * `--slices N` — quanta per run (default 20).
 //! * `--threads N` — worker-pool width for the fast path (default: the
 //!   pool's machine-sized default).
 //! * `--json [path]` — write the report as JSON (default path
-//!   `BENCH_decision_loop.json`). The document carries a flat `metrics`
-//!   object so the checker below needs no JSON parser.
+//!   `BENCH_decision_loop.json`, or `BENCH_decision_loop_<stage>.json`
+//!   under `--profile`). The document carries a flat `metrics` object so
+//!   the checker below needs no JSON parser.
 //! * `--check <baseline>` — compare against a previously recorded report
 //!   and exit non-zero if any stage mean regressed by more than 25 %.
+//! * `--profile <stage>` — report one pipeline stage alone. The intended
+//!   use is `--profile search`: the DDS search is the decision loop's
+//!   dominant optimizable cost, and isolating it gives the search a
+//!   regression gate of its own (pinned baseline:
+//!   `results/bench_baseline_decision_loop_search.json`) that is not
+//!   diluted by reconstruct noise. The whole pipeline still executes —
+//!   stages feed each other, so a stage cannot run out of context — but
+//!   the report and `--check` cover only the profiled stage's columns.
 //!
 //! [`StageTelemetry`]: cuttlesys::telemetry::StageTelemetry
 
@@ -51,7 +60,7 @@ struct StageStat {
 
 fn stat(values: &mut [f64]) -> StageStat {
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite stage times"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let idx = ((values.len() as f64 * 0.99).ceil() as usize).clamp(1, values.len()) - 1;
     StageStat {
         mean,
@@ -144,6 +153,7 @@ struct CliArgs {
     threads: Option<usize>,
     json: Option<PathBuf>,
     check: Option<PathBuf>,
+    profile: Option<&'static str>,
 }
 
 fn parse_args() -> CliArgs {
@@ -152,6 +162,7 @@ fn parse_args() -> CliArgs {
         threads: None,
         json: None,
         check: None,
+        profile: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.into_iter().peekable();
@@ -172,10 +183,11 @@ fn parse_args() -> CliArgs {
             }
             "--json" => {
                 // The path operand is optional: a following flag (or
-                // nothing) means the default output name.
+                // nothing) means the default output name, resolved in
+                // main once --profile (which may come later) is known.
                 let path = match it.peek() {
                     Some(p) if !p.starts_with("--") => PathBuf::from(it.next().expect("peeked")),
-                    _ => PathBuf::from("BENCH_decision_loop.json"),
+                    _ => PathBuf::new(),
                 };
                 args.json = Some(path);
             }
@@ -183,6 +195,18 @@ fn parse_args() -> CliArgs {
                 args.check = Some(PathBuf::from(
                     it.next().expect("--check takes a baseline path"),
                 ));
+            }
+            "--profile" => {
+                let stage = it.next().expect("--profile takes a stage name");
+                args.profile = Some(
+                    STAGES
+                        .iter()
+                        .find(|s| **s == stage)
+                        .copied()
+                        .unwrap_or_else(|| {
+                            panic!("--profile takes one of {STAGES:?}, got \"{stage}\"")
+                        }),
+                );
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -207,9 +231,13 @@ fn main() -> ExitCode {
         let cold = measure(&scenario, PerfConfig::cold());
         let fast = measure(&scenario, fast_perf);
 
+        let scope = match args.profile {
+            Some(stage) => format!(" [{stage} stage only]"),
+            None => String::new(),
+        };
         let mut table = Table::new(
             &format!(
-                "decision_loop: {name} ({} steady-state quanta, {} pool threads)",
+                "decision_loop: {name}{scope} ({} steady-state quanta, {} pool threads)",
                 args.slices - 1,
                 fast_perf.pool_threads
             ),
@@ -222,7 +250,12 @@ fn main() -> ExitCode {
                 "speedup",
             ],
         );
-        for ((stage, c), (_, f)) in cold.stages.iter().zip(&fast.stages) {
+        for ((stage, c), (_, f)) in cold
+            .stages
+            .iter()
+            .zip(&fast.stages)
+            .filter(|((s, _), _)| args.profile.is_none_or(|p| p == *s))
+        {
             table.row(vec![
                 (*stage).into(),
                 format!("{:.3}", c.mean),
@@ -241,26 +274,65 @@ fn main() -> ExitCode {
             }
         }
         table.print();
-        let speedup = cold.reconstruct_search_mean / fast.reconstruct_search_mean;
-        println!(
-            "{name}: reconstruct+search {:.3} ms -> {:.3} ms ({:.2}x), \
-             cache hit rate {:.1}%, {} warm solves",
-            cold.reconstruct_search_mean,
-            fast.reconstruct_search_mean,
-            speedup,
-            100.0 * fast.cache_hit_rate,
-            fast.warm_solves
-        );
+        match args.profile {
+            Some("search") => {
+                // The search-only gate still reports the cache hit rate:
+                // the per-quantum evaluation cache is the fast path's main
+                // search-side lever, so a hit-rate collapse explains a
+                // search-mean regression.
+                let (_, cold_s) = &cold.stages[3];
+                let (_, fast_s) = &fast.stages[3];
+                let speedup = if fast_s.mean > 0.0 {
+                    cold_s.mean / fast_s.mean
+                } else {
+                    0.0
+                };
+                println!(
+                    "{name}: search {:.3} ms -> {:.3} ms ({:.2}x), cache hit rate {:.1}%",
+                    cold_s.mean,
+                    fast_s.mean,
+                    speedup,
+                    100.0 * fast.cache_hit_rate
+                );
+                metrics.push((format!("{name}.speedup_search"), speedup));
+                metrics.push((format!("{name}.fast.cache_hit_rate"), fast.cache_hit_rate));
+            }
+            Some(_) => {}
+            None => {
+                let speedup = cold.reconstruct_search_mean / fast.reconstruct_search_mean;
+                println!(
+                    "{name}: reconstruct+search {:.3} ms -> {:.3} ms ({:.2}x), \
+                     cache hit rate {:.1}%, {} warm solves",
+                    cold.reconstruct_search_mean,
+                    fast.reconstruct_search_mean,
+                    speedup,
+                    100.0 * fast.cache_hit_rate,
+                    fast.warm_solves
+                );
+                metrics.push((format!("{name}.speedup_reconstruct_search"), speedup));
+                metrics.push((format!("{name}.fast.cache_hit_rate"), fast.cache_hit_rate));
+                metrics.push((format!("{name}.fast.warm_solves"), fast.warm_solves as f64));
+            }
+        }
         println!();
-        metrics.push((format!("{name}.speedup_reconstruct_search"), speedup));
-        metrics.push((format!("{name}.fast.cache_hit_rate"), fast.cache_hit_rate));
-        metrics.push((format!("{name}.fast.warm_solves"), fast.warm_solves as f64));
         tables.push(table.to_json());
     }
 
     if let Some(path) = &args.json {
+        let path = if path.as_os_str().is_empty() {
+            PathBuf::from(match args.profile {
+                Some(stage) => format!("BENCH_decision_loop_{stage}.json"),
+                None => "BENCH_decision_loop.json".to_string(),
+            })
+        } else {
+            path.clone()
+        };
+        let bench_name = match args.profile {
+            Some(stage) => format!("decision_loop_{stage}"),
+            None => "decision_loop".to_string(),
+        };
         let doc = JsonValue::Obj(vec![
-            ("bench".into(), JsonValue::Str("decision_loop".into())),
+            ("bench".into(), JsonValue::Str(bench_name)),
             (
                 "threads".into(),
                 JsonValue::Num(fast_perf.pool_threads as f64),
@@ -277,7 +349,7 @@ fn main() -> ExitCode {
             ),
             ("tables".into(), JsonValue::Arr(tables)),
         ]);
-        emit_json(path, &doc).expect("write JSON report");
+        emit_json(&path, &doc).expect("write JSON report");
         println!("JSON report written to {}", path.display());
     }
 

@@ -276,22 +276,26 @@ impl DecisionPipeline {
         // stage telemetry and the deadline check (a real-time bound from the
         // paper's 100ms quantum), never the plan itself — every stage output
         // is a pure function of ctx/probe state.
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "deadline budget for the 100ms quantum; timing feeds telemetry and abort-on-overrun, not plan content")
         let start = Instant::now();
         let budget = ctx.resilience.deadline_ms;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         self.qos.relocate(ctx, tel)?;
         tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
         check_deadline(start, tel, budget, "qos")?;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         self.profile.profile(ctx, probe, tel)?;
         tel.profile_wall_ms += t.elapsed().as_secs_f64() * 1e3;
         check_deadline(start, tel, budget, "profile")?;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         let mut raw = self.reconstruct.reconstruct(ctx, tel)?;
@@ -326,18 +330,21 @@ impl DecisionPipeline {
         }
         check_deadline(start, tel, budget, "reconstruct")?;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         let (lc_configs, preds) = self.qos.pin(ctx, &raw, tel)?;
         tel.qos_wall_ms += t.elapsed().as_secs_f64() * 1e3;
         check_deadline(start, tel, budget, "qos")?;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         let point = self.search.search(ctx, &preds, &lc_configs, tel)?;
         tel.search_wall_ms += t.elapsed().as_secs_f64() * 1e3;
         check_deadline(start, tel, budget, "search")?;
 
+        // lint:allow(DET-TAINT, reason = "wall-ms telemetry is diagnostic: plans and golden-record comparisons never read it — numerically invisible, like the PR-4 warm start")
         // lint:allow(DET-WALLCLOCK, reason = "stage wall-time telemetry only")
         let t = Instant::now();
         let batch = self.repair.repair(ctx, &preds, &lc_configs, &point, tel)?;

@@ -129,11 +129,13 @@ impl<'a> CachedObjective<'a> {
 
     /// Evaluations answered from the cache so far.
     pub fn hits(&self) -> usize {
+        // lint:allow(DET-TAINT, reason = "cache hit/miss counters are diagnostic telemetry; determinism tests exclude them and no plan content reads them")
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Evaluations that went through to the wrapped objective.
     pub fn misses(&self) -> usize {
+        // lint:allow(DET-TAINT, reason = "cache hit/miss counters are diagnostic telemetry; determinism tests exclude them and no plan content reads them")
         self.misses.load(Ordering::Relaxed)
     }
 }

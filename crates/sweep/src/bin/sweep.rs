@@ -11,16 +11,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use sweep::{load_spec, render_tables, run_sweep, summary_json};
+use sweep::{
+    filter_grid, load_spec, render_tables, run_sweep_cells, summary_json, summary_json_partial,
+};
 use util::json::emit_json;
 use util::WorkerPool;
 
-const USAGE: &str = "usage: sweep run --scenario <file.json> [--out <dir>] [--pool <threads>]";
+const USAGE: &str = "usage: sweep run --scenario <file.json> [--out <dir>] [--pool <threads>] \
+                     [--filter <substring>]";
 
 struct Args {
     scenario: PathBuf,
     out: Option<PathBuf>,
     pool: usize,
+    filter: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -33,6 +37,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut scenario = None;
     let mut out = None;
     let mut pool = 4;
+    let mut filter = None;
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
             it.next()
@@ -42,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--scenario" => scenario = Some(PathBuf::from(value("--scenario")?)),
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--filter" => filter = Some(value("--filter")?),
             "--pool" => {
                 pool = value("--pool")?
                     .parse::<usize>()
@@ -57,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scenario,
         out,
         pool,
+        filter,
     })
 }
 
@@ -83,25 +90,51 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    let filter = args.filter.as_deref().unwrap_or("");
+    let cells = filter_grid(&spec, filter);
+    let grid_size = spec.total_runs() / spec.seeds.len();
+    if cells.is_empty() {
+        eprintln!(
+            "--filter \"{filter}\" matches none of the {grid_size} cell labels \
+             (labels look like the `cell` column of the pass/fail table)"
+        );
+        return ExitCode::from(1);
+    }
+    let partial = cells.len() < grid_size;
+    if partial {
+        println!(
+            "PARTIAL sweep: --filter \"{filter}\" matched {} of {grid_size} cells; \
+             results go to summary.partial.json (the golden summary.json is untouched)",
+            cells.len(),
+        );
+    }
     println!(
         "sweep \"{}\": {} cells x {} seeds = {} runs across {} workers",
         spec.name,
-        spec.total_runs() / spec.seeds.len(),
+        cells.len(),
         spec.seeds.len(),
-        spec.total_runs(),
+        cells.len() * spec.seeds.len(),
         args.pool,
     );
     let started = Instant::now();
     let pool = WorkerPool::new(args.pool);
-    let outcome = run_sweep(&spec, &pool);
+    let outcome = run_sweep_cells(&spec, &pool, cells);
     let elapsed = started.elapsed();
     println!("{}", render_tables(&spec, &outcome));
 
     let out_dir = args
         .out
         .unwrap_or_else(|| PathBuf::from("runs").join(&spec.name));
-    let summary_path = out_dir.join("summary.json");
-    let summary = summary_json(&spec, &outcome);
+    let summary_path = out_dir.join(if partial {
+        "summary.partial.json"
+    } else {
+        "summary.json"
+    });
+    let summary = if partial {
+        summary_json_partial(&spec, &outcome, filter)
+    } else {
+        summary_json(&spec, &outcome)
+    };
     if let Err(e) = emit_json(&summary_path, &summary) {
         eprintln!("cannot write {}: {e}", summary_path.display());
         return ExitCode::from(1);
@@ -112,11 +145,16 @@ fn main() -> ExitCode {
         elapsed.as_secs_f64(),
         summary_path.display(),
     );
+    let scope = if partial {
+        " (PARTIAL: filtered cells only)"
+    } else {
+        ""
+    };
     if outcome.tripped() {
-        eprintln!("verdict: FAIL (a detector tripped; see the table above)");
+        eprintln!("verdict: FAIL{scope} (a detector tripped; see the table above)");
         ExitCode::from(2)
     } else {
-        println!("verdict: pass");
+        println!("verdict: pass{scope}");
         ExitCode::SUCCESS
     }
 }

@@ -30,6 +30,9 @@ pub mod runner;
 pub mod spec;
 
 pub use detectors::{DetectorThresholds, Finding, RunSeries};
-pub use report::{render_tables, summary_json, Stats};
-pub use runner::{run_sweep, Cell, CellOutcome, RunMetrics, RunOutcome, SweepOutcome};
+pub use report::{render_tables, summary_json, summary_json_partial, Stats};
+pub use runner::{
+    filter_grid, run_sweep, run_sweep_cells, Cell, CellOutcome, RunMetrics, RunOutcome,
+    SweepOutcome,
+};
 pub use spec::{load_spec, LoadShape, SweepError, SweepSpec, Topology};

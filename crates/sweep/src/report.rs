@@ -302,6 +302,22 @@ pub fn summary_json(spec: &SweepSpec, outcome: &SweepOutcome) -> JsonValue {
     ])
 }
 
+/// [`summary_json`] for a `--filter`ed partial sweep: the same document
+/// with `"partial": true` and the filter substring recorded right after
+/// the name, so a partial file can never be mistaken for (or diffed
+/// against) the golden full summary. The runner writes partial results
+/// to `summary.partial.json`, never to `summary.json`.
+pub fn summary_json_partial(spec: &SweepSpec, outcome: &SweepOutcome, filter: &str) -> JsonValue {
+    match summary_json(spec, outcome) {
+        JsonValue::Obj(mut fields) => {
+            fields.insert(1, ("partial".to_string(), JsonValue::Bool(true)));
+            fields.insert(2, ("filter".to_string(), JsonValue::Str(filter.to_string())));
+            JsonValue::Obj(fields)
+        }
+        other => other,
+    }
+}
+
 /// Renders the pass/fail table: one row per cell, then the detector
 /// trip counts.
 pub fn render_tables(spec: &SweepSpec, outcome: &SweepOutcome) -> String {

@@ -1,0 +1,117 @@
+//! `EVT-EXHAUSTIVE`: event consumers must decide every variant.
+//!
+//! Inside the `service` and `sweep` crates — the renderers and aggregators
+//! that turn `ControlEvent` / `ClusterEvent` streams into `/metrics`
+//! lines and sweep summaries — a `_` wildcard arm over an event enum
+//! silently swallows every variant added later: the event compiles, flows,
+//! and vanishes from the artifacts it should have changed. The rule flags
+//!
+//! * `_ =>` arms in `match`es whose scrutinee or arms mention an event
+//!   enum, and
+//! * `matches!(e, Event::X { .. })` over an event enum, which desugars to
+//!   exactly such a wildcard.
+//!
+//! Adding a variant then fails compilation (or this lint) at every
+//! consumer, forcing each to decide.
+
+use crate::lexer::Token;
+use crate::rules::{Diagnostic, FileContext};
+
+/// The event enums whose consumers are held exhaustive.
+const EVENT_ENUMS: &[&str] = &["ControlEvent", "ClusterEvent"];
+
+/// Crates in scope: the event consumers/renderers.
+const SCOPE_CRATES: &[&str] = &["service", "sweep"];
+
+/// Runs the rule over one file's tokens.
+pub fn check(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    if !ctx.crate_name.is_some_and(|c| SCOPE_CRATES.contains(&c)) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.active {
+            continue;
+        }
+        match t.ident() {
+            Some("match") => check_match(ctx, tokens, i, out),
+            Some("matches")
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct('(')) =>
+            {
+                let close = crate::lexer::matching_bracket_pub(tokens, i + 2).unwrap_or(i + 2);
+                if mentions_event_enum(&tokens[i + 2..=close]) {
+                    out.push(Diagnostic {
+                        rule: "EVT-EXHAUSTIVE",
+                        file: ctx.path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: "`matches!` over an event enum desugars to a `_` wildcard \
+                                  arm: variants added later are silently ignored. Write a \
+                                  full `match` that names every variant"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checks one `match` expression (the `match` keyword at `i`).
+fn check_match(ctx: &FileContext, tokens: &[Token], i: usize, out: &mut Vec<Diagnostic>) {
+    // Find the arm block: the first `{` at group depth 0 after the
+    // scrutinee (struct literals cannot appear unparenthesized there).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            break;
+        }
+        j += 1;
+    }
+    let Some(close) = crate::lexer::matching_bracket_pub(tokens, j) else {
+        return;
+    };
+    // In scope only when the scrutinee or the arm patterns name an event
+    // enum (variant paths like `ControlEvent::Lifecycle`).
+    if !mentions_event_enum(&tokens[i..=close]) {
+        return;
+    }
+    // `_ =>` at arm depth: `_` directly inside the match braces.
+    let mut depth = 0i32;
+    for k in j + 1..close {
+        let t = &tokens[k];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0
+            && t.ident() == Some("_")
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('='))
+            && tokens.get(k + 2).is_some_and(|n| n.is_punct('>'))
+        {
+            out.push(Diagnostic {
+                rule: "EVT-EXHAUSTIVE",
+                file: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "`_` wildcard arm in a `match` over an event enum: variants \
+                          added later are silently ignored here. Name every variant so \
+                          new events force a decision at this consumer"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether any token in the slice names an event enum.
+fn mentions_event_enum(tokens: &[Token]) -> bool {
+    tokens
+        .iter()
+        .any(|t| t.ident().is_some_and(|n| EVENT_ENUMS.contains(&n)))
+}

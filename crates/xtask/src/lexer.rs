@@ -39,7 +39,10 @@ pub enum TokenKind {
     /// A lifetime such as `'env` (kept distinct from char literals).
     Lifetime(String),
     /// Any literal: string, raw string, byte string, char, or number.
-    Literal,
+    /// Plain and raw string literals carry their (unescaped) text so the
+    /// schema extractor can read emitted metric/JSON names; other literal
+    /// kinds carry `None`.
+    Literal(Option<String>),
     /// A single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
 }
@@ -51,6 +54,19 @@ impl Token {
             TokenKind::Ident(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// The unescaped text, if this token is a plain or raw string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(Some(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is any literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self.kind, TokenKind::Literal(_))
     }
 
     /// Whether this token is the given punctuation character.
@@ -144,22 +160,22 @@ impl<'a> RawLexer<'a> {
                 '/' if self.peek2() == Some('/') => self.line_comment(),
                 '/' if self.peek2() == Some('*') => self.block_comment(),
                 '"' => {
-                    self.string_literal();
-                    return Some(self.tok(TokenKind::Literal, line, col));
+                    let text = self.string_literal();
+                    return Some(self.tok(TokenKind::Literal(Some(text)), line, col));
                 }
                 'r' if matches!(self.peek2(), Some('"') | Some('#')) && self.is_raw_string() => {
-                    self.raw_string_literal();
-                    return Some(self.tok(TokenKind::Literal, line, col));
+                    let text = self.raw_string_literal();
+                    return Some(self.tok(TokenKind::Literal(Some(text)), line, col));
                 }
                 'b' if matches!(self.peek2(), Some('"')) => {
                     self.bump(); // b
                     self.string_literal();
-                    return Some(self.tok(TokenKind::Literal, line, col));
+                    return Some(self.tok(TokenKind::Literal(None), line, col));
                 }
                 'b' if matches!(self.peek2(), Some('\'')) => {
                     self.bump(); // b
                     self.char_literal();
-                    return Some(self.tok(TokenKind::Literal, line, col));
+                    return Some(self.tok(TokenKind::Literal(None), line, col));
                 }
                 '\'' => {
                     if let Some(tok) = self.lifetime_or_char(line, col) {
@@ -168,7 +184,7 @@ impl<'a> RawLexer<'a> {
                 }
                 c if c.is_ascii_digit() => {
                     self.number_literal();
-                    return Some(self.tok(TokenKind::Literal, line, col));
+                    return Some(self.tok(TokenKind::Literal(None), line, col));
                 }
                 c if c.is_alphanumeric() || c == '_' => {
                     let ident = self.ident();
@@ -244,17 +260,51 @@ impl<'a> RawLexer<'a> {
         }
     }
 
-    fn string_literal(&mut self) {
+    /// Consumes a `"..."` literal, returning its unescaped text.
+    fn string_literal(&mut self) -> String {
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
-                '\\' => {
-                    self.bump();
-                }
+                '\\' => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('r') => text.push('\r'),
+                    Some('t') => text.push('\t'),
+                    Some('0') => text.push('\0'),
+                    Some('u') => {
+                        // `\u{hex}`: decode, or skip on malformed input.
+                        let mut hex = String::new();
+                        if self.peek() == Some('{') {
+                            self.bump();
+                            while let Some(h) = self.peek() {
+                                if h == '}' {
+                                    self.bump();
+                                    break;
+                                }
+                                hex.push(h);
+                                self.bump();
+                            }
+                        }
+                        if let Some(decoded) =
+                            u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            text.push(decoded);
+                        }
+                    }
+                    Some('\n') => {
+                        // Line-continuation escape: skip leading whitespace.
+                        while self.peek().is_some_and(|c| c.is_whitespace()) {
+                            self.bump();
+                        }
+                    }
+                    Some(e) => text.push(e),
+                    None => break,
+                },
                 '"' => break,
-                _ => {}
+                c => text.push(c),
             }
         }
+        text
     }
 
     /// Whether the upcoming `r...` really starts a raw string (`r"`, `r#"`),
@@ -269,7 +319,9 @@ impl<'a> RawLexer<'a> {
         c == Some('"')
     }
 
-    fn raw_string_literal(&mut self) {
+    /// Consumes an `r"..."` / `r#"..."#` literal, returning its text.
+    fn raw_string_literal(&mut self) -> String {
+        let mut text = String::new();
         self.bump(); // 'r'
         let mut hashes = 0usize;
         while self.peek() == Some('#') {
@@ -286,11 +338,15 @@ impl<'a> RawLexer<'a> {
                         self.bump();
                     }
                     if seen == hashes {
-                        return;
+                        return text;
+                    }
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
                     }
                 }
-                Some(_) => {}
-                None => return,
+                Some(c) => text.push(c),
+                None => return text,
             }
         }
     }
@@ -332,7 +388,7 @@ impl<'a> RawLexer<'a> {
                 }
                 if closed && len == 1 {
                     self.char_literal();
-                    Some(self.tok(TokenKind::Literal, line, col))
+                    Some(self.tok(TokenKind::Literal(None), line, col))
                 } else {
                     self.bump(); // quote
                     let ident = self.ident();
@@ -341,7 +397,7 @@ impl<'a> RawLexer<'a> {
             }
             _ => {
                 self.char_literal();
-                Some(self.tok(TokenKind::Literal, line, col))
+                Some(self.tok(TokenKind::Literal(None), line, col))
             }
         }
     }

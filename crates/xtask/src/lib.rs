@@ -1,24 +1,37 @@
 //! `cargo xtask` — repo-local developer tasks.
 //!
-//! The only task today is `lint`: a source-level pass that enforces the
-//! determinism and concurrency invariants the golden-record tests depend
-//! on, as named rules with span-accurate diagnostics (catalogue and
-//! rationale: DESIGN.md §8, `rules.rs` module docs). Run it as
+//! Three tasks, all over the same engine:
 //!
 //! ```text
-//! cargo xtask lint            # human-readable, exit 1 on violations
-//! cargo xtask lint --json     # stable machine-readable report on stdout
-//! cargo xtask lint PATH...    # restrict to specific files/directories
+//! cargo xtask lint             # token + graph rules + schema, exit 1 on hits
+//! cargo xtask lint --json      # stable machine-readable v2 report on stdout
+//! cargo xtask lint PATH...     # restrict to specific files/directories
+//! cargo xtask analyze          # graph rules + schema only (item-graph pass)
+//! cargo xtask schema --check   # verify schema.lock matches the emitters
+//! cargo xtask schema --write   # regenerate schema.lock
 //! ```
 //!
-//! The crate is a library so the integration tests (`tests/lint_rules.rs`)
-//! drive the same engine the CLI does, over the fixture corpus in
-//! `tests/fixtures/`.
+//! `lint` runs the per-file token rules (DESIGN.md §8.1), then builds the
+//! workspace item graph (`graph.rs`) and drives the graph rule families
+//! over it (§8.3): taint reachability, float comparator totality, event
+//! exhaustiveness, schema lock, lock-order acyclicity.
+//!
+//! The crate is a library so the integration tests (`tests/lint_rules.rs`,
+//! `tests/graph_rules.rs`, `tests/schema_lock.rs`) drive the same engine
+//! the CLI does, over the fixture corpus in `tests/fixtures/`.
 
+pub mod analysis;
+pub mod events;
+pub mod graph;
 pub mod lexer;
+pub mod lockorder;
+pub mod ordfloat;
 pub mod report;
 pub mod rules;
+pub mod schema;
+pub mod taint;
 
+use graph::SourceFile;
 use report::Report;
 use std::path::{Path, PathBuf};
 
@@ -28,8 +41,19 @@ use std::path::{Path, PathBuf};
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
 
 /// Lints every `.rs` file under `roots` (workspace-relative paths are
-/// resolved against `workspace`). Returns the sorted report.
+/// resolved against `workspace`): token rules, graph rules, and the schema
+/// lock. Returns the sorted report.
 pub fn run_lint(workspace: &Path, roots: &[PathBuf]) -> std::io::Result<Report> {
+    run(workspace, roots, true)
+}
+
+/// The item-graph analysis alone (`cargo xtask analyze`): graph rules and
+/// the schema lock, without the per-file token rules.
+pub fn run_analyze(workspace: &Path, roots: &[PathBuf]) -> std::io::Result<Report> {
+    run(workspace, roots, false)
+}
+
+fn run(workspace: &Path, roots: &[PathBuf], token_rules: bool) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for root in roots {
         let abs = if root.is_absolute() {
@@ -43,6 +67,7 @@ pub fn run_lint(workspace: &Path, roots: &[PathBuf]) -> std::io::Result<Report> 
     files.dedup();
 
     let mut report = Report::default();
+    let mut sources = Vec::new();
     for file in &files {
         let source = std::fs::read_to_string(file)?;
         let rel = file
@@ -50,9 +75,21 @@ pub fn run_lint(workspace: &Path, roots: &[PathBuf]) -> std::io::Result<Report> 
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        report.diagnostics.extend(rules::lint_source(&rel, &source));
+        if token_rules {
+            report.diagnostics.extend(rules::lint_source(&rel, &source));
+        }
+        sources.push(SourceFile::new(&rel, &source));
         report.checked_files += 1;
     }
+
+    let (graph_diags, stats) = analysis::analyze(&sources);
+    report.diagnostics.extend(graph_diags);
+    report.graph = stats;
+
+    let (schema_diags, schema_entries) = schema::check(workspace)?;
+    report.diagnostics.extend(schema_diags);
+    report.graph.schema_entries = schema_entries;
+
     report.sort();
     Ok(report)
 }

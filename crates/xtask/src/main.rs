@@ -1,12 +1,14 @@
 //! CLI entry point for `cargo xtask`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(&args[1..]),
+        Some("lint") => check(&args[1..], xtask::run_lint, "lint"),
+        Some("analyze") => check(&args[1..], xtask::run_analyze, "analyze"),
+        Some("schema") => schema(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -23,15 +25,44 @@ const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [--json] [PATH...]   check determinism/concurrency invariants
-                            (default PATH: crates/). --json writes the
-                            stable machine-readable report to stdout.
-                            Exits 0 when clean, 1 on violations.
-  lint --table              print the per-rule allowed-paths table (the
-                            workspace's nondeterminism boundary) and exit.
+  lint [--json] [PATH...]   check determinism/concurrency invariants:
+                            per-file token rules, the item-graph rules
+                            (taint, lock order, float comparators, event
+                            exhaustiveness), and the schema lock (default
+                            PATH: crates/). --json writes the stable v2
+                            machine-readable report to stdout. Exits 0
+                            when clean, 1 on violations.
+  lint --table              print the per-rule allowed-paths/scope table
+                            (the workspace's nondeterminism boundary).
+  analyze [--json] [PATH...]
+                            the item-graph analysis alone: graph rules and
+                            the schema lock, without the token rules.
+  schema                    print the generated emitted-schema lock text.
+  schema --check            fail (exit 1) if schema.lock drifted from the
+                            emitter sources.
+  schema --write            regenerate schema.lock from the sources.
 ";
 
-fn lint(args: &[String]) -> ExitCode {
+fn workspace_root() -> Result<PathBuf, ExitCode> {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask: cannot determine working directory: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    match xtask::find_workspace_root(&cwd) {
+        Some(w) => Ok(w),
+        None => {
+            eprintln!("xtask: no workspace Cargo.toml above {}", cwd.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+type Runner = fn(&Path, &[PathBuf]) -> std::io::Result<xtask::report::Report>;
+
+fn check(args: &[String], run: Runner, task: &str) -> ExitCode {
     let mut json = false;
     let mut roots: Vec<PathBuf> = Vec::new();
     for arg in args {
@@ -46,7 +77,7 @@ fn lint(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
-                eprintln!("xtask lint: unknown flag `{flag}`");
+                eprintln!("xtask {task}: unknown flag `{flag}`");
                 return ExitCode::from(2);
             }
             path => roots.push(PathBuf::from(path)),
@@ -55,23 +86,11 @@ fn lint(args: &[String]) -> ExitCode {
     if roots.is_empty() {
         roots = xtask::default_roots();
     }
-
-    let cwd = match std::env::current_dir() {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("xtask lint: cannot determine working directory: {e}");
-            return ExitCode::from(2);
-        }
+    let workspace = match workspace_root() {
+        Ok(w) => w,
+        Err(code) => return code,
     };
-    let Some(workspace) = xtask::find_workspace_root(&cwd) else {
-        eprintln!(
-            "xtask lint: no workspace Cargo.toml above {}",
-            cwd.display()
-        );
-        return ExitCode::from(2);
-    };
-
-    match xtask::run_lint(&workspace, &roots) {
+    match run(&workspace, &roots) {
         Ok(report) => {
             if json {
                 print!("{}", report.render_json());
@@ -85,8 +104,54 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask {task}: {e}");
             ExitCode::from(2)
         }
     }
+}
+
+fn schema(args: &[String]) -> ExitCode {
+    let mode = match args.first().map(String::as_str) {
+        None => "print",
+        Some("--check") => "check",
+        Some("--write") => "write",
+        Some("--help" | "-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("xtask schema: unknown argument `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let workspace = match workspace_root() {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let outcome = match mode {
+        "print" => xtask::schema::extract_workspace(&workspace).map(|entries| {
+            print!("{}", xtask::schema::render_lock(&entries));
+            ExitCode::SUCCESS
+        }),
+        "write" => xtask::schema::write_lock(&workspace).map(|n| {
+            println!("xtask schema: wrote {} entries to schema.lock", n);
+            ExitCode::SUCCESS
+        }),
+        _ => xtask::schema::check(&workspace).map(|(diags, entries)| {
+            if diags.is_empty() {
+                println!("xtask schema: schema.lock is in sync ({entries} entries)");
+                ExitCode::SUCCESS
+            } else {
+                for d in &diags {
+                    println!("{}:{}:{}: {}: {}", d.file, d.line, d.col, d.rule, d.message);
+                }
+                println!("xtask schema: {} drift finding(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }),
+    };
+    outcome.unwrap_or_else(|e| {
+        eprintln!("xtask schema: {e}");
+        ExitCode::from(2)
+    })
 }

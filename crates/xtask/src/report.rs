@@ -5,9 +5,10 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "checked_files": 42,
 //!   "counts": { "DET-HASH-ITER": 0, ... },
+//!   "graph": { "functions": 0, "call_edges": 0, ... },
 //!   "diagnostics": [
 //!     { "rule": "...", "file": "...", "line": 1, "col": 2, "message": "..." }
 //!   ]
@@ -15,9 +16,11 @@
 //! ```
 //!
 //! Diagnostics are sorted by `(file, line, col, rule)`; `counts` lists every
-//! known rule (zeroes included) in catalogue order. Same input → byte-equal
-//! report.
+//! known rule (zeroes included) in catalogue order; `graph` carries the
+//! item-graph statistics (version 2 — zeroes when only token rules ran).
+//! Same input → byte-equal report.
 
+use crate::graph::GraphStats;
 use crate::rules::{Diagnostic, RULE_IDS};
 
 /// A full lint run's result.
@@ -27,6 +30,8 @@ pub struct Report {
     pub checked_files: usize,
     /// All surviving diagnostics, sorted by `(file, line, col, rule)`.
     pub diagnostics: Vec<Diagnostic>,
+    /// Item-graph statistics (v2 reports; zeroes when no graph pass ran).
+    pub graph: GraphStats,
 }
 
 impl Report {
@@ -71,13 +76,30 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"checked_files\": {},\n", self.checked_files));
         out.push_str("  \"counts\": {\n");
         for (i, rule) in RULE_IDS.iter().enumerate() {
             let n = self.diagnostics.iter().filter(|d| d.rule == *rule).count();
             let comma = if i + 1 < RULE_IDS.len() { "," } else { "" };
             out.push_str(&format!("    {}: {}{}\n", json_string(rule), n, comma));
+        }
+        out.push_str("  },\n");
+        let g = &self.graph;
+        out.push_str("  \"graph\": {\n");
+        let stats: [(&str, usize); 8] = [
+            ("functions", g.functions),
+            ("call_edges", g.call_edges),
+            ("taint_sources", g.taint_sources),
+            ("taint_sinks", g.taint_sinks),
+            ("taint_paths", g.taint_paths),
+            ("lock_sites", g.lock_sites),
+            ("lock_edges", g.lock_edges),
+            ("schema_entries", g.schema_entries),
+        ];
+        for (i, (key, value)) in stats.iter().enumerate() {
+            let comma = if i + 1 < stats.len() { "," } else { "" };
+            out.push_str(&format!("    {}: {}{}\n", json_string(key), value, comma));
         }
         out.push_str("  },\n");
         out.push_str("  \"diagnostics\": [");
@@ -131,6 +153,7 @@ mod tests {
     fn sample() -> Report {
         let mut r = Report {
             checked_files: 3,
+            graph: GraphStats::default(),
             diagnostics: vec![
                 Diagnostic {
                     rule: "DET-WALLCLOCK",
@@ -166,10 +189,12 @@ mod tests {
         let a = sample().render_json();
         let b = sample().render_json();
         assert_eq!(a, b, "same input must render byte-identical JSON");
-        assert!(a.contains("\"version\": 1"));
+        assert!(a.contains("\"version\": 2"));
         assert!(a.contains("\"checked_files\": 3"));
         assert!(a.contains("\"DET-HASH-ITER\": 1"));
         assert!(a.contains("\"PANIC-POLICY\": 0"), "zero counts are listed");
+        assert!(a.contains("\"graph\": {"), "v2 carries graph stats");
+        assert!(a.contains("\"taint_paths\": 0"));
         assert!(a.contains("clock \\\"read\\\""), "quotes are escaped");
     }
 
@@ -178,6 +203,7 @@ mod tests {
         let r = Report {
             checked_files: 5,
             diagnostics: vec![],
+            graph: GraphStats::default(),
         };
         assert!(r.render_json().contains("\"diagnostics\": []"));
         assert!(r.render_text().contains("no violations"));

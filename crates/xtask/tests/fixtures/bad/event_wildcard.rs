@@ -1,0 +1,24 @@
+//! BAD (EVT-EXHAUSTIVE): wildcard arms over event enums. A variant
+//! added later compiles, flows, and silently vanishes from the
+//! artifacts this consumer should have changed.
+
+pub enum ControlEvent {
+    Lifecycle,
+    Breaker,
+    Shed,
+}
+
+pub fn count_breakers(events: &[ControlEvent]) -> usize {
+    let mut n = 0;
+    for e in events {
+        match e {
+            ControlEvent::Breaker => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+pub fn any_shed(events: &[ControlEvent]) -> bool {
+    events.iter().any(|e| matches!(e, ControlEvent::Shed))
+}

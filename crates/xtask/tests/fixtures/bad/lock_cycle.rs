@@ -1,0 +1,17 @@
+//! BAD (LOCK-ORDER): two functions acquire the same two locks in
+//! opposite orders — the textbook AB/BA deadlock, invisible to any
+//! single-file scan of either function alone.
+
+use std::sync::Mutex;
+
+pub fn forward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+pub fn backward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    *ga + *gb
+}

@@ -1,0 +1,12 @@
+//! BAD (ORD-TOTAL-FLOAT): NaN-partial comparators at sort/max sites.
+//! The power-blackout fault injection really does produce NaN samples,
+//! so `partial_cmp` here is a panic (or an order-dependent result).
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

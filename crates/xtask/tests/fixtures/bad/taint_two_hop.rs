@@ -1,0 +1,30 @@
+//! BAD (DET-TAINT): a racy counter read two calls away from a record
+//! writer. No single token is suspicious to the per-file linter — the
+//! `Relaxed` load sits in a leaf helper, the `RunRecord` literal in a
+//! third function, and only the call graph connects them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct RunRecord {
+    pub retries: usize,
+}
+
+pub struct Counter {
+    hits: AtomicUsize,
+}
+
+impl Counter {
+    fn snapshot(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+fn gather(c: &Counter) -> usize {
+    c.snapshot()
+}
+
+pub fn write_record(c: &Counter) -> RunRecord {
+    RunRecord {
+        retries: gather(c),
+    }
+}

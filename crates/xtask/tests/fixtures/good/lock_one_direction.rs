@@ -1,0 +1,16 @@
+//! GOOD: the same two locks, always acquired in the same order — a
+//! consistent hierarchy has no cycle no matter how many holders nest.
+
+use std::sync::Mutex;
+
+pub fn sum(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+pub fn product(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga * *gb
+}

@@ -1,0 +1,23 @@
+//! GOOD: the same racy read as `bad/taint_two_hop.rs`, but no call path
+//! connects it to the record writer — diagnostic counters that stay out
+//! of the recorded artifacts are fine without an allow.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Counter {
+    hits: AtomicUsize,
+}
+
+impl Counter {
+    pub fn snapshot(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+pub struct RunRecord {
+    pub retries: usize,
+}
+
+pub fn write_record(retries: usize) -> RunRecord {
+    RunRecord { retries }
+}

@@ -199,6 +199,7 @@ fn sample_report() -> Report {
             "crates/core/src/fixture.rs",
             &fixture("bad/det_hash_iter.rs"),
         ),
+        graph: Default::default(),
     };
     report.diagnostics.extend(lint_source(
         "crates/core/src/fixture.rs",
@@ -222,7 +223,8 @@ fn json_report_is_well_formed_and_complete() {
     let report = sample_report();
     let json = report.render_json();
     check_json(&json);
-    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"version\": 2"));
+    assert!(json.contains("\"graph\": {"), "v2 carries graph stats");
     assert!(json.contains("\"checked_files\": 2"));
     // Every diagnostic appears with its span.
     for d in &report.diagnostics {
